@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces the paper's Sec. 7 discussion: PrimePar on torus
+ * interconnects (TPU-v4-like).
+ *
+ * The novel primitive only induces neighbour ring communication, so a
+ * 2-D torus — where every hop has full link bandwidth — suits it
+ * perfectly. The paper predicts (a) more efficient scaling on tori
+ * than on hierarchical clusters, and (b) linear scaling as long as
+ * the per-step ring latency stays below the per-step compute latency.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "sim/op_sim.hh"
+
+using namespace primepar;
+using namespace primepar::bench;
+
+namespace {
+
+/** Simulate one full training step of a PSquare-partitioned linear. */
+SimBreakdown
+runPSquare(const ClusterTopology &topo, int k, const OpSpec &op)
+{
+    const OpPlan plan(op, PartitionSeq({PartitionStep::pSquare(k)}),
+                      2 * k);
+    SimContext ctx(topo);
+    SimBreakdown total;
+    for (Phase ph : {Phase::Forward, Phase::Backward, Phase::Gradient})
+        total.accumulate(simulateOpPhase(ctx, plan, ph));
+    total.spanUs = ctx.makespan();
+    return total;
+}
+
+void
+torusVsHierarchical()
+{
+    std::printf("P4x4 on 16 devices: hierarchical cluster vs 2-D "
+                "torus\n");
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 12288, 49152);
+    TextTable table;
+    table.header({"topology", "compute us", "ring us", "stall us",
+                  "step span us"});
+    {
+        const auto topo = ClusterTopology::paperCluster(16);
+        const auto r = runPSquare(topo, 2, op);
+        table.row({"4 nodes x 4 (NVLink+IB)", fmtDouble(r.computeUs, 0),
+                   fmtDouble(r.ringUs, 0), fmtDouble(r.stallUs, 0),
+                   fmtDouble(r.spanUs, 0)});
+    }
+    {
+        const auto topo = ClusterTopology::torus2d(4);
+        const auto r = runPSquare(topo, 2, op);
+        table.row({"4x4 torus (uniform links)",
+                   fmtDouble(r.computeUs, 0), fmtDouble(r.ringUs, 0),
+                   fmtDouble(r.stallUs, 0), fmtDouble(r.spanUs, 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+void
+scalingSeries()
+{
+    std::printf("Scaling P_{2^k x 2^k} on growing tori (fixed total "
+                "work, per-device efficiency)\n");
+    TextTable table;
+    table.header({"devices", "k", "span us", "ideal us", "efficiency"});
+    const OpSpec op = makeLinearOp("fc", 8, 4096, 12288, 49152);
+    double base_span = 0.0;
+    for (int k = 0; k <= 3; ++k) {
+        const int devices = 1 << (2 * k);
+        SimBreakdown r;
+        if (k == 0) {
+            const ClusterTopology topo = ClusterTopology::torus2d(1);
+            const OpPlan plan(op, PartitionSeq{}, 0);
+            SimContext ctx(topo);
+            for (Phase ph :
+                 {Phase::Forward, Phase::Backward, Phase::Gradient})
+                r.accumulate(simulateOpPhase(ctx, plan, ph));
+            r.spanUs = ctx.makespan();
+            base_span = r.spanUs;
+        } else {
+            const ClusterTopology topo = ClusterTopology::torus2d(1 << k);
+            r = runPSquare(topo, k, op);
+        }
+        const double ideal = base_span / devices;
+        table.row({std::to_string(devices), std::to_string(k),
+                   fmtDouble(r.spanUs, 0), fmtDouble(ideal, 0),
+                   fmtDouble(100.0 * ideal / r.spanUs, 1) + "%"});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper: \"linear scaling ... as long as the ring "
+                "communication latency per step is no longer than "
+                "computation latency\".\n\n");
+}
+
+void
+crossoverSweep()
+{
+    std::printf("Overlap crossover: shrinking per-step compute until "
+                "ring latency dominates (4x4 torus, P4x4)\n");
+    TextTable table;
+    table.header({"M (rows)", "compute/step us", "ring/step us",
+                  "stall us", "overlapped"});
+    for (std::int64_t m : {4096, 1024, 256, 64}) {
+        const OpSpec op = makeLinearOp("fc", 8, m, 12288, 49152);
+        const auto topo = ClusterTopology::torus2d(4);
+        const auto r = runPSquare(topo, 2, op);
+        // 3 passes x 4 steps each.
+        const double compute_step = r.computeUs / 12.0;
+        const double ring_step = r.ringUs / 12.0;
+        table.row({std::to_string(m), fmtDouble(compute_step, 0),
+                   fmtDouble(ring_step, 0), fmtDouble(r.stallUs, 0),
+                   r.stallUs < 0.05 * r.computeUs ? "yes" : "no"});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== PrimePar discussion (Sec. 7): torus "
+                "interconnects ===\n\n");
+    torusVsHierarchical();
+    scalingSeries();
+    crossoverSweep();
+    return 0;
+}

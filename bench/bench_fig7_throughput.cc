@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces the paper's Fig. 7: normalized training throughput of
+ * Megatron-LM, Alpa and PrimePar for the six evaluation models at
+ * 4 / 8 / 16 / 32 GPUs (tensor parallelism only, no pipeline).
+ *
+ * Expected shape (paper): PrimePar >= Alpa ~ Megatron everywhere;
+ * 1.16-1.20x at ~7B scale, 1.11-1.68x beyond 100B, speedup growing
+ * with the device count; geo-mean 1.30x at 32 GPUs.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace primepar;
+using namespace primepar::bench;
+
+int
+main()
+{
+    std::printf(
+        "=== PrimePar reproduction: Fig. 7 (training throughput) ===\n"
+        "Normalized to Megatron-LM = 1.00 per cell; batch 8.\n\n");
+
+    TextTable table;
+    table.header({"model", "gpus", "Megatron", "Alpa", "PrimePar",
+                  "PrimePar tok/s"});
+
+    double geo_mean_32 = 1.0;
+    int count_32 = 0;
+    for (const ModelConfig &model : evaluationModels()) {
+        for (int devices : {4, 8, 16, 32}) {
+            const auto results = compareSystems(model, devices, 8);
+            const double base = results[0].tokensPerSec;
+            table.row({model.name, std::to_string(devices),
+                       fmtDouble(results[0].tokensPerSec / base, 2),
+                       fmtDouble(results[1].tokensPerSec / base, 2),
+                       fmtDouble(results[2].tokensPerSec / base, 2),
+                       fmtDouble(results[2].tokensPerSec, 0)});
+            if (devices == 32) {
+                geo_mean_32 *= results[2].tokensPerSec / base;
+                ++count_32;
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Geo-mean PrimePar speedup over Megatron at 32 GPUs: "
+                "%.2fx (paper: 1.30x; paper max: 1.68x)\n",
+                std::pow(geo_mean_32, 1.0 / count_32));
+    return 0;
+}

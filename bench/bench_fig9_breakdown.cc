@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reproduces the paper's Fig. 9: latency breakdown of the OPT 175B
+ * MLP block (fc1 -> activation -> fc2) for batch sizes 8 and 16 on 8
+ * and 16 GPUs, Megatron-LM vs PrimePar, plus the chosen partition
+ * sequences of one configuration (the paper's right-hand panel).
+ *
+ * Expected shape (paper): PrimePar's collective-communication latency
+ * is 19.9%-62.2% of Megatron's; compute latency is roughly equal; the
+ * ring point-to-point traffic introduced by the novel partition is
+ * small and fully overlapped with compute.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace primepar;
+using namespace primepar::bench;
+
+namespace {
+
+struct Cell
+{
+    SystemResult megatron;
+    SystemResult primepar;
+};
+
+Cell
+runCell(std::int64_t batch, int devices)
+{
+    const ModelConfig model = opt175b();
+    const ClusterTopology topo = ClusterTopology::paperCluster(devices);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph graph = buildMlpBlock(model, batch);
+
+    Cell cell;
+    const MegatronPlan mg = bestMegatronPlan(graph, cost);
+    cell.megatron =
+        measure("Megatron", model, topo, graph, mg.strategies);
+
+    DpOptions opts;
+    const DpResult pp = SegmentedDpOptimizer(graph, cost, opts).optimize();
+    cell.primepar =
+        measure("PrimePar", model, topo, graph, pp.strategies);
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== PrimePar reproduction: Fig. 9 (MLP block "
+                "latency breakdown, OPT 175B) ===\n\n");
+
+    TextTable table;
+    table.header({"batch", "gpus", "system", "compute us",
+                  "collective us", "ring us", "redist us", "total us",
+                  "collective vs Megatron"});
+    for (std::int64_t batch : {8, 16}) {
+        for (int devices : {8, 16}) {
+            const Cell cell = runCell(batch, devices);
+            table.row({std::to_string(batch), std::to_string(devices),
+                       "Megatron",
+                       fmtDouble(cell.megatron.computeUs, 0),
+                       fmtDouble(cell.megatron.allReduceUs, 0),
+                       fmtDouble(cell.megatron.ringUs, 0),
+                       fmtDouble(cell.megatron.redistUs, 0),
+                       fmtDouble(cell.megatron.latencyUs, 0), "100%"});
+            const double rel =
+                cell.megatron.allReduceUs > 0
+                    ? 100.0 * cell.primepar.allReduceUs /
+                          cell.megatron.allReduceUs
+                    : 0.0;
+            table.row({std::to_string(batch), std::to_string(devices),
+                       "PrimePar",
+                       fmtDouble(cell.primepar.computeUs, 0),
+                       fmtDouble(cell.primepar.allReduceUs, 0),
+                       fmtDouble(cell.primepar.ringUs, 0),
+                       fmtDouble(cell.primepar.redistUs, 0),
+                       fmtDouble(cell.primepar.latencyUs, 0),
+                       fmtDouble(rel, 1) + "%"});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Paper reference: PrimePar collective latency is "
+                "19.9%%-62.2%% of Megatron's; compute roughly equal; "
+                "ring traffic overlapped.\n\n");
+
+    // Right panel: the chosen partition sequences at batch 8, 8 GPUs.
+    const Cell cell = runCell(8, 8);
+    const ModelConfig model = opt175b();
+    const CompGraph graph = buildMlpBlock(model, 8);
+    std::printf("Partition sequences (batch 8, 8 GPUs):\n");
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        std::printf("  %-6s  Megatron: %-12s  PrimePar: %s\n",
+                    graph.node(n).name.c_str(),
+                    cell.megatron.strategies[n]
+                        .toString(graph.node(n))
+                        .c_str(),
+                    cell.primepar.strategies[n]
+                        .toString(graph.node(n))
+                        .c_str());
+    }
+    std::printf("\nPaper reference (Fig. 9 right): PrimePar fc2 uses "
+                "a sequence like B,N,P2x2 — the novel primitive on "
+                "the intra-node bits with one all-reduce level moved "
+                "to a quarter-size tensor.\n");
+
+    // Kernel execution timelines (the paper's right-hand panel).
+    const ClusterTopology topo = ClusterTopology::paperCluster(8);
+    auto timeline = [&](const char *name,
+                        const std::vector<PartitionSeq> &strategies) {
+        Trace trace;
+        const ModelSimulator sim(topo, graph, strategies);
+        sim.simulate(1, &trace);
+        std::printf("\n%s timeline (one MLP iteration, 8 devices):\n%s",
+                    name, trace.toAscii(70).c_str());
+    };
+    timeline("Megatron", cell.megatron.strategies);
+    timeline("PrimePar", cell.primepar.strategies);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Micro-benchmarks of PrimePar's hot paths (google-benchmark):
+ * DSI table evaluation, communication-pattern derivation, partition
+ * space enumeration, redistribution traffic evaluation and the SPMD
+ * contraction kernel. These guard the optimizer's O(P^3) inner loops
+ * against regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cost/cost_model.hh"
+#include "partition/comm_pattern.hh"
+#include "partition/space.hh"
+#include "tensor/einsum.hh"
+
+using namespace primepar;
+
+namespace {
+
+void
+BM_DsiTableBuild(benchmark::State &state)
+{
+    const int bits = static_cast<int>(state.range(0));
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 4096);
+    PartitionSeq seq;
+    seq.push(PartitionStep::pSquare(bits / 2));
+    for (int b = 2 * (bits / 2); b < bits; ++b)
+        seq.push(PartitionStep::byDim(0));
+    for (auto _ : state) {
+        DsiTable dsi(op, seq, bits);
+        benchmark::DoNotOptimize(dsi.steps());
+    }
+}
+BENCHMARK(BM_DsiTableBuild)->Arg(2)->Arg(4)->Arg(6);
+
+void
+BM_DerivePassComm(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 4096);
+    const PartitionSeq seq({PartitionStep::pSquare(k)});
+    const DsiTable dsi(op, seq, 2 * k);
+    for (auto _ : state) {
+        const PassComm comm = derivePassComm(op, seq, dsi, 2);
+        benchmark::DoNotOptimize(comm.stepShifts.size());
+    }
+}
+BENCHMARK(BM_DerivePassComm)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_EnumerateSpace(benchmark::State &state)
+{
+    const int bits = static_cast<int>(state.range(0));
+    const OpSpec op = makeLinearOp("fc", 64, 2048, 4096, 4096);
+    for (auto _ : state) {
+        const auto space = enumerateSequences(op, bits);
+        benchmark::DoNotOptimize(space.size());
+    }
+    state.counters["sequences"] = static_cast<double>(
+        enumerateSequences(op, bits).size());
+}
+BENCHMARK(BM_EnumerateSpace)->Arg(3)->Arg(4)->Arg(5);
+
+void
+BM_TrafficSplit(benchmark::State &state)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 4096);
+    const ClusterTopology topo = ClusterTopology::paperCluster(
+        1 << state.range(0));
+    const CostModel cm(topo, profileModels(topo));
+    const int bits = static_cast<int>(state.range(0));
+    PartitionSeq a, b;
+    for (int i = 0; i < bits; ++i) {
+        a.push(PartitionStep::byDim(i % 2));
+        b.push(PartitionStep::byDim(3 - i % 2));
+    }
+    const DsiTable da(op, a, bits), db(op, b, bits);
+    const EdgeDimMap map{0, 1, 3};
+    const auto have = layoutOf(op, da, {op.outputTensor, false},
+                               Phase::Forward, 0, map, {8, 2048, 4096});
+    const auto need = layoutOf(op, db, {op.outputTensor, false},
+                               Phase::Forward, 0, map, {8, 2048, 4096});
+    const auto prepared = CostModel::prepareSource(have);
+    for (auto _ : state) {
+        const auto split = cm.trafficSplit(prepared, need);
+        benchmark::DoNotOptimize(split.intraNode);
+    }
+}
+BENCHMARK(BM_TrafficSplit)->Arg(3)->Arg(5);
+
+void
+BM_ContractProduct(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    Rng rng(1);
+    const Tensor a = Tensor::random(Shape{n, n}, rng);
+    const Tensor b = Tensor::random(Shape{n, n}, rng);
+    Tensor out(Shape{n, n});
+    for (auto _ : state) {
+        out.zero();
+        contractProduct(a, {0, 1}, b, {1, 2}, out, {0, 2});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_ContractProduct)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

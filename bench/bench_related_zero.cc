@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quantifies the paper's Sec. 8 positioning against ZeRO: ZeRO
+ * removes state redundancy from data parallelism at the price of
+ * extra collectives (reduce-scatter / all-gather), whereas PrimePar's
+ * spatial-temporal partitioning removes both the replication and the
+ * collectives.
+ */
+
+#include <cstdio>
+
+#include "baselines/zero.hh"
+#include "common.hh"
+
+using namespace primepar;
+using namespace primepar::bench;
+
+int
+main()
+{
+    std::printf("=== PrimePar vs ZeRO-style data parallelism "
+                "(Sec. 8 related work) ===\n"
+                "16 GPUs, global batch 16.\n\n");
+
+    for (const ModelConfig &model : {llama2_7b(), opt6p7b()}) {
+        const ClusterTopology topo = ClusterTopology::paperCluster(16);
+        TextTable table;
+        table.header({"system", "iteration ms", "collective ms",
+                      "peak mem GiB", "fits 32GB"});
+        const double gib = 1024.0 * 1024.0 * 1024.0;
+
+        for (ZeroStage stage : {ZeroStage::None, ZeroStage::One,
+                                ZeroStage::Two, ZeroStage::Three}) {
+            const ZeroResult r = evaluateZero(model, topo, 16, stage);
+            table.row({zeroStageName(stage),
+                       fmtDouble(r.iterationUs / 1e3, 1),
+                       fmtDouble(r.collectiveUs / 1e3, 1),
+                       fmtDouble(r.peakMemoryBytes / gib, 2),
+                       r.feasible ? "yes" : "no"});
+        }
+        {
+            const CostModel cost(topo, profileModels(topo));
+            const CompGraph graph = buildTransformerBlock(model, 16);
+            DpOptions opts;
+            opts.numLayers = model.numLayers;
+            const DpResult pp =
+                SegmentedDpOptimizer(graph, cost, opts).optimize();
+            const SystemResult r =
+                measure("PrimePar", model, topo, graph, pp.strategies);
+            table.row({"PrimePar", fmtDouble(r.latencyUs / 1e3, 1),
+                       fmtDouble(r.allReduceUs / 1e3, 1),
+                       fmtDouble(r.peakMemoryBytes / gib, 2),
+                       r.peakMemoryBytes < 32.0 * gib ? "yes" : "no"});
+        }
+        std::printf("%s\n%s\n", model.name.c_str(),
+                    table.render().c_str());
+    }
+    std::printf("Takeaway: ZeRO trades replication for collectives; "
+                "the spatial-temporal partition primitive avoids "
+                "both (paper Sec. 8).\n");
+    return 0;
+}

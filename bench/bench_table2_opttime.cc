@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces the paper's Table 2: wall-clock time of the segmented
+ * dynamic programming optimizer for the OPT / Llama2 / BLOOM model
+ * structures at parallelism sizes 4 / 8 / 16 / 32 (single thread).
+ *
+ * Expected shape (paper, on a Xeon Gold 5218): ~85 ms at 4-8
+ * devices, ~170 ms at 16, a few seconds at 32 — the jump at 32 comes
+ * from the cubic dependence on the per-operator space size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+
+using namespace primepar;
+using namespace primepar::bench;
+
+namespace {
+
+void
+optimizeOnce(benchmark::State &state, const ModelConfig &model)
+{
+    const int devices = static_cast<int>(state.range(0));
+    const ClusterTopology topo = ClusterTopology::paperCluster(devices);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph graph = buildTransformerBlock(model, 8);
+
+    DpOptions opts;
+    opts.numLayers = model.numLayers;
+    for (auto _ : state) {
+        const DpResult r =
+            SegmentedDpOptimizer(graph, cost, opts).optimize();
+        benchmark::DoNotOptimize(r.layerCost);
+        state.counters["search_ms"] = r.optimizationMs;
+    }
+}
+
+void
+BM_Optimize_OPT(benchmark::State &state)
+{
+    optimizeOnce(state, opt6p7b());
+}
+
+void
+BM_Optimize_Llama2(benchmark::State &state)
+{
+    optimizeOnce(state, llama2_7b());
+}
+
+void
+BM_Optimize_Bloom(benchmark::State &state)
+{
+    optimizeOnce(state, bloom7b1());
+}
+
+} // namespace
+
+BENCHMARK(BM_Optimize_OPT)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Optimize_Llama2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Optimize_Bloom)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

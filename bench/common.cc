@@ -1,0 +1,64 @@
+#include "common.hh"
+
+namespace primepar {
+namespace bench {
+
+double
+tokensPerSecond(const ModelConfig &model, std::int64_t batch,
+                double iteration_us)
+{
+    return static_cast<double>(batch) * model.seqLength /
+           (iteration_us * 1e-6);
+}
+
+SystemResult
+measure(const std::string &system, const ModelConfig &model,
+        const ClusterTopology &topo, const CompGraph &graph,
+        std::vector<PartitionSeq> strategies)
+{
+    SystemResult r;
+    r.system = system;
+    r.strategies = strategies;
+    const ModelSimulator sim(topo, graph, std::move(strategies));
+    const ModelSimResult m = sim.simulate(model.numLayers);
+    r.latencyUs = m.latencyUs;
+    r.computeUs = m.computeUs;
+    r.allReduceUs = m.allReduceUs;
+    r.ringUs = m.ringUs;
+    r.redistUs = m.redistUs;
+    r.peakMemoryBytes = m.peakMemoryBytes;
+    r.tokensPerSec = tokensPerSecond(
+        model, graph.node(0).dims[graph.node(0).dimIndex("B")].size,
+        m.latencyUs);
+    return r;
+}
+
+std::vector<SystemResult>
+compareSystems(const ModelConfig &model, int devices, std::int64_t batch)
+{
+    const ClusterTopology topo = ClusterTopology::paperCluster(devices);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph graph = buildTransformerBlock(model, batch);
+
+    std::vector<SystemResult> results;
+
+    const MegatronPlan megatron = bestMegatronPlan(graph, cost);
+    results.push_back(
+        measure("Megatron", model, topo, graph, megatron.strategies));
+
+    const DpResult alpa = alpaOptimize(graph, cost, model.numLayers);
+    results.push_back(
+        measure("Alpa", model, topo, graph, alpa.strategies));
+
+    DpOptions opts;
+    opts.numLayers = model.numLayers;
+    const DpResult pp =
+        SegmentedDpOptimizer(graph, cost, opts).optimize();
+    results.push_back(
+        measure("PrimePar", model, topo, graph, pp.strategies));
+
+    return results;
+}
+
+} // namespace bench
+} // namespace primepar

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scenario: planning the OPT 175B MLP block on one 8-GPU slice of the
+ * cluster — the exact workload of the paper's Fig. 9 discussion.
+ *
+ * Compares three plans side by side on the cluster simulator:
+ * Megatron's hand rules, the best conventional (spatial-only) plan,
+ * and PrimePar's spatial-temporal plan, and shows where the latency
+ * goes in each.
+ */
+
+#include <cstdio>
+
+#include "baselines/megatron.hh"
+#include "graph/transformer.hh"
+#include "optimizer/segmented_dp.hh"
+#include "sim/model_sim.hh"
+#include "support/table.hh"
+
+using namespace primepar;
+
+namespace {
+
+void
+report(const char *name, const ClusterTopology &topo,
+       const CompGraph &graph,
+       const std::vector<PartitionSeq> &strategies, TextTable &table)
+{
+    const ModelSimulator sim(topo, graph, strategies);
+    const ModelSimResult r = sim.simulate();
+    table.row({name, fmtDouble(r.computeUs / 1e3, 1),
+               fmtDouble(r.allReduceUs / 1e3, 1),
+               fmtDouble(r.ringUs / 1e3, 1),
+               fmtDouble(r.redistUs / 1e3, 1),
+               fmtDouble(r.latencyUs / 1e3, 1),
+               fmtDouble(r.peakMemoryBytes / (1 << 30), 2)});
+}
+
+} // namespace
+
+int
+main()
+{
+    const ModelConfig model = opt175b();
+    const int devices = 8;
+    const std::int64_t batch = 8;
+
+    const ClusterTopology topo = ClusterTopology::paperCluster(devices);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph graph = buildMlpBlock(model, batch);
+
+    std::printf("Planning %s MLP block (fc1 %lldx%lld, fc2 %lldx%lld) "
+                "on %d GPUs (%d nodes x %d)\n\n",
+                model.name.c_str(),
+                static_cast<long long>(model.hiddenSize),
+                static_cast<long long>(model.ffnSize),
+                static_cast<long long>(model.ffnSize),
+                static_cast<long long>(model.hiddenSize), devices,
+                topo.numNodes(), topo.gpusPerNode());
+
+    const MegatronPlan megatron = bestMegatronPlan(graph, cost);
+    const DpResult alpa = alpaOptimize(graph, cost);
+    DpOptions opts;
+    const DpResult pp = SegmentedDpOptimizer(graph, cost, opts).optimize();
+
+    std::printf("chosen partition sequences:\n");
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        std::printf("  %-5s  Megatron(d=%d,m=%d): %-10s  spatial-best: "
+                    "%-10s  PrimePar: %s\n",
+                    graph.node(n).name.c_str(),
+                    megatron.config.dataParallel,
+                    megatron.config.modelParallel,
+                    megatron.strategies[n].toString(graph.node(n)).c_str(),
+                    alpa.strategies[n].toString(graph.node(n)).c_str(),
+                    pp.strategies[n].toString(graph.node(n)).c_str());
+    }
+    std::printf("\n(PrimePar search: %.1f ms)\n\n", pp.optimizationMs);
+
+    TextTable table;
+    table.header({"plan", "compute ms", "collective ms", "ring ms",
+                  "redist ms", "iteration ms", "peak mem GiB"});
+    report("Megatron", topo, graph, megatron.strategies, table);
+    report("spatial-best", topo, graph, alpa.strategies, table);
+    report("PrimePar", topo, graph, pp.strategies, table);
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

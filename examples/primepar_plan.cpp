@@ -1,0 +1,179 @@
+/**
+ * @file
+ * `primepar_plan` — command-line strategy planner.
+ *
+ * Plans a tensor-parallel training strategy for one of the evaluation
+ * models on a chosen cluster size, prints the per-operator partition
+ * sequences and the predicted iteration latency / memory, and can
+ * optionally emit a chrome://tracing timeline of the simulated step.
+ *
+ * Usage:
+ *   primepar_plan [--model "<name>"] [--devices N] [--batch B]
+ *                 [--alpha A] [--layers L] [--no-psquare]
+ *                 [--no-batch-dim] [--trace FILE.json] [--compare]
+ *
+ * Model names: "OPT 6.7B", "OPT 175B", "Llama2 7B", "Llama2 70B",
+ * "BLOOM 7B1", "BLOOM 176B".
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "primepar.hh"
+#include "support/table.hh"
+
+using namespace primepar;
+
+namespace {
+
+struct Options
+{
+    std::string model = "Llama2 7B";
+    int devices = 8;
+    std::int64_t batch = 8;
+    double alpha = 0.0;
+    int layers = 0; // 0 = model default
+    bool psquare = true;
+    bool batchDim = true;
+    bool compare = false;
+    std::string traceFile;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--model") {
+            opts.model = next();
+        } else if (arg == "--devices") {
+            opts.devices = std::atoi(next());
+        } else if (arg == "--batch") {
+            opts.batch = std::atoll(next());
+        } else if (arg == "--alpha") {
+            opts.alpha = std::atof(next());
+        } else if (arg == "--layers") {
+            opts.layers = std::atoi(next());
+        } else if (arg == "--no-psquare") {
+            opts.psquare = false;
+        } else if (arg == "--no-batch-dim") {
+            opts.batchDim = false;
+        } else if (arg == "--compare") {
+            opts.compare = true;
+        } else if (arg == "--trace") {
+            opts.traceFile = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: primepar_plan [--model NAME] [--devices N] "
+                "[--batch B]\n"
+                "                     [--alpha US_PER_MIB] [--layers L]"
+                " [--no-psquare]\n"
+                "                     [--no-batch-dim] [--trace F.json]"
+                " [--compare]\n");
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument %s (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    if (!isPowerOfTwo(opts.devices)) {
+        std::fprintf(stderr, "--devices must be a power of two\n");
+        std::exit(2);
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    ModelConfig model = modelByName(opts.model);
+    if (opts.layers > 0)
+        model.numLayers = opts.layers;
+
+    const ClusterTopology topo =
+        ClusterTopology::paperCluster(opts.devices);
+    std::printf("model %s (%.1fB params, %d layers), %d devices "
+                "(%d nodes x %d), batch %lld\n\n",
+                model.name.c_str(), model.totalParams() / 1e9,
+                model.numLayers, opts.devices, topo.numNodes(),
+                topo.gpusPerNode(),
+                static_cast<long long>(opts.batch));
+
+    const CostModel cost(topo, profileModels(topo), opts.alpha);
+    const CompGraph graph = buildTransformerBlock(model, opts.batch);
+
+    DpOptions dp;
+    dp.numLayers = model.numLayers;
+    dp.space.allowPSquare = opts.psquare;
+    if (!opts.batchDim)
+        dp.space.excludedDims = {0};
+    const DpResult plan = SegmentedDpOptimizer(graph, cost, dp).optimize();
+
+    std::printf("strategy (search took %.1f ms):\n", plan.optimizationMs);
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        std::printf("  %-10s %s\n", graph.node(n).name.c_str(),
+                    plan.strategies[n].toString(graph.node(n)).c_str());
+    }
+
+    const ModelSimulator sim(topo, graph, plan.strategies);
+    Trace trace;
+    const ModelSimResult r = sim.simulate(
+        model.numLayers, opts.traceFile.empty() ? nullptr : &trace);
+    const double gib = 1024.0 * 1024.0 * 1024.0;
+    std::printf("\npredicted iteration: %.1f ms (compute %.1f, "
+                "collective %.1f, ring %.1f, redist %.1f)\n",
+                r.latencyUs / 1e3, r.computeUs / 1e3,
+                r.allReduceUs / 1e3, r.ringUs / 1e3, r.redistUs / 1e3);
+    std::printf("throughput: %.0f tokens/s; peak memory %.2f GiB "
+                "per device\n",
+                opts.batch * model.seqLength / (r.latencyUs * 1e-6),
+                r.peakMemoryBytes / gib);
+
+    if (!opts.traceFile.empty()) {
+        std::ofstream out(opts.traceFile);
+        out << trace.toChromeJson();
+        std::printf("timeline written to %s (open in a Chrome trace "
+                    "viewer)\n",
+                    opts.traceFile.c_str());
+    }
+
+    if (opts.compare) {
+        std::printf("\nbaselines:\n");
+        TextTable table;
+        table.header(
+            {"system", "iteration ms", "tok/s", "peak mem GiB"});
+        auto add = [&](const char *name,
+                       const std::vector<PartitionSeq> &strategies) {
+            const ModelSimulator s(topo, graph, strategies);
+            const ModelSimResult m = s.simulate(model.numLayers);
+            table.row({name, fmtDouble(m.latencyUs / 1e3, 1),
+                       fmtDouble(opts.batch * model.seqLength /
+                                     (m.latencyUs * 1e-6),
+                                 0),
+                       fmtDouble(m.peakMemoryBytes / gib, 2)});
+        };
+        add("PrimePar", plan.strategies);
+        const MegatronPlan mg = bestMegatronPlan(graph, cost);
+        add("Megatron", mg.strategies);
+        const DpResult alpa = alpaOptimize(graph, cost, model.numLayers);
+        add("Alpa-like", alpa.strategies);
+        std::printf("%s", table.render().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: the PrimePar public API in one file.
+ *
+ *  1. Describe an operator (a transformer linear layer).
+ *  2. Pick a partition sequence — here the paper's novel
+ *     spatial-temporal primitive P_{2x2} over 4 devices.
+ *  3. Inspect what PrimePar derives from the DSIs: slice assignments,
+ *     ring communication, and the three feature guarantees.
+ *  4. Actually execute the partitioned training step on emulated
+ *     devices and check it against single-device training.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "partition/alignment.hh"
+#include "partition/comm_pattern.hh"
+#include "partition/dsi.hh"
+#include "runtime/spmd_executor.hh"
+#include "support/rng.hh"
+
+using namespace primepar;
+
+int
+main()
+{
+    // A small linear operator O[B,M,K] = I[B,M,N] x W[N,K].
+    const OpSpec op = makeLinearOp("fc", /*b=*/4, /*m=*/8, /*n=*/8,
+                                   /*k=*/8);
+
+    // Partition with P_{2x2}: 4 devices, 2 temporal steps, and — as
+    // the paper proves — no collective communication, no replication.
+    const PartitionSeq seq({PartitionStep::pSquare(1)});
+    const int num_bits = 2; // 2^2 = 4 devices
+    const DsiTable dsi(op, seq, num_bits);
+
+    std::printf("strategy: %s over %lld devices, %d temporal steps\n\n",
+                seq.toString(op).c_str(),
+                static_cast<long long>(dsi.numDevices()), dsi.steps());
+
+    // Which slice of each dimension does device 0 hold at each step?
+    for (int t = 0; t < dsi.steps(); ++t) {
+        std::printf("forward step %d: device 0 holds M-slice %lld, "
+                    "N-slice %lld, K-slice %lld\n",
+                    t,
+                    static_cast<long long>(
+                        dsi.value(Phase::Forward, 0, t, 1)),
+                    static_cast<long long>(
+                        dsi.value(Phase::Forward, 0, t, 2)),
+                    static_cast<long long>(
+                        dsi.value(Phase::Forward, 0, t, 3)));
+    }
+
+    // The ring communication schedule (paper Table 1), derived
+    // mechanically from the DSIs.
+    const PassComm fwd = derivePassComm(op, seq, dsi, 0);
+    std::printf("\nforward step 0 ring transfers:\n");
+    for (const ShiftSet &set : fwd.stepShifts[0]) {
+        for (const Transfer &tr : set.transfers) {
+            std::printf("  %s: device %lld <- device %lld\n",
+                        op.refName(set.tensor).c_str(),
+                        static_cast<long long>(tr.receiver),
+                        static_cast<long long>(tr.sender));
+        }
+    }
+
+    // The three feature guarantees of Sec. 3.3.
+    const auto all = verifyAll(op, seq, dsi);
+    std::printf("\nfeatures 1-3 + contraction coverage: %s\n",
+                all.ok ? "verified" : all.message.c_str());
+
+    // Execute the partitioned training step for real.
+    Rng rng(1);
+    std::map<std::string, Tensor> inputs;
+    inputs["I"] = Tensor::random(Shape{4, 8, 8}, rng);
+    inputs["W"] = Tensor::random(Shape{8, 8}, rng);
+    inputs["dO"] = Tensor::random(Shape{4, 8, 8}, rng);
+
+    SpmdOpExecutor exec(op, seq, num_bits);
+    const TrainStepResult got = exec.run(inputs);
+    const TrainStepResult ref = referenceTrainStep(op, inputs);
+
+    std::printf("\npartitioned vs single-device training:\n");
+    std::printf("  forward output max diff: %.2e\n",
+                got.output.maxAbsDiff(ref.output));
+    std::printf("  input gradient max diff: %.2e\n",
+                got.d_input.maxAbsDiff(ref.d_input));
+    std::printf("  weight gradient max diff: %.2e\n",
+                got.d_weight.maxAbsDiff(ref.d_weight));
+    std::printf("  ring traffic: %lld elements, all-reduces: %d\n",
+                static_cast<long long>(exec.stats().ringElements),
+                exec.stats().allReduceCount);
+    return 0;
+}

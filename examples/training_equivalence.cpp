@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Scenario: multi-iteration training on emulated devices.
+ *
+ * Trains a linear layer for several SGD steps under three different
+ * partition strategies — data parallel, Megatron row parallel, and
+ * the spatial-temporal P_{2x2} — and checks after every step that all
+ * three stay bit-for-bit in sync with single-device training. This
+ * demonstrates the paper's feature 3 operationally: the weight and
+ * its gradient end every iteration co-located, so the optimizer
+ * update is purely local, and training can run iteration after
+ * iteration with no extra redistribution.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "runtime/spmd_executor.hh"
+#include "support/rng.hh"
+
+using namespace primepar;
+
+int
+main()
+{
+    const OpSpec op = makeLinearOp("fc", 4, 8, 16, 16);
+    const int num_bits = 2; // 4 devices
+    const double lr = 0.05;
+    const int iterations = 5;
+
+    Rng rng(2024);
+    const Tensor w0 = Tensor::random(Shape{16, 16}, rng);
+
+    struct System
+    {
+        const char *name;
+        PartitionSeq seq;
+        Tensor weight;
+    };
+    std::vector<System> systems = {
+        {"data-parallel (B,B)",
+         PartitionSeq({PartitionStep::byDim(0), PartitionStep::byDim(0)}),
+         w0},
+        {"row-parallel (N,N)",
+         PartitionSeq({PartitionStep::byDim(2), PartitionStep::byDim(2)}),
+         w0},
+        {"spatial-temporal (P2x2)",
+         PartitionSeq({PartitionStep::pSquare(1)}), w0},
+    };
+    Tensor w_ref = w0;
+
+    for (int it = 0; it < iterations; ++it) {
+        // Fresh batch and upstream gradient each iteration.
+        std::map<std::string, Tensor> inputs;
+        inputs["I"] = Tensor::random(Shape{4, 8, 16}, rng);
+        inputs["dO"] = Tensor::random(Shape{4, 8, 16}, rng);
+
+        // Single-device reference step.
+        inputs["W"] = w_ref;
+        const TrainStepResult ref = referenceTrainStep(op, inputs);
+        Tensor delta = ref.d_weight;
+        delta.scale(static_cast<float>(-lr));
+        w_ref.add(delta);
+
+        std::printf("iteration %d:\n", it);
+        for (System &sys : systems) {
+            inputs["W"] = sys.weight;
+            SpmdOpExecutor exec(op, sys.seq, num_bits);
+            const TrainStepResult got = exec.run(inputs);
+            sys.weight = exec.sgdUpdateAndGather(lr);
+
+            const float out_diff = got.output.maxAbsDiff(ref.output);
+            const float w_diff = sys.weight.maxAbsDiff(w_ref);
+            std::printf("  %-26s output diff %.2e, weight diff %.2e, "
+                        "ring %lld elems, all-reduce %lld elems\n",
+                        sys.name, out_diff, w_diff,
+                        static_cast<long long>(
+                            exec.stats().ringElements),
+                        static_cast<long long>(
+                            exec.stats().allReduceElements));
+            if (w_diff > 1e-3f) {
+                std::printf("  DIVERGED\n");
+                return 1;
+            }
+        }
+    }
+    std::printf("\nall strategies tracked single-device training for "
+                "%d iterations.\n",
+                iterations);
+    std::printf("note: only P2x2 did it with zero all-reduce traffic.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Megatron-LM baseline strategy generator.
+ *
+ * Reproduces the hand-designed tensor parallelism of Megatron-LM
+ * (paper Sec. 2.1 / 6): column-parallel QKV and fc1 (partition K),
+ * row-parallel out-proj and fc2 (partition N), head-parallel attention
+ * matmuls and softmax, combined with data parallelism on the batch
+ * dimension. Data-parallel bits occupy the high (inter-node) device-id
+ * bits, model-parallel bits the low (intra-node) bits — "model
+ * parallelism within a node and data parallelism across nodes".
+ *
+ * LayerNorm / residual / activation ops are sharded along the sequence
+ * dimension for the model-parallel bits (Megatron-LM's sequence
+ * parallelism); this is *favourable* to the baseline — it removes the
+ * activation replication the paper's Fig. 2b criticizes — so PrimePar
+ * speedups measured against it are conservative.
+ */
+
+#ifndef PRIMEPAR_BASELINES_MEGATRON_HH
+#define PRIMEPAR_BASELINES_MEGATRON_HH
+
+#include <optional>
+#include <vector>
+
+#include "cost/cost_model.hh"
+#include "graph/graph.hh"
+#include "optimizer/segmented_dp.hh"
+
+namespace primepar {
+
+/** A (data-parallel, model-parallel) configuration with d * m = 2^n. */
+struct MegatronConfig
+{
+    int dataParallel = 1;
+    int modelParallel = 1;
+};
+
+/**
+ * Generate Megatron strategies for every node of @p graph, or nullopt
+ * when the configuration is infeasible (e.g. batch smaller than d).
+ */
+std::optional<std::vector<PartitionSeq>>
+megatronStrategies(const CompGraph &graph, const MegatronConfig &cfg);
+
+/** All (d, m) splits of 2^n devices. */
+std::vector<MegatronConfig> megatronConfigs(int num_devices);
+
+/** The best Megatron configuration by total model cost (Eq. 10). */
+struct MegatronPlan
+{
+    MegatronConfig config;
+    std::vector<PartitionSeq> strategies;
+    double cost = 0.0;
+};
+
+/**
+ * Enumerate all (d, m) splits, cost each with @p cost_model, and
+ * return the best — the paper's Megatron evaluation methodology.
+ */
+MegatronPlan bestMegatronPlan(const CompGraph &graph,
+                              const CostModel &cost_model);
+
+/**
+ * Alpa-like baseline: the optimal plan in the *conventional* spatial
+ * partition space (the segmented DP with the PSquare primitive
+ * disabled).
+ */
+DpResult alpaOptimize(const CompGraph &graph, const CostModel &cost,
+                      int num_layers = 1);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_BASELINES_MEGATRON_HH

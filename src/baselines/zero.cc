@@ -1,0 +1,118 @@
+#include "zero.hh"
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+const char *
+zeroStageName(ZeroStage stage)
+{
+    switch (stage) {
+      case ZeroStage::None:
+        return "DP";
+      case ZeroStage::One:
+        return "ZeRO-1";
+      case ZeroStage::Two:
+        return "ZeRO-2";
+      case ZeroStage::Three:
+        return "ZeRO-3";
+    }
+    return "?";
+}
+
+ZeroResult
+evaluateZero(const ModelConfig &model, const ClusterTopology &topo,
+             std::int64_t batch, ZeroStage stage)
+{
+    const int devices = topo.numDevices();
+    PRIMEPAR_ASSERT(batch % devices == 0,
+                    "global batch must divide across the replicas");
+
+    ZeroResult result;
+    result.stage = stage;
+
+    // Compute: simulate the transformer block under pure data
+    // parallelism (B on every device-id bit) — ZeRO does not change
+    // the computation, only state placement and collectives.
+    const CompGraph graph =
+        buildTransformerBlock(model, batch);
+    std::vector<PartitionSeq> strategies;
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        PartitionSeq seq;
+        const int b_dim = graph.node(n).dimIndex("B");
+        for (int b = 0; b < topo.numBits(); ++b)
+            seq.push(PartitionStep::byDim(b_dim));
+        PRIMEPAR_ASSERT(seq.validate(graph.node(n)).empty(),
+                        "batch too small for pure data parallelism");
+        strategies.push_back(std::move(seq));
+    }
+    const ModelSimulator sim(topo, graph, std::move(strategies));
+    const ModelSimResult block = sim.simulate(model.numLayers);
+    // Remove the gradient all-reduce the simulator already charged:
+    // ZeRO replaces it stage-dependently below.
+    result.computeUs = block.computeUs;
+    const double base_latency = block.latencyUs - block.allReduceUs;
+
+    // State bytes (whole model): fp16 weights and gradients, fp32
+    // Adam moments.
+    const double params = model.totalParams();
+    const double w_bytes = params * 2.0;
+    const double g_bytes = params * 2.0;
+    const double o_bytes = params * 8.0;
+    const double d = static_cast<double>(devices);
+
+    double state = 0.0;
+    switch (stage) {
+      case ZeroStage::None:
+        state = w_bytes + g_bytes + o_bytes;
+        break;
+      case ZeroStage::One:
+        state = w_bytes + g_bytes + o_bytes / d;
+        break;
+      case ZeroStage::Two:
+        state = w_bytes + (g_bytes + o_bytes) / d;
+        break;
+      case ZeroStage::Three:
+        state = (w_bytes + g_bytes + o_bytes) / d;
+        break;
+    }
+
+    // Activations: the simulator's stash already reflects the 1/d
+    // batch share; its param accounting (weight+grad, possibly
+    // replicated) is replaced by the ZeRO state above.
+    const double activations = block.stashBytes +
+                               (block.peakMemoryBytes -
+                                block.paramBytes - block.stashBytes);
+    result.peakMemoryBytes = state + activations;
+    result.feasible = result.peakMemoryBytes <=
+                      static_cast<double>(
+                          topo.deviceSpec().memory_bytes);
+
+    // Collectives over the full device group.
+    DeviceGroup all;
+    for (int dev = 0; dev < devices; ++dev)
+        all.push_back(dev);
+    double collective = 0.0;
+    switch (stage) {
+      case ZeroStage::None:
+      case ZeroStage::One:
+        collective = ringAllReduceDuration(topo, all, g_bytes);
+        break;
+      case ZeroStage::Two:
+        collective = reduceScatterDuration(topo, all, g_bytes);
+        break;
+      case ZeroStage::Three:
+        // Reduce-scatter of gradients plus parameter all-gathers in
+        // both the forward and backward passes (all-gather = half an
+        // all-reduce of the same payload).
+        collective = reduceScatterDuration(topo, all, g_bytes) +
+                     2.0 * reduceScatterDuration(topo, all, w_bytes);
+        break;
+    }
+    result.collectiveUs = collective;
+    result.iterationUs = base_latency + collective;
+    return result;
+}
+
+} // namespace primepar

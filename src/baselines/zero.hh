@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ZeRO-style data parallelism baseline (paper Sec. 8 related work).
+ *
+ * ZeRO attacks the same replication problem as PrimePar's feature 2,
+ * but differently: it keeps pure data parallelism and shards the
+ * redundant training state across the replicas, paying reduce-scatter
+ * and all-gather collectives. This module models the three ZeRO
+ * stages analytically on top of the cluster simulator so the trade-off
+ * against spatial-temporal tensor partitioning can be quantified:
+ * ZeRO removes memory redundancy but *adds* collective traffic, while
+ * the PSquare primitive removes both.
+ */
+
+#ifndef PRIMEPAR_BASELINES_ZERO_HH
+#define PRIMEPAR_BASELINES_ZERO_HH
+
+#include "graph/transformer.hh"
+#include "sim/model_sim.hh"
+
+namespace primepar {
+
+/** Which training state is sharded across the data-parallel group. */
+enum class ZeroStage
+{
+    None,  ///< plain data parallelism (everything replicated)
+    One,   ///< optimizer states sharded
+    Two,   ///< + gradients sharded
+    Three, ///< + parameters sharded (gathered on the fly)
+};
+
+/** Printable stage name. */
+const char *zeroStageName(ZeroStage stage);
+
+/** Evaluation of one ZeRO configuration. */
+struct ZeroResult
+{
+    ZeroStage stage = ZeroStage::None;
+    double iterationUs = 0.0;
+    double computeUs = 0.0;
+    double collectiveUs = 0.0;
+    double peakMemoryBytes = 0.0;
+    bool feasible = true;
+};
+
+/**
+ * Evaluate ZeRO-@p stage data parallelism of @p model over the whole
+ * cluster: batch split d = numDevices ways, per-iteration gradient
+ * synchronization and (for stage 3) parameter gathers modelled as
+ * ring collectives over the full device group.
+ *
+ * @param batch global batch (must be divisible by the device count)
+ */
+ZeroResult evaluateZero(const ModelConfig &model,
+                        const ClusterTopology &topo, std::int64_t batch,
+                        ZeroStage stage);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_BASELINES_ZERO_HH

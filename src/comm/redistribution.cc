@@ -1,0 +1,132 @@
+#include "redistribution.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+std::int64_t
+TensorLayout::boxVolume(std::int64_t device) const
+{
+    std::int64_t v = 1;
+    for (const auto &r : deviceBox[device])
+        v *= r.length();
+    return v;
+}
+
+TensorLayout
+layoutOf(const OpSpec &op, const DsiTable &dsi, const TensorRef &ref,
+         Phase phase, int t, const EdgeDimMap &dim_map,
+         const std::vector<std::int64_t> &transfer_sizes)
+{
+    PRIMEPAR_ASSERT(dim_map.size() == transfer_sizes.size(),
+                    "edge dim map size mismatch");
+    for (int op_dim : dim_map) {
+        if (op_dim < 0)
+            continue;
+        const auto &dims = op.tensors[ref.tensor].dims;
+        PRIMEPAR_ASSERT(std::find(dims.begin(), dims.end(), op_dim) !=
+                            dims.end(),
+                        "edge maps transfer dim onto dim ", op_dim,
+                        " absent from tensor ", op.refName(ref), " of ",
+                        op.name);
+    }
+    TensorLayout layout;
+    layout.dimSizes = transfer_sizes;
+    layout.deviceBox.resize(dsi.numDevices());
+
+    for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+        auto &box = layout.deviceBox[dev];
+        box.reserve(dim_map.size());
+        for (std::size_t i = 0; i < dim_map.size(); ++i) {
+            const int op_dim = dim_map[i];
+            if (op_dim < 0) {
+                box.push_back({0, transfer_sizes[i]});
+                continue;
+            }
+            // Rescale the op-dim slice into transfer-dim units: slice
+            // j of s slices covers [j/s, (j+1)/s) of the dimension.
+            // Floor-based boundaries tile the dim exactly even when
+            // the transfer size is not divisible by the slice count
+            // (e.g. 112 heads over 32 ways).
+            const std::int64_t s = dsi.sliceCount(op_dim);
+            const std::int64_t idx = dsi.value(phase, dev, t, op_dim);
+            const std::int64_t start = idx * transfer_sizes[i] / s;
+            const std::int64_t end = (idx + 1) * transfer_sizes[i] / s;
+            box.push_back({start, end});
+        }
+    }
+    return layout;
+}
+
+RedistPlan
+planRedistribution(const TensorLayout &have, const TensorLayout &need,
+                   const ClusterTopology *topo)
+{
+    PRIMEPAR_ASSERT(have.numDevices() == need.numDevices(),
+                    "layout device count mismatch");
+    PRIMEPAR_ASSERT(have.dimSizes == need.dimSizes,
+                    "layout dim size mismatch");
+
+    // Group source devices by identical box (replicas).
+    std::map<std::vector<SliceRange>, std::vector<std::int64_t>> classes;
+    for (std::int64_t dev = 0; dev < have.numDevices(); ++dev)
+        classes[have.deviceBox[dev]].push_back(dev);
+
+    RedistPlan plan;
+    for (std::int64_t dst = 0; dst < need.numDevices(); ++dst) {
+        const auto &need_box = need.deviceBox[dst];
+        for (const auto &[src_box, holders] : classes) {
+            std::vector<SliceRange> region;
+            std::int64_t volume = 1;
+            bool empty = false;
+            region.reserve(need_box.size());
+            for (std::size_t d = 0; d < need_box.size(); ++d) {
+                const std::int64_t s =
+                    std::max(need_box[d].start, src_box[d].start);
+                const std::int64_t e =
+                    std::min(need_box[d].end, src_box[d].end);
+                if (e <= s) {
+                    empty = true;
+                    break;
+                }
+                region.push_back({s, e});
+                volume *= e - s;
+            }
+            if (empty)
+                continue;
+
+            // Local if this device holds the source box itself.
+            bool local = false;
+            for (std::int64_t h : holders) {
+                if (h == dst) {
+                    local = true;
+                    break;
+                }
+            }
+            if (local) {
+                plan.localElements += volume;
+                continue;
+            }
+
+            // Prefer a same-node replica when topology is known.
+            std::int64_t src = holders.front();
+            if (topo) {
+                for (std::int64_t h : holders) {
+                    if (topo->sameNode(h, dst)) {
+                        src = h;
+                        break;
+                    }
+                }
+            }
+            plan.transfers.push_back(
+                {src, dst, std::move(region), volume});
+            plan.totalElements += volume;
+        }
+    }
+    return plan;
+}
+
+} // namespace primepar

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The PrimePar cost model (paper Sec. 4).
+ *
+ * Intra-operator cost (Eq. 7):
+ *
+ *   intraC(n, P) = sum_t max(compute(n,P,t), ring(n,P,t))
+ *                  + allreduce(n, P) + alpha * memory(n, P)
+ *
+ * using latency models fitted by profiling (ProfiledModels).
+ * Inter-operator cost (Eqs. 8-9): the redistribution traffic between
+ * boundary distributions, run through a fitted linear model. The
+ * optimizer minimizes the whole-model sum (Eq. 10).
+ */
+
+#ifndef PRIMEPAR_COST_COST_MODEL_HH
+#define PRIMEPAR_COST_COST_MODEL_HH
+
+#include "comm/redistribution.hh"
+#include "profiler.hh"
+#include "sim/memory.hh"
+#include "sim/op_sim.hh"
+
+namespace primepar {
+
+/** Cost-model evaluation of one (operator, sequence) pair. */
+struct IntraCost
+{
+    double latencyUs = 0.0;   ///< sum_t max(compute, ring) + allreduce
+    double computeUs = 0.0;
+    double ringUs = 0.0;
+    double allReduceUs = 0.0;
+    double memoryBytes = 0.0;
+    double weighted = 0.0;    ///< Eq. 7 with the alpha memory term
+};
+
+/** Analytic cost model backed by profiled linear latency models. */
+class CostModel
+{
+  public:
+    /**
+     * @param topo cluster topology
+     * @param models profiled latency models for that topology
+     * @param alpha_memory Eq. 7 coefficient, in us per MiB of
+     *        per-device peak memory
+     */
+    CostModel(const ClusterTopology &topo, ProfiledModels models,
+              double alpha_memory = 0.0);
+
+    /** Evaluate Eq. 7 for a prepared operator plan. */
+    IntraCost intraCost(const OpPlan &plan) const;
+
+    /** Total traffic elements of a redistribution (Eq. 9). */
+    static std::int64_t trafficElements(const TensorLayout &have,
+                                        const TensorLayout &need);
+
+    /** Redistribution traffic split by link class, in elements. */
+    struct TrafficSplit
+    {
+        std::int64_t intraNode = 0;
+        std::int64_t interNode = 0;
+    };
+
+    /**
+     * Deduplicated view of a source layout: distinct boxes and their
+     * holder devices. Prepare once per source layout, then evaluate
+     * trafficSplit() against many destination layouts cheaply.
+     */
+    struct PreparedSource
+    {
+        std::vector<std::vector<SliceRange>> boxes;
+        std::vector<std::vector<std::int64_t>> holders;
+        /** holder bitmask per device (for fast locality checks). */
+        std::vector<std::vector<bool>> holdsBox; ///< [device][box]
+    };
+
+    /** Build the deduplicated source view. */
+    static PreparedSource prepareSource(const TensorLayout &have);
+
+    /** Plan-accurate traffic split of a redistribution. */
+    TrafficSplit trafficSplit(const PreparedSource &have,
+                              const TensorLayout &need) const;
+
+    /** Convenience overload preparing the source on the fly. */
+    TrafficSplit trafficSplit(const TensorLayout &have,
+                              const TensorLayout &need) const;
+
+    /** Fitted redistribution latency for the given traffic. */
+    double redistLatencyUs(double intra_bytes, double inter_bytes) const;
+
+    const ClusterTopology &topology() const { return topo; }
+    double alphaMemory() const { return alpha; }
+
+  private:
+    double ringSetLatency(const OpSpec &op, const ShiftSet &set) const;
+
+    const ClusterTopology &topo;
+    ProfiledModels models;
+    double alpha;
+    MemoryModelParams memParams;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_COST_COST_MODEL_HH

@@ -1,0 +1,181 @@
+#include "profiler.hh"
+
+#include <vector>
+
+#include "sim/engine.hh"
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+/** Payload sweep (bytes): 64 KiB .. 256 MiB, doubling. */
+std::vector<double>
+payloadSweep()
+{
+    std::vector<double> sizes;
+    for (double b = 64.0 * 1024; b <= 256.0 * 1024 * 1024; b *= 2.0)
+        sizes.push_back(b);
+    return sizes;
+}
+
+/** A representative indicator for a pattern key under @p topo. */
+GroupIndicator
+representativeIndicator(const ClusterTopology &topo,
+                        const GroupPatternKey &key)
+{
+    const int node_bits = log2Exact(topo.numNodes());
+    GroupIndicator ind;
+    for (int i = 0; i < key.interNodeBits; ++i)
+        ind.push_back(i);
+    for (int i = 0; i < key.intraNodeBits; ++i)
+        ind.push_back(node_bits + i);
+    return ind;
+}
+
+} // namespace
+
+ProfiledModels
+profileModels(const ClusterTopology &topo)
+{
+    ProfiledModels models;
+    const auto sizes = payloadSweep();
+    const int node_bits = log2Exact(topo.numNodes());
+    const int gpu_bits = log2Exact(topo.gpusPerNode());
+
+    // All-reduce per pattern key: every feasible (inter, intra) split.
+    for (int inter = 0; inter <= node_bits; ++inter) {
+        for (int intra = 0; intra <= gpu_bits; ++intra) {
+            if (inter + intra == 0)
+                continue;
+            const GroupPatternKey key{inter, intra};
+            const GroupIndicator ind =
+                representativeIndicator(topo, key);
+            const auto groups = enumerateGroups(topo.numBits(), ind);
+            std::vector<double> ys;
+            for (double bytes : sizes) {
+                double worst = 0.0;
+                for (const auto &g : groups) {
+                    worst = std::max(
+                        worst, ringAllReduceDuration(topo, g, bytes));
+                }
+                ys.push_back(worst);
+            }
+            models.allReduce[key] = fitLinear(sizes, ys);
+        }
+    }
+
+    // Ring hop: intra-node neighbours and cross-node neighbours.
+    {
+        std::vector<double> intra_ys, inter_ys;
+        for (double bytes : sizes) {
+            intra_ys.push_back(transferWireTime(topo, 0, 1 % topo.numDevices(), bytes));
+            const std::int64_t other =
+                topo.numNodes() > 1 ? topo.gpusPerNode() : 1;
+            inter_ys.push_back(
+                transferWireTime(topo, 0, other % topo.numDevices(),
+                                 bytes));
+        }
+        models.ringHop[0] = fitLinear(sizes, intra_ys);
+        models.ringHop[1] = fitLinear(sizes, inter_ys);
+    }
+
+    // Kernels: matmul-class vs flops (square-ish GEMMs), memory-bound
+    // vs bytes.
+    {
+        std::vector<double> flops, lat;
+        for (double n = 256; n <= 8192; n *= 2) {
+            const double f = 2.0 * n * n * n;
+            const double bytes = 3.0 * n * n * 2.0;
+            flops.push_back(f);
+            lat.push_back(
+                computeDuration(topo.deviceSpec(), f, bytes));
+        }
+        models.matmulKernel = fitLinear(flops, lat);
+    }
+    {
+        std::vector<double> ys;
+        for (double bytes : sizes)
+            ys.push_back(
+                computeDuration(topo.deviceSpec(), 0.0, bytes));
+        models.memoryKernel = fitLinear(sizes, ys);
+    }
+
+    // Redistribution: even scatter of the total traffic, profiled
+    // separately for intra-node peers and cross-node peers (the
+    // latency per byte differs by more than an order of magnitude).
+    for (int cls = 0; cls < 2; ++cls) {
+        std::vector<double> ys;
+        for (double bytes : sizes) {
+            SimContext ctx(topo);
+            const std::int64_t n = topo.numDevices();
+            const double per_pair = bytes / static_cast<double>(n);
+            for (std::int64_t d = 0; d < n; ++d) {
+                std::int64_t peer;
+                if (cls == 0) {
+                    // Neighbour within the node.
+                    peer = (d / topo.gpusPerNode()) *
+                               topo.gpusPerNode() +
+                           (d + 1) % topo.gpusPerNode();
+                } else {
+                    peer = (d + n / 2) % n;
+                }
+                if (peer == d)
+                    continue;
+                ctx.ready[peer] = std::max(
+                    ctx.ready[peer],
+                    ctx.transfer(d, peer, per_pair, 0.0));
+            }
+            ys.push_back(ctx.makespan());
+        }
+        models.redistribution[cls] = fitLinear(sizes, ys);
+    }
+    if (topo.numNodes() == 1)
+        models.redistribution[1] = models.redistribution[0];
+    if (topo.gpusPerNode() == 1)
+        models.redistribution[0] = models.redistribution[1];
+    return models;
+}
+
+ProfileQuality
+profileQuality(const ClusterTopology &topo, const ProfiledModels &models)
+{
+    ProfileQuality q;
+    const auto sizes = payloadSweep();
+
+    for (const auto &[key, model] : models.allReduce) {
+        const GroupIndicator ind = representativeIndicator(topo, key);
+        const auto groups = enumerateGroups(topo.numBits(), ind);
+        std::vector<double> ys;
+        for (double bytes : sizes) {
+            double worst = 0.0;
+            for (const auto &g : groups)
+                worst = std::max(worst,
+                                 ringAllReduceDuration(topo, g, bytes));
+            ys.push_back(worst);
+        }
+        q.worstAllReduceR2 =
+            std::min(q.worstAllReduceR2, rSquared(model, sizes, ys));
+    }
+
+    {
+        std::vector<double> ys;
+        for (double bytes : sizes)
+            ys.push_back(transferWireTime(topo, 0, 1, bytes));
+        q.ringHopR2 = rSquared(models.ringHop[0], sizes, ys);
+    }
+    {
+        std::vector<double> flops, lat;
+        for (double n = 256; n <= 8192; n *= 2) {
+            const double f = 2.0 * n * n * n;
+            flops.push_back(f);
+            lat.push_back(computeDuration(topo.deviceSpec(), f,
+                                          3.0 * n * n * 2.0));
+        }
+        q.matmulR2 = rSquared(models.matmulKernel, flops, lat);
+    }
+    return q;
+}
+
+} // namespace primepar

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Latency profiling and linear-model fitting (paper Sec. 4.1).
+ *
+ * The paper obtains the coefficients of its linear latency models by
+ * profiling the real system and applying linear regression, one model
+ * per communication *group pattern* (which is what keeps profiling
+ * scalable: patterns are classified by how many group-indicator bits
+ * cross nodes, not by which devices participate). We reproduce the
+ * same methodology against the cluster simulator: sweep payload sizes,
+ * measure, fit.
+ */
+
+#ifndef PRIMEPAR_COST_PROFILER_HH
+#define PRIMEPAR_COST_PROFILER_HH
+
+#include <map>
+#include <string>
+
+#include "support/regression.hh"
+#include "topology/cluster.hh"
+#include "topology/groups.hh"
+
+namespace primepar {
+
+/** Fitted latency models consumed by the cost model. */
+struct ProfiledModels
+{
+    /** All-reduce latency vs payload bytes, per group pattern key. */
+    std::map<GroupPatternKey, LinearModel> allReduce;
+    /** Single ring-hop transfer latency vs bytes: [0] intra-node,
+     *  [1] cross-node. */
+    LinearModel ringHop[2];
+    /** Matmul-class kernel latency vs flops. */
+    LinearModel matmulKernel;
+    /** Memory-bound kernel latency vs bytes touched. */
+    LinearModel memoryKernel;
+    /** Inter-operator redistribution latency vs total traffic bytes,
+     *  split by link class: [0] intra-node traffic, [1] cross-node
+     *  traffic. */
+    LinearModel redistribution[2];
+};
+
+/**
+ * Profile the simulator for @p topo and fit all models. Sample sizes
+ * sweep from 64 KiB to 256 MiB payloads (and matching kernel sizes).
+ */
+ProfiledModels profileModels(const ClusterTopology &topo);
+
+/** R^2 diagnostics of the fits (for the ablation bench). */
+struct ProfileQuality
+{
+    double worstAllReduceR2 = 1.0;
+    double ringHopR2 = 1.0;
+    double matmulR2 = 1.0;
+};
+
+/** Re-run the sweeps and report fit quality. */
+ProfileQuality profileQuality(const ClusterTopology &topo,
+                              const ProfiledModels &models);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_COST_PROFILER_HH

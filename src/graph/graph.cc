@@ -1,0 +1,71 @@
+#include "graph.hh"
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+int
+CompGraph::addNode(OpSpec op)
+{
+    nodesVec.push_back(std::move(op));
+    return static_cast<int>(nodesVec.size()) - 1;
+}
+
+void
+CompGraph::addEdge(int src, int dst, int dst_tensor, EdgeDimMap dim_map)
+{
+    PRIMEPAR_ASSERT(src >= 0 && src < numNodes() && dst >= 0 &&
+                        dst < numNodes() && src < dst,
+                    "bad edge ", src, " -> ", dst);
+    const OpSpec &consumer = nodesVec[dst];
+    PRIMEPAR_ASSERT(dst_tensor >= 0 &&
+                        dst_tensor <
+                            static_cast<int>(consumer.tensors.size()),
+                    "bad consumer tensor index");
+    PRIMEPAR_ASSERT(dim_map.size() ==
+                        consumer.tensors[dst_tensor].dims.size(),
+                    "edge dim map arity mismatch for ",
+                    nodesVec[src].name, " -> ", consumer.name);
+    edgesVec.push_back({src, dst, dst_tensor, std::move(dim_map)});
+}
+
+std::vector<const GraphEdge *>
+CompGraph::inEdges(int node) const
+{
+    std::vector<const GraphEdge *> result;
+    for (const auto &e : edgesVec) {
+        if (e.dst == node)
+            result.push_back(&e);
+    }
+    return result;
+}
+
+std::vector<const GraphEdge *>
+CompGraph::outEdges(int node) const
+{
+    std::vector<const GraphEdge *> result;
+    for (const auto &e : edgesVec) {
+        if (e.src == node)
+            result.push_back(&e);
+    }
+    return result;
+}
+
+std::vector<std::int64_t>
+CompGraph::transferSizes(const GraphEdge &e) const
+{
+    const OpSpec &consumer = nodesVec[e.dst];
+    std::vector<std::int64_t> sizes;
+    for (int d : consumer.tensors[e.dstTensor].dims)
+        sizes.push_back(consumer.dims[d].size);
+    return sizes;
+}
+
+double
+CompGraph::transferBytes(const GraphEdge &e) const
+{
+    const OpSpec &consumer = nodesVec[e.dst];
+    return consumer.tensorBytes(e.dstTensor);
+}
+
+} // namespace primepar

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Transformer block builder and model zoo.
+ *
+ * Builds the 13-node transformer block of the paper's Fig. 6:
+ *
+ *   n0 input -> n1 LN1 -> n2 QKV linear -> n3 QK^T -> n4 softmax
+ *   -> n5 AV -> n6 out-proj -> n7 +residual(n0) -> n8 LN2 -> n9 fc1
+ *   -> n10 gelu -> n11 fc2 -> n12 +residual(n7)
+ *
+ * Extended (skip) edges: e(2,5) carries V, e(0,7) and e(7,12) carry
+ * the residuals — exactly the segment boundaries of the paper's
+ * segmented dynamic programming.
+ *
+ * The model zoo covers the six evaluation workloads: OPT 6.7B/175B,
+ * Llama2 7B/70B and BLOOM 7B1/176B.
+ */
+
+#ifndef PRIMEPAR_GRAPH_TRANSFORMER_HH
+#define PRIMEPAR_GRAPH_TRANSFORMER_HH
+
+#include <string>
+#include <vector>
+
+#include "graph.hh"
+
+namespace primepar {
+
+/** Shape hyperparameters of a transformer model. */
+struct ModelConfig
+{
+    std::string name;
+    std::int64_t hiddenSize = 0;
+    std::int64_t numHeads = 0;
+    std::int64_t ffnSize = 0;
+    std::int64_t seqLength = 0;
+    int numLayers = 0;
+
+    std::int64_t headEmbed() const { return hiddenSize / numHeads; }
+
+    /** Approximate parameter count of one transformer layer. */
+    double layerParams() const;
+
+    /** Approximate total parameter count. */
+    double totalParams() const { return layerParams() * numLayers; }
+};
+
+/** The six evaluation models (paper Sec. 6). */
+ModelConfig opt6p7b();
+ModelConfig opt175b();
+ModelConfig llama2_7b();
+ModelConfig llama2_70b();
+ModelConfig bloom7b1();
+ModelConfig bloom176b();
+
+/** All six, in the paper's presentation order. */
+std::vector<ModelConfig> evaluationModels();
+
+/** Look up a model by name; fatal on unknown names. */
+ModelConfig modelByName(const std::string &name);
+
+/** Node indices of interest within a built transformer block. */
+struct TransformerBlockIndex
+{
+    int input = 0;
+    int ln1 = 1;
+    int qkv = 2;
+    int qk = 3;
+    int softmax = 4;
+    int av = 5;
+    int outProj = 6;
+    int residual1 = 7;
+    int ln2 = 8;
+    int fc1 = 9;
+    int activation = 10;
+    int fc2 = 11;
+    int residual2 = 12;
+};
+
+/**
+ * Build one transformer block graph (Fig. 6).
+ *
+ * @param cfg model shape
+ * @param batch micro-batch size
+ */
+CompGraph buildTransformerBlock(const ModelConfig &cfg,
+                                std::int64_t batch);
+
+/**
+ * Build just the MLP sub-block (fc1 -> gelu -> fc2) used by the
+ * paper's Fig. 9 ablation.
+ */
+CompGraph buildMlpBlock(const ModelConfig &cfg, std::int64_t batch);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_GRAPH_TRANSFORMER_HH

@@ -1,0 +1,141 @@
+#include "catalog.hh"
+
+#include <map>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+NodeCatalog
+buildNodeCatalog(const CompGraph &graph, int node, const CostModel &cost,
+                 const SpaceOptions &opts)
+{
+    const OpSpec &op = graph.node(node);
+    NodeCatalog catalog;
+    catalog.node = node;
+    catalog.seqs =
+        enumerateSequences(op, cost.topology().numBits(), opts);
+    catalog.plans.reserve(catalog.seqs.size());
+    catalog.intraCost.reserve(catalog.seqs.size());
+    for (const auto &seq : catalog.seqs) {
+        catalog.plans.push_back(std::make_unique<OpPlan>(
+            op, seq, cost.topology().numBits()));
+        catalog.intraCost.push_back(
+            cost.intraCost(*catalog.plans.back()).weighted);
+    }
+    return catalog;
+}
+
+namespace {
+
+/** Layout-class assignment: unique boundary layouts and per-seq ids. */
+struct LayoutClasses
+{
+    std::vector<TensorLayout> classes;
+    std::vector<int> classOf; ///< per sequence
+};
+
+LayoutClasses
+classify(const OpSpec &op, const NodeCatalog &catalog,
+         const TensorRef &ref, Phase phase, bool at_end,
+         const EdgeDimMap &map,
+         const std::vector<std::int64_t> &sizes)
+{
+    LayoutClasses result;
+    std::map<std::vector<std::vector<SliceRange>>, int> seen;
+    result.classOf.reserve(catalog.size());
+    for (int s = 0; s < catalog.size(); ++s) {
+        const DsiTable &dsi = catalog.plans[s]->dsi;
+        const int t = at_end ? dsi.steps() - 1 : 0;
+        TensorLayout layout = layoutOf(op, dsi, ref, phase, t, map, sizes);
+        auto [it, inserted] =
+            seen.emplace(layout.deviceBox, static_cast<int>(
+                                               result.classes.size()));
+        if (inserted)
+            result.classes.push_back(std::move(layout));
+        result.classOf.push_back(it->second);
+    }
+    return result;
+}
+
+} // namespace
+
+EdgeCostTable
+buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
+                   const NodeCatalog &src, const NodeCatalog &dst,
+                   const CostModel &cost)
+{
+    const OpSpec &producer = graph.node(edge.src);
+    const OpSpec &consumer = graph.node(edge.dst);
+    const auto sizes = graph.transferSizes(edge);
+
+    EdgeDimMap producer_map = edge.dimMap;
+    EdgeDimMap consumer_map;
+    for (int d : consumer.tensors[edge.dstTensor].dims)
+        consumer_map.push_back(d);
+
+    // Boundary layouts, per class.
+    const auto have_fwd =
+        classify(producer, src, {producer.outputTensor, false},
+                 Phase::Forward, true, producer_map, sizes);
+    const auto need_fwd =
+        classify(consumer, dst, {edge.dstTensor, false}, Phase::Forward,
+                 false, consumer_map, sizes);
+    const auto have_bwd =
+        classify(consumer, dst, {edge.dstTensor, true}, Phase::Backward,
+                 true, consumer_map, sizes);
+    const auto need_bwd =
+        classify(producer, src, {producer.outputTensor, true},
+                 Phase::Backward, false, producer_map, sizes);
+
+    // Link-class-aware traffic per class pair. Sources are prepared
+    // (deduplicated boxes) once per class, so each pair evaluation is
+    // a tight intersection loop.
+    auto traffic_table = [&](const LayoutClasses &have,
+                             const LayoutClasses &need) {
+        std::vector<CostModel::PreparedSource> prepared;
+        prepared.reserve(have.classes.size());
+        for (const auto &h : have.classes)
+            prepared.push_back(CostModel::prepareSource(h));
+        std::vector<CostModel::TrafficSplit> table(
+            have.classes.size() * need.classes.size());
+        for (std::size_t h = 0; h < have.classes.size(); ++h) {
+            for (std::size_t n = 0; n < need.classes.size(); ++n) {
+                table[h * need.classes.size() + n] =
+                    cost.trafficSplit(prepared[h], need.classes[n]);
+            }
+        }
+        return table;
+    };
+    const auto fwd_traffic = traffic_table(have_fwd, need_fwd);
+    const auto bwd_traffic = traffic_table(have_bwd, need_bwd);
+
+    EdgeCostTable table;
+    table.edge = &edge;
+    table.srcSize = src.size();
+    table.dstSize = dst.size();
+    table.cost.resize(static_cast<std::size_t>(src.size()) * dst.size());
+
+    const double bpe = consumer.bytesPerElement;
+    for (int ps = 0; ps < src.size(); ++ps) {
+        const int hf = have_fwd.classOf[ps];
+        const int nb = need_bwd.classOf[ps];
+        for (int pd = 0; pd < dst.size(); ++pd) {
+            const int nf = need_fwd.classOf[pd];
+            const int hb = have_bwd.classOf[pd];
+            const auto &f =
+                fwd_traffic[hf * need_fwd.classes.size() + nf];
+            const auto &b =
+                bwd_traffic[hb * need_bwd.classes.size() + nb];
+            table.cost[static_cast<std::size_t>(ps) * dst.size() + pd] =
+                static_cast<float>(cost.redistLatencyUs(
+                    static_cast<double>(f.intraNode + b.intraNode) *
+                        bpe,
+                    static_cast<double>(f.interNode + b.interNode) *
+                        bpe));
+        }
+    }
+    return table;
+}
+
+} // namespace primepar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-node strategy catalogs and per-edge cost tables.
+ *
+ * The segmented DP works over, for every node, the enumerated
+ * partition space with precomputed intra-operator costs, and for every
+ * edge, a dense (producer-seq x consumer-seq) table of inter-operator
+ * costs. Edge tables are built over *layout classes*: many sequences
+ * induce the same boundary distribution of the transferred tensor, so
+ * traffic is evaluated once per class pair instead of once per
+ * sequence pair.
+ */
+
+#ifndef PRIMEPAR_OPTIMIZER_CATALOG_HH
+#define PRIMEPAR_OPTIMIZER_CATALOG_HH
+
+#include <memory>
+#include <vector>
+
+#include "cost/cost_model.hh"
+#include "graph/graph.hh"
+#include "partition/space.hh"
+
+namespace primepar {
+
+/** The strategy space of one node with cached evaluation artifacts. */
+struct NodeCatalog
+{
+    int node = -1;
+    std::vector<PartitionSeq> seqs;
+    std::vector<std::unique_ptr<OpPlan>> plans;
+    /** Eq. 7 weighted intra cost per sequence. */
+    std::vector<double> intraCost;
+
+    int size() const { return static_cast<int>(seqs.size()); }
+};
+
+/** Build the catalog of a node under the given space options. */
+NodeCatalog buildNodeCatalog(const CompGraph &graph, int node,
+                             const CostModel &cost,
+                             const SpaceOptions &opts);
+
+/** Dense inter-operator cost table of one edge. */
+struct EdgeCostTable
+{
+    const GraphEdge *edge = nullptr;
+    int srcSize = 0;
+    int dstSize = 0;
+    std::vector<float> cost; ///< [srcSeq * dstSize + dstSeq], us
+
+    double
+    at(int src_seq, int dst_seq) const
+    {
+        return cost[static_cast<std::size_t>(src_seq) * dstSize +
+                    dst_seq];
+    }
+};
+
+/**
+ * Build the cost table of @p edge: forward + backward redistribution
+ * traffic (Eq. 9) through the fitted redistribution latency model.
+ */
+EdgeCostTable buildEdgeCostTable(const CompGraph &graph,
+                                 const GraphEdge &edge,
+                                 const NodeCatalog &src,
+                                 const NodeCatalog &dst,
+                                 const CostModel &cost);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_OPTIMIZER_CATALOG_HH

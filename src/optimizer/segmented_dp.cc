@@ -1,0 +1,387 @@
+#include "segmented_dp.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Dense row-major double matrix. */
+struct Mat
+{
+    int rows = 0, cols = 0;
+    std::vector<double> v;
+
+    Mat() = default;
+    Mat(int r, int c, double fill = 0.0)
+        : rows(r), cols(c), v(static_cast<std::size_t>(r) * c, fill)
+    {}
+
+    double &
+    at(int r, int c)
+    {
+        return v[static_cast<std::size_t>(r) * cols + c];
+    }
+    double
+    at(int r, int c) const
+    {
+        return v[static_cast<std::size_t>(r) * cols + c];
+    }
+};
+
+/** Row-major int32 argmin matrix. */
+struct ArgMat
+{
+    int rows = 0, cols = 0;
+    std::vector<std::int32_t> v;
+
+    ArgMat() = default;
+    ArgMat(int r, int c)
+        : rows(r), cols(c), v(static_cast<std::size_t>(r) * c, -1)
+    {}
+
+    std::int32_t &
+    at(int r, int c)
+    {
+        return v[static_cast<std::size_t>(r) * cols + c];
+    }
+    std::int32_t
+    at(int r, int c) const
+    {
+        return v[static_cast<std::size_t>(r) * cols + c];
+    }
+};
+
+/** DP state of one segment [a, c]. */
+struct Segment
+{
+    int a = 0, c = 0;
+    Mat C; ///< [P_a][P_c]
+    /** args[j - a - 1].at(pa, p_{j+1}) = best p_j, for j+1 in
+     *  (a+1, c]. */
+    std::vector<ArgMat> args;
+};
+
+/** One merge record: [a,b] + [b,c] -> [a,c]. */
+struct Merge
+{
+    int a = 0, b = 0, c = 0;
+    ArgMat argB; ///< best p_b per (p_a, p_c)
+};
+
+struct DpContext
+{
+    const CompGraph &graph;
+    const CostModel &cost;
+    std::vector<NodeCatalog> catalogs;
+    std::vector<EdgeCostTable> tables; // parallel to graph.edges()
+
+    /** Sum of the cost tables of all edges src -> dst (inf-free). */
+    bool
+    edgeCost(int src, int dst, Mat &out) const
+    {
+        bool found = false;
+        for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+            const GraphEdge &edge = graph.edges()[e];
+            if (edge.src != src || edge.dst != dst)
+                continue;
+            if (!found) {
+                out = Mat(tables[e].srcSize, tables[e].dstSize);
+                found = true;
+            }
+            for (int i = 0; i < out.rows; ++i)
+                for (int j = 0; j < out.cols; ++j)
+                    out.at(i, j) += tables[e].at(i, j);
+        }
+        return found;
+    }
+};
+
+/** Run the Bellman recurrences within segment [a, c] (Eqs. 11-12). */
+Segment
+solveSegment(const DpContext &ctx, int a, int c)
+{
+    Segment seg;
+    seg.a = a;
+    seg.c = c;
+
+    const auto &cat = ctx.catalogs;
+    PRIMEPAR_ASSERT(c > a, "degenerate segment");
+
+    // Init over [a, a+1].
+    Mat e01;
+    const bool has01 = ctx.edgeCost(a, a + 1, e01);
+    seg.C = Mat(cat[a].size(), cat[a + 1].size());
+    for (int i = 0; i < seg.C.rows; ++i) {
+        for (int j = 0; j < seg.C.cols; ++j) {
+            seg.C.at(i, j) = cat[a].intraCost[i] +
+                             cat[a + 1].intraCost[j] +
+                             (has01 ? e01.at(i, j) : 0.0);
+        }
+    }
+
+    for (int next = a + 2; next <= c; ++next) {
+        const int j = next - 1;
+        // Assumptions 1-2: every in-edge of `next` originating inside
+        // this segment comes from j or a (edges from before the
+        // segment are accounted for at merge time, Eq. 13).
+        for (const GraphEdge *e : ctx.graph.inEdges(next)) {
+            PRIMEPAR_ASSERT(e->src < a || e->src == j || e->src == a,
+                            "segment assumption violated: edge ",
+                            e->src, " -> ", e->dst,
+                            " inside segment [", a, ", ", c, "]");
+        }
+        Mat e_chain, e_skip;
+        const bool has_chain = ctx.edgeCost(j, next, e_chain);
+        const bool has_skip = a != j && ctx.edgeCost(a, next, e_skip);
+
+        Mat next_c(seg.C.rows, cat[next].size(), kInf);
+        ArgMat arg(seg.C.rows, cat[next].size());
+        for (int pa = 0; pa < seg.C.rows; ++pa) {
+            for (int pj = 0; pj < seg.C.cols; ++pj) {
+                const double base = seg.C.at(pa, pj);
+                for (int pn = 0; pn < cat[next].size(); ++pn) {
+                    const double val =
+                        base +
+                        (has_chain ? e_chain.at(pj, pn) : 0.0);
+                    if (val < next_c.at(pa, pn)) {
+                        next_c.at(pa, pn) = val;
+                        arg.at(pa, pn) = pj;
+                    }
+                }
+            }
+            // Terms independent of p_j (Eq. 12's n_{j+1} and e').
+            for (int pn = 0; pn < cat[next].size(); ++pn) {
+                next_c.at(pa, pn) +=
+                    cat[next].intraCost[pn] +
+                    (has_skip ? e_skip.at(pa, pn) : 0.0);
+            }
+        }
+        seg.C = std::move(next_c);
+        seg.args.push_back(std::move(arg));
+    }
+    return seg;
+}
+
+} // namespace
+
+SegmentedDpOptimizer::SegmentedDpOptimizer(const CompGraph &graph_in,
+                                           const CostModel &cost_in,
+                                           DpOptions opts_in)
+    : graph(graph_in), cost(cost_in), opts(std::move(opts_in))
+{}
+
+DpResult
+SegmentedDpOptimizer::optimize()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    DpContext ctx{graph, cost, {}, {}};
+    for (int n = 0; n < graph.numNodes(); ++n)
+        ctx.catalogs.push_back(
+            buildNodeCatalog(graph, n, cost, opts.space));
+    for (const GraphEdge &e : graph.edges()) {
+        ctx.tables.push_back(buildEdgeCostTable(
+            graph, e, ctx.catalogs[e.src], ctx.catalogs[e.dst], cost));
+    }
+
+    // Segment boundaries: sources of extended edges.
+    std::set<int> boundary_set{0, graph.numNodes() - 1};
+    for (const GraphEdge &e : graph.edges()) {
+        if (e.dst > e.src + 1)
+            boundary_set.insert(e.src);
+    }
+    const std::vector<int> boundaries(boundary_set.begin(),
+                                      boundary_set.end());
+
+    // Solve each segment, then fold left with Eq. 13 merges.
+    std::vector<Segment> segments;
+    for (std::size_t b = 0; b + 1 < boundaries.size(); ++b)
+        segments.push_back(
+            solveSegment(ctx, boundaries[b], boundaries[b + 1]));
+
+    Mat total = segments[0].C;
+    int total_a = segments[0].a;
+    std::vector<Merge> merges;
+    for (std::size_t s = 1; s < segments.size(); ++s) {
+        const Segment &right = segments[s];
+        const int b = right.a;
+        // Edges crossing the merge point must span the merged range.
+        for (const GraphEdge &e : graph.edges()) {
+            if (e.src < b && e.dst > b) {
+                PRIMEPAR_ASSERT(e.src == total_a && e.dst == right.c,
+                                "crossing edge ", e.src, " -> ", e.dst,
+                                " not alignable with merge at ", b);
+            }
+        }
+        Mat e_cross;
+        const bool has_cross = ctx.edgeCost(total_a, right.c, e_cross);
+
+        Mat merged(total.rows, right.C.cols, kInf);
+        Merge rec;
+        rec.a = total_a;
+        rec.b = b;
+        rec.c = right.c;
+        rec.argB = ArgMat(total.rows, right.C.cols);
+        for (int i = 0; i < total.rows; ++i) {
+            for (int pb = 0; pb < total.cols; ++pb) {
+                const double left =
+                    total.at(i, pb) - ctx.catalogs[b].intraCost[pb];
+                for (int k = 0; k < right.C.cols; ++k) {
+                    const double val = left + right.C.at(pb, k);
+                    if (val < merged.at(i, k)) {
+                        merged.at(i, k) = val;
+                        rec.argB.at(i, k) = pb;
+                    }
+                }
+            }
+            if (has_cross) {
+                for (int k = 0; k < right.C.cols; ++k)
+                    merged.at(i, k) += e_cross.at(i, k);
+            }
+        }
+        total = std::move(merged);
+        merges.push_back(std::move(rec));
+    }
+
+    // Boundary selection. For stacked layers the tail node's state
+    // must tile onto the head node's state of the next layer; head and
+    // tail have structurally aligned spaces (same dims), so restrict
+    // the choice to aligned pairs and combine layer costs exactly.
+    const NodeCatalog &head = ctx.catalogs.front();
+    const NodeCatalog &tail = ctx.catalogs.back();
+
+    int best_p0 = 0, best_pl = 0;
+    double best_layer = kInf, best_total = kInf;
+    if (opts.numLayers <= 1 || graph.numNodes() == 1) {
+        for (int i = 0; i < total.rows; ++i) {
+            for (int k = 0; k < total.cols; ++k) {
+                if (total.at(i, k) < best_layer) {
+                    best_layer = total.at(i, k);
+                    best_p0 = i;
+                    best_pl = k;
+                }
+            }
+        }
+        best_total = best_layer;
+    } else {
+        // Alignment map: tail seq index -> head seq index.
+        std::map<std::vector<PartitionStep>, int> head_by_steps;
+        for (int i = 0; i < head.size(); ++i)
+            head_by_steps[head.seqs[i].steps()] = i;
+        for (int k = 0; k < tail.size(); ++k) {
+            const auto it = head_by_steps.find(tail.seqs[k].steps());
+            if (it == head_by_steps.end())
+                continue;
+            const int i = it->second;
+            const double layer = total.at(i, k);
+            const double stacked =
+                opts.numLayers * layer -
+                (opts.numLayers - 1) * head.intraCost[i];
+            if (stacked < best_total) {
+                best_total = stacked;
+                best_layer = layer;
+                best_p0 = i;
+                best_pl = k;
+            }
+        }
+        PRIMEPAR_ASSERT(best_total < kInf,
+                        "no aligned head/tail boundary state found");
+    }
+
+    // Reconstruction: walk merges right-to-left, then each segment.
+    std::vector<int> choice(graph.numNodes(), -1);
+    choice[0] = best_p0;
+    choice[graph.numNodes() - 1] = best_pl;
+    {
+        int right_state = best_pl;
+        for (int m = static_cast<int>(merges.size()) - 1; m >= 0; --m) {
+            const int pb = merges[m].argB.at(best_p0, right_state);
+            choice[merges[m].b] = pb;
+            right_state = pb;
+        }
+    }
+    for (const Segment &seg : segments) {
+        const int pa = choice[seg.a];
+        int pnext = choice[seg.c];
+        PRIMEPAR_ASSERT(pa >= 0 && pnext >= 0,
+                        "segment boundary unresolved");
+        for (int j = seg.c - 1; j > seg.a; --j) {
+            pnext = seg.args[j - seg.a - 1].at(pa, pnext);
+            choice[j] = pnext;
+        }
+    }
+
+    DpResult result;
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        PRIMEPAR_ASSERT(choice[n] >= 0, "node ", n, " unresolved");
+        result.strategies.push_back(ctx.catalogs[n].seqs[choice[n]]);
+    }
+    result.layerCost = best_layer;
+    result.totalCost = best_total;
+    result.optimizationMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+DpResult
+bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
+                   const SpaceOptions &space)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    std::vector<NodeCatalog> catalogs;
+    for (int n = 0; n < graph.numNodes(); ++n)
+        catalogs.push_back(buildNodeCatalog(graph, n, cost, space));
+    std::vector<EdgeCostTable> tables;
+    for (const GraphEdge &e : graph.edges())
+        tables.push_back(buildEdgeCostTable(
+            graph, e, catalogs[e.src], catalogs[e.dst], cost));
+
+    std::vector<int> idx(graph.numNodes(), 0), best;
+    double best_cost = kInf;
+    while (true) {
+        double c = 0.0;
+        for (int n = 0; n < graph.numNodes(); ++n)
+            c += catalogs[n].intraCost[idx[n]];
+        for (std::size_t e = 0; e < tables.size(); ++e) {
+            c += tables[e].at(idx[graph.edges()[e].src],
+                              idx[graph.edges()[e].dst]);
+        }
+        if (c < best_cost) {
+            best_cost = c;
+            best = idx;
+        }
+        int n = graph.numNodes() - 1;
+        for (; n >= 0; --n) {
+            if (++idx[n] < catalogs[n].size())
+                break;
+            idx[n] = 0;
+        }
+        if (n < 0)
+            break;
+    }
+
+    DpResult result;
+    for (int n = 0; n < graph.numNodes(); ++n)
+        result.strategies.push_back(catalogs[n].seqs[best[n]]);
+    result.layerCost = best_cost;
+    result.totalCost = best_cost;
+    result.optimizationMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+}
+
+} // namespace primepar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Segmented dynamic programming optimizer (paper Sec. 5).
+ *
+ * The transformer computation graph is not a chain: residual and V
+ * edges skip nodes, which breaks plain left-to-right DP (Assumptions
+ * 1-2 of the paper). The graph is therefore cut into *segments* at the
+ * source nodes of extended (skip) edges; within each segment the
+ * Bellman recurrences of Eqs. 11-12 apply, and segments are merged via
+ * Eqs. 13-14 (subtracting the shared boundary node's intra cost and
+ * adding the skip edge spanning the merge). Identical stacked layers
+ * are combined by recursive doubling in log(#layers) merges.
+ */
+
+#ifndef PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH
+#define PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH
+
+#include <vector>
+
+#include "catalog.hh"
+
+namespace primepar {
+
+/** Options of one optimization run. */
+struct DpOptions
+{
+    /** Per-operator space options (PSquare on/off, excluded dims). */
+    SpaceOptions space;
+    /** Stacked identical layers to optimize for. */
+    int numLayers = 1;
+};
+
+/** Result of an optimization run. */
+struct DpResult
+{
+    /** Chosen partition sequence per graph node (one layer). */
+    std::vector<PartitionSeq> strategies;
+    /** Optimal single-layer cost C_{0,last} (Eq. 10), us. */
+    double layerCost = 0.0;
+    /** Stacked-model cost over numLayers (recursive merging), us. */
+    double totalCost = 0.0;
+    /** Wall-clock optimization time, ms. */
+    double optimizationMs = 0.0;
+};
+
+/** The optimizer: builds catalogs and tables, runs the segmented DP. */
+class SegmentedDpOptimizer
+{
+  public:
+    SegmentedDpOptimizer(const CompGraph &graph, const CostModel &cost,
+                         DpOptions opts);
+
+    /** Run the full optimization. */
+    DpResult optimize();
+
+  private:
+    const CompGraph &graph;
+    const CostModel &cost;
+    DpOptions opts;
+};
+
+/**
+ * Exhaustive reference: minimize Eq. 10 by enumerating all strategy
+ * combinations. Exponential — for validating the DP on small graphs.
+ */
+DpResult bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
+                            const SpaceOptions &space);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH

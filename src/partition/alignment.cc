@@ -1,0 +1,202 @@
+#include "alignment.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+std::vector<std::int64_t>
+tupleOf(const OpSpec &op, const DsiTable &dsi, int tensor, Phase phase,
+        std::int64_t dev, int t)
+{
+    std::vector<std::int64_t> tuple;
+    for (int d : op.tensors[tensor].dims)
+        tuple.push_back(dsi.value(phase, dev, t, d));
+    return tuple;
+}
+
+} // namespace
+
+VerifyResult
+verifyCollectiveFree(const OpSpec &op, const PartitionSeq &seq,
+                     const DsiTable &dsi)
+{
+    for (std::size_t p = 0; p < op.passes.size(); ++p) {
+        const PassComm comm =
+            derivePassComm(op, seq, dsi, static_cast<int>(p));
+        if (comm.allReduce.has_value()) {
+            std::ostringstream os;
+            os << "pass " << p << " (" << phaseName(op.passes[p].phase)
+               << ", output " << op.refName(op.passes[p].output)
+               << ") requires an all-reduce with indicator "
+               << indicatorToString(comm.allReduce->indicator);
+            return {false, os.str()};
+        }
+    }
+    return {};
+}
+
+VerifyResult
+verifyNoReplication(const OpSpec &op, const DsiTable &dsi)
+{
+    // Check every tensor in every phase in which it participates.
+    for (const auto &pass : op.passes) {
+        std::vector<TensorRef> refs = pass.operands;
+        refs.push_back(pass.output);
+        for (const TensorRef &ref : refs) {
+            for (int t = 0; t < dsi.steps(); ++t) {
+                const int factor =
+                    replicationFactor(op, dsi, ref, pass.phase, t);
+                if (factor > 1) {
+                    std::ostringstream os;
+                    os << "tensor " << op.refName(ref)
+                       << " is replicated x" << factor << " in "
+                       << phaseName(pass.phase) << " at step " << t;
+                    return {false, os.str()};
+                }
+            }
+        }
+    }
+    return {};
+}
+
+VerifyResult
+verifyPhaseAlignment(const OpSpec &op, const DsiTable &dsi)
+{
+    const int last = dsi.steps() - 1;
+
+    // For every tensor, the ordered list of passes using it as operand.
+    for (std::size_t tensor = 0; tensor < op.tensors.size(); ++tensor) {
+        const TensorRef ref{static_cast<int>(tensor), false};
+        std::vector<int> uses;
+        for (std::size_t p = 0; p < op.passes.size(); ++p) {
+            const auto &ops = op.passes[p].operands;
+            if (std::find(ops.begin(), ops.end(), ref) != ops.end())
+                uses.push_back(static_cast<int>(p));
+        }
+        for (std::size_t u = 0; u + 1 < uses.size(); ++u) {
+            const Phase from = op.passes[uses[u]].phase;
+            const Phase to = op.passes[uses[u + 1]].phase;
+            if (from == to)
+                continue;
+            for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+                if (tupleOf(op, dsi, ref.tensor, from, dev, last) !=
+                    tupleOf(op, dsi, ref.tensor, to, dev, 0)) {
+                    std::ostringstream os;
+                    os << "tensor " << op.tensors[tensor].name
+                       << " misaligned between " << phaseName(from)
+                       << " end and " << phaseName(to)
+                       << " start on device " << dev;
+                    return {false, os.str()};
+                }
+            }
+        }
+    }
+
+    // Parameter gradients must end where the parameter starts so the
+    // optimizer update W -= lr * dW is local.
+    for (const auto &pass : op.passes) {
+        if (!pass.output.grad ||
+            !op.tensors[pass.output.tensor].isParameter)
+            continue;
+        const TensorRef param{pass.output.tensor, false};
+        int first_use = -1;
+        for (std::size_t p = 0; p < op.passes.size(); ++p) {
+            const auto &ops = op.passes[p].operands;
+            if (std::find(ops.begin(), ops.end(), param) != ops.end()) {
+                first_use = static_cast<int>(p);
+                break;
+            }
+        }
+        if (first_use < 0)
+            continue;
+        const Phase start_phase = op.passes[first_use].phase;
+        for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+            if (tupleOf(op, dsi, pass.output.tensor, pass.phase, dev,
+                        last) !=
+                tupleOf(op, dsi, param.tensor, start_phase, dev, 0)) {
+                std::ostringstream os;
+                os << "gradient " << op.refName(pass.output)
+                   << " ends misaligned with parameter "
+                   << op.tensors[param.tensor].name << " on device "
+                   << dev;
+                return {false, os.str()};
+            }
+        }
+    }
+    return {};
+}
+
+VerifyResult
+verifyContractionCoverage(const OpSpec &op, const DsiTable &dsi)
+{
+    for (std::size_t p = 0; p < op.passes.size(); ++p) {
+        const PassSpec &pass = op.passes[p];
+
+        // Expected cross product size of contracted slices.
+        std::int64_t expected = 1;
+        for (int d : pass.contracted)
+            expected *= dsi.sliceCount(d);
+
+        // block tuple -> multiset (as sorted vector) of contracted
+        // tuples contributed by all (device, step) pairs.
+        std::map<std::vector<std::int64_t>,
+                 std::vector<std::vector<std::int64_t>>>
+            contributions;
+        for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+            for (int t = 0; t < dsi.steps(); ++t) {
+                auto block = tupleOf(op, dsi, pass.output.tensor,
+                                     pass.phase, dev, t);
+                std::vector<std::int64_t> contracted;
+                for (int d : pass.contracted)
+                    contracted.push_back(dsi.value(pass.phase, dev, t, d));
+                contributions[block].push_back(std::move(contracted));
+            }
+        }
+
+        for (auto &[block, tuples] : contributions) {
+            std::sort(tuples.begin(), tuples.end());
+            if (std::adjacent_find(tuples.begin(), tuples.end()) !=
+                tuples.end()) {
+                std::ostringstream os;
+                os << "pass " << p << ": duplicate contracted slice in "
+                   << "an output block of " << op.refName(pass.output);
+                return {false, os.str()};
+            }
+            // Every output block must be covered by the full cross
+            // product of contracted slices, across the devices/steps
+            // that accumulate into it (summed locally or all-reduced).
+            std::set<std::vector<std::int64_t>> unique(tuples.begin(),
+                                                       tuples.end());
+            if (static_cast<std::int64_t>(unique.size()) != expected) {
+                std::ostringstream os;
+                os << "pass " << p << ": output block of "
+                   << op.refName(pass.output) << " covers "
+                   << unique.size() << " contracted slices, expected "
+                   << expected;
+                return {false, os.str()};
+            }
+        }
+    }
+    return {};
+}
+
+VerifyResult
+verifyAll(const OpSpec &op, const PartitionSeq &seq, const DsiTable &dsi)
+{
+    if (auto r = verifyContractionCoverage(op, dsi); !r)
+        return r;
+    if (auto r = verifyCollectiveFree(op, seq, dsi); !r)
+        return r;
+    if (auto r = verifyNoReplication(op, dsi); !r)
+        return r;
+    return verifyPhaseAlignment(op, dsi);
+}
+
+} // namespace primepar

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Verification of the design features of partition primitives.
+ *
+ * Sec. 3.3 of the paper claims three features for P_{2^k x 2^k}:
+ *  1. collective-communication free,
+ *  2. memory efficient (no tensor replication),
+ *  3. training-compatible (phase-to-phase tensor distribution
+ *     alignment without extra redistribution).
+ *
+ * This module checks those properties — plus the more fundamental
+ * *contraction coverage* (every output block receives every contracted
+ * slice exactly once, i.e. the partitioned computation is the original
+ * computation) — for arbitrary sequences, from the DSI table alone.
+ */
+
+#ifndef PRIMEPAR_PARTITION_ALIGNMENT_HH
+#define PRIMEPAR_PARTITION_ALIGNMENT_HH
+
+#include <string>
+
+#include "comm_pattern.hh"
+#include "dsi.hh"
+#include "op_spec.hh"
+#include "partition_step.hh"
+
+namespace primepar {
+
+/** Result of verifying one property. */
+struct VerifyResult
+{
+    bool ok = true;
+    std::string message; ///< diagnostic when !ok
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Feature 1: no pass of the operator requires an all-reduce. */
+VerifyResult verifyCollectiveFree(const OpSpec &op, const PartitionSeq &seq,
+                                  const DsiTable &dsi);
+
+/** Feature 2: no tensor is replicated in any phase at any step. */
+VerifyResult verifyNoReplication(const OpSpec &op, const DsiTable &dsi);
+
+/**
+ * Feature 3: for every tensor used in multiple passes, its
+ * distribution at the end of an earlier pass matches its distribution
+ * at the start of the next pass using it; parameter gradients end
+ * aligned with the parameter's Forward-start distribution so weight
+ * updates are local. (The Backward-end -> Forward-start realignment of
+ * W is performed by the in-band transition shift and is therefore
+ * exempted here, as in the paper.)
+ */
+VerifyResult verifyPhaseAlignment(const OpSpec &op, const DsiTable &dsi);
+
+/**
+ * Semantic correctness: for every pass and every output block, the
+ * (device, step) pairs accumulating into that block cover the cross
+ * product of contracted-dimension slices exactly once.
+ */
+VerifyResult verifyContractionCoverage(const OpSpec &op,
+                                       const DsiTable &dsi);
+
+/** Run all four checks; first failure wins. */
+VerifyResult verifyAll(const OpSpec &op, const PartitionSeq &seq,
+                       const DsiTable &dsi);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_PARTITION_ALIGNMENT_HH

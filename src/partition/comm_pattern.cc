@@ -1,0 +1,259 @@
+#include "comm_pattern.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+/** DSI tuple of a tensor's dims at (phase, device, t). */
+std::vector<std::int64_t>
+tensorTuple(const OpSpec &op, const DsiTable &dsi, const TensorRef &ref,
+            Phase phase, std::int64_t dev, int t)
+{
+    std::vector<std::int64_t> tuple;
+    tuple.reserve(op.tensors[ref.tensor].dims.size());
+    for (int d : op.tensors[ref.tensor].dims)
+        tuple.push_back(dsi.value(phase, dev, t, d));
+    return tuple;
+}
+
+/** Bit positions (0-based from d_1) consumed by the PSquare step. */
+GroupIndicator
+pSquareBits(const PartitionSeq &seq)
+{
+    GroupIndicator bits;
+    int cursor = 0;
+    for (const auto &s : seq.steps()) {
+        if (s.kind == PartitionStep::Kind::PSquare) {
+            for (int b = 0; b < s.bits(); ++b)
+                bits.push_back(cursor + b);
+            return bits;
+        }
+        cursor += s.bits();
+    }
+    return bits;
+}
+
+/** Per-device list of ring-group peers (the PSquare group). */
+std::vector<DeviceGroup>
+ringPeers(const PartitionSeq &seq, int num_bits)
+{
+    const GroupIndicator psq_bits = pSquareBits(seq);
+    const std::int64_t devices = std::int64_t{1} << num_bits;
+    std::vector<DeviceGroup> peers(devices);
+    if (psq_bits.empty()) {
+        for (std::int64_t d = 0; d < devices; ++d)
+            peers[d] = {d};
+        return peers;
+    }
+    for (const auto &group : enumerateGroups(num_bits, psq_bits)) {
+        for (std::int64_t member : group)
+            peers[member] = group;
+    }
+    return peers;
+}
+
+/**
+ * Shift of tensor @p ref needed so that each device's slice changes
+ * from its tuple at (from_phase, from_t) to (to_phase, to_t). Senders
+ * are searched within @p peers.
+ */
+ShiftSet
+deriveShift(const OpSpec &op, const DsiTable &dsi, const TensorRef &ref,
+            Phase from_phase, int from_t, Phase to_phase, int to_t,
+            const std::vector<DeviceGroup> &peers)
+{
+    ShiftSet shift;
+    shift.tensor = ref;
+    shift.elementsPerTransfer = dsi.tensorSliceNumel(op, ref.tensor);
+
+    for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+        const auto need =
+            tensorTuple(op, dsi, ref, to_phase, dev, to_t);
+        const auto have =
+            tensorTuple(op, dsi, ref, from_phase, dev, from_t);
+        if (need == have)
+            continue;
+
+        std::int64_t sender = -1;
+        for (std::int64_t peer : peers[dev]) {
+            if (tensorTuple(op, dsi, ref, from_phase, peer, from_t) ==
+                need) {
+                PRIMEPAR_ASSERT(sender == -1,
+                                "ambiguous ring sender for ",
+                                op.refName(ref), " of ", op.name);
+                sender = peer;
+            }
+        }
+        PRIMEPAR_ASSERT(sender >= 0, "no holder of needed slice of ",
+                        op.refName(ref), " for device ", dev, " of op ",
+                        op.name);
+        shift.transfers.push_back({dev, sender});
+    }
+    return shift;
+}
+
+/** Index of the first/last pass whose operands include @p ref. */
+int
+firstPassUsing(const OpSpec &op, const TensorRef &ref)
+{
+    for (std::size_t p = 0; p < op.passes.size(); ++p) {
+        const auto &ops = op.passes[p].operands;
+        if (std::find(ops.begin(), ops.end(), ref) != ops.end())
+            return static_cast<int>(p);
+    }
+    return -1;
+}
+
+int
+lastPassUsing(const OpSpec &op, const TensorRef &ref)
+{
+    for (int p = static_cast<int>(op.passes.size()) - 1; p >= 0; --p) {
+        const auto &ops = op.passes[p].operands;
+        if (std::find(ops.begin(), ops.end(), ref) != ops.end())
+            return p;
+    }
+    return -1;
+}
+
+} // namespace
+
+PassComm
+derivePassComm(const OpSpec &op, const PartitionSeq &seq,
+               const DsiTable &dsi, int pass_index)
+{
+    PRIMEPAR_ASSERT(pass_index >= 0 &&
+                        pass_index < static_cast<int>(op.passes.size()),
+                    "pass index out of range");
+    const PassSpec &pass = op.passes[pass_index];
+    const int steps = dsi.steps();
+    const auto peers = ringPeers(seq, dsi.numBits());
+
+    PassComm comm;
+    comm.passIndex = pass_index;
+    comm.stepShifts.resize(steps);
+    comm.accShifts.resize(steps);
+
+    // Operand ring shifts between consecutive temporal steps.
+    for (int t = 0; t + 1 < steps; ++t) {
+        for (const TensorRef &ref : pass.operands) {
+            ShiftSet shift = deriveShift(op, dsi, ref, pass.phase, t,
+                                         pass.phase, t + 1, peers);
+            if (!shift.transfers.empty())
+                comm.stepShifts[t].push_back(std::move(shift));
+        }
+        // Accumulator migration when the output block changes.
+        ShiftSet acc = deriveShift(op, dsi, pass.output, pass.phase, t,
+                                   pass.phase, t + 1, peers);
+        if (!acc.transfers.empty())
+            comm.accShifts[t].push_back(std::move(acc));
+    }
+
+    // Transition shift: parameter operands whose last use is this pass
+    // must return to their distribution at the start of their first
+    // use (W realigns for the next Forward, Table 1 Backward row 2).
+    for (const TensorRef &ref : pass.operands) {
+        if (ref.grad || !op.tensors[ref.tensor].isParameter)
+            continue;
+        if (lastPassUsing(op, ref) != pass_index)
+            continue;
+        const int first = firstPassUsing(op, ref);
+        ShiftSet shift = deriveTransitionShift(
+            op, seq, dsi, ref, pass.phase, op.passes[first].phase);
+        if (!shift.transfers.empty())
+            comm.stepShifts[steps - 1].push_back(std::move(shift));
+    }
+
+    // All-reduce: group devices by their output block at the final
+    // step; groups larger than one hold partial sums.
+    std::map<std::vector<std::int64_t>, DeviceGroup> by_block;
+    for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+        by_block[tensorTuple(op, dsi, pass.output, pass.phase, dev,
+                             steps - 1)]
+            .push_back(dev);
+    }
+    bool needs_reduce = false;
+    for (const auto &[block, devs] : by_block) {
+        if (devs.size() > 1) {
+            needs_reduce = true;
+            break;
+        }
+    }
+    if (needs_reduce) {
+        AllReduceSpec spec;
+        spec.tensor = pass.output;
+        spec.elementsPerDevice =
+            dsi.tensorSliceNumel(op, pass.output.tensor);
+        std::int64_t varying = 0;
+        for (auto &[block, devs] : by_block) {
+            for (std::int64_t member : devs)
+                varying |= member ^ devs.front();
+            spec.groups.push_back(std::move(devs));
+        }
+        const int n = dsi.numBits();
+        for (int b = 0; b < n; ++b) {
+            if ((varying >> (n - 1 - b)) & 1)
+                spec.indicator.push_back(b);
+        }
+        comm.allReduce = std::move(spec);
+    }
+    return comm;
+}
+
+ShiftSet
+deriveTransitionShift(const OpSpec &op, const PartitionSeq &seq,
+                      const DsiTable &dsi, const TensorRef &tensor,
+                      Phase from_phase, Phase to_phase)
+{
+    const auto peers = ringPeers(seq, dsi.numBits());
+    return deriveShift(op, dsi, tensor, from_phase, dsi.steps() - 1,
+                       to_phase, 0, peers);
+}
+
+int
+replicationFactor(const OpSpec &op, const DsiTable &dsi,
+                  const TensorRef &tensor, Phase phase, int t)
+{
+    std::map<std::vector<std::int64_t>, int> counts;
+    int max_count = 0;
+    for (std::int64_t dev = 0; dev < dsi.numDevices(); ++dev) {
+        std::vector<std::int64_t> tuple;
+        for (int d : op.tensors[tensor.tensor].dims)
+            tuple.push_back(dsi.value(phase, dev, t, d));
+        max_count = std::max(max_count, ++counts[tuple]);
+    }
+    return max_count;
+}
+
+GroupIndicator
+tensorFootprintBits(const OpSpec &op, const DsiTable &dsi,
+                    const TensorRef &tensor, Phase phase)
+{
+    const int n = dsi.numBits();
+    GroupIndicator bits;
+    for (int b = 0; b < n; ++b) {
+        const std::int64_t mask = std::int64_t{1} << (n - 1 - b);
+        bool affects = false;
+        for (std::int64_t dev = 0; dev < dsi.numDevices() && !affects;
+             ++dev) {
+            for (int t = 0; t < dsi.steps() && !affects; ++t) {
+                for (int d : op.tensors[tensor.tensor].dims) {
+                    if (dsi.value(phase, dev, t, d) !=
+                        dsi.value(phase, dev ^ mask, t, d)) {
+                        affects = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (affects)
+            bits.push_back(b);
+    }
+    return bits;
+}
+
+} // namespace primepar

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Communication pattern derivation.
+ *
+ * All communication in PrimePar follows mechanically from the DSIs:
+ *
+ *  - *Ring shifts*: when an operand's DSI changes between temporal
+ *    steps, each device receives the slice it needs next from the
+ *    (unique) peer that currently holds it. For P_{2^k x 2^k} these
+ *    are exactly the neighbour rings of the paper's Table 1, but this
+ *    module derives them generically from the DSI table, so composed
+ *    sequences are handled uniformly.
+ *  - *Accumulator shifts*: when the output block a device accumulates
+ *    changes between steps (dW at the last Gradient step), the partial
+ *    accumulator migrates the same way.
+ *  - *Transition shifts*: parameter tensors must return to their
+ *    Forward-start distribution by the end of the last phase using
+ *    them (feature 3); any residual mismatch becomes a shift that is
+ *    overlapped with the last step (W in Backward, Table 1).
+ *  - *All-reduces*: devices that compute the same output block but
+ *    different slices of a contracted dimension form grouped
+ *    all-reduces (conventional partition-by-dimension, Sec. 3.2).
+ */
+
+#ifndef PRIMEPAR_PARTITION_COMM_PATTERN_HH
+#define PRIMEPAR_PARTITION_COMM_PATTERN_HH
+
+#include <optional>
+#include <vector>
+
+#include "dsi.hh"
+#include "op_spec.hh"
+#include "topology/groups.hh"
+
+namespace primepar {
+
+/** One point-to-point transfer: @p receiver pulls from @p sender. */
+struct Transfer
+{
+    std::int64_t receiver = -1;
+    std::int64_t sender = -1;
+};
+
+/** All transfers of one tensor between two consecutive steps. */
+struct ShiftSet
+{
+    TensorRef tensor;
+    /** One entry per device that receives; devices whose slice does
+     *  not change are absent. */
+    std::vector<Transfer> transfers;
+    /** Element count of the moved slice (per transfer). */
+    std::int64_t elementsPerTransfer = 0;
+};
+
+/** Grouped all-reduce of a pass output. */
+struct AllReduceSpec
+{
+    TensorRef tensor;
+    std::vector<DeviceGroup> groups;
+    /** Device-id bit positions varying within each group. */
+    GroupIndicator indicator;
+    /** Per-device element count of the reduced slice. */
+    std::int64_t elementsPerDevice = 0;
+};
+
+/** Complete communication schedule of one pass. */
+struct PassComm
+{
+    int passIndex = -1;
+    /**
+     * stepShifts[t] holds the shifts executed concurrently with
+     * compute step t, delivering operands for step t+1
+     * (t in [0, steps-1)). Entry steps-1, when present, is the
+     * phase-transition shift of parameter tensors overlapping the
+     * last step.
+     */
+    std::vector<std::vector<ShiftSet>> stepShifts;
+    /** Accumulator migrations, indexed like stepShifts. */
+    std::vector<std::vector<ShiftSet>> accShifts;
+    /** All-reduce at pass end if any device holds partial sums. */
+    std::optional<AllReduceSpec> allReduce;
+};
+
+/**
+ * Derive the communication schedule of pass @p pass_index.
+ *
+ * Ring senders are searched within the PSquare group of the receiver
+ * (devices agreeing on all non-PSquare bits); the derivation panics if
+ * a needed slice has no holder, which would indicate an invalid
+ * primitive.
+ */
+PassComm derivePassComm(const OpSpec &op, const PartitionSeq &seq,
+                        const DsiTable &dsi, int pass_index);
+
+/**
+ * Transition shift of parameter tensor @p tensor from its distribution
+ * at the end of @p from_phase back to the start of @p to_phase
+ * (typically Backward -> Forward for W). Empty transfers if already
+ * aligned.
+ */
+ShiftSet deriveTransitionShift(const OpSpec &op, const PartitionSeq &seq,
+                               const DsiTable &dsi, const TensorRef &tensor,
+                               Phase from_phase, Phase to_phase);
+
+/**
+ * Maximum replication factor of @p tensor at (phase, t): the largest
+ * number of devices holding an identical slice tuple. 1 means the
+ * tensor is never replicated (feature 2).
+ */
+int replicationFactor(const OpSpec &op, const DsiTable &dsi,
+                      const TensorRef &tensor, Phase phase, int t);
+
+/**
+ * Bits of the device id whose flip changes the DSI tuple of @p tensor
+ * in @p phase at step 0 — the spatial footprint of the tensor. The
+ * complement of this set is the replication indicator.
+ */
+GroupIndicator tensorFootprintBits(const OpSpec &op, const DsiTable &dsi,
+                                   const TensorRef &tensor, Phase phase);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_PARTITION_COMM_PATTERN_HH

@@ -1,0 +1,367 @@
+#include "op_spec.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Forward:
+        return "Forward";
+      case Phase::Backward:
+        return "Backward";
+      case Phase::Gradient:
+        return "Gradient";
+    }
+    return "?";
+}
+
+int
+OpSpec::dimIndex(const std::string &dim_name) const
+{
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (dims[i].name == dim_name)
+            return static_cast<int>(i);
+    }
+    PRIMEPAR_PANIC("operator ", name, " has no dimension ", dim_name);
+}
+
+std::int64_t
+OpSpec::tensorNumel(int t) const
+{
+    PRIMEPAR_ASSERT(t >= 0 && t < static_cast<int>(tensors.size()),
+                    "tensor index out of range");
+    std::int64_t n = 1;
+    for (int d : tensors[t].dims)
+        n *= dims[d].size;
+    return n;
+}
+
+double
+OpSpec::tensorBytes(int t) const
+{
+    return static_cast<double>(tensorNumel(t)) * bytesPerElement;
+}
+
+double
+OpSpec::passFlops(const PassSpec &pass) const
+{
+    // flops = factor * prod(output dims) * prod(contracted dims).
+    double flops = pass.flopFactor;
+    for (int d : tensors[pass.output.tensor].dims)
+        flops *= static_cast<double>(dims[d].size);
+    for (int d : pass.contracted)
+        flops *= static_cast<double>(dims[d].size);
+    return flops;
+}
+
+std::string
+OpSpec::refName(const TensorRef &ref) const
+{
+    const std::string &base = tensors[ref.tensor].name;
+    return ref.grad ? "d" + base : base;
+}
+
+double
+OpSpec::parameterBytes() const
+{
+    double total = 0.0;
+    for (std::size_t t = 0; t < tensors.size(); ++t) {
+        if (tensors[t].isParameter)
+            total += tensorBytes(static_cast<int>(t));
+    }
+    return total;
+}
+
+namespace {
+
+/** Contracted dims of output = f(a, b): dims in a or b but not out. */
+std::vector<int>
+contractedDims(const OpSpec &op, const std::vector<int> &a_dims,
+               const std::vector<int> &b_dims,
+               const std::vector<int> &out_dims)
+{
+    std::vector<int> contracted;
+    for (std::size_t d = 0; d < op.dims.size(); ++d) {
+        const int dim = static_cast<int>(d);
+        const bool in_a = std::find(a_dims.begin(), a_dims.end(), dim) !=
+                          a_dims.end();
+        const bool in_b = std::find(b_dims.begin(), b_dims.end(), dim) !=
+                          b_dims.end();
+        const bool in_out = std::find(out_dims.begin(), out_dims.end(),
+                                      dim) != out_dims.end();
+        if ((in_a || in_b) && !in_out)
+            contracted.push_back(dim);
+    }
+    return contracted;
+}
+
+} // namespace
+
+OpSpec
+makeLinearOp(const std::string &name, std::int64_t b, std::int64_t m,
+             std::int64_t n, std::int64_t k)
+{
+    OpSpec op;
+    op.name = name;
+    op.kind = "linear";
+    op.dims = {{"B", b, true}, {"M", m, true}, {"N", n, true},
+               {"K", k, true}};
+    op.tensors = {
+        {"I", {0, 1, 2}, false}, // I[B,M,N]
+        {"W", {2, 3}, true},     // W[N,K]
+        {"O", {0, 1, 3}, false}, // O[B,M,K]
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 2;
+
+    // Forward: O = I x W (contracts N).
+    op.passes.push_back({Phase::Forward,
+                         {{0, false}, {1, false}},
+                         {2, false},
+                         {2},
+                         2.0});
+    // Backward: dI = dO x W^T (contracts K).
+    op.passes.push_back({Phase::Backward,
+                         {{2, true}, {1, false}},
+                         {0, true},
+                         {3},
+                         2.0});
+    // Gradient: dW = I^T x dO (contracts B and M).
+    op.passes.push_back({Phase::Gradient,
+                         {{0, false}, {2, true}},
+                         {1, true},
+                         {0, 1},
+                         2.0});
+
+    op.psquare = PSquareDims{1, 2, 3}; // roles M, N, K
+    op.stashed = {{0, false}};          // I stashed for Gradient
+    return op;
+}
+
+OpSpec
+makeBatchedMatmulOp(const std::string &name,
+                    const std::vector<std::string> &dim_names,
+                    const std::vector<std::int64_t> &dim_sizes,
+                    const std::vector<int> &a_dims,
+                    const std::vector<int> &b_dims,
+                    const std::vector<int> &out_dims,
+                    int unpartitionable_dim)
+{
+    PRIMEPAR_ASSERT(dim_names.size() == dim_sizes.size(),
+                    "matmul dim spec mismatch");
+    OpSpec op;
+    op.name = name;
+    op.kind = "matmul";
+    for (std::size_t d = 0; d < dim_names.size(); ++d) {
+        op.dims.push_back({dim_names[d], dim_sizes[d],
+                           static_cast<int>(d) != unpartitionable_dim});
+    }
+    op.tensors = {
+        {"A", a_dims, false},
+        {"Bm", b_dims, false},
+        {"O", out_dims, false},
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 2;
+
+    // Forward: O = A x B.
+    op.passes.push_back({Phase::Forward,
+                         {{0, false}, {1, false}},
+                         {2, false},
+                         contractedDims(op, a_dims, b_dims, out_dims),
+                         2.0});
+    // Backward (dA): dA = f(dO, B).
+    op.passes.push_back({Phase::Backward,
+                         {{2, true}, {1, false}},
+                         {0, true},
+                         contractedDims(op, out_dims, b_dims, a_dims),
+                         2.0});
+    // Backward (dB): dB = f(dO, A).
+    op.passes.push_back({Phase::Backward,
+                         {{2, true}, {0, false}},
+                         {1, true},
+                         contractedDims(op, out_dims, a_dims, b_dims),
+                         2.0});
+
+    // Both operands are stashed from Forward for the Backward passes.
+    op.stashed = {{0, false}, {1, false}};
+    return op;
+}
+
+OpSpec
+makeSoftmaxOp(const std::string &name,
+              const std::vector<std::string> &dim_names,
+              const std::vector<std::int64_t> &dim_sizes)
+{
+    PRIMEPAR_ASSERT(dim_names.size() == dim_sizes.size(),
+                    "softmax dim spec mismatch");
+    OpSpec op;
+    op.name = name;
+    op.kind = "softmax";
+    std::vector<int> all_dims;
+    for (std::size_t d = 0; d < dim_names.size(); ++d) {
+        // The softmax dimension (last) is not partitionable (Sec. 3.2).
+        const bool partitionable = d + 1 != dim_names.size();
+        op.dims.push_back({dim_names[d], dim_sizes[d], partitionable});
+        all_dims.push_back(static_cast<int>(d));
+    }
+    op.tensors = {
+        {"I", all_dims, false},
+        {"O", all_dims, false},
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 1;
+
+    op.passes.push_back(
+        {Phase::Forward, {{0, false}}, {1, false}, {}, 5.0});
+    // Backward uses the stashed softmax output.
+    op.passes.push_back(
+        {Phase::Backward, {{1, true}, {1, false}}, {0, true}, {}, 4.0});
+
+    op.stashed = {{1, false}}; // output stashed for backward
+    return op;
+}
+
+OpSpec
+makeLayerNormOp(const std::string &name, std::int64_t b, std::int64_t m,
+                std::int64_t h)
+{
+    OpSpec op;
+    op.name = name;
+    op.kind = "layernorm";
+    op.dims = {{"B", b, true}, {"M", m, true}, {"H", h, true}};
+    op.tensors = {
+        {"I", {0, 1, 2}, false},
+        {"G", {2}, true}, // gamma (beta folded in: same shape/cost)
+        {"O", {0, 1, 2}, false},
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 2;
+    op.normalizedDim = 2;
+
+    op.passes.push_back(
+        {Phase::Forward, {{0, false}, {1, false}}, {2, false}, {}, 8.0});
+    op.passes.push_back(
+        {Phase::Backward, {{2, true}, {1, false}, {0, false}},
+         {0, true},
+         {},
+         8.0});
+    // Gradient of gamma/beta contracts B and M -> grouped all-reduce.
+    op.passes.push_back(
+        {Phase::Gradient, {{2, true}, {0, false}}, {1, true}, {0, 1}, 2.0});
+
+    op.stashed = {{0, false}};
+    return op;
+}
+
+OpSpec
+makeElementwiseOp(const std::string &name,
+                  const std::vector<std::string> &dim_names,
+                  const std::vector<std::int64_t> &dim_sizes,
+                  double flop_factor)
+{
+    PRIMEPAR_ASSERT(dim_names.size() == dim_sizes.size(),
+                    "elementwise dim spec mismatch");
+    OpSpec op;
+    op.name = name;
+    op.kind = "elementwise";
+    std::vector<int> all_dims;
+    for (std::size_t d = 0; d < dim_names.size(); ++d) {
+        op.dims.push_back({dim_names[d], dim_sizes[d], true});
+        all_dims.push_back(static_cast<int>(d));
+    }
+    op.tensors = {
+        {"I", all_dims, false},
+        {"O", all_dims, false},
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 1;
+
+    op.passes.push_back(
+        {Phase::Forward, {{0, false}}, {1, false}, {}, flop_factor});
+    op.passes.push_back(
+        {Phase::Backward, {{1, true}, {0, false}}, {0, true}, {},
+         flop_factor});
+
+    op.stashed = {{0, false}};
+    return op;
+}
+
+OpSpec
+makeEmbeddingOp(const std::string &name, std::int64_t b, std::int64_t m,
+                std::int64_t vocab, std::int64_t h)
+{
+    OpSpec op;
+    op.name = name;
+    op.kind = "linear"; // one-hot contraction shares the linear form
+    op.dims = {{"B", b, true}, {"M", m, true}, {"V", vocab, true},
+               {"H", h, true}};
+    op.tensors = {
+        {"I", {0, 1, 2}, false}, // one-hot rows
+        {"W", {2, 3}, true},     // embedding table
+        {"O", {0, 1, 3}, false},
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 2;
+
+    // Forward contracts V; no input gradient (token ids); the table
+    // gradient contracts B and M.
+    op.passes.push_back({Phase::Forward,
+                         {{0, false}, {1, false}},
+                         {2, false},
+                         {2},
+                         2.0});
+    op.passes.push_back({Phase::Gradient,
+                         {{0, false}, {2, true}},
+                         {1, true},
+                         {0, 1},
+                         2.0});
+
+    op.psquare = PSquareDims{1, 2, 3};
+    op.stashed = {{0, false}};
+    return op;
+}
+
+OpSpec
+makeAddOp(const std::string &name, const std::vector<std::string> &dim_names,
+          const std::vector<std::int64_t> &dim_sizes)
+{
+    PRIMEPAR_ASSERT(dim_names.size() == dim_sizes.size(),
+                    "add dim spec mismatch");
+    OpSpec op;
+    op.name = name;
+    op.kind = "add";
+    std::vector<int> all_dims;
+    for (std::size_t d = 0; d < dim_names.size(); ++d) {
+        op.dims.push_back({dim_names[d], dim_sizes[d], true});
+        all_dims.push_back(static_cast<int>(d));
+    }
+    op.tensors = {
+        {"A", all_dims, false},
+        {"Bt", all_dims, false},
+        {"O", all_dims, false},
+    };
+    op.inputTensor = 0;
+    op.outputTensor = 2;
+
+    op.passes.push_back({Phase::Forward,
+                         {{0, false}, {1, false}},
+                         {2, false},
+                         {},
+                         1.0});
+    // Backward of add is a pass-through split to both operands;
+    // near-zero flops but the gradient tensors still flow (edge costs
+    // dominate).
+    op.passes.push_back(
+        {Phase::Backward, {{2, true}}, {0, true}, {}, 1.0});
+    op.passes.push_back(
+        {Phase::Backward, {{2, true}}, {1, true}, {}, 1.0});
+    return op;
+}
+
+} // namespace primepar

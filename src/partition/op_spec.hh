@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Operator specifications for tensor partitioning.
+ *
+ * PrimePar reasons about operators abstractly: an operator has named
+ * dimensions, tensors spanning subsets of those dimensions, and a set
+ * of computation *passes* (forward, backward, gradient — paper Sec. 3.1)
+ * each of which contracts some dimensions. All partitioning machinery
+ * (DSI evaluation, communication derivation, cost modelling, functional
+ * execution) is generic over this description.
+ *
+ * The canonical example is the linear operator of Eq. 1 with dimensions
+ * B (batch), M (sequence), N (input hidden) and K (output hidden):
+ *   Forward   O[B,M,K]  = I[B,M,N] x W[N,K]      (contracts N)
+ *   Backward  dI[B,M,N] = dO[B,M,K] x W^T        (contracts K)
+ *   Gradient  dW[N,K]   = I^T x dO               (contracts B, M)
+ */
+
+#ifndef PRIMEPAR_PARTITION_OP_SPEC_HH
+#define PRIMEPAR_PARTITION_OP_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace primepar {
+
+/** The three training phases of an operator (paper Sec. 3.1). */
+enum class Phase { Forward, Backward, Gradient };
+
+/** Printable phase name. */
+const char *phaseName(Phase phase);
+
+/** One named dimension of an operator. */
+struct DimSpec
+{
+    std::string name;
+    std::int64_t size = 1;
+    /** Whether PrimePar may partition this dimension (e.g. the head
+     *  embedding and softmax dimensions are excluded, Sec. 3.2). */
+    bool partitionable = true;
+};
+
+/** One tensor of an operator, defined by the dimensions it spans. */
+struct TensorSpec
+{
+    std::string name;
+    std::vector<int> dims; ///< indices into OpSpec::dims
+    bool isParameter = false;
+};
+
+/** Reference to a tensor or to the gradient of a tensor. */
+struct TensorRef
+{
+    int tensor = -1;
+    bool grad = false;
+
+    auto operator<=>(const TensorRef &) const = default;
+};
+
+/**
+ * One computation pass: output += f(operands), summing over the
+ * contracted dimensions. Multiple passes may share a Phase tag (a
+ * two-input matmul has two Backward passes, one per input gradient).
+ */
+struct PassSpec
+{
+    Phase phase = Phase::Forward;
+    std::vector<TensorRef> operands;
+    TensorRef output;
+    std::vector<int> contracted; ///< dim indices summed over
+    /** flops = flopFactor * prod(sizes of output dims and contracted
+     *  dims). 2.0 for a multiply-accumulate contraction. */
+    double flopFactor = 2.0;
+};
+
+/** Mapping of the P_{2^k x 2^k} roles onto operator dimensions. */
+struct PSquareDims
+{
+    int m = -1; ///< dim playing role M (rows of I and O)
+    int n = -1; ///< dim playing role N (contracted in forward)
+    int k = -1; ///< dim playing role K (columns of W and O)
+};
+
+/** Full description of one operator. */
+struct OpSpec
+{
+    std::string name;
+    std::string kind; ///< "linear", "matmul", "softmax", ...
+
+    std::vector<DimSpec> dims;
+    std::vector<TensorSpec> tensors;
+    std::vector<PassSpec> passes;
+
+    /** Present iff the spatial-temporal primitive applies (linear-like
+     *  operators with an (M, N, K) structure). */
+    std::optional<PSquareDims> psquare;
+
+    /** Primary data input / output tensor indices (graph edges attach
+     *  to these). */
+    int inputTensor = -1;
+    int outputTensor = -1;
+
+    /** Tensors stashed in device memory between phases (activations
+     *  kept from Forward for Backward/Gradient; parameters are always
+     *  resident and need not be listed). */
+    std::vector<TensorRef> stashed;
+
+    /** If >= 0: dimension normalized over (layernorm); partitioning it
+     *  spatially induces an all-reduce of per-row expectations. */
+    int normalizedDim = -1;
+
+    /** Storage size of one element in bytes (fp16 by default). */
+    double bytesPerElement = 2.0;
+
+    /** Look up a dimension index by name; panics if absent. */
+    int dimIndex(const std::string &dim_name) const;
+
+    /** Total element count of tensor @p t (unpartitioned). */
+    std::int64_t tensorNumel(int t) const;
+
+    /** Total size in bytes of tensor @p t (unpartitioned). */
+    double tensorBytes(int t) const;
+
+    /** Sum over dim sizes of output+contracted dims of a pass. */
+    double passFlops(const PassSpec &pass) const;
+
+    /** Human-readable tensor name for a TensorRef, e.g. "dW". */
+    std::string refName(const TensorRef &ref) const;
+
+    /** Sum of parameter tensor bytes. */
+    double parameterBytes() const;
+};
+
+/**
+ * Factory: linear operator of Eq. 1.
+ *
+ * @param name operator name
+ * @param b,m,n,k dimension sizes (batch, rows, contracted, columns)
+ */
+OpSpec makeLinearOp(const std::string &name, std::int64_t b, std::int64_t m,
+                    std::int64_t n, std::int64_t k);
+
+/**
+ * Factory: batched activation-activation matmul (attention score or
+ * context product). Dimension layout: batch dims, then (m, contracted,
+ * k). Each batch dim partitions freely; dimension @p unpartitionable_dim
+ * (if non-negative, an index) is excluded from partitioning (the head
+ * embedding, Sec. 3.2).
+ */
+OpSpec makeBatchedMatmulOp(const std::string &name,
+                           const std::vector<std::string> &dim_names,
+                           const std::vector<std::int64_t> &dim_sizes,
+                           const std::vector<int> &a_dims,
+                           const std::vector<int> &b_dims,
+                           const std::vector<int> &out_dims,
+                           int unpartitionable_dim = -1);
+
+/** Factory: softmax over the last of the given dims (that dim is not
+ *  partitionable, Sec. 3.2). */
+OpSpec makeSoftmaxOp(const std::string &name,
+                     const std::vector<std::string> &dim_names,
+                     const std::vector<std::int64_t> &dim_sizes);
+
+/** Factory: layer normalization over the last dim with affine params. */
+OpSpec makeLayerNormOp(const std::string &name, std::int64_t b,
+                       std::int64_t m, std::int64_t h);
+
+/** Factory: elementwise unary op (activation) over the given dims. */
+OpSpec makeElementwiseOp(const std::string &name,
+                         const std::vector<std::string> &dim_names,
+                         const std::vector<std::int64_t> &dim_sizes,
+                         double flop_factor = 4.0);
+
+/** Factory: elementwise binary add (residual connection). */
+OpSpec makeAddOp(const std::string &name,
+                 const std::vector<std::string> &dim_names,
+                 const std::vector<std::int64_t> &dim_sizes);
+
+/**
+ * Factory: embedding lookup, modelled as a one-hot contraction
+ * O[B,M,H] = I[B,M,V] x W[V,H] (Megatron's vocab-parallel embedding
+ * partitions V, inducing a forward all-reduce of O; partitioning H is
+ * the hidden-sharded alternative).
+ */
+OpSpec makeEmbeddingOp(const std::string &name, std::int64_t b,
+                       std::int64_t m, std::int64_t vocab,
+                       std::int64_t h);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_PARTITION_OP_SPEC_HH

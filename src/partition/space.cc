@@ -1,0 +1,105 @@
+#include "space.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+struct Enumerator
+{
+    const OpSpec &op;
+    const SpaceOptions &opts;
+    std::vector<PartitionSeq> out;
+    std::vector<PartitionStep> current;
+    std::vector<std::int64_t> slices; // running slice counts per dim
+
+    Enumerator(const OpSpec &op, const SpaceOptions &opts)
+        : op(op), opts(opts), slices(op.dims.size(), 1)
+    {}
+
+    bool
+    dimAllowed(int d) const
+    {
+        if (!op.dims[d].partitionable)
+            return false;
+        return std::find(opts.excludedDims.begin(),
+                         opts.excludedDims.end(),
+                         d) == opts.excludedDims.end();
+    }
+
+    /** Can dimension @p d be cut into @p factor more slices? */
+    bool
+    canSplit(int d, std::int64_t factor) const
+    {
+        const std::int64_t target = slices[d] * factor;
+        return op.dims[d].size % target == 0;
+    }
+
+    void
+    recurse(int bits_left, bool used_psquare)
+    {
+        if (bits_left == 0) {
+            out.emplace_back(current);
+            return;
+        }
+
+        for (std::size_t d = 0; d < op.dims.size(); ++d) {
+            if (!dimAllowed(static_cast<int>(d)) ||
+                !canSplit(static_cast<int>(d), 2))
+                continue;
+            current.push_back(PartitionStep::byDim(static_cast<int>(d)));
+            slices[d] *= 2;
+            recurse(bits_left - 1, used_psquare);
+            slices[d] /= 2;
+            current.pop_back();
+        }
+
+        if (opts.allowPSquare && !used_psquare && op.psquare.has_value()) {
+            for (int k = 1; 2 * k <= bits_left; ++k) {
+                const std::int64_t f = std::int64_t{1} << k;
+                if (opts.maxTemporalSteps > 0 &&
+                    f > opts.maxTemporalSteps)
+                    break;
+                const PSquareDims &psq = *op.psquare;
+                if (!dimAllowed(psq.m) || !dimAllowed(psq.n) ||
+                    !dimAllowed(psq.k))
+                    break;
+                if (!canSplit(psq.m, f) || !canSplit(psq.n, f) ||
+                    !canSplit(psq.k, f))
+                    continue;
+                current.push_back(PartitionStep::pSquare(k));
+                slices[psq.m] *= f;
+                slices[psq.n] *= f;
+                slices[psq.k] *= f;
+                recurse(bits_left - 2 * k, true);
+                slices[psq.m] /= f;
+                slices[psq.n] /= f;
+                slices[psq.k] /= f;
+                current.pop_back();
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<PartitionSeq>
+enumerateSequences(const OpSpec &op, int num_bits, const SpaceOptions &opts)
+{
+    PRIMEPAR_ASSERT(num_bits >= 0, "negative bit count");
+    Enumerator e(op, opts);
+    e.recurse(num_bits, false);
+    PRIMEPAR_ASSERT(!e.out.empty() || num_bits > 0,
+                    "empty partition space for ", op.name);
+    if (e.out.empty()) {
+        PRIMEPAR_FATAL("operator ", op.name,
+                       " cannot be partitioned over 2^", num_bits,
+                       " devices: no dimension has enough extent");
+    }
+    return e.out;
+}
+
+} // namespace primepar

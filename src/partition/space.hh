@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Enumeration of the per-operator partition space.
+ *
+ * PrimePar's search space for one operator over 2^n devices is the set
+ * of valid partition sequences consuming all n device-id bits:
+ * orderings of ByDim steps over the partitionable dimensions, with at
+ * most one spatial-temporal PSquare primitive inserted where the
+ * operator supports it (Sec. 3). The conventional space (Megatron/Alpa)
+ * is recovered by disabling the PSquare primitive.
+ */
+
+#ifndef PRIMEPAR_PARTITION_SPACE_HH
+#define PRIMEPAR_PARTITION_SPACE_HH
+
+#include <vector>
+
+#include "op_spec.hh"
+#include "partition_step.hh"
+
+namespace primepar {
+
+/** Knobs controlling the enumerated space. */
+struct SpaceOptions
+{
+    /** Include the spatial-temporal primitive (PrimePar) or not
+     *  (conventional spatial-only space). */
+    bool allowPSquare = true;
+
+    /** Dim indices excluded from ByDim partitioning (e.g. the batch
+     *  dimension when composing with explicit data parallelism in 3D
+     *  parallelism, Sec. 6.4). */
+    std::vector<int> excludedDims;
+
+    /** Upper bound on the number of temporal steps 2^k (0 = no
+     *  bound). Bounds the PSquare size. */
+    int maxTemporalSteps = 0;
+};
+
+/**
+ * Enumerate all valid partition sequences of @p op over 2^n devices.
+ *
+ * Sequences violating divisibility (a dimension cut into more slices
+ * than its size supports) are excluded.
+ */
+std::vector<PartitionSeq> enumerateSequences(const OpSpec &op,
+                                             int num_bits,
+                                             const SpaceOptions &opts = {});
+
+} // namespace primepar
+
+#endif // PRIMEPAR_PARTITION_SPACE_HH

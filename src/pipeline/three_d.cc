@@ -1,0 +1,129 @@
+#include "three_d.hh"
+
+#include <sstream>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+std::string
+ThreeDConfig::toString() const
+{
+    std::ostringstream os;
+    os << '(' << p << ',' << d << ',' << m << ')';
+    return os.str();
+}
+
+std::vector<ThreeDConfig>
+threeDConfigs(int num_devices)
+{
+    std::vector<ThreeDConfig> configs;
+    for (int p = 2; p <= num_devices; p *= 2) {
+        for (int d = 1; d * p <= num_devices; d *= 2) {
+            const int m = num_devices / (p * d);
+            configs.push_back({p, d, m});
+        }
+    }
+    return configs;
+}
+
+ThreeDEvaluator::ThreeDEvaluator(const ModelConfig &cfg,
+                                 std::int64_t global_batch,
+                                 std::int64_t micro_batch)
+    : model(cfg), globalBatch(global_batch), microBatch(micro_batch)
+{
+    PRIMEPAR_ASSERT(global_batch % micro_batch == 0,
+                    "global batch must be a multiple of the micro batch");
+}
+
+ThreeDResult
+ThreeDEvaluator::evaluate(const ThreeDConfig &config,
+                          const CompGraph &block,
+                          const std::vector<PartitionSeq> &strategies)
+    const
+{
+    ThreeDResult result;
+    result.config = config;
+
+    // Per-stage tensor-parallel cluster (model parallelism occupies
+    // the innermost device-id bits, i.e. consecutive devices).
+    const ClusterTopology stage_topo =
+        ClusterTopology::paperCluster(config.m);
+    const ModelSimulator sim(stage_topo, block, strategies);
+
+    const int layers_per_stage =
+        static_cast<int>(ceilDiv(model.numLayers, config.p));
+    const ModelSimResult stage = sim.simulate(layers_per_stage);
+    double t_fwd = stage.forwardUs;
+    double t_bwd = stage.latencyUs - stage.forwardUs;
+
+    // Micro-batches per data-parallel replica per iteration.
+    const std::int64_t micro_batches = std::max<std::int64_t>(
+        1, globalBatch / (config.d * microBatch));
+
+    // Memory plan: full stash first; fall back to activation
+    // checkpointing (stash only layer-boundary activations, recompute
+    // the forward pass during backward) as Megatron does for large
+    // models.
+    const double in_flight = static_cast<double>(
+        std::min<std::int64_t>(config.p, micro_batches));
+    const double capacity =
+        static_cast<double>(stage_topo.deviceSpec().memory_bytes);
+    double peak =
+        stage.peakMemoryBytes + (in_flight - 1.0) * stage.stashBytes;
+    if (peak > capacity) {
+        const double boundary_stash =
+            static_cast<double>(microBatch) * model.seqLength *
+            model.hiddenSize * 2.0 / config.m * layers_per_stage;
+        peak = stage.peakMemoryBytes - stage.stashBytes +
+               in_flight * boundary_stash;
+        result.activationCheckpointing = true;
+        t_bwd += t_fwd; // recompute
+    }
+    result.peakMemoryBytes = peak;
+    result.feasible = peak <= capacity;
+
+    // 1F1B schedule: steady rounds plus pipeline fill/drain bubble.
+    const double round = t_fwd + t_bwd;
+    const double steady = static_cast<double>(micro_batches) * round;
+    result.bubbleUs = static_cast<double>(config.p - 1) * round;
+
+    // Inter-stage activation hop (activations sharded m ways).
+    const ClusterTopology full_topo =
+        ClusterTopology::paperCluster(config.devices());
+    double hop = 0.0;
+    if (config.p > 1) {
+        const double act_bytes =
+            static_cast<double>(microBatch) * model.seqLength *
+            model.hiddenSize * 2.0 / config.m;
+        const std::int64_t peer =
+            std::min<std::int64_t>(config.d * config.m,
+                                   full_topo.numDevices() - 1);
+        hop = transferWireTime(full_topo, 0, peer, act_bytes);
+        result.stageP2pUs =
+            2.0 * static_cast<double>(config.p - 1) * hop;
+    }
+
+    // Data-parallel gradient all-reduce of this stage's parameters.
+    if (config.d > 1) {
+        const double grad_bytes = model.layerParams() *
+                                  layers_per_stage * 2.0 / config.m;
+        DeviceGroup group;
+        for (int i = 0; i < config.d; ++i)
+            group.push_back(static_cast<std::int64_t>(i) * config.m);
+        result.gradAllReduceUs =
+            ringAllReduceDuration(full_topo, group, grad_bytes);
+    }
+
+    result.iterationUs = steady + result.bubbleUs + result.stageP2pUs +
+                         result.gradAllReduceUs;
+    result.throughput =
+        result.feasible
+            ? static_cast<double>(globalBatch) * model.seqLength /
+                  (result.iterationUs * 1e-6)
+            : 0.0;
+    return result;
+}
+
+} // namespace primepar

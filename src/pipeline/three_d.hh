@@ -1,0 +1,102 @@
+/**
+ * @file
+ * 3D parallelism composition (paper Sec. 6.4).
+ *
+ * A (p, d, m) configuration splits the cluster into p pipeline stages
+ * of d x m devices each; within a stage, d-way data parallelism wraps
+ * m-way tensor parallelism. The tensor-parallel strategy of the stage
+ * block comes either from Megatron's hand rules or from PrimePar's
+ * search restricted to non-batch dimensions (the paper controls d by
+ * disabling batch partitioning in PrimePar).
+ *
+ * The pipeline schedule is 1F1B: with M micro-batches per iteration,
+ * iteration time is (M + p - 1) stage rounds plus inter-stage
+ * activation point-to-point and the data-parallel gradient
+ * all-reduce.
+ */
+
+#ifndef PRIMEPAR_PIPELINE_THREE_D_HH
+#define PRIMEPAR_PIPELINE_THREE_D_HH
+
+#include <string>
+#include <vector>
+
+#include "baselines/megatron.hh"
+#include "graph/transformer.hh"
+#include "sim/model_sim.hh"
+
+namespace primepar {
+
+/** One (pipeline, data, model) parallelism configuration. */
+struct ThreeDConfig
+{
+    int p = 1;
+    int d = 1;
+    int m = 1;
+
+    int devices() const { return p * d * m; }
+    std::string toString() const;
+};
+
+/** All configurations with p > 1 covering @p num_devices (Fig. 10). */
+std::vector<ThreeDConfig> threeDConfigs(int num_devices);
+
+/** Evaluation output of one configuration. */
+struct ThreeDResult
+{
+    ThreeDConfig config;
+    double iterationUs = 0.0;
+    /** Tokens processed per second across the whole cluster; 0 when
+     *  the configuration does not fit in device memory. */
+    double throughput = 0.0;
+    double bubbleUs = 0.0;
+    double gradAllReduceUs = 0.0;
+    double stageP2pUs = 0.0;
+    /** Per-device peak memory (in-flight pipeline stashes included). */
+    double peakMemoryBytes = 0.0;
+    /** False when peak memory exceeds device capacity. */
+    bool feasible = true;
+    /** True when activation checkpointing (recompute in backward) was
+     *  required to fit; its recompute cost is included in
+     *  iterationUs. */
+    bool activationCheckpointing = false;
+};
+
+/** Evaluator for a fixed model and global batch. */
+class ThreeDEvaluator
+{
+  public:
+    /**
+     * @param cfg model shape
+     * @param global_batch sequences per iteration across the cluster
+     * @param micro_batch micro-batch size per pipeline slot
+     */
+    ThreeDEvaluator(const ModelConfig &cfg, std::int64_t global_batch,
+                    std::int64_t micro_batch);
+
+    /**
+     * Evaluate a configuration with the given per-stage tensor
+     * parallel strategies over m devices (strategies must consume
+     * log2(m) bits; the d-way data parallelism and p-way pipeline are
+     * handled by this evaluator).
+     */
+    ThreeDResult evaluate(const ThreeDConfig &config,
+                          const CompGraph &block,
+                          const std::vector<PartitionSeq> &strategies)
+        const;
+
+    /** Stage block graph for a given micro-batch (helper). */
+    CompGraph stageBlock() const { return buildTransformerBlock(model, microBatch); }
+
+    const ModelConfig &modelConfig() const { return model; }
+    std::int64_t microBatchSize() const { return microBatch; }
+
+  private:
+    ModelConfig model;
+    std::int64_t globalBatch;
+    std::int64_t microBatch;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_PIPELINE_THREE_D_HH

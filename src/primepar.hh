@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Umbrella header: the whole PrimePar public API.
+ *
+ * Layering (each header can also be included individually):
+ *
+ *  - partition/: the paper's core — operator specs, the ByDim and
+ *    P_{2^k x 2^k} primitives, DSI evaluation (Alg. 1), derived
+ *    communication patterns (Table 1), feature verification, space
+ *    enumeration.
+ *  - comm/: inter-operator redistribution planning (Eqs. 8-9).
+ *  - topology/ + sim/: the cluster model and the event simulator the
+ *    evaluation runs on (the GPU-cluster substitution, DESIGN.md).
+ *  - cost/: profiled linear latency models and the Eq. 7 / Eq. 10
+ *    cost model.
+ *  - graph/: computation-graph IR, the Fig. 6 transformer block and
+ *    the model zoo.
+ *  - optimizer/: the segmented dynamic programming search (Sec. 5).
+ *  - baselines/: Megatron-LM, Alpa-like and ZeRO baselines.
+ *  - pipeline/: 3D parallelism composition (Sec. 6.4).
+ *  - runtime/: the functional SPMD executor proving semantic
+ *    equivalence with single-device training.
+ */
+
+#ifndef PRIMEPAR_PRIMEPAR_HH
+#define PRIMEPAR_PRIMEPAR_HH
+
+#include "baselines/megatron.hh"
+#include "baselines/zero.hh"
+#include "comm/redistribution.hh"
+#include "cost/cost_model.hh"
+#include "cost/profiler.hh"
+#include "graph/graph.hh"
+#include "graph/transformer.hh"
+#include "optimizer/catalog.hh"
+#include "optimizer/segmented_dp.hh"
+#include "partition/alignment.hh"
+#include "partition/comm_pattern.hh"
+#include "partition/dsi.hh"
+#include "partition/op_spec.hh"
+#include "partition/partition_step.hh"
+#include "partition/space.hh"
+#include "pipeline/three_d.hh"
+#include "runtime/spmd_executor.hh"
+#include "sim/engine.hh"
+#include "sim/memory.hh"
+#include "sim/model_sim.hh"
+#include "sim/op_sim.hh"
+#include "sim/trace.hh"
+#include "support/regression.hh"
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+#include "topology/cluster.hh"
+#include "topology/device.hh"
+#include "topology/groups.hh"
+
+#endif // PRIMEPAR_PRIMEPAR_HH

@@ -1,0 +1,156 @@
+#include "graph_executor.hh"
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
+                                     std::vector<PartitionSeq> strategies,
+                                     int num_bits)
+    : graph(graph_in)
+{
+    PRIMEPAR_ASSERT(static_cast<int>(strategies.size()) ==
+                        graph.numNodes(),
+                    "one strategy per node required");
+    execs.reserve(graph.numNodes());
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        execs.push_back(std::make_unique<SpmdOpExecutor>(
+            graph.node(n), strategies[n], num_bits));
+    }
+}
+
+std::string
+SpmdGraphExecutor::edgeKey(const GraphEdge &e) const
+{
+    return std::to_string(e.src) + ">" + std::to_string(e.dst) + ":" +
+           std::to_string(e.dstTensor);
+}
+
+void
+SpmdGraphExecutor::setEdgeTransform(int src, int dst, int dst_tensor,
+                                    EdgeTransform transform)
+{
+    for (const GraphEdge &e : graph.edges()) {
+        if (e.src == src && e.dst == dst && e.dstTensor == dst_tensor) {
+            transforms[edgeKey(e)] = std::move(transform);
+            return;
+        }
+    }
+    PRIMEPAR_PANIC("no edge ", src, " -> ", dst, " tensor ", dst_tensor);
+}
+
+GraphResult
+SpmdGraphExecutor::run(const GraphIO &io)
+{
+    const int nodes = graph.numNodes();
+    for (auto &e : execs)
+        e->reset();
+
+    // Per-node input maps (reused for the backward sweep) and
+    // gathered forward outputs.
+    std::vector<std::map<std::string, Tensor>> node_inputs(nodes);
+    std::vector<Tensor> outputs(nodes);
+
+    // Forward sweep.
+    for (int n = 0; n < nodes; ++n) {
+        const OpSpec &op = graph.node(n);
+        auto &inputs = node_inputs[n];
+
+        for (const GraphEdge *e : graph.inEdges(n)) {
+            const std::string key = op.tensors[e->dstTensor].name;
+            const auto it = transforms.find(edgeKey(*e));
+            if (it != transforms.end() && it->second.forward) {
+                inputs[key] = it->second.forward(outputs[e->src]);
+            } else {
+                inputs[key] = outputs[e->src];
+            }
+        }
+        if (graph.inEdges(n).empty()) {
+            inputs[op.tensors[op.inputTensor].name] = io.input;
+        }
+        for (std::size_t t = 0; t < op.tensors.size(); ++t) {
+            if (!op.tensors[t].isParameter)
+                continue;
+            const std::string pkey =
+                op.name + "." + op.tensors[t].name;
+            const auto it = io.params.find(pkey);
+            PRIMEPAR_ASSERT(it != io.params.end(),
+                            "missing parameter ", pkey);
+            inputs[op.tensors[t].name] = it->second;
+        }
+
+        execs[n]->runPhase(Phase::Forward, inputs);
+        outputs[n] = execs[n]->gatherByName(
+            op.tensors[op.outputTensor].name);
+    }
+
+    // Backward + gradient sweep; gradients accumulate per producer.
+    GraphResult result;
+    result.output = outputs[nodes - 1];
+
+    std::vector<Tensor> d_outputs(nodes);
+    for (int n = nodes - 1; n >= 0; --n) {
+        const OpSpec &op = graph.node(n);
+
+        // Assemble dO_n.
+        Tensor grad;
+        if (n == nodes - 1) {
+            grad = io.d_output;
+        } else {
+            grad = Tensor(outputs[n].shape());
+            bool any = false;
+            for (const GraphEdge *e : graph.outEdges(n)) {
+                const OpSpec &consumer = graph.node(e->dst);
+                const std::string gname =
+                    "d" + consumer.tensors[e->dstTensor].name;
+                PRIMEPAR_ASSERT(execs[e->dst]->hasTensor(gname),
+                                "consumer ", consumer.name,
+                                " produced no gradient ", gname);
+                Tensor g = execs[e->dst]->gatherByName(gname);
+                const auto it = transforms.find(edgeKey(*e));
+                if (it != transforms.end() && it->second.backward)
+                    g = it->second.backward(g);
+                grad.add(g);
+                any = true;
+            }
+            PRIMEPAR_ASSERT(any, "node ", op.name,
+                            " has no gradient consumers");
+        }
+        d_outputs[n] = grad;
+
+        auto &inputs = node_inputs[n];
+        inputs["d" + op.tensors[op.outputTensor].name] = grad;
+        execs[n]->runPhase(Phase::Backward, inputs);
+        execs[n]->runPhase(Phase::Gradient, inputs);
+
+        for (std::size_t t = 0; t < op.tensors.size(); ++t) {
+            if (!op.tensors[t].isParameter)
+                continue;
+            const std::string gname = "d" + op.tensors[t].name;
+            if (execs[n]->hasTensor(gname)) {
+                result.d_params[op.name + "." + op.tensors[t].name] =
+                    execs[n]->gatherByName(gname);
+            }
+        }
+    }
+
+    const OpSpec &first = graph.node(0);
+    const std::string din = "d" + first.tensors[first.inputTensor].name;
+    if (execs[0]->hasTensor(din))
+        result.d_input = execs[0]->gatherByName(din);
+    return result;
+}
+
+CommStats
+SpmdGraphExecutor::stats() const
+{
+    CommStats total;
+    for (const auto &e : execs) {
+        total.ringElements += e->stats().ringElements;
+        total.allReduceElements += e->stats().allReduceElements;
+        total.allReduceCount += e->stats().allReduceCount;
+    }
+    return total;
+}
+
+} // namespace primepar

@@ -1,0 +1,407 @@
+#include "spmd_executor.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "tensor/einsum.hh"
+#include "tensor/ops.hh"
+
+namespace primepar {
+
+SpmdOpExecutor::SpmdOpExecutor(OpSpec op_in, PartitionSeq seq_in,
+                               int num_bits)
+    : op(std::move(op_in)), seq(std::move(seq_in)),
+      dsiTable(op, seq, num_bits)
+{
+    for (std::size_t p = 0; p < op.passes.size(); ++p)
+        passComms.push_back(
+            derivePassComm(op, seq, dsiTable, static_cast<int>(p)));
+}
+
+std::string
+SpmdOpExecutor::refKey(const TensorRef &ref) const
+{
+    return op.refName(ref);
+}
+
+std::vector<std::int64_t>
+SpmdOpExecutor::tupleAt(const TensorRef &ref, Phase phase,
+                        std::int64_t dev, int t) const
+{
+    std::vector<std::int64_t> tuple;
+    for (int d : op.tensors[ref.tensor].dims)
+        tuple.push_back(dsiTable.value(phase, dev, t, d));
+    return tuple;
+}
+
+Tensor
+SpmdOpExecutor::sliceFor(const TensorRef &ref, const Tensor &full,
+                         Phase phase, std::int64_t dev, int t) const
+{
+    const auto &dims = op.tensors[ref.tensor].dims;
+    std::vector<std::int64_t> starts, extents;
+    for (int d : dims) {
+        const SliceRange r = dsiTable.sliceRange(phase, dev, t, d);
+        starts.push_back(r.start);
+        extents.push_back(r.length());
+    }
+    return full.slice(starts, extents);
+}
+
+void
+SpmdOpExecutor::scatter(const TensorRef &ref, const Tensor &full,
+                        Phase phase, int t)
+{
+    TensorStore store(dsiTable.numDevices());
+    for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+        store[dev].data = sliceFor(ref, full, phase, dev, t);
+        store[dev].tuple = tupleAt(ref, phase, dev, t);
+    }
+    stores[refKey(ref)] = std::move(store);
+}
+
+Tensor
+SpmdOpExecutor::gather(const TensorRef &ref) const
+{
+    const auto it = stores.find(refKey(ref));
+    PRIMEPAR_ASSERT(it != stores.end(), "gather of absent tensor ",
+                    refKey(ref));
+    const TensorStore &store = it->second;
+
+    Shape shape;
+    for (int d : op.tensors[ref.tensor].dims)
+        shape.push_back(op.dims[d].size);
+    Tensor full(shape);
+
+    const auto &dims = op.tensors[ref.tensor].dims;
+    for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+        std::vector<std::int64_t> starts;
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+            const std::int64_t extent = dsiTable.sliceExtent(dims[i]);
+            starts.push_back(store[dev].tuple[i] * extent);
+        }
+        full.assignSlice(starts, store[dev].data);
+    }
+    return full;
+}
+
+void
+SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
+                            Phase phase, int to_t)
+{
+    (void)phase;
+    (void)to_t;
+    for (const ShiftSet &set : shifts) {
+        auto it = stores.find(refKey(set.tensor));
+        PRIMEPAR_ASSERT(it != stores.end(), "shift of absent tensor ",
+                        refKey(set.tensor));
+        TensorStore &store = it->second;
+        // Double buffering: all sends read the pre-shift state.
+        const TensorStore snapshot = store;
+        for (const Transfer &tr : set.transfers) {
+            store[tr.receiver] = snapshot[tr.sender];
+            commStats.ringElements += set.elementsPerTransfer;
+        }
+    }
+}
+
+Tensor
+SpmdOpExecutor::computeLocal(const PassSpec &pass, std::int64_t dev,
+                             int t)
+{
+    (void)t;
+    auto slot = [&](const TensorRef &ref) -> const Tensor & {
+        const auto it = stores.find(refKey(ref));
+        PRIMEPAR_ASSERT(it != stores.end(), "operand ", refKey(ref),
+                        " missing on device ", dev);
+        return it->second[dev].data;
+    };
+    auto operand_by_grad = [&](bool grad) -> const TensorRef & {
+        for (const TensorRef &ref : pass.operands) {
+            if (ref.grad == grad)
+                return ref;
+        }
+        PRIMEPAR_PANIC("pass has no operand with grad=", grad, " in op ",
+                       op.name);
+    };
+
+    Shape out_shape;
+    for (int d : op.tensors[pass.output.tensor].dims)
+        out_shape.push_back(dsiTable.sliceExtent(d));
+    Tensor partial(out_shape);
+
+    if (op.kind == "linear" || op.kind == "matmul") {
+        PRIMEPAR_ASSERT(pass.operands.size() == 2,
+                        "contraction pass needs two operands");
+        const TensorRef &a = pass.operands[0];
+        const TensorRef &b = pass.operands[1];
+        contractProduct(slot(a), op.tensors[a.tensor].dims, slot(b),
+                        op.tensors[b.tensor].dims, partial,
+                        op.tensors[pass.output.tensor].dims);
+        return partial;
+    }
+    if (op.kind == "add") {
+        if (pass.phase == Phase::Forward) {
+            partial = slot(pass.operands[0]);
+            partial.add(slot(pass.operands[1]));
+        } else {
+            partial = slot(pass.operands[0]); // gradient pass-through
+        }
+        return partial;
+    }
+    if (op.kind == "elementwise") {
+        const bool is_gelu = op.name.find("gelu") != std::string::npos;
+        const bool is_relu = op.name.find("relu") != std::string::npos;
+        if (pass.phase == Phase::Forward) {
+            const Tensor &x = slot(pass.operands[0]);
+            partial = is_gelu ? gelu(x) : is_relu ? relu(x) : x;
+        } else {
+            const Tensor &dy = slot(operand_by_grad(true));
+            const Tensor &x = slot(operand_by_grad(false));
+            partial = is_gelu   ? geluBackward(x, dy)
+                      : is_relu ? reluBackward(x, dy)
+                                : dy;
+        }
+        return partial;
+    }
+    if (op.kind == "softmax") {
+        if (pass.phase == Phase::Forward) {
+            partial = softmaxLastDim(slot(pass.operands[0]));
+        } else {
+            partial = softmaxBackward(slot(operand_by_grad(false)),
+                                      slot(operand_by_grad(true)));
+        }
+        return partial;
+    }
+    if (op.kind == "layernorm") {
+        // The normalized dimension must be whole on each device (its
+        // partitioned execution is cost-model-only).
+        PRIMEPAR_ASSERT(dsiTable.sliceCount(op.normalizedDim) == 1,
+                        "SpmdOpExecutor requires the normalized dim "
+                        "of ",
+                        op.name, " to be unpartitioned");
+        const TensorRef input_ref{0, false};
+        const TensorRef gamma_ref{1, false};
+        if (pass.phase == Phase::Forward) {
+            const Tensor &x = slot(input_ref);
+            const Tensor &gamma = slot(gamma_ref);
+            const Tensor beta(gamma.shape());
+            const LayerNormResult res =
+                layerNormForward(x, gamma, beta);
+            if (aux["ln_mean"].empty()) {
+                aux["ln_mean"].resize(dsiTable.numDevices());
+                aux["ln_inv"].resize(dsiTable.numDevices());
+                aux["ln_dgamma"].resize(dsiTable.numDevices());
+            }
+            aux["ln_mean"][dev].data = res.mean;
+            aux["ln_inv"][dev].data = res.inv_std;
+            return res.output;
+        }
+        if (pass.phase == Phase::Backward) {
+            const Tensor &x = slot(input_ref);
+            const Tensor &gamma = slot(gamma_ref);
+            const Tensor &dy = slot(operand_by_grad(true));
+            LayerNormResult fwd;
+            PRIMEPAR_ASSERT(!aux["ln_mean"].empty(),
+                            "layernorm backward before forward");
+            fwd.mean = aux["ln_mean"][dev].data;
+            fwd.inv_std = aux["ln_inv"][dev].data;
+            LayerNormGrads grads =
+                layerNormBackward(x, fwd, gamma, dy);
+            aux["ln_dgamma"][dev].data = std::move(grads.d_gamma);
+            return grads.d_input;
+        }
+        // Gradient: the gamma gradient cached during backward.
+        PRIMEPAR_ASSERT(!aux["ln_dgamma"].empty() &&
+                            aux["ln_dgamma"][dev].data.numel() > 0,
+                        "layernorm gradient before backward");
+        return aux["ln_dgamma"][dev].data;
+    }
+    PRIMEPAR_PANIC("SpmdOpExecutor does not execute kind ", op.kind);
+}
+
+void
+SpmdOpExecutor::runPass(int pass_index,
+                        const std::map<std::string, Tensor> &inputs)
+{
+    const PassSpec &pass = op.passes[pass_index];
+    const PassComm &comm = passComms[pass_index];
+    const int steps = dsiTable.steps();
+
+    // Position operands: scatter on first use; otherwise the stashed
+    // distribution must already align (operational feature 3).
+    for (const TensorRef &ref : pass.operands) {
+        const std::string key = refKey(ref);
+        if (!stores.count(key)) {
+            const auto it = inputs.find(key);
+            PRIMEPAR_ASSERT(it != inputs.end(), "missing input tensor ",
+                            key);
+            scatter(ref, it->second, pass.phase, 0);
+            continue;
+        }
+        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+            PRIMEPAR_ASSERT(
+                stores[key][dev].tuple ==
+                    tupleAt(ref, pass.phase, dev, 0),
+                "stashed tensor ", key, " misaligned entering ",
+                phaseName(pass.phase), " on device ", dev,
+                " (feature 3 violated)");
+        }
+    }
+
+    // Fresh zero accumulators tagged with the step-0 output block.
+    TensorStore acc(dsiTable.numDevices());
+    for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+        Shape shape;
+        for (int d : op.tensors[pass.output.tensor].dims)
+            shape.push_back(dsiTable.sliceExtent(d));
+        acc[dev].data = Tensor(shape);
+        acc[dev].tuple = tupleAt(pass.output, pass.phase, dev, 0);
+    }
+    stores[refKey(pass.output)] = std::move(acc);
+    TensorStore &out_store = stores[refKey(pass.output)];
+
+    for (int t = 0; t < steps; ++t) {
+        if (t > 0 && !comm.accShifts[t - 1].empty()) {
+            applyShifts(comm.accShifts[t - 1], pass.phase, t);
+        }
+        // After any migration the accumulator must sit on the block
+        // this device owns at step t.
+        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+            PRIMEPAR_ASSERT(out_store[dev].tuple ==
+                                tupleAt(pass.output, pass.phase, dev, t),
+                            "accumulator misplaced at step ", t);
+        }
+        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+            const Tensor partial = computeLocal(pass, dev, t);
+            out_store[dev].data.add(partial);
+        }
+        if (!comm.stepShifts[t].empty())
+            applyShifts(comm.stepShifts[t], pass.phase, t + 1);
+    }
+
+    // Grouped all-reduce of partial sums (conventional partitions).
+    if (comm.allReduce.has_value()) {
+        const AllReduceSpec &spec = *comm.allReduce;
+        for (const DeviceGroup &group : spec.groups) {
+            if (group.size() < 2)
+                continue;
+            Tensor sum = out_store[group[0]].data;
+            for (std::size_t i = 1; i < group.size(); ++i) {
+                PRIMEPAR_ASSERT(out_store[group[i]].tuple ==
+                                    out_store[group[0]].tuple,
+                                "all-reduce group block mismatch");
+                sum.add(out_store[group[i]].data);
+            }
+            for (std::int64_t member : group)
+                out_store[member].data = sum;
+            commStats.allReduceElements +=
+                spec.elementsPerDevice *
+                static_cast<std::int64_t>(group.size() - 1);
+        }
+        ++commStats.allReduceCount;
+    }
+}
+
+void
+SpmdOpExecutor::reset()
+{
+    stores.clear();
+    aux.clear();
+    commStats = CommStats{};
+}
+
+void
+SpmdOpExecutor::runPhase(Phase phase,
+                         const std::map<std::string, Tensor> &inputs)
+{
+    for (std::size_t p = 0; p < op.passes.size(); ++p) {
+        if (op.passes[p].phase == phase)
+            runPass(static_cast<int>(p), inputs);
+    }
+}
+
+bool
+SpmdOpExecutor::hasTensor(const std::string &name) const
+{
+    return stores.count(name) > 0;
+}
+
+Tensor
+SpmdOpExecutor::gatherByName(const std::string &name) const
+{
+    for (std::size_t t = 0; t < op.tensors.size(); ++t) {
+        for (bool grad : {false, true}) {
+            const TensorRef ref{static_cast<int>(t), grad};
+            if (refKey(ref) == name) {
+                return gather(ref);
+            }
+        }
+    }
+    PRIMEPAR_PANIC("operator ", op.name, " has no tensor named ", name);
+}
+
+TrainStepResult
+SpmdOpExecutor::run(const std::map<std::string, Tensor> &inputs)
+{
+    reset();
+
+    for (std::size_t p = 0; p < op.passes.size(); ++p)
+        runPass(static_cast<int>(p), inputs);
+
+    TrainStepResult result;
+    result.output = gather({op.outputTensor, false});
+    const TensorRef d_input{op.inputTensor, true};
+    if (stores.count(refKey(d_input)))
+        result.d_input = gather(d_input);
+    for (const auto &pass : op.passes) {
+        if (pass.output.grad && pass.output.tensor != op.inputTensor &&
+            op.tensors[pass.output.tensor].isParameter) {
+            result.d_weight = gather(pass.output);
+        }
+    }
+    return result;
+}
+
+Tensor
+SpmdOpExecutor::sgdUpdateAndGather(double lr)
+{
+    // Find the parameter and its gradient stores.
+    int param = -1;
+    for (std::size_t t = 0; t < op.tensors.size(); ++t) {
+        if (op.tensors[t].isParameter)
+            param = static_cast<int>(t);
+    }
+    PRIMEPAR_ASSERT(param >= 0, "operator ", op.name,
+                    " has no parameter");
+    const std::string wkey = refKey({param, false});
+    const std::string gkey = refKey({param, true});
+    PRIMEPAR_ASSERT(stores.count(wkey) && stores.count(gkey),
+                    "run() must precede sgdUpdateAndGather()");
+
+    TensorStore &w = stores[wkey];
+    const TensorStore &g = stores[gkey];
+    for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+        // The update is local only if W and dW ended co-located —
+        // exactly the paper's feature-3 weight alignment.
+        PRIMEPAR_ASSERT(w[dev].tuple == g[dev].tuple,
+                        "W/dW misaligned on device ", dev,
+                        "; local SGD update impossible");
+        Tensor scaled = g[dev].data;
+        scaled.scale(static_cast<float>(-lr));
+        w[dev].data.add(scaled);
+    }
+    return gather({param, false});
+}
+
+TrainStepResult
+referenceTrainStep(const OpSpec &op,
+                   const std::map<std::string, Tensor> &inputs)
+{
+    // A single emulated device with the empty partition sequence runs
+    // the unpartitioned computation through the same machinery.
+    SpmdOpExecutor single(op, PartitionSeq{}, 0);
+    return single.run(inputs);
+}
+
+} // namespace primepar

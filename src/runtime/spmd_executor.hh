@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Functional SPMD execution of partitioned operators.
+ *
+ * This executor emulates the 2^n devices of a PrimePar deployment and
+ * *really runs* the partitioned training step on dense tensors: it
+ * scatters tensors according to the DSIs, executes each device's
+ * sub-operators over the temporal steps, performs the derived ring
+ * shifts, accumulator migrations, transition shifts and grouped
+ * all-reduces, and gathers the results.
+ *
+ * Its purpose is to prove — not assume — that every partition sequence
+ * in PrimePar's space (including the novel P_{2^k x 2^k}) computes
+ * bit-identical results to single-device training, and that phase
+ * alignment holds operationally (a stashed tensor is reused without
+ * any repositioning; the executor asserts this at phase entry).
+ *
+ * Substitution note (DESIGN.md): this replaces the paper's CUDA/MPI
+ * runtime. Transfers move tensor values between emulated device
+ * stores; byte counters record exactly the traffic a real deployment
+ * would issue.
+ */
+
+#ifndef PRIMEPAR_RUNTIME_SPMD_EXECUTOR_HH
+#define PRIMEPAR_RUNTIME_SPMD_EXECUTOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/alignment.hh"
+#include "partition/comm_pattern.hh"
+#include "partition/dsi.hh"
+#include "partition/op_spec.hh"
+#include "partition/partition_step.hh"
+#include "tensor/tensor.hh"
+
+namespace primepar {
+
+/** Gathered results of one partitioned training step. */
+struct TrainStepResult
+{
+    Tensor output;   ///< forward output O
+    Tensor d_input;  ///< input gradient dI
+    Tensor d_weight; ///< parameter gradient dW (empty if no parameter)
+};
+
+/** Communication volume observed during execution. */
+struct CommStats
+{
+    std::int64_t ringElements = 0;      ///< ring shift traffic
+    std::int64_t allReduceElements = 0; ///< summed all-reduce payloads
+    int allReduceCount = 0;             ///< number of grouped all-reduces
+};
+
+/**
+ * Executes the full Forward / Backward / Gradient cycle of one
+ * operator under a partition sequence on emulated devices.
+ */
+class SpmdOpExecutor
+{
+  public:
+    /**
+     * @param op operator (kinds: linear, matmul, add, elementwise,
+     *           softmax)
+     * @param seq partition sequence over 2^num_bits devices
+     * @param num_bits device-id bit count
+     */
+    SpmdOpExecutor(OpSpec op, PartitionSeq seq, int num_bits);
+
+    /**
+     * Run one training step.
+     *
+     * @param inputs full (unpartitioned) tensors keyed by name: every
+     *        forward operand (e.g. "I", "W") plus "dO", the upstream
+     *        gradient of the output.
+     */
+    TrainStepResult run(const std::map<std::string, Tensor> &inputs);
+
+    /**
+     * Run only the passes of one phase (graph-level training
+     * interleaves phases across operators). Inputs are scattered on
+     * first use; stashed tensors persist across calls until reset().
+     */
+    void runPhase(Phase phase,
+                  const std::map<std::string, Tensor> &inputs);
+
+    /** Drop all device state (stashes, outputs) and counters. */
+    void reset();
+
+    /** True if tensor @p name (e.g. "O", "dI") is materialized. */
+    bool hasTensor(const std::string &name) const;
+
+    /** Gather a materialized tensor (by refName, e.g. "dW"). */
+    Tensor gatherByName(const std::string &name) const;
+
+    /** Apply W <- W - lr * dW locally on every device (no comm), then
+     *  gather the updated parameter. Valid after run(). */
+    Tensor sgdUpdateAndGather(double lr);
+
+    /** Traffic counters of the last run(). */
+    const CommStats &stats() const { return commStats; }
+
+    const DsiTable &dsi() const { return dsiTable; }
+
+  private:
+    struct DeviceSlot
+    {
+        Tensor data;
+        std::vector<std::int64_t> tuple; ///< slice indices per op dim
+    };
+
+    /** Per-device storage of one logical tensor. */
+    using TensorStore = std::vector<DeviceSlot>;
+
+    std::string refKey(const TensorRef &ref) const;
+    void scatter(const TensorRef &ref, const Tensor &full, Phase phase,
+                 int t);
+    Tensor gather(const TensorRef &ref) const;
+    std::vector<std::int64_t> tupleAt(const TensorRef &ref, Phase phase,
+                                      std::int64_t dev, int t) const;
+    Tensor sliceFor(const TensorRef &ref, const Tensor &full,
+                    Phase phase, std::int64_t dev, int t) const;
+    void applyShifts(const std::vector<ShiftSet> &shifts, Phase phase,
+                     int to_t);
+    void runPass(int pass_index,
+                 const std::map<std::string, Tensor> &inputs);
+    Tensor computeLocal(const PassSpec &pass, std::int64_t dev, int t);
+
+    OpSpec op;
+    PartitionSeq seq;
+    DsiTable dsiTable;
+    std::vector<PassComm> passComms;
+    std::map<std::string, TensorStore> stores;
+    CommStats commStats;
+    /** Stashed layernorm/softmax style auxiliaries per device. */
+    std::map<std::string, TensorStore> aux;
+};
+
+/**
+ * Reference single-device training step for the same operator; the
+ * executor's results must match this exactly (up to float summation
+ * order tolerance).
+ */
+TrainStepResult referenceTrainStep(const OpSpec &op,
+                                   const std::map<std::string, Tensor>
+                                       &inputs);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_SPMD_EXECUTOR_HH

@@ -1,0 +1,90 @@
+#include "engine.hh"
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+double
+computeDuration(const DeviceSpec &spec, double flops, double bytes)
+{
+    return spec.kernel_overhead_us + flops / spec.flops_per_us +
+           bytes / spec.mem_bytes_per_us;
+}
+
+double
+transferWireTime(const ClusterTopology &topo, std::int64_t src,
+                 std::int64_t dst, double bytes)
+{
+    if (src == dst)
+        return 0.0;
+    return topo.linkLatency(src, dst) +
+           bytes / topo.linkBandwidth(src, dst);
+}
+
+double
+ringAllReduceDuration(const ClusterTopology &topo,
+                      const DeviceGroup &group, double bytes)
+{
+    const std::size_t g = group.size();
+    if (g < 2)
+        return 0.0;
+    const double chunk = bytes / static_cast<double>(g);
+    const double bw = ringBottleneckBandwidth(topo, group);
+    const double lat = ringWorstLatency(topo, group);
+    return 2.0 * static_cast<double>(g - 1) * (lat + chunk / bw);
+}
+
+double
+reduceScatterDuration(const ClusterTopology &topo, const DeviceGroup &group,
+                      double bytes)
+{
+    const std::size_t g = group.size();
+    if (g < 2)
+        return 0.0;
+    const double chunk = bytes / static_cast<double>(g);
+    const double bw = ringBottleneckBandwidth(topo, group);
+    const double lat = ringWorstLatency(topo, group);
+    return static_cast<double>(g - 1) * (lat + chunk / bw);
+}
+
+SimContext::SimContext(const ClusterTopology &topo_in)
+    : topo(topo_in), computeEngine(topo.numDevices()),
+      sendPort(topo.numDevices()), recvPort(topo.numDevices()),
+      ready(topo.numDevices(), 0.0)
+{}
+
+double
+SimContext::transfer(std::int64_t src, std::int64_t dst, double bytes,
+                     double ready_time)
+{
+    if (src == dst)
+        return ready_time;
+    const double wire = transferWireTime(topo, src, dst, bytes);
+    const double start = std::max(
+        {ready_time, sendPort[src].freeAt(), recvPort[dst].freeAt()});
+    sendPort[src].occupy(start, wire);
+    return recvPort[dst].occupy(start, wire);
+}
+
+void
+SimContext::reset()
+{
+    for (auto &r : computeEngine)
+        r.reset();
+    for (auto &r : sendPort)
+        r.reset();
+    for (auto &r : recvPort)
+        r.reset();
+    std::fill(ready.begin(), ready.end(), 0.0);
+}
+
+double
+SimContext::makespan() const
+{
+    double m = 0.0;
+    for (double r : ready)
+        m = std::max(m, r);
+    return m;
+}
+
+} // namespace primepar

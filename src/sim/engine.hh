@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Simulation engine primitives.
+ *
+ * The cluster simulator is a deterministic dependency-driven scheduler:
+ * every task (kernel, point-to-point transfer, collective) has a ready
+ * time given by its data dependencies and occupies FIFO resources
+ * (per-device compute engine, per-device send/receive ports). This is
+ * the substitution for the paper's real V100 cluster (DESIGN.md): it
+ * models exactly the quantities PrimePar's claims are about — bytes
+ * moved per link class, serialization, and compute/communication
+ * overlap.
+ */
+
+#ifndef PRIMEPAR_SIM_ENGINE_HH
+#define PRIMEPAR_SIM_ENGINE_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "topology/cluster.hh"
+#include "topology/groups.hh"
+#include "trace.hh"
+
+namespace primepar {
+
+/** A serially-occupied resource (compute engine, NIC port). */
+class Resource
+{
+  public:
+    /** Occupy for @p duration, starting no earlier than @p ready.
+     *  @return completion time. */
+    double
+    occupy(double ready, double duration)
+    {
+        const double start = std::max(ready, freeTime);
+        freeTime = start + duration;
+        return freeTime;
+    }
+
+    /** Next instant the resource is free. */
+    double freeAt() const { return freeTime; }
+
+    void reset() { freeTime = 0.0; }
+
+  private:
+    double freeTime = 0.0;
+};
+
+/** Kernel duration for @p flops of math and @p bytes of memory traffic. */
+double computeDuration(const DeviceSpec &spec, double flops, double bytes);
+
+/** Wire duration of a point-to-point transfer (no queueing). */
+double transferWireTime(const ClusterTopology &topo, std::int64_t src,
+                        std::int64_t dst, double bytes);
+
+/**
+ * Duration of a ring all-reduce of @p bytes over @p group: 2(g-1)
+ * chunk rounds of bytes/g over the bottleneck link.
+ */
+double ringAllReduceDuration(const ClusterTopology &topo,
+                             const DeviceGroup &group, double bytes);
+
+/** Duration of a ring reduce-scatter (half of the all-reduce). */
+double reduceScatterDuration(const ClusterTopology &topo,
+                             const DeviceGroup &group, double bytes);
+
+/** Shared mutable state of one simulation run. */
+struct SimContext
+{
+    explicit SimContext(const ClusterTopology &topo);
+
+    const ClusterTopology &topo;
+    std::vector<Resource> computeEngine;
+    std::vector<Resource> sendPort;
+    std::vector<Resource> recvPort;
+    /** Per-device logical clock: completion of its last dependency. */
+    std::vector<double> ready;
+    /** Optional span recorder (not owned); null disables tracing. */
+    Trace *trace = nullptr;
+
+    /** Route one transfer through the ports; returns arrival time. */
+    double transfer(std::int64_t src, std::int64_t dst, double bytes,
+                    double ready_time);
+
+    /** Reset all resources and clocks. */
+    void reset();
+
+    /** Latest per-device clock (iteration makespan). */
+    double makespan() const;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SIM_ENGINE_HH

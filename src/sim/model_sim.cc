@@ -1,0 +1,209 @@
+#include "model_sim.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+ModelSimulator::ModelSimulator(const ClusterTopology &topo_in,
+                               const CompGraph &graph_in,
+                               std::vector<PartitionSeq> strategies_in)
+    : topo(topo_in), graph(graph_in), strategies(std::move(strategies_in))
+{
+    PRIMEPAR_ASSERT(static_cast<int>(strategies.size()) ==
+                        graph.numNodes(),
+                    "one strategy per node required");
+    plans.reserve(graph.numNodes());
+    for (int n = 0; n < graph.numNodes(); ++n)
+        plans.emplace_back(graph.node(n), strategies[n], topo.numBits());
+}
+
+double
+ModelSimulator::simulateEdgeRedistribution(SimContext &ctx,
+                                           const GraphEdge &edge,
+                                           bool forward) const
+{
+    const OpSpec &producer = graph.node(edge.src);
+    const OpSpec &consumer = graph.node(edge.dst);
+    const OpPlan &pplan = plans[edge.src];
+    const OpPlan &cplan = plans[edge.dst];
+    const auto sizes = graph.transferSizes(edge);
+
+    // Producer-side dim map: identity over the producer's output dims.
+    EdgeDimMap producer_map(sizes.size(), -1);
+    for (std::size_t i = 0; i < edge.dimMap.size(); ++i)
+        producer_map[i] = edge.dimMap[i];
+
+    // Consumer-side dim map: the consumed tensor's own dims.
+    EdgeDimMap consumer_map;
+    for (int d : consumer.tensors[edge.dstTensor].dims)
+        consumer_map.push_back(d);
+
+    const Phase phase = forward ? Phase::Forward : Phase::Backward;
+
+    TensorLayout have, need;
+    if (forward) {
+        have = layoutOf(producer, pplan.dsi,
+                        {producer.outputTensor, false}, phase,
+                        pplan.dsi.steps() - 1, producer_map, sizes);
+        need = layoutOf(consumer, cplan.dsi,
+                        {edge.dstTensor, false}, phase, 0, consumer_map,
+                        sizes);
+    } else {
+        // Gradient of the transfer tensor flows consumer -> producer.
+        have = layoutOf(consumer, cplan.dsi, {edge.dstTensor, true},
+                        phase, cplan.dsi.steps() - 1, consumer_map,
+                        sizes);
+        need = layoutOf(producer, pplan.dsi,
+                        {producer.outputTensor, true}, phase, 0,
+                        producer_map, sizes);
+    }
+
+    const RedistPlan plan = planRedistribution(have, need, &topo);
+    double max_arrival = 0.0;
+    for (const BlockTransfer &tr : plan.transfers) {
+        const double bytes = static_cast<double>(tr.elements) *
+                             consumer.bytesPerElement;
+        const double arrive =
+            ctx.transfer(tr.src, tr.dst, bytes, ctx.ready[tr.src]);
+        ctx.ready[tr.dst] = std::max(ctx.ready[tr.dst], arrive);
+        max_arrival = std::max(max_arrival, arrive);
+        if (ctx.trace) {
+            ctx.trace->add(
+                tr.dst, "redist",
+                producer.name + "->" + consumer.name,
+                arrive - transferWireTime(topo, tr.src, tr.dst, bytes),
+                arrive);
+        }
+    }
+    double wire = 0.0;
+    for (const BlockTransfer &tr : plan.transfers) {
+        wire = std::max(wire, transferWireTime(
+                                  topo, tr.src, tr.dst,
+                                  static_cast<double>(tr.elements) *
+                                      consumer.bytesPerElement));
+    }
+    return wire;
+}
+
+double
+modelIdealMemoryBytes(const CompGraph &graph, std::int64_t num_devices,
+                      const MemoryModelParams &params)
+{
+    double total = 0.0;
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        const OpSpec &op = graph.node(n);
+        for (std::size_t t = 0; t < op.tensors.size(); ++t) {
+            if (op.tensors[t].isParameter)
+                total += op.tensorBytes(static_cast<int>(t)) *
+                         params.paramStateFactor;
+        }
+        for (const TensorRef &ref : op.stashed) {
+            if (ref.grad)
+                continue;
+            // Shared-stash dedup, as in ModelSimulator::simulate.
+            bool producer_stashes = false;
+            for (const GraphEdge *e : graph.inEdges(n)) {
+                if (e->dstTensor != ref.tensor)
+                    continue;
+                const OpSpec &prod = graph.node(e->src);
+                const TensorRef prod_out{prod.outputTensor, false};
+                const auto &ps = prod.stashed;
+                if (std::find(ps.begin(), ps.end(), prod_out) !=
+                    ps.end())
+                    producer_stashes = true;
+            }
+            if (!producer_stashes)
+                total += op.tensorBytes(ref.tensor);
+        }
+    }
+    return total / static_cast<double>(num_devices);
+}
+
+ModelSimResult
+ModelSimulator::simulate(int num_layers, Trace *trace) const
+{
+    SimContext ctx(topo);
+    ctx.trace = trace;
+    ModelSimResult result;
+
+    // Forward sweep.
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        for (const GraphEdge *e : graph.inEdges(n))
+            result.redistUs += simulateEdgeRedistribution(ctx, *e, true);
+        const SimBreakdown b =
+            simulateOpPhase(ctx, plans[n], Phase::Forward);
+        result.computeUs += b.computeUs;
+        result.ringUs += b.ringUs;
+        result.allReduceUs += b.allReduceUs;
+        result.stallUs += b.stallUs;
+    }
+
+    result.forwardUs = ctx.makespan();
+
+    // Backward + gradient sweep.
+    for (int n = graph.numNodes() - 1; n >= 0; --n) {
+        for (const GraphEdge *e : graph.outEdges(n))
+            result.redistUs +=
+                simulateEdgeRedistribution(ctx, *e, false);
+        for (Phase phase : {Phase::Backward, Phase::Gradient}) {
+            const SimBreakdown b =
+                simulateOpPhase(ctx, plans[n], phase);
+            result.computeUs += b.computeUs;
+            result.ringUs += b.ringUs;
+            result.allReduceUs += b.allReduceUs;
+            result.stallUs += b.stallUs;
+        }
+    }
+
+    result.latencyUs = ctx.makespan() * num_layers;
+    result.forwardUs *= num_layers;
+    result.computeUs *= num_layers;
+    result.ringUs *= num_layers;
+    result.allReduceUs *= num_layers;
+    result.redistUs *= num_layers;
+    result.stallUs *= num_layers;
+
+    // Peak memory: resident state of all layers + the largest
+    // transient working set.
+    double params = 0.0, stash = 0.0, working = 0.0;
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        const OpSpec &op = graph.node(n);
+        OpMemory mem = opMemory(op, strategies[n], plans[n].dsi,
+                                plans[n].passComms);
+        // A stashed input whose producing operator already stashes
+        // its own output is the same physical tensor (e.g. the
+        // softmax output consumed by A x V): count it once.
+        for (const TensorRef &ref : op.stashed) {
+            if (ref.grad)
+                continue;
+            for (const GraphEdge *e : graph.inEdges(n)) {
+                if (e->dstTensor != ref.tensor)
+                    continue;
+                const OpSpec &prod = graph.node(e->src);
+                const TensorRef prod_out{prod.outputTensor, false};
+                const auto &ps = prod.stashed;
+                if (std::find(ps.begin(), ps.end(), prod_out) !=
+                    ps.end()) {
+                    mem.stashBytes -=
+                        static_cast<double>(
+                            plans[n].dsi.tensorSliceNumel(
+                                op, ref.tensor)) *
+                        op.bytesPerElement;
+                }
+            }
+        }
+        params += mem.paramBytes;
+        stash += mem.stashBytes;
+        working = std::max(working,
+                           mem.workingBytes + mem.doubleBufferBytes);
+    }
+    result.paramBytes = params * num_layers;
+    result.stashBytes = stash * num_layers;
+    result.peakMemoryBytes =
+        result.paramBytes + result.stashBytes + working;
+    return result;
+}
+
+} // namespace primepar

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Whole-model training-step simulation.
+ *
+ * Walks the computation graph: forward in topological order with
+ * inter-operator redistribution on every edge, then backward and
+ * gradient phases in reverse order with the mirrored redistributions.
+ * Produces the measured quantities the paper's figures report:
+ * iteration latency and its breakdown (compute / collective / ring /
+ * redistribution) plus per-device peak memory.
+ */
+
+#ifndef PRIMEPAR_SIM_MODEL_SIM_HH
+#define PRIMEPAR_SIM_MODEL_SIM_HH
+
+#include <vector>
+
+#include "graph/graph.hh"
+#include "memory.hh"
+#include "op_sim.hh"
+
+namespace primepar {
+
+/** Result of simulating one training iteration of a (sub)model. */
+struct ModelSimResult
+{
+    double latencyUs = 0.0;
+    /** Makespan of the forward sweep alone (pipeline stage fwd time). */
+    double forwardUs = 0.0;
+    double computeUs = 0.0;
+    double ringUs = 0.0;
+    double allReduceUs = 0.0;
+    double redistUs = 0.0;
+    double stallUs = 0.0;
+    double peakMemoryBytes = 0.0;
+    /** Parameter-state part of peakMemoryBytes (all layers). */
+    double paramBytes = 0.0;
+    /** Stashed-activation part of peakMemoryBytes (all layers, one
+     *  in-flight micro-batch). */
+    double stashBytes = 0.0;
+};
+
+/**
+ * The ideal (replication-free) per-device memory of one layer of
+ * @p graph: total parameter state and stashed activations divided
+ * evenly over the devices — the baseline of the paper's Fig. 2b.
+ * Uses the same shared-stash dedup rule as the simulator's accounting.
+ */
+double modelIdealMemoryBytes(const CompGraph &graph,
+                             std::int64_t num_devices,
+                             const MemoryModelParams &params = {});
+
+/** Simulator for a fixed (graph, strategy assignment) pair. */
+class ModelSimulator
+{
+  public:
+    /**
+     * @param topo cluster
+     * @param graph computation graph
+     * @param strategies one partition sequence per node
+     */
+    ModelSimulator(const ClusterTopology &topo, const CompGraph &graph,
+                   std::vector<PartitionSeq> strategies);
+
+    /**
+     * Simulate one training iteration (all three phases of every
+     * node, with redistribution).
+     *
+     * @param num_layers results are scaled to this many identical
+     *        stacked layers (latency scales linearly; memory sums
+     *        parameters/stash across layers)
+     * @param trace optional span recorder (records one layer)
+     */
+    ModelSimResult simulate(int num_layers = 1,
+                            Trace *trace = nullptr) const;
+
+    /** Per-node plan access (for inspection/benches). */
+    const OpPlan &plan(int node) const { return plans[node]; }
+
+  private:
+    double simulateEdgeRedistribution(SimContext &ctx,
+                                      const GraphEdge &edge,
+                                      bool forward) const;
+
+    const ClusterTopology &topo;
+    const CompGraph &graph;
+    std::vector<PartitionSeq> strategies;
+    std::vector<OpPlan> plans;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SIM_MODEL_SIM_HH

@@ -1,0 +1,206 @@
+#include "op_sim.hh"
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+OpPlan::OpPlan(const OpSpec &op_in, const PartitionSeq &seq_in,
+               int num_bits)
+    : op(&op_in), seq(seq_in), dsi(op_in, seq_in, num_bits)
+{
+    for (std::size_t p = 0; p < op_in.passes.size(); ++p)
+        passComms.push_back(
+            derivePassComm(op_in, seq_in, dsi, static_cast<int>(p)));
+}
+
+namespace {
+
+/** Per-device, per-step flops of one sub-operator of a pass. */
+double
+subOperatorFlops(const OpSpec &op, const DsiTable &dsi,
+                 const PassSpec &pass)
+{
+    return op.passFlops(pass) /
+           (static_cast<double>(dsi.numDevices()) * dsi.steps());
+}
+
+/** Memory traffic of one sub-operator (operand + output slices). */
+double
+subOperatorBytes(const OpSpec &op, const DsiTable &dsi,
+                 const PassSpec &pass)
+{
+    double bytes = 0.0;
+    for (const TensorRef &ref : pass.operands)
+        bytes += static_cast<double>(
+                     dsi.tensorSliceNumel(op, ref.tensor)) *
+                 op.bytesPerElement;
+    bytes += static_cast<double>(
+                 dsi.tensorSliceNumel(op, pass.output.tensor)) *
+             op.bytesPerElement;
+    return bytes;
+}
+
+SimBreakdown
+simulatePass(SimContext &ctx, const OpPlan &plan, int pass_index)
+{
+    const OpSpec &op = *plan.op;
+    const DsiTable &dsi = plan.dsi;
+    const PassSpec &pass = op.passes[pass_index];
+    const PassComm &comm = plan.passComms[pass_index];
+    const std::int64_t devices = dsi.numDevices();
+    const int steps = dsi.steps();
+
+    const double flops = subOperatorFlops(op, dsi, pass);
+    const double mem_bytes = subOperatorBytes(op, dsi, pass);
+    const double kernel =
+        computeDuration(ctx.topo.deviceSpec(), flops, mem_bytes);
+
+    SimBreakdown stats;
+    const double phase_start_max = ctx.makespan();
+
+    // Per-device tracking of data availability.
+    std::vector<double> operand_ready = ctx.ready; // step-t operands
+    std::vector<double> acc_ready(devices, 0.0);   // migrated partials
+    std::vector<double> compute_end(devices, 0.0);
+    std::vector<double> step_done = ctx.ready;
+
+    std::vector<double> device_compute(devices, 0.0);
+    std::vector<double> device_ring(devices, 0.0);
+    std::vector<double> device_stall(devices, 0.0);
+
+    std::vector<double> next_operand_ready(devices);
+
+    for (int t = 0; t < steps; ++t) {
+        // Compute kernels of step t.
+        for (std::int64_t dev = 0; dev < devices; ++dev) {
+            const double dep =
+                std::max({operand_ready[dev], acc_ready[dev],
+                          t == 0 ? ctx.ready[dev] : 0.0});
+            const double engine_free =
+                ctx.computeEngine[dev].freeAt();
+            const double start = std::max(dep, engine_free);
+            device_stall[dev] += std::max(0.0, dep - engine_free);
+            compute_end[dev] =
+                ctx.computeEngine[dev].occupy(start, kernel);
+            device_compute[dev] += kernel;
+            step_done[dev] = std::max(compute_end[dev], acc_ready[dev]);
+            if (ctx.trace) {
+                ctx.trace->add(dev, "compute",
+                               op.name + ":" + phaseName(pass.phase),
+                               compute_end[dev] - kernel,
+                               compute_end[dev]);
+            }
+        }
+
+        // Ring shifts issued during step t (deliver operands for t+1,
+        // or realign parameters when t is the last step).
+        next_operand_ready = operand_ready;
+        for (const ShiftSet &set : comm.stepShifts[t]) {
+            const double bytes =
+                static_cast<double>(set.elementsPerTransfer) *
+                op.bytesPerElement;
+            for (const Transfer &tr : set.transfers) {
+                const double arrive = ctx.transfer(
+                    tr.sender, tr.receiver, bytes,
+                    operand_ready[tr.sender]);
+                next_operand_ready[tr.receiver] =
+                    std::max(next_operand_ready[tr.receiver], arrive);
+                const double wire = transferWireTime(
+                    ctx.topo, tr.sender, tr.receiver, bytes);
+                device_ring[tr.receiver] += wire;
+                if (ctx.trace) {
+                    ctx.trace->add(tr.receiver, "ring",
+                                   op.refName(set.tensor) + " shift",
+                                   arrive - wire, arrive);
+                }
+            }
+        }
+
+        // Accumulator migrations between t and t+1 depend on the
+        // partial result of step t and overlap step t+1.
+        std::fill(acc_ready.begin(), acc_ready.end(), 0.0);
+        if (t + 1 < steps) {
+            for (const ShiftSet &set : comm.accShifts[t]) {
+                const double bytes =
+                    static_cast<double>(set.elementsPerTransfer) *
+                    op.bytesPerElement;
+                for (const Transfer &tr : set.transfers) {
+                    const double arrive =
+                        ctx.transfer(tr.sender, tr.receiver, bytes,
+                                     compute_end[tr.sender]);
+                    acc_ready[tr.receiver] =
+                        std::max(acc_ready[tr.receiver], arrive);
+                    const double wire = transferWireTime(
+                        ctx.topo, tr.sender, tr.receiver, bytes);
+                    device_ring[tr.receiver] += wire;
+                    if (ctx.trace) {
+                        ctx.trace->add(tr.receiver, "ring",
+                                       op.refName(set.tensor) +
+                                           " accumulator",
+                                       arrive - wire, arrive);
+                    }
+                }
+            }
+        }
+        operand_ready.swap(next_operand_ready);
+    }
+
+    // Phase end: the last step plus any transition shift arrival.
+    for (std::int64_t dev = 0; dev < devices; ++dev)
+        ctx.ready[dev] = std::max(step_done[dev], operand_ready[dev]);
+
+    // Grouped all-reduce of partial sums (synchronous collective).
+    double allreduce = 0.0;
+    if (comm.allReduce.has_value()) {
+        const AllReduceSpec &spec = *comm.allReduce;
+        const double bytes =
+            static_cast<double>(spec.elementsPerDevice) *
+            op.bytesPerElement;
+        for (const DeviceGroup &group : spec.groups) {
+            double group_start = 0.0;
+            for (std::int64_t member : group)
+                group_start = std::max(group_start, ctx.ready[member]);
+            const double dur =
+                ringAllReduceDuration(ctx.topo, group, bytes);
+            allreduce = std::max(allreduce, dur);
+            for (std::int64_t member : group) {
+                // The collective owns the member's ports for its span.
+                ctx.sendPort[member].occupy(group_start, dur);
+                ctx.recvPort[member].occupy(group_start, dur);
+                ctx.ready[member] = group_start + dur;
+                if (ctx.trace && dur > 0.0) {
+                    ctx.trace->add(member, "allreduce",
+                                   op.refName(spec.tensor) +
+                                       " all-reduce",
+                                   group_start, group_start + dur);
+                }
+            }
+        }
+    }
+
+    for (std::int64_t dev = 0; dev < devices; ++dev) {
+        stats.computeUs = std::max(stats.computeUs, device_compute[dev]);
+        stats.ringUs = std::max(stats.ringUs, device_ring[dev]);
+        stats.stallUs = std::max(stats.stallUs, device_stall[dev]);
+    }
+    stats.allReduceUs = allreduce;
+    stats.spanUs = ctx.makespan() - phase_start_max;
+    return stats;
+}
+
+} // namespace
+
+SimBreakdown
+simulateOpPhase(SimContext &ctx, const OpPlan &plan, Phase phase)
+{
+    SimBreakdown total;
+    for (std::size_t p = 0; p < plan.op->passes.size(); ++p) {
+        if (plan.op->passes[p].phase != phase)
+            continue;
+        total.accumulate(
+            simulatePass(ctx, plan, static_cast<int>(p)));
+    }
+    return total;
+}
+
+} // namespace primepar

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulation of one partitioned operator's training phases.
+ *
+ * Lowers a (operator, partition sequence) pair into per-device compute
+ * kernels, ring transfers (double-buffered, overlapping the concurrent
+ * compute step), accumulator migrations (overlapping the *next* step,
+ * as in the paper's dW redistribution) and grouped all-reduces, then
+ * schedules them on a SimContext.
+ */
+
+#ifndef PRIMEPAR_SIM_OP_SIM_HH
+#define PRIMEPAR_SIM_OP_SIM_HH
+
+#include "engine.hh"
+#include "partition/comm_pattern.hh"
+#include "partition/dsi.hh"
+#include "partition/op_spec.hh"
+#include "partition/partition_step.hh"
+
+namespace primepar {
+
+/** Accumulated latencies of one simulated pass/op (microseconds). */
+struct SimBreakdown
+{
+    double computeUs = 0.0;   ///< kernel time (max over devices)
+    double ringUs = 0.0;      ///< ring p2p wire time (max over devices)
+    double allReduceUs = 0.0; ///< collective time (max over devices)
+    double stallUs = 0.0;     ///< compute stalled waiting on transfers
+    double spanUs = 0.0;      ///< makespan contribution of this piece
+
+    void
+    accumulate(const SimBreakdown &o)
+    {
+        computeUs += o.computeUs;
+        ringUs += o.ringUs;
+        allReduceUs += o.allReduceUs;
+        stallUs += o.stallUs;
+        spanUs += o.spanUs;
+    }
+};
+
+/** Precomputed per-op simulation artifacts (reusable across runs). */
+struct OpPlan
+{
+    OpPlan(const OpSpec &op, const PartitionSeq &seq, int num_bits);
+
+    const OpSpec *op;
+    PartitionSeq seq;
+    DsiTable dsi;
+    std::vector<PassComm> passComms;
+};
+
+/**
+ * Simulate all passes of @p plan whose phase equals @p phase, starting
+ * from the devices' current clocks in @p ctx; advances the clocks.
+ */
+SimBreakdown simulateOpPhase(SimContext &ctx, const OpPlan &plan,
+                             Phase phase);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SIM_OP_SIM_HH

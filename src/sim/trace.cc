@@ -1,0 +1,87 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace primepar {
+
+void
+Trace::add(std::int64_t device, std::string kind, std::string label,
+           double start_us, double end_us)
+{
+    spansVec.push_back(
+        {device, std::move(kind), std::move(label), start_us, end_us});
+}
+
+double
+Trace::endUs() const
+{
+    double end = 0.0;
+    for (const auto &s : spansVec)
+        end = std::max(end, s.endUs);
+    return end;
+}
+
+std::string
+Trace::toChromeJson() const
+{
+    std::ostringstream os;
+    os << "[\n";
+    bool first = true;
+    for (const auto &s : spansVec) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"name\": \"" << s.label << "\", \"cat\": \""
+           << s.kind << "\", \"ph\": \"X\", \"ts\": " << s.startUs
+           << ", \"dur\": " << (s.endUs - s.startUs)
+           << ", \"pid\": 0, \"tid\": " << s.device << "}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+std::string
+Trace::toAscii(int width) const
+{
+    if (spansVec.empty())
+        return "(empty trace)\n";
+    const double total = endUs();
+    if (total <= 0.0)
+        return "(empty trace)\n";
+
+    std::map<std::int64_t, std::string> rows;
+    for (const auto &s : spansVec) {
+        auto [it, inserted] =
+            rows.emplace(s.device, std::string(width, '.'));
+        std::string &row = it->second;
+        int a = static_cast<int>(s.startUs / total * width);
+        int b = static_cast<int>(s.endUs / total * width);
+        a = std::clamp(a, 0, width - 1);
+        b = std::clamp(b, a + 1, width);
+        char c = '?';
+        if (s.kind == "compute")
+            c = '#';
+        else if (s.kind == "ring")
+            c = '~';
+        else if (s.kind == "allreduce")
+            c = 'A';
+        else if (s.kind == "redist")
+            c = 'r';
+        for (int i = a; i < b; ++i) {
+            // Compute dominates the glyph; comm shows in gaps.
+            if (row[i] == '.' || c == '#')
+                row[i] = c;
+        }
+    }
+
+    std::ostringstream os;
+    for (const auto &[device, row] : rows)
+        os << "dev " << device << " |" << row << "|\n";
+    os << "        (" << "#=compute, ~=ring, A=all-reduce, r=redist; "
+       << "span " << total << " us)\n";
+    return os.str();
+}
+
+} // namespace primepar

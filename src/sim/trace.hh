@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Execution-timeline recording and Chrome-trace export.
+ *
+ * The paper's Fig. 9 shows per-device kernel execution timelines of
+ * the compared plans. The simulator can record every compute kernel,
+ * ring transfer and collective as a span; this module renders the
+ * recording either as chrome://tracing JSON (load the file in a
+ * trace viewer) or as a compact ASCII timeline for terminals.
+ */
+
+#ifndef PRIMEPAR_SIM_TRACE_HH
+#define PRIMEPAR_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace primepar {
+
+/** One recorded execution span. */
+struct TraceSpan
+{
+    std::int64_t device = 0;
+    /** "compute", "ring", "allreduce", "redist". */
+    std::string kind;
+    std::string label;
+    double startUs = 0.0;
+    double endUs = 0.0;
+};
+
+/** A recording of one simulated run. */
+class Trace
+{
+  public:
+    /** Append a span (ignored when the trace is disabled). */
+    void add(std::int64_t device, std::string kind, std::string label,
+             double start_us, double end_us);
+
+    const std::vector<TraceSpan> &spans() const { return spansVec; }
+    bool empty() const { return spansVec.empty(); }
+    void clear() { spansVec.clear(); }
+
+    /** Latest span end. */
+    double endUs() const;
+
+    /** chrome://tracing "trace event" JSON. */
+    std::string toChromeJson() const;
+
+    /**
+     * ASCII rendering: one row per device, @p width columns; compute
+     * spans print '#', ring '~', all-reduce 'A', redistribution 'r'.
+     */
+    std::string toAscii(int width = 72) const;
+
+  private:
+    std::vector<TraceSpan> spansVec;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SIM_TRACE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout PrimePar.
+ *
+ * Device counts in PrimePar are powers of two and device ids are bit
+ * vectors (d_1, ..., d_n); these helpers convert between linear indices
+ * and bit representations.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_BITS_HH
+#define PRIMEPAR_SUPPORT_BITS_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace primepar {
+
+/** @return true iff @p x is a (positive) power of two. */
+constexpr bool
+isPowerOfTwo(std::int64_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer log2 of a power of two; panics on non powers of two. */
+inline int
+log2Exact(std::int64_t x)
+{
+    PRIMEPAR_ASSERT(isPowerOfTwo(x), "log2Exact of non power of two ", x);
+    int n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Floor of log2 for positive inputs. */
+inline int
+log2Floor(std::int64_t x)
+{
+    PRIMEPAR_ASSERT(x > 0, "log2Floor of non-positive ", x);
+    int n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Non-negative modulus: result in [0, m) even for negative @p x. */
+constexpr std::int64_t
+positiveMod(std::int64_t x, std::int64_t m)
+{
+    std::int64_t r = x % m;
+    return r < 0 ? r + m : r;
+}
+
+/** Ceiling division for non-negative integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_BITS_HH

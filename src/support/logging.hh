@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 discipline: panic() for internal invariant violations
+ * (bugs in PrimePar itself), fatal() for unrecoverable user errors (bad
+ * configuration), warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_LOGGING_HH
+#define PRIMEPAR_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace primepar {
+
+namespace detail {
+
+/** Format a variadic argument pack into a single string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort due to an internal invariant violation (a PrimePar bug). */
+#define PRIMEPAR_PANIC(...)                                                 \
+    ::primepar::detail::panicImpl(                                          \
+        __FILE__, __LINE__, ::primepar::detail::formatMessage(__VA_ARGS__))
+
+/** Exit due to an unrecoverable user/configuration error. */
+#define PRIMEPAR_FATAL(...)                                                 \
+    ::primepar::detail::fatalImpl(                                          \
+        __FILE__, __LINE__, ::primepar::detail::formatMessage(__VA_ARGS__))
+
+/** Warn about suspicious but non-fatal conditions. */
+#define PRIMEPAR_WARN(...)                                                  \
+    ::primepar::detail::warnImpl(                                           \
+        ::primepar::detail::formatMessage(__VA_ARGS__))
+
+/** Informative status message. */
+#define PRIMEPAR_INFORM(...)                                                \
+    ::primepar::detail::informImpl(                                         \
+        ::primepar::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless a condition holds. */
+#define PRIMEPAR_ASSERT(cond, ...)                                          \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            PRIMEPAR_PANIC("assertion failed: " #cond " ",                  \
+                           ::primepar::detail::formatMessage(__VA_ARGS__)); \
+        }                                                                   \
+    } while (0)
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_LOGGING_HH

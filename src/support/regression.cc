@@ -1,0 +1,67 @@
+#include "regression.hh"
+
+#include "logging.hh"
+
+namespace primepar {
+
+LinearModel
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    PRIMEPAR_ASSERT(xs.size() == ys.size(),
+                    "regression sample size mismatch");
+    LinearModel model;
+    const std::size_t n = xs.size();
+    if (n == 0)
+        return model;
+
+    double sum_x = 0.0, sum_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum_x += xs[i];
+        sum_y += ys[i];
+    }
+    const double mean_x = sum_x / n;
+    const double mean_y = sum_y / n;
+
+    double sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxx += (xs[i] - mean_x) * (xs[i] - mean_x);
+        sxy += (xs[i] - mean_x) * (ys[i] - mean_y);
+    }
+
+    if (sxx == 0.0) {
+        model.intercept = mean_y;
+        model.slope = 0.0;
+    } else {
+        model.slope = sxy / sxx;
+        model.intercept = mean_y - model.slope * mean_x;
+    }
+    return model;
+}
+
+double
+rSquared(const LinearModel &model, const std::vector<double> &xs,
+         const std::vector<double> &ys)
+{
+    PRIMEPAR_ASSERT(xs.size() == ys.size(),
+                    "regression sample size mismatch");
+    const std::size_t n = xs.size();
+    if (n == 0)
+        return 1.0;
+
+    double mean_y = 0.0;
+    for (double y : ys)
+        mean_y += y;
+    mean_y /= n;
+
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double e = ys[i] - model(xs[i]);
+        ss_res += e * e;
+        ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace primepar

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ordinary least-squares fit of a 1-D linear latency model.
+ *
+ * PrimePar models communication and computation latencies as linear
+ * functions of a size metric (bytes moved, flops, ...). The coefficients
+ * are obtained by profiling and linear regression (paper Sec. 4.1); this
+ * header provides the regression and the fitted model type.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_REGRESSION_HH
+#define PRIMEPAR_SUPPORT_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace primepar {
+
+/**
+ * A fitted linear latency model: latency = intercept + slope * x.
+ *
+ * The units are whatever the profiler used (PrimePar uses microseconds
+ * for latency and bytes / flops for x).
+ */
+struct LinearModel
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+
+    /** Evaluate the model at @p x, clamped to be non-negative. */
+    double
+    operator()(double x) const
+    {
+        double y = intercept + slope * x;
+        return y < 0.0 ? 0.0 : y;
+    }
+};
+
+/**
+ * Fit latency = a + b * x by ordinary least squares.
+ *
+ * @param xs sample sizes
+ * @param ys measured latencies (same length as @p xs)
+ * @return the fitted model; with fewer than two samples the fit
+ *         degenerates to a constant (intercept = mean, slope = 0).
+ */
+LinearModel fitLinear(const std::vector<double> &xs,
+                      const std::vector<double> &ys);
+
+/** Coefficient of determination (R^2) of @p model on the samples. */
+double rSquared(const LinearModel &model, const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_REGRESSION_HH

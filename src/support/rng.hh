@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A small deterministic random number generator.
+ *
+ * Tests and the functional executor need reproducible pseudo-random
+ * tensors; this wraps a fixed-algorithm engine so results do not depend
+ * on the standard library implementation.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_RNG_HH
+#define PRIMEPAR_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace primepar {
+
+/** xorshift64* generator with a uniform-float helper. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo = -1.0f, float hi = 1.0f)
+    {
+        const double u =
+            static_cast<double>(next() >> 11) / 9007199254740992.0;
+        return lo + static_cast<float>(u) * (hi - lo);
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_RNG_HH

@@ -1,0 +1,64 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace primepar {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    headerRow = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string> &r) {
+        if (widths.size() < r.size())
+            widths.resize(r.size(), 0);
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    grow(headerRow);
+    for (const auto &r : rows)
+        grow(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            os << r[i];
+            if (i + 1 < r.size())
+                os << std::string(widths[i] - r[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    if (!headerRow.empty()) {
+        emit(headerRow);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return std::string(buf);
+}
+
+} // namespace primepar

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures;
+ * this helper keeps their textual output uniform and readable.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_TABLE_HH
+#define PRIMEPAR_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace primepar {
+
+/** Accumulates rows of strings and prints them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a string (with a separator under the header). */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtDouble(double v, int digits = 2);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_TABLE_HH

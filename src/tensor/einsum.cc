@@ -1,0 +1,108 @@
+#include "einsum.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+void
+contractProduct(const Tensor &a, const std::vector<int> &a_dims,
+                const Tensor &b, const std::vector<int> &b_dims,
+                Tensor &out, const std::vector<int> &out_dims)
+{
+    PRIMEPAR_ASSERT(static_cast<int>(a_dims.size()) == a.rank() &&
+                        static_cast<int>(b_dims.size()) == b.rank() &&
+                        static_cast<int>(out_dims.size()) == out.rank(),
+                    "einsum label arity mismatch");
+
+    // Collect loop labels: output labels first, then contracted ones.
+    std::vector<int> loop_labels = out_dims;
+    for (int l : a_dims) {
+        if (std::find(loop_labels.begin(), loop_labels.end(), l) ==
+            loop_labels.end())
+            loop_labels.push_back(l);
+    }
+    for (int l : b_dims) {
+        if (std::find(loop_labels.begin(), loop_labels.end(), l) ==
+            loop_labels.end())
+            loop_labels.push_back(l);
+    }
+
+    // Extents per label, consistency-checked across tensors.
+    std::map<int, std::int64_t> extent;
+    auto record = [&](const std::vector<int> &labels, const Tensor &t) {
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            auto [it, inserted] = extent.emplace(labels[i], t.dim(i));
+            PRIMEPAR_ASSERT(it->second == t.dim(i),
+                            "einsum extent mismatch on label ",
+                            labels[i]);
+            (void)inserted;
+        }
+    };
+    record(a_dims, a);
+    record(b_dims, b);
+    record(out_dims, out);
+
+    // Per-tensor stride of each loop label.
+    auto strides_for = [&](const std::vector<int> &labels,
+                           const Tensor &t) {
+        std::vector<std::int64_t> by_axis(labels.size(), 1);
+        for (int i = static_cast<int>(labels.size()) - 2; i >= 0; --i)
+            by_axis[i] = by_axis[i + 1] * t.dim(i + 1);
+        std::vector<std::int64_t> by_label(loop_labels.size(), 0);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+            const auto pos = std::find(loop_labels.begin(),
+                                       loop_labels.end(), labels[i]) -
+                             loop_labels.begin();
+            by_label[pos] += by_axis[i];
+        }
+        return by_label;
+    };
+    const auto a_stride = strides_for(a_dims, a);
+    const auto b_stride = strides_for(b_dims, b);
+    const auto o_stride = strides_for(out_dims, out);
+
+    const std::size_t n_loops = loop_labels.size();
+    std::vector<std::int64_t> idx(n_loops, 0);
+    std::vector<std::int64_t> extents(n_loops);
+    for (std::size_t i = 0; i < n_loops; ++i) {
+        extents[i] = extent[loop_labels[i]];
+        if (extents[i] == 0)
+            return;
+    }
+    if (n_loops == 0) {
+        // 0-d corner: single multiply-accumulate.
+        out.data()[0] += a.data()[0] * b.data()[0];
+        return;
+    }
+
+    const float *ap = a.data();
+    const float *bp = b.data();
+    float *op = out.data();
+
+    std::int64_t a_pos = 0, b_pos = 0, o_pos = 0;
+    while (true) {
+        op[o_pos] += ap[a_pos] * bp[b_pos];
+
+        // Odometer increment, innermost label last.
+        int d = static_cast<int>(n_loops) - 1;
+        for (; d >= 0; --d) {
+            ++idx[d];
+            a_pos += a_stride[d];
+            b_pos += b_stride[d];
+            o_pos += o_stride[d];
+            if (idx[d] < extents[d])
+                break;
+            a_pos -= extents[d] * a_stride[d];
+            b_pos -= extents[d] * b_stride[d];
+            o_pos -= extents[d] * o_stride[d];
+            idx[d] = 0;
+        }
+        if (d < 0)
+            break;
+    }
+}
+
+} // namespace primepar

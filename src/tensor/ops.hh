@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reference kernels on dense tensors.
+ *
+ * These single-device kernels define the mathematical semantics that
+ * every partitioned execution must reproduce exactly. They cover the
+ * operator set of a transformer block: linear layers (forward /
+ * backward / gradient), batched attention matmuls, softmax, layer
+ * normalization and elementwise ops.
+ */
+
+#ifndef PRIMEPAR_TENSOR_OPS_HH
+#define PRIMEPAR_TENSOR_OPS_HH
+
+#include "tensor.hh"
+
+namespace primepar {
+
+/**
+ * Linear forward: O[..., M, K] = I[..., M, N] x W[N, K].
+ *
+ * Leading dimensions of I are batch dimensions.
+ */
+Tensor linearForward(const Tensor &input, const Tensor &weight);
+
+/** Linear backward: dI[..., M, N] = dO[..., M, K] x W[N, K]^T. */
+Tensor linearBackward(const Tensor &d_output, const Tensor &weight);
+
+/**
+ * Linear gradient: dW[N, K] = sum over batch of I[..., M, N]^T x
+ * dO[..., M, K] (batch and M are both summed over).
+ */
+Tensor linearGradient(const Tensor &input, const Tensor &d_output);
+
+/**
+ * Batched matrix multiply: treats the last two dimensions as the
+ * matrix and all leading dimensions as (matching) batch dimensions.
+ *
+ * @param trans_a transpose the matrix part of @p a
+ * @param trans_b transpose the matrix part of @p b
+ */
+Tensor batchedMatmul(const Tensor &a, const Tensor &b,
+                     bool trans_a = false, bool trans_b = false);
+
+/** Softmax over the last dimension. */
+Tensor softmaxLastDim(const Tensor &input);
+
+/**
+ * Softmax backward over the last dimension.
+ *
+ * @param output forward softmax output
+ * @param d_output upstream gradient
+ */
+Tensor softmaxBackward(const Tensor &output, const Tensor &d_output);
+
+/** Result bundle of layer normalization forward. */
+struct LayerNormResult
+{
+    Tensor output;
+    Tensor mean;    ///< per-row mean (last dim reduced)
+    Tensor inv_std; ///< per-row 1/sqrt(var + eps)
+};
+
+/** Layer normalization over the last dimension with affine params. */
+LayerNormResult layerNormForward(const Tensor &input, const Tensor &gamma,
+                                 const Tensor &beta, float eps = 1e-5f);
+
+/** Gradients of layer normalization. */
+struct LayerNormGrads
+{
+    Tensor d_input;
+    Tensor d_gamma;
+    Tensor d_beta;
+};
+
+/** Layer normalization backward over the last dimension. */
+LayerNormGrads layerNormBackward(const Tensor &input,
+                                 const LayerNormResult &fwd,
+                                 const Tensor &gamma,
+                                 const Tensor &d_output);
+
+/** GELU activation (tanh approximation). */
+Tensor gelu(const Tensor &input);
+
+/** GELU backward. */
+Tensor geluBackward(const Tensor &input, const Tensor &d_output);
+
+/** ReLU activation. */
+Tensor relu(const Tensor &input);
+
+/** ReLU backward. */
+Tensor reluBackward(const Tensor &input, const Tensor &d_output);
+
+/** Elementwise sum of two equal-shape tensors. */
+Tensor addTensors(const Tensor &a, const Tensor &b);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_TENSOR_OPS_HH

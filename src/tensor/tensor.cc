@@ -1,0 +1,317 @@
+#include "tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+std::int64_t
+shapeCount(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t e : shape) {
+        PRIMEPAR_ASSERT(e >= 0, "negative tensor extent");
+        n *= e;
+    }
+    return n;
+}
+
+std::vector<std::int64_t>
+shapeStrides(const Shape &shape)
+{
+    std::vector<std::int64_t> strides(shape.size(), 1);
+    for (int d = static_cast<int>(shape.size()) - 2; d >= 0; --d)
+        strides[d] = strides[d + 1] * shape[d + 1];
+    return strides;
+}
+
+} // namespace
+
+Tensor::Tensor(Shape shape)
+    : shapeVec(std::move(shape)), strides(shapeStrides(shapeVec)),
+      count(shapeCount(shapeVec)), storage(count, 0.0f)
+{}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    std::fill(t.storage.begin(), t.storage.end(), value);
+    return t;
+}
+
+Tensor
+Tensor::random(Shape shape, Rng &rng)
+{
+    Tensor t(std::move(shape));
+    for (float &v : t.storage)
+        v = rng.uniform();
+    return t;
+}
+
+std::int64_t
+Tensor::dim(int d) const
+{
+    PRIMEPAR_ASSERT(d >= 0 && d < rank(), "dim index ", d, " out of range");
+    return shapeVec[d];
+}
+
+std::int64_t
+Tensor::flatIndex(const std::vector<std::int64_t> &index) const
+{
+    PRIMEPAR_ASSERT(index.size() == shapeVec.size(),
+                    "index rank mismatch");
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < index.size(); ++d) {
+        PRIMEPAR_ASSERT(index[d] >= 0 && index[d] < shapeVec[d],
+                        "index out of range in dim ", d);
+        flat += index[d] * strides[d];
+    }
+    return flat;
+}
+
+float &
+Tensor::at(const std::vector<std::int64_t> &index)
+{
+    return storage[flatIndex(index)];
+}
+
+float
+Tensor::at(const std::vector<std::int64_t> &index) const
+{
+    return storage[flatIndex(index)];
+}
+
+Tensor
+Tensor::slice(const std::vector<std::int64_t> &starts,
+              const std::vector<std::int64_t> &extents) const
+{
+    PRIMEPAR_ASSERT(starts.size() == shapeVec.size() &&
+                        extents.size() == shapeVec.size(),
+                    "slice rank mismatch");
+    for (std::size_t d = 0; d < starts.size(); ++d) {
+        PRIMEPAR_ASSERT(starts[d] >= 0 && extents[d] >= 0 &&
+                            starts[d] + extents[d] <= shapeVec[d],
+                        "slice out of range in dim ", d, ": start ",
+                        starts[d], " extent ", extents[d], " of ",
+                        shapeVec[d]);
+    }
+
+    Tensor out(Shape(extents.begin(), extents.end()));
+    if (out.count == 0)
+        return out;
+
+    // Iterate over all rows of the innermost dimension and memcpy them.
+    const int r = rank();
+    const std::int64_t inner = extents[r - 1];
+    std::vector<std::int64_t> idx(r, 0);
+    std::int64_t out_pos = 0;
+    while (true) {
+        std::int64_t src = 0;
+        for (int d = 0; d < r; ++d)
+            src += (starts[d] + idx[d]) * strides[d];
+        std::copy_n(storage.data() + src, inner,
+                    out.storage.data() + out_pos);
+        out_pos += inner;
+
+        int d = r - 2;
+        for (; d >= 0; --d) {
+            if (++idx[d] < extents[d])
+                break;
+            idx[d] = 0;
+        }
+        if (d < 0)
+            break;
+    }
+    return out;
+}
+
+Tensor
+Tensor::narrow(int d, std::int64_t start, std::int64_t extent) const
+{
+    std::vector<std::int64_t> starts(rank(), 0);
+    std::vector<std::int64_t> extents(shapeVec.begin(), shapeVec.end());
+    starts[d] = start;
+    extents[d] = extent;
+    return slice(starts, extents);
+}
+
+void
+Tensor::assignSlice(const std::vector<std::int64_t> &starts,
+                    const Tensor &src)
+{
+    PRIMEPAR_ASSERT(starts.size() == shapeVec.size() &&
+                        src.rank() == rank(),
+                    "assignSlice rank mismatch");
+    if (src.count == 0)
+        return;
+    const int r = rank();
+    const std::int64_t inner = src.shapeVec[r - 1];
+    std::vector<std::int64_t> idx(r, 0);
+    std::int64_t src_pos = 0;
+    while (true) {
+        std::int64_t dst = 0;
+        for (int d = 0; d < r; ++d) {
+            PRIMEPAR_ASSERT(starts[d] + idx[d] < shapeVec[d],
+                            "assignSlice out of range in dim ", d);
+            dst += (starts[d] + idx[d]) * strides[d];
+        }
+        std::copy_n(src.storage.data() + src_pos, inner,
+                    storage.data() + dst);
+        src_pos += inner;
+
+        int d = r - 2;
+        for (; d >= 0; --d) {
+            if (++idx[d] < src.shapeVec[d])
+                break;
+            idx[d] = 0;
+        }
+        if (d < 0)
+            break;
+    }
+}
+
+void
+Tensor::accumulateSlice(const std::vector<std::int64_t> &starts,
+                        const Tensor &src)
+{
+    PRIMEPAR_ASSERT(starts.size() == shapeVec.size() &&
+                        src.rank() == rank(),
+                    "accumulateSlice rank mismatch");
+    if (src.count == 0)
+        return;
+    const int r = rank();
+    const std::int64_t inner = src.shapeVec[r - 1];
+    std::vector<std::int64_t> idx(r, 0);
+    std::int64_t src_pos = 0;
+    while (true) {
+        std::int64_t dst = 0;
+        for (int d = 0; d < r; ++d)
+            dst += (starts[d] + idx[d]) * strides[d];
+        for (std::int64_t i = 0; i < inner; ++i)
+            storage[dst + i] += src.storage[src_pos + i];
+        src_pos += inner;
+
+        int d = r - 2;
+        for (; d >= 0; --d) {
+            if (++idx[d] < src.shapeVec[d])
+                break;
+            idx[d] = 0;
+        }
+        if (d < 0)
+            break;
+    }
+}
+
+void
+Tensor::add(const Tensor &other)
+{
+    PRIMEPAR_ASSERT(other.shapeVec == shapeVec,
+                    "add shape mismatch: ", shapeString(), " vs ",
+                    other.shapeString());
+    for (std::int64_t i = 0; i < count; ++i)
+        storage[i] += other.storage[i];
+}
+
+void
+Tensor::scale(float s)
+{
+    for (float &v : storage)
+        v *= s;
+}
+
+void
+Tensor::zero()
+{
+    std::fill(storage.begin(), storage.end(), 0.0f);
+}
+
+Tensor
+Tensor::reshape(Shape new_shape) const
+{
+    PRIMEPAR_ASSERT(shapeCount(new_shape) == count,
+                    "reshape element count mismatch");
+    Tensor out(std::move(new_shape));
+    out.storage = storage;
+    return out;
+}
+
+Tensor
+Tensor::permute(const std::vector<int> &axes) const
+{
+    PRIMEPAR_ASSERT(static_cast<int>(axes.size()) == rank(),
+                    "permute arity mismatch");
+    Shape new_shape(axes.size());
+    for (std::size_t i = 0; i < axes.size(); ++i) {
+        PRIMEPAR_ASSERT(axes[i] >= 0 && axes[i] < rank(),
+                        "permute axis out of range");
+        new_shape[i] = shapeVec[axes[i]];
+    }
+    Tensor out(new_shape);
+    if (count == 0)
+        return out;
+
+    std::vector<std::int64_t> idx(axes.size(), 0);
+    std::int64_t out_pos = 0;
+    while (true) {
+        std::int64_t src = 0;
+        for (std::size_t i = 0; i < axes.size(); ++i)
+            src += idx[i] * strides[axes[i]];
+        out.storage[out_pos++] = storage[src];
+
+        int d = rank() - 1;
+        for (; d >= 0; --d) {
+            if (++idx[d] < new_shape[d])
+                break;
+            idx[d] = 0;
+        }
+        if (d < 0)
+            break;
+    }
+    return out;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    PRIMEPAR_ASSERT(other.shapeVec == shapeVec,
+                    "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < count; ++i)
+        m = std::max(m, std::abs(storage[i] - other.storage[i]));
+    return m;
+}
+
+bool
+Tensor::allClose(const Tensor &other, float rtol, float atol) const
+{
+    if (other.shapeVec != shapeVec)
+        return false;
+    for (std::int64_t i = 0; i < count; ++i) {
+        const float tol = atol + rtol * std::abs(other.storage[i]);
+        if (std::abs(storage[i] - other.storage[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t d = 0; d < shapeVec.size(); ++d) {
+        if (d)
+            os << ", ";
+        os << shapeVec[d];
+    }
+    os << ']';
+    return os.str();
+}
+
+} // namespace primepar

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Dense N-dimensional float tensor.
+ *
+ * This is the substrate for PrimePar's functional executor: partitioned
+ * sub-operators are really executed on (small) CPU tensors and compared
+ * against single-device reference training, proving the semantics of
+ * each partition primitive instead of assuming them.
+ *
+ * The tensor is contiguous row-major and always owns its storage; views
+ * are materialized by slice()/narrow() which copy. This keeps aliasing
+ * semantics trivial — the executor moves tensor *values* between
+ * emulated devices anyway.
+ */
+
+#ifndef PRIMEPAR_TENSOR_TENSOR_HH
+#define PRIMEPAR_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace primepar {
+
+/** Shape of a tensor: one extent per dimension. */
+using Shape = std::vector<std::int64_t>;
+
+/** A contiguous row-major dense float tensor. */
+class Tensor
+{
+  public:
+    /** An empty 0-element tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Tensor filled with a constant. */
+    static Tensor full(Shape shape, float value);
+
+    /** Tensor with uniform values in [-1, 1) from @p rng. */
+    static Tensor random(Shape shape, Rng &rng);
+
+    /** Number of dimensions. */
+    int rank() const { return static_cast<int>(shapeVec.size()); }
+
+    /** Shape accessor. */
+    const Shape &shape() const { return shapeVec; }
+
+    /** Extent of dimension @p dim. */
+    std::int64_t dim(int d) const;
+
+    /** Total number of elements. */
+    std::int64_t numel() const { return count; }
+
+    /** Raw storage access. */
+    float *data() { return storage.data(); }
+    const float *data() const { return storage.data(); }
+
+    /** Element access via multi-index. */
+    float &at(const std::vector<std::int64_t> &index);
+    float at(const std::vector<std::int64_t> &index) const;
+
+    /**
+     * Copy out a contiguous slab: along each dimension d take the
+     * half-open range [starts[d], starts[d] + extents[d]).
+     */
+    Tensor slice(const std::vector<std::int64_t> &starts,
+                 const std::vector<std::int64_t> &extents) const;
+
+    /** Slice a single dimension, keeping the others whole. */
+    Tensor narrow(int d, std::int64_t start, std::int64_t extent) const;
+
+    /** Write @p src into this tensor at offset @p starts (inverse of
+     * slice()). */
+    void assignSlice(const std::vector<std::int64_t> &starts,
+                     const Tensor &src);
+
+    /** Accumulate @p src into this tensor at offset @p starts. */
+    void accumulateSlice(const std::vector<std::int64_t> &starts,
+                         const Tensor &src);
+
+    /** Elementwise in-place accumulation; shapes must match. */
+    void add(const Tensor &other);
+
+    /** Multiply every element by @p s. */
+    void scale(float s);
+
+    /** Reset all elements to zero. */
+    void zero();
+
+    /** Reinterpret with a new shape of identical element count. */
+    Tensor reshape(Shape new_shape) const;
+
+    /**
+     * Reorder axes: result axis i is this tensor's axis @p axes[i]
+     * (a materialized transpose).
+     */
+    Tensor permute(const std::vector<int> &axes) const;
+
+    /** Max absolute elementwise difference against @p other. */
+    float maxAbsDiff(const Tensor &other) const;
+
+    /** True if all elements differ by at most @p atol + rtol*|ref|. */
+    bool allClose(const Tensor &other, float rtol = 1e-4f,
+                  float atol = 1e-5f) const;
+
+    /** Human-readable shape, e.g. "[2, 3, 4]". */
+    std::string shapeString() const;
+
+  private:
+    std::int64_t flatIndex(const std::vector<std::int64_t> &index) const;
+
+    Shape shapeVec;
+    std::vector<std::int64_t> strides;
+    std::int64_t count = 0;
+    std::vector<float> storage;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_TENSOR_TENSOR_HH

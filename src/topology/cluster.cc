@@ -1,0 +1,108 @@
+#include "cluster.hh"
+
+#include <algorithm>
+
+#include "support/bits.hh"
+
+namespace primepar {
+
+ClusterTopology::ClusterTopology(int num_nodes, int gpus_per_node)
+    : nodes(num_nodes), perNode(gpus_per_node),
+      bits(log2Exact(static_cast<std::int64_t>(num_nodes) * gpus_per_node)),
+      // NVLink-class intra-node: 300 GB/s aggregate per the paper.
+      intraBw(300.0e3),
+      // InfiniBand-class inter-node: ~12.5 GB/s effective per GPU pair.
+      interBw(12.5e3), intraLat(3.0), interLat(8.0)
+{
+    PRIMEPAR_ASSERT(isPowerOfTwo(num_nodes) && isPowerOfTwo(gpus_per_node),
+                    "cluster level populations must be powers of two");
+}
+
+ClusterTopology
+ClusterTopology::paperCluster(int num_devices)
+{
+    PRIMEPAR_ASSERT(isPowerOfTwo(num_devices), "device count must be 2^n");
+    // The paper uses nodes of 4 V100s. Smaller configurations fit in a
+    // single node; larger ones span multiple nodes.
+    const int per_node = num_devices < 4 ? num_devices : 4;
+    return ClusterTopology(num_devices / per_node, per_node);
+}
+
+ClusterTopology
+ClusterTopology::torus2d(int side, double link_bw)
+{
+    ClusterTopology topo(side, side);
+    topo.topoKind = Kind::Torus2D;
+    // Uniform links; 1 us per hop of wormhole latency.
+    topo.setLinkParams(link_bw, link_bw, 1.0, 1.0);
+    return topo;
+}
+
+int
+ClusterTopology::hopDistance(std::int64_t a, std::int64_t b) const
+{
+    if (a == b)
+        return 0;
+    if (topoKind == Kind::Hierarchical)
+        return nodeOf(a) == nodeOf(b) ? 1 : 2;
+
+    // Torus placement de-interleaves the device-id bits into (row,
+    // column) — exactly the r/c extraction of the PSquare primitive,
+    // so that its logical 2^k x 2^k square tiles the physical torus
+    // and every ring hop is a physical neighbour hop (the "twistable
+    // tori cater to PrimePar's rings" point of Sec. 7).
+    const std::int64_t side = perNode;
+    const int k = log2Exact(side);
+    auto coords = [&](std::int64_t dev, std::int64_t &r,
+                      std::int64_t &c) {
+        r = c = 0;
+        for (int j = 0; j < k; ++j) {
+            r = (r << 1) | ((dev >> (2 * (k - 1 - j) + 1)) & 1);
+            c = (c << 1) | ((dev >> (2 * (k - 1 - j))) & 1);
+        }
+    };
+    std::int64_t ra, ca, rb, cb;
+    coords(a, ra, ca);
+    coords(b, rb, cb);
+    auto wrap = [&](std::int64_t d) {
+        d = d < 0 ? -d : d;
+        return static_cast<int>(std::min(d, side - d));
+    };
+    return wrap(ra - rb) + wrap(ca - cb);
+}
+
+bool
+ClusterTopology::sameNode(std::int64_t a, std::int64_t b) const
+{
+    if (topoKind == Kind::Torus2D)
+        return hopDistance(a, b) <= 1;
+    return nodeOf(a) == nodeOf(b);
+}
+
+double
+ClusterTopology::linkBandwidth(std::int64_t a, std::int64_t b) const
+{
+    if (topoKind == Kind::Torus2D)
+        return intraBw; // uniform links; multi-hop keeps bandwidth
+    return sameNode(a, b) ? intraBw : interBw;
+}
+
+double
+ClusterTopology::linkLatency(std::int64_t a, std::int64_t b) const
+{
+    if (topoKind == Kind::Torus2D)
+        return intraLat * hopDistance(a, b);
+    return sameNode(a, b) ? intraLat : interLat;
+}
+
+void
+ClusterTopology::setLinkParams(double intra_bw, double inter_bw,
+                               double intra_lat, double inter_lat)
+{
+    intraBw = intra_bw;
+    interBw = inter_bw;
+    intraLat = intra_lat;
+    interLat = inter_lat;
+}
+
+} // namespace primepar

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Hierarchical cluster model.
+ *
+ * The evaluation platform of the paper is a cluster of nodes, each with
+ * several GPUs: fast intra-node links (NVLink) and slower inter-node
+ * links (InfiniBand). This class captures the hierarchy and per-link
+ * parameters; the event simulator and the cost model both consume it.
+ */
+
+#ifndef PRIMEPAR_TOPOLOGY_CLUSTER_HH
+#define PRIMEPAR_TOPOLOGY_CLUSTER_HH
+
+#include <cstdint>
+
+#include "device.hh"
+
+namespace primepar {
+
+/** Compute/memory capabilities of one device (V100-class defaults). */
+struct DeviceSpec
+{
+    /** Sustained matmul throughput in flop/us (50 Tflop/s). */
+    double flops_per_us = 50.0e6;
+    /** Device memory bandwidth in bytes/us (900 GB/s). */
+    double mem_bytes_per_us = 900.0e3;
+    /** Fixed kernel launch overhead in us. */
+    double kernel_overhead_us = 5.0;
+    /** Device memory capacity in bytes (32 GB). */
+    std::int64_t memory_bytes = std::int64_t{32} * 1024 * 1024 * 1024;
+};
+
+/**
+ * A two-level cluster: @p numNodes nodes of @p gpusPerNode devices.
+ *
+ * Devices are numbered linearly; device i lives on node i / gpusPerNode.
+ * Both level populations must be powers of two so device-id bits split
+ * cleanly into inter-node bits (high) and intra-node bits (low).
+ */
+class ClusterTopology
+{
+  public:
+    /** Interconnect style. */
+    enum class Kind
+    {
+        /** Two-level: NVLink within nodes, InfiniBand across. */
+        Hierarchical,
+        /** 2-D torus of uniform links (TPU-v4-like, paper Sec. 7):
+         *  every device has four neighbours; multi-hop transfers pay
+         *  per-hop latency but keep link bandwidth. */
+        Torus2D,
+    };
+
+    /**
+     * @param num_nodes number of nodes (power of two)
+     * @param gpus_per_node devices per node (power of two)
+     */
+    ClusterTopology(int num_nodes, int gpus_per_node);
+
+    /** Cluster of V100-like nodes matching the paper's testbed shape:
+     *  4 GPUs per node, NVLink intra-node, InfiniBand inter-node. */
+    static ClusterTopology paperCluster(int num_devices);
+
+    /**
+     * A side x side 2-D torus of uniform links. Device linear index =
+     * row * side + column; rows play the role of "nodes" so device-id
+     * bits still split into a high (row) and low (column) half.
+     *
+     * @param side torus side (power of two)
+     * @param link_bw per-link bandwidth in bytes/us (default: a
+     *        TPU-like 50 GB/s per direction)
+     */
+    static ClusterTopology torus2d(int side, double link_bw = 50.0e3);
+
+    Kind kind() const { return topoKind; }
+
+    int numNodes() const { return nodes; }
+    int gpusPerNode() const { return perNode; }
+    int numDevices() const { return nodes * perNode; }
+
+    /** log2(numDevices): the device-id bit count n. */
+    int numBits() const { return bits; }
+
+    /** Node index hosting device @p dev. */
+    int nodeOf(std::int64_t dev) const
+    {
+        return static_cast<int>(dev) / perNode;
+    }
+
+    /** True iff the two devices communicate over the fast class of
+     *  link: same node (hierarchical) or torus neighbours. */
+    bool sameNode(std::int64_t a, std::int64_t b) const;
+
+    /** Wraparound hop distance on the torus; 0/1 for hierarchical
+     *  same-node/cross-node pairs. */
+    int hopDistance(std::int64_t a, std::int64_t b) const;
+
+    /** Point-to-point bandwidth between two devices in bytes/us. */
+    double linkBandwidth(std::int64_t a, std::int64_t b) const;
+
+    /** Point-to-point base latency between two devices in us. */
+    double linkLatency(std::int64_t a, std::int64_t b) const;
+
+    /** Intra-node link bandwidth in bytes/us. */
+    double intraBandwidth() const { return intraBw; }
+    /** Inter-node link bandwidth in bytes/us. */
+    double interBandwidth() const { return interBw; }
+
+    /** Per-device compute/memory spec. */
+    const DeviceSpec &deviceSpec() const { return spec; }
+    DeviceSpec &deviceSpec() { return spec; }
+
+    /** Override link parameters (bytes/us, us). */
+    void setLinkParams(double intra_bw, double inter_bw, double intra_lat,
+                       double inter_lat);
+
+  private:
+    Kind topoKind = Kind::Hierarchical;
+    int nodes;
+    int perNode;
+    int bits;
+    DeviceSpec spec;
+    double intraBw;  ///< bytes/us
+    double interBw;  ///< bytes/us
+    double intraLat; ///< us
+    double interLat; ///< us
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_TOPOLOGY_CLUSTER_HH

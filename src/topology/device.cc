@@ -1,0 +1,32 @@
+#include "device.hh"
+
+#include <sstream>
+
+namespace primepar {
+
+std::string
+DeviceId::toString() const
+{
+    std::ostringstream os;
+    os << '(';
+    for (int i = 0; i < nBits; ++i) {
+        if (i)
+            os << ',';
+        os << bit(i);
+    }
+    os << ')';
+    return os.str();
+}
+
+std::vector<DeviceId>
+allDevices(int num_bits)
+{
+    std::vector<DeviceId> devices;
+    const std::int64_t n = std::int64_t{1} << num_bits;
+    devices.reserve(n);
+    for (std::int64_t i = 0; i < n; ++i)
+        devices.emplace_back(num_bits, i);
+    return devices;
+}
+
+} // namespace primepar

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Device identifiers.
+ *
+ * PrimePar partitions over 2^n homogeneous devices, each indexed by a
+ * Device ID D = (d_1, ..., d_n) with d_i in {0, 1} (paper Sec. 3.1).
+ * d_1 is the most significant bit of the linear device index; this
+ * matches the paper's Fig. 9 numbering where, on 2 nodes x 4 GPUs,
+ * group indicator (d_2, d_3) yields intra-node groups {0,1,2,3} and
+ * {4,5,6,7}.
+ */
+
+#ifndef PRIMEPAR_TOPOLOGY_DEVICE_HH
+#define PRIMEPAR_TOPOLOGY_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+/** A device id: n bits, bit(0) == d_1 == most significant. */
+class DeviceId
+{
+  public:
+    DeviceId() = default;
+
+    /** Construct from a linear index over @p num_bits bits. */
+    DeviceId(int num_bits, std::int64_t linear_index)
+        : nBits(num_bits), index(linear_index)
+    {
+        PRIMEPAR_ASSERT(num_bits >= 0 && num_bits < 63, "bad bit count");
+        PRIMEPAR_ASSERT(linear_index >= 0 &&
+                            linear_index < (std::int64_t{1} << num_bits),
+                        "device index out of range");
+    }
+
+    /** Number of id bits n. */
+    int numBits() const { return nBits; }
+
+    /** Linear device index in [0, 2^n). */
+    std::int64_t linear() const { return index; }
+
+    /** d_{i+1}: bit i (0-based), bit 0 is the most significant (d_1). */
+    int
+    bit(int i) const
+    {
+        PRIMEPAR_ASSERT(i >= 0 && i < nBits, "bit index out of range");
+        return static_cast<int>((index >> (nBits - 1 - i)) & 1);
+    }
+
+    /** Total number of devices with this bit width. */
+    std::int64_t numDevices() const { return std::int64_t{1} << nBits; }
+
+    bool operator==(const DeviceId &o) const = default;
+
+    /** e.g. "(0,1,1)". */
+    std::string toString() const;
+
+  private:
+    int nBits = 0;
+    std::int64_t index = 0;
+};
+
+/** All 2^n device ids for a given bit width. */
+std::vector<DeviceId> allDevices(int num_bits);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_TOPOLOGY_DEVICE_HH

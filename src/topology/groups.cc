@@ -1,0 +1,126 @@
+#include "groups.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/bits.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+std::vector<DeviceGroup>
+enumerateGroups(int num_bits, const GroupIndicator &indicator)
+{
+    for (int b : indicator)
+        PRIMEPAR_ASSERT(b >= 0 && b < num_bits,
+                        "indicator bit out of range: ", b);
+
+    // Bits not in the indicator identify the group.
+    std::vector<int> other_bits;
+    for (int b = 0; b < num_bits; ++b) {
+        if (std::find(indicator.begin(), indicator.end(), b) ==
+            indicator.end()) {
+            other_bits.push_back(b);
+        }
+    }
+
+    const std::int64_t num_groups = std::int64_t{1} << other_bits.size();
+    const std::int64_t members = std::int64_t{1} << indicator.size();
+
+    std::vector<DeviceGroup> groups;
+    groups.reserve(num_groups);
+    for (std::int64_t g = 0; g < num_groups; ++g) {
+        DeviceGroup group;
+        group.reserve(members);
+        for (std::int64_t m = 0; m < members; ++m) {
+            std::int64_t linear = 0;
+            for (std::size_t i = 0; i < other_bits.size(); ++i) {
+                const std::int64_t bit = (g >> (other_bits.size() - 1 - i))
+                                         & 1;
+                linear |= bit << (num_bits - 1 - other_bits[i]);
+            }
+            for (std::size_t i = 0; i < indicator.size(); ++i) {
+                const std::int64_t bit = (m >> (indicator.size() - 1 - i))
+                                         & 1;
+                linear |= bit << (num_bits - 1 - indicator[i]);
+            }
+            group.push_back(linear);
+        }
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+double
+ringBottleneckBandwidth(const ClusterTopology &topo, const DeviceGroup &group)
+{
+    PRIMEPAR_ASSERT(!group.empty(), "empty device group");
+    if (group.size() == 1)
+        return topo.intraBandwidth();
+    double bw = topo.intraBandwidth();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const std::int64_t a = group[i];
+        const std::int64_t b = group[(i + 1) % group.size()];
+        bw = std::min(bw, topo.linkBandwidth(a, b));
+    }
+    return bw;
+}
+
+double
+ringWorstLatency(const ClusterTopology &topo, const DeviceGroup &group)
+{
+    PRIMEPAR_ASSERT(!group.empty(), "empty device group");
+    if (group.size() == 1)
+        return 0.0;
+    double lat = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        const std::int64_t a = group[i];
+        const std::int64_t b = group[(i + 1) % group.size()];
+        lat = std::max(lat, topo.linkLatency(a, b));
+    }
+    return lat;
+}
+
+bool
+groupSpansNodes(const ClusterTopology &topo, const DeviceGroup &group)
+{
+    for (std::size_t i = 0; i + 1 < group.size(); ++i) {
+        if (!topo.sameNode(group[i], group[i + 1]))
+            return true;
+    }
+    return group.size() > 1 &&
+           !topo.sameNode(group.back(), group.front());
+}
+
+std::string
+indicatorToString(const GroupIndicator &indicator)
+{
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t i = 0; i < indicator.size(); ++i) {
+        if (i)
+            os << ',';
+        os << 'd' << (indicator[i] + 1);
+    }
+    os << ')';
+    return os.str();
+}
+
+GroupPatternKey
+groupPatternKey(const ClusterTopology &topo, const GroupIndicator &indicator)
+{
+    // Device linear index = [node bits][intra-node bits]; bit position b
+    // (0-based from d_1, the MSB) is an inter-node bit iff it lies within
+    // the leading log2(numNodes) bits.
+    const int node_bits = log2Exact(topo.numNodes());
+    GroupPatternKey key;
+    for (int b : indicator) {
+        if (b < node_bits)
+            ++key.interNodeBits;
+        else
+            ++key.intraNodeBits;
+    }
+    return key;
+}
+
+} // namespace primepar

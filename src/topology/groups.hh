@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Communication group patterns (paper Sec. 4.1, Fig. 5).
+ *
+ * Grouped collectives (all-reduce) and grouped ring communications are
+ * described by a *group indicator*: the subset of device-id bit
+ * positions that vary within a group. Devices agreeing on all
+ * non-indicator bits form one group; the groups partition the device
+ * set. The latency of a grouped operation is dominated by the slowest
+ * group, which depends on whether the group spans inter-node links.
+ */
+
+#ifndef PRIMEPAR_TOPOLOGY_GROUPS_HH
+#define PRIMEPAR_TOPOLOGY_GROUPS_HH
+
+#include <string>
+#include <vector>
+
+#include "cluster.hh"
+#include "device.hh"
+
+namespace primepar {
+
+/** A set of device-id bit positions (0-based; 0 == d_1). */
+using GroupIndicator = std::vector<int>;
+
+/** One communication group: linear device indices, in ring order. */
+using DeviceGroup = std::vector<std::int64_t>;
+
+/**
+ * Enumerate the disjoint groups induced by @p indicator over 2^n
+ * devices. Within a group, devices differ exactly in the indicator
+ * bits; group members are listed in increasing indicator value, which
+ * is the ring order used by grouped collectives.
+ */
+std::vector<DeviceGroup> enumerateGroups(int num_bits,
+                                         const GroupIndicator &indicator);
+
+/** Group size for an indicator: 2^|indicator|. */
+inline std::int64_t
+groupSize(const GroupIndicator &indicator)
+{
+    return std::int64_t{1} << indicator.size();
+}
+
+/**
+ * Bottleneck bandwidth (bytes/us) of a ring over @p group in @p topo:
+ * the minimum link bandwidth between consecutive ring members.
+ */
+double ringBottleneckBandwidth(const ClusterTopology &topo,
+                               const DeviceGroup &group);
+
+/** Worst (maximum) per-hop latency of a ring over @p group, in us. */
+double ringWorstLatency(const ClusterTopology &topo,
+                        const DeviceGroup &group);
+
+/** True if any pair of consecutive ring members crosses nodes. */
+bool groupSpansNodes(const ClusterTopology &topo, const DeviceGroup &group);
+
+/** e.g. "(d2,d3)". */
+std::string indicatorToString(const GroupIndicator &indicator);
+
+/**
+ * Canonical key describing a group *pattern* for latency profiling:
+ * classifies the indicator by how many of its bits are inter-node vs
+ * intra-node for the given topology. Two indicators with the same key
+ * have identical latency behaviour, which is what makes profiling
+ * scalable (the paper's observation in Sec. 4.1).
+ */
+struct GroupPatternKey
+{
+    int interNodeBits = 0;
+    int intraNodeBits = 0;
+
+    auto operator<=>(const GroupPatternKey &) const = default;
+};
+
+/** Compute the pattern key of @p indicator under @p topo. */
+GroupPatternKey groupPatternKey(const ClusterTopology &topo,
+                                const GroupIndicator &indicator);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_TOPOLOGY_GROUPS_HH

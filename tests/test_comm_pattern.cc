@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Tests of the derived communication schedules against the paper's
+ * Table 1 closed forms, plus structural properties (ring bijection,
+ * group confinement, accumulator migration).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "partition/comm_pattern.hh"
+#include "partition/dsi.hh"
+#include "partition/op_spec.hh"
+#include "partition/space.hh"
+#include "support/bits.hh"
+
+namespace primepar {
+namespace {
+
+std::int64_t
+deviceFromRC(int k, std::int64_t r, std::int64_t c)
+{
+    std::int64_t linear = 0;
+    for (int j = 0; j < k; ++j) {
+        const std::int64_t rb = (r >> (k - 1 - j)) & 1;
+        const std::int64_t cb = (c >> (k - 1 - j)) & 1;
+        linear = (linear << 2) | (rb << 1) | cb;
+    }
+    return linear;
+}
+
+/** Find the sender of @p tensor_name for @p receiver in a shift list;
+ *  -1 if the receiver gets nothing. */
+std::int64_t
+senderOf(const OpSpec &op, const std::vector<ShiftSet> &shifts,
+         const std::string &tensor_name, std::int64_t receiver)
+{
+    for (const auto &set : shifts) {
+        if (op.refName(set.tensor) != tensor_name)
+            continue;
+        for (const auto &tr : set.transfers) {
+            if (tr.receiver == receiver)
+                return tr.sender;
+        }
+    }
+    return -1;
+}
+
+class Table1Test : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        k = GetParam();
+        side = 1 << k;
+        op = makeLinearOp("fc", 4, 64, 64, 64);
+        seq = PartitionSeq({PartitionStep::pSquare(k)});
+        dsi = std::make_unique<DsiTable>(op, seq, 2 * k);
+    }
+
+    std::int64_t
+    rc(std::int64_t r, std::int64_t c) const
+    {
+        return deviceFromRC(k, positiveMod(r, side), positiveMod(c, side));
+    }
+
+    int k = 1;
+    std::int64_t side = 2;
+    OpSpec op;
+    PartitionSeq seq;
+    std::unique_ptr<DsiTable> dsi;
+};
+
+TEST_P(Table1Test, ForwardRow)
+{
+    // Forward, t < 2^k - 1: I from (r, c+1), W from (r+1, c).
+    const PassComm comm = derivePassComm(op, seq, *dsi, 0);
+    ASSERT_EQ(static_cast<std::int64_t>(comm.stepShifts.size()), side);
+    for (std::int64_t t = 0; t + 1 < side; ++t) {
+        for (std::int64_t r = 0; r < side; ++r) {
+            for (std::int64_t c = 0; c < side; ++c) {
+                EXPECT_EQ(senderOf(op, comm.stepShifts[t], "I", rc(r, c)),
+                          rc(r, c + 1))
+                    << "I t=" << t << " r=" << r << " c=" << c;
+                EXPECT_EQ(senderOf(op, comm.stepShifts[t], "W", rc(r, c)),
+                          rc(r + 1, c))
+                    << "W t=" << t;
+            }
+        }
+    }
+    // No communication in the final forward step.
+    EXPECT_TRUE(comm.stepShifts[side - 1].empty());
+    // Output blocks are fixed: no accumulator migration.
+    for (const auto &acc : comm.accShifts)
+        EXPECT_TRUE(acc.empty());
+    EXPECT_FALSE(comm.allReduce.has_value());
+}
+
+TEST_P(Table1Test, BackwardRows)
+{
+    // Backward, t < 2^k - 1: dO from (r, c+1), W from (r-1, c+1);
+    // t = 2^k - 1: W from (r, c+1) (realignment for next Forward).
+    const PassComm comm = derivePassComm(op, seq, *dsi, 1);
+    for (std::int64_t t = 0; t + 1 < side; ++t) {
+        for (std::int64_t r = 0; r < side; ++r) {
+            for (std::int64_t c = 0; c < side; ++c) {
+                EXPECT_EQ(senderOf(op, comm.stepShifts[t], "dO", rc(r, c)),
+                          rc(r, c + 1))
+                    << "dO t=" << t;
+                EXPECT_EQ(senderOf(op, comm.stepShifts[t], "W", rc(r, c)),
+                          rc(r - 1, c + 1))
+                    << "W t=" << t;
+            }
+        }
+    }
+    for (std::int64_t r = 0; r < side; ++r) {
+        for (std::int64_t c = 0; c < side; ++c) {
+            EXPECT_EQ(
+                senderOf(op, comm.stepShifts[side - 1], "W", rc(r, c)),
+                rc(r, c + 1))
+                << "W transition";
+        }
+    }
+    EXPECT_FALSE(comm.allReduce.has_value());
+}
+
+TEST_P(Table1Test, GradientRows)
+{
+    // Gradient, t < 2^k - 2: I from (r+1, c-1), dO from (r+1, c);
+    // t = 2^k - 2: I from (r+1, c), dO from (r+1, c+1);
+    // t = 2^k - 1: dW (accumulator) from (r, c+1).
+    const PassComm comm = derivePassComm(op, seq, *dsi, 2);
+    for (std::int64_t t = 0; t + 2 < side; ++t) {
+        for (std::int64_t r = 0; r < side; ++r) {
+            for (std::int64_t c = 0; c < side; ++c) {
+                EXPECT_EQ(senderOf(op, comm.stepShifts[t], "I", rc(r, c)),
+                          rc(r + 1, c - 1))
+                    << "I t=" << t;
+                EXPECT_EQ(senderOf(op, comm.stepShifts[t], "dO", rc(r, c)),
+                          rc(r + 1, c))
+                    << "dO t=" << t;
+            }
+        }
+    }
+    const std::int64_t t2 = side - 2;
+    for (std::int64_t r = 0; r < side; ++r) {
+        for (std::int64_t c = 0; c < side; ++c) {
+            EXPECT_EQ(senderOf(op, comm.stepShifts[t2], "I", rc(r, c)),
+                      rc(r + 1, c))
+                << "I t=2^k-2";
+            EXPECT_EQ(senderOf(op, comm.stepShifts[t2], "dO", rc(r, c)),
+                      rc(r + 1, c + 1))
+                << "dO t=2^k-2";
+            // dW migrates between steps 2^k-2 and 2^k-1.
+            EXPECT_EQ(senderOf(op, comm.accShifts[t2], "dW", rc(r, c)),
+                      rc(r, c + 1))
+                << "dW accumulator";
+        }
+    }
+    // No accumulator migration before the delta flip.
+    for (std::int64_t t = 0; t + 2 < side; ++t)
+        EXPECT_TRUE(comm.accShifts[t].empty());
+    EXPECT_FALSE(comm.allReduce.has_value());
+}
+
+TEST_P(Table1Test, ShiftsAreRingPermutations)
+{
+    // Within every shift set, senders are a permutation of receivers
+    // (each device sends exactly once) — the ring property.
+    for (int pass = 0; pass < 3; ++pass) {
+        const PassComm comm = derivePassComm(op, seq, *dsi, pass);
+        auto check = [&](const std::vector<ShiftSet> &shifts) {
+            for (const auto &set : shifts) {
+                if (set.transfers.empty())
+                    continue;
+                std::set<std::int64_t> receivers, senders;
+                for (const auto &tr : set.transfers) {
+                    receivers.insert(tr.receiver);
+                    senders.insert(tr.sender);
+                    EXPECT_NE(tr.receiver, tr.sender);
+                }
+                EXPECT_EQ(receivers, senders);
+            }
+        };
+        for (const auto &s : comm.stepShifts)
+            check(s);
+        for (const auto &s : comm.accShifts)
+            check(s);
+    }
+}
+
+TEST_P(Table1Test, TransferElementCounts)
+{
+    const PassComm comm = derivePassComm(op, seq, *dsi, 0);
+    for (const auto &set : comm.stepShifts[0]) {
+        const std::string name = op.refName(set.tensor);
+        if (name == "I") {
+            // I[B,M,N] slice: 4 x (64/2^k) x (64/2^k).
+            EXPECT_EQ(set.elementsPerTransfer,
+                      4 * (64 / side) * (64 / side));
+        } else if (name == "W") {
+            EXPECT_EQ(set.elementsPerTransfer,
+                      (64 / side) * (64 / side));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, Table1Test, ::testing::Values(1, 2, 3));
+
+TEST(CommPattern, RingConfinedToPSquareGroup)
+{
+    // B,P2x2 over 8 devices: the batch bit (d1) splits devices into
+    // {0..3} and {4..7}; ring traffic must stay within each half.
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    PartitionSeq seq({PartitionStep::byDim(0), PartitionStep::pSquare(1)});
+    DsiTable dsi(op, seq, 3);
+    for (int pass = 0; pass < 3; ++pass) {
+        const PassComm comm = derivePassComm(op, seq, dsi, pass);
+        for (const auto &step : comm.stepShifts) {
+            for (const auto &set : step) {
+                for (const auto &tr : set.transfers)
+                    EXPECT_EQ(tr.receiver / 4, tr.sender / 4);
+            }
+        }
+    }
+}
+
+TEST(CommPattern, NoShiftsWithoutPSquare)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    PartitionSeq seq({PartitionStep::byDim(2), PartitionStep::byDim(3)});
+    DsiTable dsi(op, seq, 2);
+    for (int pass = 0; pass < 3; ++pass) {
+        const PassComm comm = derivePassComm(op, seq, dsi, pass);
+        ASSERT_EQ(comm.stepShifts.size(), 1u);
+        EXPECT_TRUE(comm.stepShifts[0].empty());
+        EXPECT_TRUE(comm.accShifts[0].empty());
+    }
+}
+
+TEST(CommPattern, RowColumnAllReduceGroups)
+{
+    // N,K partition over 4 devices: Forward all-reduces O across the
+    // N bit (d1); Backward all-reduces dI across the K bit (d2).
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    PartitionSeq seq({PartitionStep::byDim(2), PartitionStep::byDim(3)});
+    DsiTable dsi(op, seq, 2);
+
+    const auto fwd = derivePassComm(op, seq, dsi, 0);
+    ASSERT_TRUE(fwd.allReduce.has_value());
+    EXPECT_EQ(fwd.allReduce->indicator, (GroupIndicator{0}));
+    EXPECT_EQ(fwd.allReduce->groups.size(), 2u);
+
+    const auto bwd = derivePassComm(op, seq, dsi, 1);
+    ASSERT_TRUE(bwd.allReduce.has_value());
+    EXPECT_EQ(bwd.allReduce->indicator, (GroupIndicator{1}));
+
+    // Gradient contracts B and M, neither partitioned: no all-reduce.
+    EXPECT_FALSE(derivePassComm(op, seq, dsi, 2).allReduce.has_value());
+}
+
+TEST(CommPattern, ReplicationFactors)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    // Partition M twice: W replicated across all 4 devices.
+    PartitionSeq seq({PartitionStep::byDim(1), PartitionStep::byDim(1)});
+    DsiTable dsi(op, seq, 2);
+    EXPECT_EQ(replicationFactor(op, dsi, {1, false}, Phase::Forward, 0),
+              4);
+    EXPECT_EQ(replicationFactor(op, dsi, {0, false}, Phase::Forward, 0),
+              1);
+}
+
+TEST(CommPattern, TensorFootprintBits)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    PartitionSeq seq({PartitionStep::byDim(0), PartitionStep::byDim(2)});
+    DsiTable dsi(op, seq, 2);
+    // W[N,K]: only the N bit (position 1) matters.
+    EXPECT_EQ(tensorFootprintBits(op, dsi, {1, false}, Phase::Forward),
+              (GroupIndicator{1}));
+    // I[B,M,N]: both bits.
+    EXPECT_EQ(tensorFootprintBits(op, dsi, {0, false}, Phase::Forward),
+              (GroupIndicator{0, 1}));
+}
+
+TEST(CommPattern, TransitionShiftIdentityWithoutPSquare)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    PartitionSeq seq({PartitionStep::byDim(3)});
+    DsiTable dsi(op, seq, 1);
+    const auto shift = deriveTransitionShift(
+        op, seq, dsi, {1, false}, Phase::Backward, Phase::Forward);
+    EXPECT_TRUE(shift.transfers.empty());
+}
+
+} // namespace
+} // namespace primepar

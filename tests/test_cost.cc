@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests of the profiler and the analytic cost model, including the
+ * key fidelity property: the cost model's strategy ranking agrees
+ * with the event simulator's measurements.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hh"
+#include "cost/profiler.hh"
+#include "partition/space.hh"
+#include "sim/model_sim.hh"
+
+namespace primepar {
+namespace {
+
+TEST(Profiler, FitsAreNearPerfectOnLinearSimulator)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const auto models = profileModels(topo);
+    const auto q = profileQuality(topo, models);
+    EXPECT_GT(q.worstAllReduceR2, 0.999);
+    EXPECT_GT(q.ringHopR2, 0.999);
+    EXPECT_GT(q.matmulR2, 0.999);
+}
+
+TEST(Profiler, AllReduceModelsCoverAllPatterns)
+{
+    const auto topo = ClusterTopology::paperCluster(32);
+    const auto models = profileModels(topo);
+    // 8 nodes x 4 GPUs: inter bits 0..3, intra bits 0..2, minus empty.
+    EXPECT_EQ(models.allReduce.size(), 4u * 3u - 1u);
+    // Cross-node patterns are slower per byte.
+    const auto intra = models.allReduce.at({0, 2});
+    const auto inter = models.allReduce.at({2, 0});
+    const double bytes = 64.0 * 1024 * 1024;
+    EXPECT_GT(inter(bytes), intra(bytes));
+}
+
+TEST(CostModel, PSquareBeatsRowColumnOnBigLinear)
+{
+    // The core motivation: for a large linear over 4 intra-node
+    // devices, P2x2 should cost less than any all-reduce strategy.
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cm(topo, profileModels(topo));
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 12288, 49152);
+
+    const OpPlan psq(op, PartitionSeq({PartitionStep::pSquare(1)}), 2);
+    const OpPlan row(op,
+                     PartitionSeq({PartitionStep::byDim(2),
+                                   PartitionStep::byDim(2)}),
+                     2);
+    const IntraCost c_psq = cm.intraCost(psq);
+    const IntraCost c_row = cm.intraCost(row);
+    EXPECT_EQ(c_psq.allReduceUs, 0.0);
+    EXPECT_GT(c_row.allReduceUs, 0.0);
+    EXPECT_LT(c_psq.latencyUs, c_row.latencyUs);
+    EXPECT_LT(c_psq.memoryBytes, c_row.memoryBytes);
+}
+
+TEST(CostModel, AlphaWeightsMemory)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    const auto models = profileModels(topo);
+    const CostModel no_alpha(topo, models, 0.0);
+    const CostModel with_alpha(topo, models, 10.0);
+    const OpSpec op = makeLinearOp("fc", 8, 1024, 1024, 1024);
+    const OpPlan plan(op, PartitionSeq({PartitionStep::byDim(1),
+                                        PartitionStep::byDim(1)}),
+                      2);
+    EXPECT_EQ(no_alpha.intraCost(plan).weighted,
+              no_alpha.intraCost(plan).latencyUs);
+    EXPECT_GT(with_alpha.intraCost(plan).weighted,
+              with_alpha.intraCost(plan).latencyUs);
+}
+
+TEST(CostModel, TrafficElementsMatchesEq9)
+{
+    // Cross-check against the full redistribution planner.
+    const OpSpec op = makeLinearOp("fc", 4, 8, 8, 8);
+    const EdgeDimMap map{0, 1, 3};
+    const auto space = enumerateSequences(op, 2);
+    for (const auto &a : space) {
+        DsiTable da(op, a, 2);
+        const auto have = layoutOf(op, da, {op.outputTensor, false},
+                                   Phase::Forward, da.steps() - 1, map,
+                                   {4, 8, 8});
+        for (const auto &b : space) {
+            DsiTable db(op, b, 2);
+            const auto need =
+                layoutOf(op, db, {0, false}, Phase::Forward, 0,
+                         EdgeDimMap{0, 1, 2}, {4, 8, 8});
+            const auto plan = planRedistribution(have, need);
+            EXPECT_EQ(CostModel::trafficElements(have, need),
+                      plan.totalElements)
+                << a.toString(op) << " -> " << b.toString(op);
+        }
+    }
+}
+
+TEST(CostModel, TrafficSplitMatchesFullPlan)
+{
+    // The prepared-source fast path must agree exactly with the full
+    // redistribution planner on both link classes, across the whole
+    // space including replicated producers.
+    const OpSpec op = makeLinearOp("fc", 8, 8, 8, 8);
+    const ClusterTopology topo = ClusterTopology::paperCluster(8);
+    const CostModel cm(topo, profileModels(topo));
+    const EdgeDimMap map{0, 1, 3};
+    const auto space = enumerateSequences(op, 3);
+    for (const auto &a : space) {
+        DsiTable da(op, a, 3);
+        const auto have = layoutOf(op, da, {op.outputTensor, false},
+                                   Phase::Forward, da.steps() - 1, map,
+                                   {8, 8, 8});
+        const auto prepared = CostModel::prepareSource(have);
+        for (std::size_t bi = 0; bi < space.size(); bi += 7) {
+            DsiTable db(op, space[bi], 3);
+            const auto need =
+                layoutOf(op, db, {0, false}, Phase::Forward, 0,
+                         EdgeDimMap{0, 1, 2}, {8, 8, 8});
+            const auto fast = cm.trafficSplit(prepared, need);
+
+            const RedistPlan plan =
+                planRedistribution(have, need, &topo);
+            std::int64_t intra = 0, inter = 0;
+            for (const auto &tr : plan.transfers) {
+                if (topo.sameNode(tr.src, tr.dst))
+                    intra += tr.elements;
+                else
+                    inter += tr.elements;
+            }
+            EXPECT_EQ(fast.intraNode, intra)
+                << a.toString(op) << " -> " << space[bi].toString(op);
+            EXPECT_EQ(fast.interNode, inter);
+        }
+    }
+}
+
+TEST(CostModel, IntraCheaperThanInterRedistribution)
+{
+    const ClusterTopology topo = ClusterTopology::paperCluster(8);
+    const CostModel cm(topo, profileModels(topo));
+    const double bytes = 64.0 * 1024 * 1024;
+    EXPECT_LT(cm.redistLatencyUs(bytes, 0.0),
+              cm.redistLatencyUs(0.0, bytes));
+    EXPECT_EQ(cm.redistLatencyUs(0.0, 0.0), 0.0);
+}
+
+TEST(CostModel, RankingAgreesWithSimulator)
+{
+    // Fidelity: over the whole space of a realistic linear operator,
+    // the analytic cost and the simulated latency must correlate —
+    // in particular the cost-optimal strategy must be near-optimal
+    // under simulation.
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cm(topo, profileModels(topo));
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 16384);
+
+    const auto space = enumerateSequences(op, 3);
+    std::vector<double> model_cost, sim_cost;
+    for (const auto &seq : space) {
+        const OpPlan plan(op, seq, 3);
+        model_cost.push_back(cm.intraCost(plan).latencyUs);
+        SimContext ctx(topo);
+        for (Phase ph :
+             {Phase::Forward, Phase::Backward, Phase::Gradient})
+            simulateOpPhase(ctx, plan, ph);
+        sim_cost.push_back(ctx.makespan());
+    }
+
+    const std::size_t best_model =
+        std::min_element(model_cost.begin(), model_cost.end()) -
+        model_cost.begin();
+    const double best_sim =
+        *std::min_element(sim_cost.begin(), sim_cost.end());
+    // The strategy the model picks is within 20% of the simulator's
+    // optimum.
+    EXPECT_LT(sim_cost[best_model], 1.2 * best_sim)
+        << "model picked " << space[best_model].toString(op);
+
+    // Rank correlation (Spearman-lite): top-10% by model overlaps
+    // top-25% by simulator.
+    std::vector<std::size_t> by_model(space.size()), by_sim(space.size());
+    for (std::size_t i = 0; i < space.size(); ++i)
+        by_model[i] = by_sim[i] = i;
+    std::sort(by_model.begin(), by_model.end(), [&](auto x, auto y) {
+        return model_cost[x] < model_cost[y];
+    });
+    std::sort(by_sim.begin(), by_sim.end(), [&](auto x, auto y) {
+        return sim_cost[x] < sim_cost[y];
+    });
+    const std::size_t k = std::max<std::size_t>(1, space.size() / 10);
+    const std::size_t k4 = std::max<std::size_t>(k, space.size() / 4);
+    int hits = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k4; ++j) {
+            if (by_model[i] == by_sim[j]) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    EXPECT_GE(hits, static_cast<int>(k / 2));
+}
+
+TEST(CostModel, LayerNormSplitFeatureCostsExpectationExchange)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cm(topo, profileModels(topo));
+    const OpSpec op = makeLayerNormOp("ln", 8, 2048, 4096);
+
+    const OpPlan row_split(
+        op, PartitionSeq({PartitionStep::byDim(1),
+                          PartitionStep::byDim(1)}),
+        2);
+    const OpPlan feat_split(
+        op, PartitionSeq({PartitionStep::byDim(2),
+                          PartitionStep::byDim(2)}),
+        2);
+    // Splitting rows: gradient all-reduce of gamma only. Splitting the
+    // normalized dim additionally pays the expectation exchange.
+    const IntraCost c_row = cm.intraCost(row_split);
+    const IntraCost c_feat = cm.intraCost(feat_split);
+    EXPECT_GT(c_feat.allReduceUs, 0.0);
+    EXPECT_GT(c_row.allReduceUs, 0.0);
+}
+
+} // namespace
+} // namespace primepar

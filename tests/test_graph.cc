@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests of the computation-graph IR, the Fig. 6 transformer block
+ * builder and the model zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/transformer.hh"
+
+namespace primepar {
+namespace {
+
+TEST(ModelZoo, ParameterCountsMatchModelNames)
+{
+    // Transformer-layer parameters should land near the named scale
+    // (embeddings and final heads excluded).
+    EXPECT_NEAR(opt6p7b().totalParams() / 1e9, 6.7, 0.7);
+    EXPECT_NEAR(opt175b().totalParams() / 1e9, 175.0, 10.0);
+    EXPECT_NEAR(bloom176b().totalParams() / 1e9, 176.0, 10.0);
+    // Llama2 uses a gated 3-matrix MLP; our 2-matrix layer model
+    // undershoots slightly but stays in the right decade.
+    EXPECT_GT(llama2_7b().totalParams() / 1e9, 4.0);
+    EXPECT_LT(llama2_7b().totalParams() / 1e9, 8.0);
+    EXPECT_GT(llama2_70b().totalParams() / 1e9, 45.0);
+    EXPECT_LT(llama2_70b().totalParams() / 1e9, 80.0);
+}
+
+TEST(ModelZoo, HeadEmbedAndLookup)
+{
+    EXPECT_EQ(opt175b().headEmbed(), 128);
+    EXPECT_EQ(bloom176b().headEmbed(), 128);
+    EXPECT_EQ(modelByName("OPT 6.7B").hiddenSize, 4096);
+    EXPECT_EQ(evaluationModels().size(), 6u);
+}
+
+TEST(TransformerBlock, StructureMatchesFig6)
+{
+    const CompGraph g = buildTransformerBlock(opt6p7b(), 8);
+    ASSERT_EQ(g.numNodes(), 13);
+    const TransformerBlockIndex idx;
+    EXPECT_EQ(g.node(idx.qkv).name, "qkv");
+    EXPECT_EQ(g.node(idx.softmax).kind, "softmax");
+    EXPECT_EQ(g.node(idx.fc2).kind, "linear");
+    EXPECT_EQ(g.node(idx.residual2).kind, "add");
+
+    // The three extended (skip) edges of Fig. 6.
+    int skip_edges = 0;
+    for (const GraphEdge &e : g.edges()) {
+        if (e.dst > e.src + 1)
+            ++skip_edges;
+    }
+    EXPECT_EQ(skip_edges, 3); // e(2,5), e(0,7), e(7,12)
+
+    // Every non-input node has at least one in-edge; every non-final
+    // node has at least one consumer.
+    for (int n = 1; n < g.numNodes(); ++n)
+        EXPECT_FALSE(g.inEdges(n).empty()) << "node " << n;
+    for (int n = 0; n + 1 < g.numNodes(); ++n)
+        EXPECT_FALSE(g.outEdges(n).empty()) << "node " << n;
+}
+
+TEST(TransformerBlock, DimensionSizesPropagate)
+{
+    const ModelConfig cfg = opt6p7b();
+    const CompGraph g = buildTransformerBlock(cfg, 4);
+    const TransformerBlockIndex idx;
+    const OpSpec &qkv = g.node(idx.qkv);
+    EXPECT_EQ(qkv.dims[qkv.dimIndex("N")].size, cfg.hiddenSize);
+    EXPECT_EQ(qkv.dims[qkv.dimIndex("K")].size, 3 * cfg.hiddenSize);
+    const OpSpec &qk = g.node(idx.qk);
+    EXPECT_EQ(qk.dims[qk.dimIndex("Hd")].size, cfg.numHeads);
+    EXPECT_EQ(qk.dims[qk.dimIndex("E")].size, cfg.headEmbed());
+    EXPECT_FALSE(qk.dims[qk.dimIndex("E")].partitionable);
+    const OpSpec &fc1 = g.node(idx.fc1);
+    EXPECT_EQ(fc1.dims[fc1.dimIndex("K")].size, cfg.ffnSize);
+}
+
+TEST(TransformerBlock, EdgeTransferSizesMatchConsumerTensors)
+{
+    const ModelConfig cfg = opt6p7b();
+    const CompGraph g = buildTransformerBlock(cfg, 4);
+    for (const GraphEdge &e : g.edges()) {
+        const auto sizes = g.transferSizes(e);
+        const OpSpec &consumer = g.node(e.dst);
+        ASSERT_EQ(sizes.size(),
+                  consumer.tensors[e.dstTensor].dims.size());
+        double bytes = consumer.bytesPerElement;
+        for (std::int64_t s : sizes)
+            bytes *= static_cast<double>(s);
+        EXPECT_DOUBLE_EQ(g.transferBytes(e), bytes);
+    }
+}
+
+TEST(TransformerBlock, EdgeDimMapsReferToProducerDims)
+{
+    const CompGraph g = buildTransformerBlock(opt6p7b(), 4);
+    for (const GraphEdge &e : g.edges()) {
+        const OpSpec &producer = g.node(e.src);
+        const auto &out_dims =
+            producer.tensors[producer.outputTensor].dims;
+        for (int d : e.dimMap) {
+            if (d < 0)
+                continue;
+            EXPECT_NE(std::find(out_dims.begin(), out_dims.end(), d),
+                      out_dims.end())
+                << producer.name << " -> " << g.node(e.dst).name;
+        }
+    }
+}
+
+TEST(MlpBlock, ChainStructure)
+{
+    const CompGraph g = buildMlpBlock(opt175b(), 8);
+    ASSERT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.edges().size(), 2u);
+    EXPECT_EQ(g.node(0).name, "fc1");
+    EXPECT_EQ(g.node(2).name, "fc2");
+    // fc1 output K-dim feeds the activation's F-dim.
+    EXPECT_EQ(g.edges()[0].dimMap, (EdgeDimMap{0, 1, 3}));
+}
+
+TEST(Graph, InOutEdgeQueries)
+{
+    CompGraph g;
+    g.addNode(makeElementwiseOp("a", {"B", "M"}, {2, 4}));
+    g.addNode(makeElementwiseOp("b", {"B", "M"}, {2, 4}));
+    g.addNode(makeAddOp("c", {"B", "M"}, {2, 4}));
+    g.addEdge(0, 1, 0, {0, 1});
+    g.addEdge(1, 2, 0, {0, 1});
+    g.addEdge(0, 2, 1, {0, 1});
+    EXPECT_EQ(g.inEdges(2).size(), 2u);
+    EXPECT_EQ(g.outEdges(0).size(), 2u);
+    EXPECT_TRUE(g.inEdges(0).empty());
+}
+
+} // namespace
+} // namespace primepar

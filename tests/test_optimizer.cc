@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests of the segmented DP optimizer: optimality against brute force
+ * on small graphs (the paper's Sec. 5.2 claim), segmentation handling
+ * of skip edges, catalog/edge-table construction, and end-to-end
+ * search behaviour on the transformer block.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/megatron.hh"
+#include "graph/transformer.hh"
+#include "optimizer/catalog.hh"
+#include "optimizer/segmented_dp.hh"
+
+namespace primepar {
+namespace {
+
+/** Small MLP-block fixture over a 4-device node. */
+struct SmallFixture
+{
+    SmallFixture()
+        : topo(ClusterTopology::paperCluster(4)),
+          models(profileModels(topo)), cost(topo, models)
+    {
+        ModelConfig cfg = opt6p7b();
+        cfg.seqLength = 512;
+        graph = buildMlpBlock(cfg, 8);
+    }
+
+    ClusterTopology topo;
+    ProfiledModels models;
+    CostModel cost;
+    CompGraph graph;
+};
+
+TEST(Catalog, BuildsAllSequencesWithCosts)
+{
+    SmallFixture f;
+    const auto cat = buildNodeCatalog(f.graph, 0, f.cost, {});
+    EXPECT_GT(cat.size(), 16); // 4^2 ByDim + PSquare variants
+    EXPECT_EQ(cat.seqs.size(), cat.plans.size());
+    EXPECT_EQ(cat.seqs.size(), cat.intraCost.size());
+    for (double c : cat.intraCost)
+        EXPECT_GT(c, 0.0);
+}
+
+TEST(Catalog, EdgeTableSymmetryForAlignedPairs)
+{
+    SmallFixture f;
+    const auto src = buildNodeCatalog(f.graph, 0, f.cost, {});
+    const auto dst = buildNodeCatalog(f.graph, 1, f.cost, {});
+    const auto table = buildEdgeCostTable(
+        f.graph, f.graph.edges()[0], src, dst, f.cost);
+    EXPECT_EQ(table.srcSize, src.size());
+    EXPECT_EQ(table.dstSize, dst.size());
+
+    // fc1 partitioned B,K feeding relu partitioned B,F is perfectly
+    // aligned: zero redistribution cost.
+    int fc1_bk = -1, relu_bf = -1;
+    const PartitionSeq bk({PartitionStep::byDim(0),
+                           PartitionStep::byDim(3)});
+    const PartitionSeq bf({PartitionStep::byDim(0),
+                           PartitionStep::byDim(2)});
+    for (int i = 0; i < src.size(); ++i)
+        if (src.seqs[i] == bk)
+            fc1_bk = i;
+    for (int i = 0; i < dst.size(); ++i)
+        if (dst.seqs[i] == bf)
+            relu_bf = i;
+    ASSERT_GE(fc1_bk, 0);
+    ASSERT_GE(relu_bf, 0);
+    EXPECT_EQ(table.at(fc1_bk, relu_bf), 0.0);
+
+    // Misaligned pair costs something: fc1 split B,K feeding relu
+    // split M,M.
+    const PartitionSeq mm({PartitionStep::byDim(1),
+                           PartitionStep::byDim(1)});
+    int relu_mm = -1;
+    for (int i = 0; i < dst.size(); ++i)
+        if (dst.seqs[i] == mm)
+            relu_mm = i;
+    ASSERT_GE(relu_mm, 0);
+    EXPECT_GT(table.at(fc1_bk, relu_mm), 0.0);
+}
+
+TEST(SegmentedDp, MatchesBruteForceOnChain)
+{
+    SmallFixture f;
+    DpOptions opts;
+    const DpResult dp =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    const DpResult bf =
+        bruteForceOptimize(f.graph, f.cost, opts.space);
+    EXPECT_NEAR(dp.layerCost, bf.layerCost,
+                1e-6 * std::max(1.0, bf.layerCost));
+    // The DP's chosen strategies evaluate to its reported cost.
+    EXPECT_EQ(dp.strategies.size(), 3u);
+}
+
+TEST(SegmentedDp, MatchesBruteForceOnGraphWithSkipEdge)
+{
+    // Tiny residual graph: n0 -> n1 -> n2(add), skip n0 -> n2.
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cost(topo, profileModels(topo));
+
+    CompGraph g;
+    g.addNode(makeElementwiseOp("input", {"B", "M", "H"},
+                                {8, 256, 1024}, 0.0));
+    g.addNode(makeElementwiseOp("gelu", {"B", "M", "H"},
+                                {8, 256, 1024}));
+    g.addNode(makeAddOp("res", {"B", "M", "H"}, {8, 256, 1024}));
+    g.addEdge(0, 1, 0, {0, 1, 2});
+    g.addEdge(1, 2, 0, {0, 1, 2});
+    g.addEdge(0, 2, 1, {0, 1, 2});
+
+    DpOptions opts;
+    const DpResult dp = SegmentedDpOptimizer(g, cost, opts).optimize();
+    const DpResult bf = bruteForceOptimize(g, cost, opts.space);
+    EXPECT_NEAR(dp.layerCost, bf.layerCost,
+                1e-6 * std::max(1.0, bf.layerCost));
+}
+
+TEST(SegmentedDp, PrimeParNoWorseThanConventionalSpace)
+{
+    SmallFixture f;
+    DpOptions with;
+    DpOptions without;
+    without.space.allowPSquare = false;
+    const DpResult pp =
+        SegmentedDpOptimizer(f.graph, f.cost, with).optimize();
+    const DpResult conv =
+        SegmentedDpOptimizer(f.graph, f.cost, without).optimize();
+    EXPECT_LE(pp.layerCost, conv.layerCost + 1e-9);
+}
+
+TEST(SegmentedDp, PicksPSquareForBigLinearsOnOneNode)
+{
+    // Large MLP on 4 NVLink devices: the optimum should use the
+    // temporal primitive on at least one linear (the paper's headline
+    // behaviour).
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph g = buildMlpBlock(opt175b(), 8);
+
+    DpOptions opts;
+    opts.space.excludedDims = {0}; // isolate tensor parallelism
+    const DpResult dp = SegmentedDpOptimizer(g, cost, opts).optimize();
+    const bool uses_psquare = dp.strategies[0].hasPSquare() ||
+                              dp.strategies[2].hasPSquare();
+    EXPECT_TRUE(uses_psquare)
+        << "fc1: " << dp.strategies[0].toString(g.node(0)) << ", fc2: "
+        << dp.strategies[2].toString(g.node(2));
+}
+
+TEST(SegmentedDp, TransformerBlockFullSearch)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cost(topo, profileModels(topo));
+    ModelConfig cfg = opt6p7b();
+    const CompGraph g = buildTransformerBlock(cfg, 8);
+
+    DpOptions opts;
+    opts.numLayers = cfg.numLayers;
+    const DpResult dp = SegmentedDpOptimizer(g, cost, opts).optimize();
+    EXPECT_EQ(dp.strategies.size(), 13u);
+    EXPECT_GT(dp.layerCost, 0.0);
+    // Stacked cost ~ layers x layer cost (minus shared boundaries).
+    EXPECT_GT(dp.totalCost, dp.layerCost * (cfg.numLayers - 1));
+    EXPECT_GT(dp.optimizationMs, 0.0);
+
+    // Every chosen strategy is valid for its node.
+    for (int n = 0; n < g.numNodes(); ++n)
+        EXPECT_TRUE(dp.strategies[n].validate(g.node(n)).empty());
+}
+
+TEST(SegmentedDp, StackedLayersPreferAlignedBoundaries)
+{
+    SmallFixture f;
+    DpOptions opts;
+    opts.numLayers = 8;
+    const DpResult dp =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    EXPECT_GE(dp.totalCost, dp.layerCost);
+    EXPECT_LE(dp.totalCost, 8.0 * dp.layerCost + 1e-6);
+}
+
+TEST(Baselines, MegatronStrategiesMatchHandRules)
+{
+    const CompGraph g = buildTransformerBlock(opt6p7b(), 8);
+    const auto strat = megatronStrategies(g, {2, 4});
+    ASSERT_TRUE(strat.has_value());
+    ASSERT_EQ(strat->size(), 13u);
+
+    const TransformerBlockIndex idx;
+    // QKV: batch then column (K twice).
+    EXPECT_EQ((*strat)[idx.qkv].toString(g.node(idx.qkv)), "B,K,K");
+    // Out-proj: row.
+    EXPECT_EQ((*strat)[idx.outProj].toString(g.node(idx.outProj)),
+              "B,N,N");
+    // Attention matmuls: heads.
+    EXPECT_EQ((*strat)[idx.qk].toString(g.node(idx.qk)), "B,Hd,Hd");
+    // fc1 column, fc2 row.
+    EXPECT_EQ((*strat)[idx.fc1].toString(g.node(idx.fc1)), "B,K,K");
+    EXPECT_EQ((*strat)[idx.fc2].toString(g.node(idx.fc2)), "B,N,N");
+    // gelu aligns with fc1's column split.
+    EXPECT_EQ((*strat)[idx.activation].toString(
+                  g.node(idx.activation)),
+              "B,F,F");
+}
+
+TEST(Baselines, InfeasibleConfigRejected)
+{
+    // d = 16 > batch 8 cannot split the batch dimension.
+    const CompGraph g = buildTransformerBlock(opt6p7b(), 8);
+    EXPECT_FALSE(megatronStrategies(g, {16, 2}).has_value());
+}
+
+TEST(Baselines, BestMegatronPlanPicksFeasibleOptimum)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph g = buildTransformerBlock(opt6p7b(), 8);
+    const MegatronPlan plan = bestMegatronPlan(g, cost);
+    EXPECT_EQ(plan.config.dataParallel * plan.config.modelParallel, 8);
+    EXPECT_GT(plan.cost, 0.0);
+}
+
+TEST(Baselines, AlpaNeverUsesPSquareAndPrimeParWins)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph g = buildMlpBlock(opt175b(), 8);
+
+    const DpResult alpa = alpaOptimize(g, cost);
+    for (const auto &seq : alpa.strategies)
+        EXPECT_FALSE(seq.hasPSquare());
+
+    DpOptions opts;
+    const DpResult pp = SegmentedDpOptimizer(g, cost, opts).optimize();
+    EXPECT_LE(pp.layerCost, alpa.layerCost + 1e-9);
+}
+
+} // namespace
+} // namespace primepar

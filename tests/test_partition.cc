@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Unit and property tests for the partition core: operator specs,
+ * partition sequences, DSI evaluation (Alg. 1 / Eqs. 2-6), space
+ * enumeration and the feature verification of Sec. 3.3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partition/alignment.hh"
+#include "partition/dsi.hh"
+#include "partition/op_spec.hh"
+#include "partition/partition_step.hh"
+#include "partition/space.hh"
+
+namespace primepar {
+namespace {
+
+OpSpec
+smallLinear()
+{
+    return makeLinearOp("fc", 8, 16, 16, 16);
+}
+
+/** Device linear index on the 2^k x 2^k square: bits interleave r, c. */
+std::int64_t
+deviceFromRC(int k, std::int64_t r, std::int64_t c)
+{
+    std::int64_t linear = 0;
+    for (int j = 0; j < k; ++j) {
+        const std::int64_t rb = (r >> (k - 1 - j)) & 1;
+        const std::int64_t cb = (c >> (k - 1 - j)) & 1;
+        linear = (linear << 2) | (rb << 1) | cb;
+    }
+    return linear;
+}
+
+TEST(OpSpec, LinearContractionStructure)
+{
+    const OpSpec op = smallLinear();
+    ASSERT_EQ(op.passes.size(), 3u);
+    // Forward contracts N (dim 2).
+    EXPECT_EQ(op.passes[0].contracted, (std::vector<int>{2}));
+    // Backward contracts K (dim 3).
+    EXPECT_EQ(op.passes[1].contracted, (std::vector<int>{3}));
+    // Gradient contracts B and M (dims 0, 1).
+    EXPECT_EQ(op.passes[2].contracted, (std::vector<int>{0, 1}));
+    EXPECT_TRUE(op.psquare.has_value());
+    EXPECT_TRUE(op.tensors[1].isParameter);
+}
+
+TEST(OpSpec, PassFlops)
+{
+    const OpSpec op = smallLinear();
+    // Forward flops = 2 * B*M*K (output) * N (contracted).
+    EXPECT_DOUBLE_EQ(op.passFlops(op.passes[0]),
+                     2.0 * 8 * 16 * 16 * 16);
+}
+
+TEST(OpSpec, BatchedMatmulDerivesContraction)
+{
+    // Attention score: A[B,H,M,E] x K[B,H,M2,E]^T -> O[B,H,M,M2].
+    const OpSpec op = makeBatchedMatmulOp(
+        "qk", {"B", "Hd", "M", "M2", "E"}, {4, 8, 32, 32, 64},
+        {0, 1, 2, 4}, {0, 1, 3, 4}, {0, 1, 2, 3}, 4);
+    ASSERT_EQ(op.passes.size(), 3u);
+    EXPECT_EQ(op.passes[0].contracted, (std::vector<int>{4})); // E
+    EXPECT_EQ(op.passes[1].contracted, (std::vector<int>{3})); // M2 (dA)
+    EXPECT_EQ(op.passes[2].contracted, (std::vector<int>{2})); // M  (dB)
+    EXPECT_FALSE(op.dims[4].partitionable); // head embed excluded
+    EXPECT_FALSE(op.psquare.has_value());
+}
+
+TEST(OpSpec, SoftmaxLastDimNotPartitionable)
+{
+    const OpSpec op = makeSoftmaxOp("sm", {"B", "M", "S"}, {2, 4, 8});
+    EXPECT_TRUE(op.dims[0].partitionable);
+    EXPECT_FALSE(op.dims[2].partitionable);
+}
+
+TEST(OpSpec, RefNames)
+{
+    const OpSpec op = smallLinear();
+    EXPECT_EQ(op.refName({1, true}), "dW");
+    EXPECT_EQ(op.refName({0, false}), "I");
+}
+
+TEST(PartitionSeq, BitsAndTemporalSteps)
+{
+    PartitionSeq seq({PartitionStep::byDim(0), PartitionStep::pSquare(2),
+                      PartitionStep::byDim(1)});
+    EXPECT_EQ(seq.numBits(), 6);
+    EXPECT_EQ(seq.temporalSteps(), 4);
+    EXPECT_TRUE(seq.hasPSquare());
+    EXPECT_EQ(seq.pSquareIndex(), 1);
+}
+
+TEST(PartitionSeq, SliceCounts)
+{
+    const OpSpec op = smallLinear();
+    PartitionSeq seq({PartitionStep::byDim(2), PartitionStep::pSquare(1)});
+    const auto slices = seq.sliceCounts(op);
+    EXPECT_EQ(slices[0], 1); // B untouched
+    EXPECT_EQ(slices[1], 2); // M via PSquare
+    EXPECT_EQ(slices[2], 4); // N: ByDim then PSquare
+    EXPECT_EQ(slices[3], 2); // K via PSquare
+}
+
+TEST(PartitionSeq, ValidateRejectsBadSequences)
+{
+    const OpSpec op = smallLinear();
+    PartitionSeq two_psquares(
+        {PartitionStep::pSquare(1), PartitionStep::pSquare(1)});
+    EXPECT_FALSE(two_psquares.validate(op).empty());
+
+    const OpSpec sm = makeSoftmaxOp("sm", {"B", "S"}, {4, 8});
+    PartitionSeq on_softmax_dim({PartitionStep::byDim(1)});
+    EXPECT_FALSE(on_softmax_dim.validate(sm).empty());
+    PartitionSeq psquare_on_softmax({PartitionStep::pSquare(1)});
+    EXPECT_FALSE(psquare_on_softmax.validate(sm).empty());
+
+    // Over-partitioning a small dim.
+    const OpSpec tiny = makeLinearOp("t", 2, 2, 2, 2);
+    PartitionSeq over({PartitionStep::byDim(0), PartitionStep::byDim(0)});
+    EXPECT_FALSE(over.validate(tiny).empty());
+}
+
+TEST(PartitionSeq, ParseRoundTripsToString)
+{
+    const OpSpec op = smallLinear();
+    for (const char *text : {"M,N", "B,P2x2", "P2x2,K", "N,N,K"}) {
+        const PartitionSeq seq = parseSequence(op, text);
+        EXPECT_EQ(seq.toString(op), text);
+    }
+    // P4x4 consumes four bits.
+    const OpSpec big = makeLinearOp("fc", 8, 64, 64, 64);
+    const PartitionSeq p4 = parseSequence(big, "P4x4");
+    EXPECT_EQ(p4.numBits(), 4);
+    EXPECT_EQ(p4.temporalSteps(), 4);
+}
+
+TEST(PartitionSeqDeath, ParseRejectsBadInput)
+{
+    const OpSpec op = smallLinear();
+    EXPECT_DEATH(parseSequence(op, "Q"), "no dimension");
+    EXPECT_DEATH(parseSequence(op, "P3x3"), "bad PSquare token");
+    EXPECT_DEATH(parseSequence(op, "P2x4"), "bad PSquare token");
+    // Valid tokens but over-partitioned dim.
+    const OpSpec tiny = makeLinearOp("t", 2, 2, 16, 16);
+    EXPECT_DEATH(parseSequence(tiny, "B,B"), "invalid sequence");
+}
+
+TEST(PartitionSeq, ToStringMatchesPaperNotation)
+{
+    const OpSpec op = smallLinear();
+    PartitionSeq seq({PartitionStep::byDim(1), PartitionStep::pSquare(1),
+                      PartitionStep::byDim(2)});
+    EXPECT_EQ(seq.toString(op), "M,P2x2,N");
+}
+
+TEST(Dsi, PaperFig3PartitionMThenN)
+{
+    // Fig. 3: partition M then N over 4 devices. Devices with d1 = 0
+    // hold slice 0 of M; devices with d2 = 0 hold slice 0 of N.
+    const OpSpec op = smallLinear();
+    PartitionSeq seq({PartitionStep::byDim(1), PartitionStep::byDim(2)});
+    DsiTable dsi(op, seq, 2);
+    EXPECT_EQ(dsi.steps(), 1);
+    for (std::int64_t dev = 0; dev < 4; ++dev) {
+        const DeviceId id(2, dev);
+        for (Phase ph :
+             {Phase::Forward, Phase::Backward, Phase::Gradient}) {
+            EXPECT_EQ(dsi.value(ph, dev, 0, 1), id.bit(0));
+            EXPECT_EQ(dsi.value(ph, dev, 0, 2), id.bit(1));
+            EXPECT_EQ(dsi.value(ph, dev, 0, 0), 0);
+            EXPECT_EQ(dsi.value(ph, dev, 0, 3), 0);
+        }
+    }
+}
+
+/** Eq. 4-6 as written in the paper, for cross-checking. */
+struct PaperDsi
+{
+    std::int64_t side, r, c, t;
+
+    std::int64_t m(Phase ph) const
+    {
+        switch (ph) {
+          case Phase::Forward:
+          case Phase::Backward:
+            return ((r % side) + side) % side;
+          case Phase::Gradient:
+            return (((r + t) % side) + side) % side;
+        }
+        return 0;
+    }
+    std::int64_t n(Phase ph) const
+    {
+        const std::int64_t delta = t == side - 1 ? 1 : 0;
+        switch (ph) {
+          case Phase::Forward:
+            return (((r + c + t) % side) + side) % side;
+          case Phase::Backward:
+            return (((r + c - 1) % side) + side) % side;
+          case Phase::Gradient:
+            return (((r + c - 1 + delta) % side) + side) % side;
+        }
+        return 0;
+    }
+    std::int64_t k(Phase ph) const
+    {
+        const std::int64_t delta = t == side - 1 ? 1 : 0;
+        switch (ph) {
+          case Phase::Forward:
+            return ((c % side) + side) % side;
+          case Phase::Backward:
+            return (((c + t) % side) + side) % side;
+          case Phase::Gradient:
+            return (((c - 1 + delta) % side) + side) % side;
+        }
+        return 0;
+    }
+};
+
+class DsiPSquareTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(DsiPSquareTest, MatchesPaperEquations)
+{
+    const int k = GetParam();
+    const std::int64_t side = 1 << k;
+    const OpSpec op = makeLinearOp("fc", 4, 64, 64, 64);
+    PartitionSeq seq({PartitionStep::pSquare(k)});
+    DsiTable dsi(op, seq, 2 * k);
+    EXPECT_EQ(dsi.steps(), side);
+
+    for (std::int64_t r = 0; r < side; ++r) {
+        for (std::int64_t c = 0; c < side; ++c) {
+            const std::int64_t dev = deviceFromRC(k, r, c);
+            for (int t = 0; t < side; ++t) {
+                const PaperDsi paper{side, r, c, t};
+                for (Phase ph : {Phase::Forward, Phase::Backward,
+                                 Phase::Gradient}) {
+                    EXPECT_EQ(dsi.value(ph, dev, t, 1), paper.m(ph))
+                        << "M k=" << k << " r=" << r << " c=" << c
+                        << " t=" << t;
+                    EXPECT_EQ(dsi.value(ph, dev, t, 2), paper.n(ph))
+                        << "N";
+                    EXPECT_EQ(dsi.value(ph, dev, t, 3), paper.k(ph))
+                        << "K";
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, DsiPSquareTest, ::testing::Values(1, 2, 3));
+
+class PSquareFeatureTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(PSquareFeatureTest, SatisfiesAllThreePaperFeatures)
+{
+    const int k = GetParam();
+    const OpSpec op = makeLinearOp("fc", 4, 64, 64, 64);
+    PartitionSeq seq({PartitionStep::pSquare(k)});
+    DsiTable dsi(op, seq, 2 * k);
+
+    const auto coverage = verifyContractionCoverage(op, dsi);
+    EXPECT_TRUE(coverage.ok) << coverage.message;
+    const auto feature1 = verifyCollectiveFree(op, seq, dsi);
+    EXPECT_TRUE(feature1.ok) << feature1.message;
+    const auto feature2 = verifyNoReplication(op, dsi);
+    EXPECT_TRUE(feature2.ok) << feature2.message;
+    const auto feature3 = verifyPhaseAlignment(op, dsi);
+    EXPECT_TRUE(feature3.ok) << feature3.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllK, PSquareFeatureTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Features, RowPartitionNeedsAllReduceAndReplicates)
+{
+    // Megatron row parallelism: partition N. Forward all-reduces O,
+    // and O/dO are replicated — the motivating inefficiency (Sec. 2.2).
+    const OpSpec op = smallLinear();
+    PartitionSeq seq({PartitionStep::byDim(2)});
+    DsiTable dsi(op, seq, 1);
+
+    EXPECT_TRUE(verifyContractionCoverage(op, dsi).ok);
+    EXPECT_FALSE(verifyCollectiveFree(op, seq, dsi).ok);
+    EXPECT_FALSE(verifyNoReplication(op, dsi).ok);
+    EXPECT_TRUE(verifyPhaseAlignment(op, dsi).ok);
+}
+
+TEST(Features, DataParallelAllReducesOnlyGradient)
+{
+    const OpSpec op = smallLinear();
+    PartitionSeq seq({PartitionStep::byDim(0)}); // batch
+    DsiTable dsi(op, seq, 1);
+
+    const auto fwd = derivePassComm(op, seq, dsi, 0);
+    const auto bwd = derivePassComm(op, seq, dsi, 1);
+    const auto grad = derivePassComm(op, seq, dsi, 2);
+    EXPECT_FALSE(fwd.allReduce.has_value());
+    EXPECT_FALSE(bwd.allReduce.has_value());
+    ASSERT_TRUE(grad.allReduce.has_value());
+    EXPECT_EQ(grad.allReduce->indicator, (GroupIndicator{0}));
+    // dW all-reduce across the two data-parallel devices.
+    ASSERT_EQ(grad.allReduce->groups.size(), 1u);
+    EXPECT_EQ(grad.allReduce->groups[0], (DeviceGroup{0, 1}));
+}
+
+TEST(Features, MixedDataParallelPlusPSquare)
+{
+    // B,P2x2 over 8 devices: temporal primitive handles N/K/M
+    // contractions; only the batch bit induces a gradient all-reduce.
+    const OpSpec op = makeLinearOp("fc", 8, 32, 32, 32);
+    PartitionSeq seq({PartitionStep::byDim(0), PartitionStep::pSquare(1)});
+    DsiTable dsi(op, seq, 3);
+
+    EXPECT_TRUE(verifyContractionCoverage(op, dsi).ok);
+    EXPECT_FALSE(derivePassComm(op, seq, dsi, 0).allReduce.has_value());
+    EXPECT_FALSE(derivePassComm(op, seq, dsi, 1).allReduce.has_value());
+    const auto grad = derivePassComm(op, seq, dsi, 2);
+    ASSERT_TRUE(grad.allReduce.has_value());
+    EXPECT_EQ(grad.allReduce->indicator, (GroupIndicator{0}));
+}
+
+TEST(Space, ConventionalCountForLinear)
+{
+    const OpSpec op = makeLinearOp("fc", 64, 64, 64, 64);
+    SpaceOptions opts;
+    opts.allowPSquare = false;
+    // 4 partitionable dims, 3 bits: 4^3 orderings.
+    EXPECT_EQ(enumerateSequences(op, 3, opts).size(), 64u);
+}
+
+TEST(Space, PSquareExtendsSpace)
+{
+    const OpSpec op = makeLinearOp("fc", 64, 64, 64, 64);
+    SpaceOptions with;
+    SpaceOptions without;
+    without.allowPSquare = false;
+    // n = 2: 16 ByDim orderings + P2x2.
+    EXPECT_EQ(enumerateSequences(op, 2, without).size(), 16u);
+    EXPECT_EQ(enumerateSequences(op, 2, with).size(), 17u);
+    // n = 4: 256 + P2x2 at 3 slots x 16 orderings + P4x4.
+    EXPECT_EQ(enumerateSequences(op, 4, with).size(), 256u + 48u + 1u);
+}
+
+TEST(Space, RespectsDivisibility)
+{
+    // Batch of 2 cannot be split 4 ways.
+    const OpSpec op = makeLinearOp("fc", 2, 64, 64, 64);
+    SpaceOptions opts;
+    opts.allowPSquare = false;
+    for (const auto &seq : enumerateSequences(op, 3, opts)) {
+        const auto slices = seq.sliceCounts(op);
+        EXPECT_LE(slices[0], 2);
+    }
+}
+
+TEST(Space, ExcludedDims)
+{
+    const OpSpec op = makeLinearOp("fc", 64, 64, 64, 64);
+    SpaceOptions opts;
+    opts.allowPSquare = false;
+    opts.excludedDims = {0}; // no batch partitioning (3D parallel mode)
+    for (const auto &seq : enumerateSequences(op, 3, opts)) {
+        for (const auto &s : seq.steps())
+            EXPECT_NE(s.dim, 0);
+    }
+    EXPECT_EQ(enumerateSequences(op, 3, opts).size(), 27u); // 3^3
+}
+
+TEST(Space, MaxTemporalStepsBound)
+{
+    const OpSpec op = makeLinearOp("fc", 64, 64, 64, 64);
+    SpaceOptions opts;
+    opts.maxTemporalSteps = 2; // only P2x2 allowed
+    for (const auto &seq : enumerateSequences(op, 4, opts))
+        EXPECT_LE(seq.temporalSteps(), 2);
+}
+
+/** Property sweep: every sequence in the space of a linear operator is
+ *  semantically valid (coverage) and phase-aligned. */
+class SpacePropertyTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SpacePropertyTest, AllSequencesCoverAndAlign)
+{
+    const int num_bits = GetParam();
+    const OpSpec op = makeLinearOp("fc", 8, 16, 16, 16);
+    const auto space = enumerateSequences(op, num_bits);
+    ASSERT_FALSE(space.empty());
+    for (const auto &seq : space) {
+        DsiTable dsi(op, seq, num_bits);
+        const auto coverage = verifyContractionCoverage(op, dsi);
+        ASSERT_TRUE(coverage.ok)
+            << seq.toString(op) << ": " << coverage.message;
+        const auto alignment = verifyPhaseAlignment(op, dsi);
+        ASSERT_TRUE(alignment.ok)
+            << seq.toString(op) << ": " << alignment.message;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, SpacePropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Space, PSquareSequencesAvoidAllReduceUnlessSpatialContraction)
+{
+    // For every sequence with a PSquare and no ByDim on a contracted
+    // dim of a pass, that pass must be collective-free.
+    const OpSpec op = makeLinearOp("fc", 8, 16, 16, 16);
+    for (const auto &seq : enumerateSequences(op, 3)) {
+        if (!seq.hasPSquare())
+            continue;
+        DsiTable dsi(op, seq, 3);
+        for (std::size_t p = 0; p < op.passes.size(); ++p) {
+            bool spatial_contraction = false;
+            for (const auto &step : seq.steps()) {
+                if (step.kind != PartitionStep::Kind::ByDim)
+                    continue;
+                for (int d : op.passes[p].contracted)
+                    if (step.dim == d)
+                        spatial_contraction = true;
+            }
+            const auto comm =
+                derivePassComm(op, seq, dsi, static_cast<int>(p));
+            EXPECT_EQ(comm.allReduce.has_value(), spatial_contraction)
+                << seq.toString(op) << " pass " << p;
+        }
+    }
+}
+
+} // namespace
+} // namespace primepar

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of 3D parallelism composition (Sec. 6.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/three_d.hh"
+
+namespace primepar {
+namespace {
+
+TEST(ThreeD, ConfigEnumerationCoversFactorizations)
+{
+    const auto configs = threeDConfigs(32);
+    // p in {2,4,8,16,32}, d*m filling the rest: 5+4+3+2+1 = 15.
+    EXPECT_EQ(configs.size(), 15u);
+    for (const auto &c : configs) {
+        EXPECT_GT(c.p, 1);
+        EXPECT_EQ(c.devices(), 32);
+    }
+}
+
+TEST(ThreeD, ConfigToString)
+{
+    EXPECT_EQ((ThreeDConfig{2, 4, 4}.toString()), "(2,4,4)");
+}
+
+struct ThreeDFixture
+{
+    ThreeDFixture() : model(opt6p7b())
+    {
+        model.seqLength = 512; // lighter for tests
+        evaluator = std::make_unique<ThreeDEvaluator>(model, 32, 4);
+        block = buildTransformerBlock(model, 4);
+    }
+
+    ModelConfig model;
+    std::unique_ptr<ThreeDEvaluator> evaluator;
+    CompGraph block;
+};
+
+TEST(ThreeD, EvaluatesMegatronConfig)
+{
+    ThreeDFixture f;
+    const ThreeDConfig cfg{2, 4, 4};
+    const auto strat = megatronStrategies(f.block, {1, cfg.m});
+    ASSERT_TRUE(strat.has_value());
+    const ThreeDResult r = f.evaluator->evaluate(cfg, f.block, *strat);
+    EXPECT_GT(r.iterationUs, 0.0);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.bubbleUs, 0.0);
+    EXPECT_GT(r.gradAllReduceUs, 0.0); // d = 4
+}
+
+TEST(ThreeD, NoGradAllReduceWithoutDataParallelism)
+{
+    ThreeDFixture f;
+    const ThreeDConfig cfg{2, 1, 16};
+    const auto strat = megatronStrategies(f.block, {1, cfg.m});
+    ASSERT_TRUE(strat.has_value());
+    const ThreeDResult r = f.evaluator->evaluate(cfg, f.block, *strat);
+    EXPECT_EQ(r.gradAllReduceUs, 0.0);
+}
+
+TEST(ThreeD, DeeperPipelineMoreBubble)
+{
+    ThreeDFixture f;
+    const auto s4 = megatronStrategies(f.block, {1, 4});
+    ASSERT_TRUE(s4.has_value());
+    const ThreeDResult p2 =
+        f.evaluator->evaluate({2, 4, 4}, f.block, *s4);
+    const ThreeDResult p8 =
+        f.evaluator->evaluate({8, 1, 4}, f.block, *s4);
+    // Bubble rounds grow with p (per-round time differs; compare
+    // bubble share).
+    EXPECT_GT(p8.bubbleUs / p8.iterationUs,
+              p2.bubbleUs / p2.iterationUs * 0.99);
+}
+
+TEST(ThreeD, LargeModelPrefersModelParallelOverDataParallel)
+{
+    // With 175B-scale weights, pure data parallelism cannot even fit
+    // the weights in device memory, and d > 1 pays a huge gradient
+    // all-reduce: (2,1,16) must beat (2,16,1) — the paper's Fig. 10
+    // observation that >100B models peak at (2,1,16).
+    ModelConfig model = opt175b();
+    model.seqLength = 512;
+    ThreeDEvaluator eval(model, 128, 4);
+    const CompGraph block = buildTransformerBlock(model, 4);
+
+    const auto s16 = megatronStrategies(block, {1, 16});
+    ASSERT_TRUE(s16.has_value());
+    const ThreeDResult mp = eval.evaluate({2, 1, 16}, block, *s16);
+    EXPECT_TRUE(mp.feasible);
+
+    const auto s1 = megatronStrategies(block, {1, 1});
+    ASSERT_TRUE(s1.has_value());
+    const ThreeDResult dp = eval.evaluate({2, 16, 1}, block, *s1);
+    EXPECT_FALSE(dp.feasible);
+
+    EXPECT_GT(mp.throughput, dp.throughput);
+}
+
+TEST(ThreeD, MemoryAccountsForInFlightMicrobatches)
+{
+    ModelConfig model = opt6p7b();
+    model.seqLength = 512;
+    ThreeDEvaluator eval(model, 128, 4);
+    const CompGraph block = buildTransformerBlock(model, 4);
+    const auto strat = megatronStrategies(block, {1, 4});
+    ASSERT_TRUE(strat.has_value());
+    // Deeper pipelines stash more in-flight activations per device
+    // even though each stage holds fewer layers... compare at equal
+    // layers by contrasting p=2 vs p=4 peak memory ratios.
+    const ThreeDResult p2 = eval.evaluate({2, 4, 4}, block, *strat);
+    const ThreeDResult p4 = eval.evaluate({4, 2, 4}, block, *strat);
+    EXPECT_GT(p2.peakMemoryBytes, 0.0);
+    EXPECT_GT(p4.peakMemoryBytes, 0.0);
+    // p=4 stage holds half the layers: params shrink.
+    EXPECT_LT(p4.peakMemoryBytes, p2.peakMemoryBytes);
+}
+
+} // namespace
+} // namespace primepar

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Randomized property tests: arbitrary contraction operators (random
+ * dimension counts, sizes and tensor shapes) must satisfy the same
+ * invariants as the hand-written transformer operators — contraction
+ * coverage, phase alignment, ring-bijection of derived shifts, and
+ * functional equivalence under SPMD execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partition/alignment.hh"
+#include "partition/space.hh"
+#include "runtime/spmd_executor.hh"
+#include "support/rng.hh"
+
+namespace primepar {
+namespace {
+
+/** Build a random batched matmul A[batch.., m, c] x B[batch.., c, k]. */
+OpSpec
+randomMatmulOp(Rng &rng, int max_batch_dims = 2)
+{
+    const int batch_dims = 1 + static_cast<int>(rng.below(max_batch_dims));
+    std::vector<std::string> names;
+    std::vector<std::int64_t> sizes;
+    std::vector<int> a_dims, b_dims, out_dims;
+    for (int d = 0; d < batch_dims; ++d) {
+        names.push_back("B" + std::to_string(d));
+        sizes.push_back(2 << rng.below(2)); // 2 or 4
+        a_dims.push_back(d);
+        b_dims.push_back(d);
+        out_dims.push_back(d);
+    }
+    const int m = batch_dims, c = batch_dims + 1, k = batch_dims + 2;
+    names.push_back("M");
+    names.push_back("C");
+    names.push_back("K");
+    for (int i = 0; i < 3; ++i)
+        sizes.push_back(4 << rng.below(2)); // 4 or 8
+    a_dims.push_back(m);
+    a_dims.push_back(c);
+    b_dims.push_back(c);
+    b_dims.push_back(k);
+    out_dims.push_back(m);
+    out_dims.push_back(k);
+    return makeBatchedMatmulOp("rand", names, sizes, a_dims, b_dims,
+                               out_dims);
+}
+
+Shape
+shapeOf(const OpSpec &op, int tensor)
+{
+    Shape s;
+    for (int d : op.tensors[tensor].dims)
+        s.push_back(op.dims[d].size);
+    return s;
+}
+
+class RandomOpProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomOpProperty, InvariantsAndEquivalence)
+{
+    Rng rng(1000 + GetParam());
+    const OpSpec op = randomMatmulOp(rng);
+    const int num_bits = 2;
+
+    std::map<std::string, Tensor> inputs;
+    inputs["A"] = Tensor::random(shapeOf(op, 0), rng);
+    inputs["Bm"] = Tensor::random(shapeOf(op, 1), rng);
+    inputs["dO"] = Tensor::random(shapeOf(op, 2), rng);
+    const auto ref = referenceTrainStep(op, inputs);
+
+    int checked = 0;
+    for (const auto &seq : enumerateSequences(op, num_bits)) {
+        DsiTable dsi(op, seq, num_bits);
+        const auto coverage = verifyContractionCoverage(op, dsi);
+        ASSERT_TRUE(coverage.ok)
+            << seq.toString(op) << ": " << coverage.message;
+        const auto alignment = verifyPhaseAlignment(op, dsi);
+        ASSERT_TRUE(alignment.ok)
+            << seq.toString(op) << ": " << alignment.message;
+
+        SpmdOpExecutor exec(op, seq, num_bits);
+        const auto got = exec.run(inputs);
+        ASSERT_TRUE(got.output.allClose(ref.output, 1e-3f, 1e-4f))
+            << seq.toString(op);
+        ASSERT_TRUE(got.d_input.allClose(ref.d_input, 1e-3f, 1e-4f))
+            << seq.toString(op);
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpProperty,
+                         ::testing::Range(0, 12));
+
+class RandomLinearShapes : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomLinearShapes, PSquareExactForUnevenShapes)
+{
+    // PSquare with non-square, non-power-of-two-ratio shapes.
+    Rng rng(5000 + GetParam());
+    const std::int64_t b = 1 + rng.below(3);
+    const std::int64_t m = 4 * (1 + rng.below(3));
+    const std::int64_t n = 4 * (1 + rng.below(3));
+    const std::int64_t k = 4 * (1 + rng.below(3));
+    const OpSpec op = makeLinearOp("fc", b, m, n, k);
+
+    std::map<std::string, Tensor> inputs;
+    inputs["I"] = Tensor::random(Shape{b, m, n}, rng);
+    inputs["W"] = Tensor::random(Shape{n, k}, rng);
+    inputs["dO"] = Tensor::random(Shape{b, m, k}, rng);
+    const auto ref = referenceTrainStep(op, inputs);
+
+    SpmdOpExecutor exec(op, PartitionSeq({PartitionStep::pSquare(1)}),
+                        2);
+    const auto got = exec.run(inputs);
+    EXPECT_TRUE(got.output.allClose(ref.output, 1e-3f, 1e-4f))
+        << b << "x" << m << "x" << n << "x" << k;
+    EXPECT_TRUE(got.d_weight.allClose(ref.d_weight, 1e-3f, 1e-4f));
+    EXPECT_TRUE(got.d_input.allClose(ref.d_input, 1e-3f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLinearShapes,
+                         ::testing::Range(0, 10));
+
+} // namespace
+} // namespace primepar

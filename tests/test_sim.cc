@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests of the cluster simulator: engine primitives, per-op phase
+ * simulation, memory model and whole-model simulation — including the
+ * qualitative claims of the paper (overlap of ring traffic, collective
+ * cost of conventional partitions, memory replication effects).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/transformer.hh"
+#include "partition/space.hh"
+#include "sim/engine.hh"
+#include "sim/memory.hh"
+#include "sim/model_sim.hh"
+#include "sim/op_sim.hh"
+
+namespace primepar {
+namespace {
+
+TEST(Engine, ResourceSerializes)
+{
+    Resource r;
+    EXPECT_EQ(r.occupy(0.0, 5.0), 5.0);
+    // Second task ready at 2 but engine busy until 5.
+    EXPECT_EQ(r.occupy(2.0, 3.0), 8.0);
+    // Idle gap honoured.
+    EXPECT_EQ(r.occupy(20.0, 1.0), 21.0);
+}
+
+TEST(Engine, ComputeDurationComponents)
+{
+    DeviceSpec spec;
+    spec.flops_per_us = 100.0;
+    spec.mem_bytes_per_us = 10.0;
+    spec.kernel_overhead_us = 1.0;
+    EXPECT_DOUBLE_EQ(computeDuration(spec, 1000.0, 50.0),
+                     1.0 + 10.0 + 5.0);
+}
+
+TEST(Engine, TransferFasterIntraNode)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const double bytes = 1 << 20;
+    EXPECT_LT(transferWireTime(topo, 0, 1, bytes),
+              transferWireTime(topo, 0, 4, bytes));
+    EXPECT_EQ(transferWireTime(topo, 3, 3, bytes), 0.0);
+}
+
+TEST(Engine, RingAllReduceScalesWithGroup)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const double bytes = 64.0 * 1024 * 1024;
+    const DeviceGroup pair{0, 1};
+    const DeviceGroup quad{0, 1, 2, 3};
+    const DeviceGroup cross{0, 4};
+    EXPECT_EQ(ringAllReduceDuration(topo, {0}, bytes), 0.0);
+    EXPECT_GT(ringAllReduceDuration(topo, pair, bytes), 0.0);
+    // Cross-node pairs are far slower than intra-node pairs.
+    EXPECT_GT(ringAllReduceDuration(topo, cross, bytes),
+              5.0 * ringAllReduceDuration(topo, pair, bytes));
+    // Reduce-scatter is half an all-reduce.
+    EXPECT_NEAR(reduceScatterDuration(topo, quad, bytes) * 2.0,
+                ringAllReduceDuration(topo, quad, bytes), 1e-9);
+}
+
+TEST(Engine, ContextTransferQueuesOnPorts)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    SimContext ctx(topo);
+    const double t1 = ctx.transfer(0, 1, 1e6, 0.0);
+    // Second transfer from the same sender must queue behind it.
+    const double t2 = ctx.transfer(0, 2, 1e6, 0.0);
+    EXPECT_GT(t2, t1);
+    // Independent pair runs in parallel.
+    SimContext ctx2(topo);
+    const double t3 = ctx2.transfer(2, 3, 1e6, 0.0);
+    EXPECT_DOUBLE_EQ(t3, t1);
+}
+
+TEST(OpSim, PSquareOverlapsRingWithCompute)
+{
+    // With V100-class compute and NVLink, the P2x2 ring traffic should
+    // hide almost completely behind compute (paper Fig. 4/Fig. 9).
+    const auto topo = ClusterTopology::paperCluster(4);
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 4096);
+    const OpPlan plan(op, PartitionSeq({PartitionStep::pSquare(1)}), 2);
+
+    SimContext ctx(topo);
+    SimBreakdown total;
+    for (Phase ph :
+         {Phase::Forward, Phase::Backward, Phase::Gradient}) {
+        total.accumulate(simulateOpPhase(ctx, plan, ph));
+    }
+    EXPECT_EQ(total.allReduceUs, 0.0);
+    EXPECT_GT(total.ringUs, 0.0);
+    // Stall (exposed communication) under 15% of compute.
+    EXPECT_LT(total.stallUs, 0.15 * total.computeUs);
+}
+
+TEST(OpSim, RowParallelPaysAllReduce)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 4096);
+    const OpPlan plan(
+        op, PartitionSeq({PartitionStep::byDim(2),
+                          PartitionStep::byDim(2)}),
+        2);
+    SimContext ctx(topo);
+    const SimBreakdown fwd = simulateOpPhase(ctx, plan, Phase::Forward);
+    EXPECT_GT(fwd.allReduceUs, 0.0);
+    EXPECT_EQ(fwd.ringUs, 0.0);
+}
+
+TEST(OpSim, ComputeBalancedAcrossStrategies)
+{
+    // Same op, same device count: compute time is partition-invariant
+    // (the paper observes Megatron and PrimePar share compute cost).
+    const auto topo = ClusterTopology::paperCluster(4);
+    const OpSpec op = makeLinearOp("fc", 8, 2048, 4096, 4096);
+
+    auto compute_of = [&](const PartitionSeq &seq) {
+        const OpPlan plan(op, seq, 2);
+        SimContext ctx(topo);
+        SimBreakdown total;
+        for (Phase ph :
+             {Phase::Forward, Phase::Backward, Phase::Gradient})
+            total.accumulate(simulateOpPhase(ctx, plan, ph));
+        return total.computeUs;
+    };
+
+    const double c_psq =
+        compute_of(PartitionSeq({PartitionStep::pSquare(1)}));
+    const double c_mm = compute_of(PartitionSeq(
+        {PartitionStep::byDim(1), PartitionStep::byDim(1)}));
+    // Within kernel-overhead effects.
+    EXPECT_NEAR(c_psq / c_mm, 1.0, 0.2);
+}
+
+TEST(Memory, PSquareUsesLessMemoryThanReplicatingPartition)
+{
+    // Weight-heavy linear (large-model fc1 shape, small batch): the
+    // regime where replication hurts (paper Sec. 2.2).
+    const OpSpec op = makeLinearOp("fc", 8, 512, 12288, 49152);
+    // P2x2: no replication. M,M: replicates W (and dW) 4x.
+    PartitionSeq psq({PartitionStep::pSquare(1)});
+    PartitionSeq mm({PartitionStep::byDim(1), PartitionStep::byDim(1)});
+    DsiTable d1(op, psq, 2), d2(op, mm, 2);
+    const double m_psq = opMemory(op, psq, d1).total();
+    const double m_mm = opMemory(op, mm, d2).total();
+    EXPECT_LT(m_psq, m_mm);
+}
+
+TEST(Memory, IdealIsLowerBoundOverSpace)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 512, 512, 512);
+    const double ideal = opIdealMemoryBytes(op, 4);
+    // Parameter+stash part of every strategy >= ideal.
+    for (const auto &seq : enumerateSequences(op, 2)) {
+        DsiTable dsi(op, seq, 2);
+        const OpMemory mem = opMemory(op, seq, dsi);
+        EXPECT_GE(mem.paramBytes + mem.stashBytes, ideal * 0.999)
+            << seq.toString(op);
+    }
+}
+
+TEST(Memory, DoubleBuffersOnlyWithPSquare)
+{
+    const OpSpec op = makeLinearOp("fc", 8, 512, 512, 512);
+    PartitionSeq spatial({PartitionStep::byDim(2),
+                          PartitionStep::byDim(3)});
+    DsiTable ds(op, spatial, 2);
+    EXPECT_EQ(opMemory(op, spatial, ds).doubleBufferBytes, 0.0);
+
+    PartitionSeq psq({PartitionStep::pSquare(1)});
+    DsiTable dp(op, psq, 2);
+    EXPECT_GT(opMemory(op, psq, dp).doubleBufferBytes, 0.0);
+}
+
+TEST(ModelSim, MlpBlockRunsAndBreaksDown)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const ModelConfig cfg = opt6p7b();
+    const CompGraph g = buildMlpBlock(cfg, 8);
+
+    // Megatron MLP: fc1 column (K), fc2 row (N); relu splits K-aligned
+    // F dimension.
+    std::vector<PartitionSeq> strat;
+    strat.push_back(PartitionSeq({PartitionStep::byDim(0),
+                                  PartitionStep::byDim(3),
+                                  PartitionStep::byDim(3)}));
+    strat.push_back(PartitionSeq({PartitionStep::byDim(0),
+                                  PartitionStep::byDim(2),
+                                  PartitionStep::byDim(2)}));
+    strat.push_back(PartitionSeq({PartitionStep::byDim(0),
+                                  PartitionStep::byDim(2),
+                                  PartitionStep::byDim(2)}));
+    const ModelSimulator sim(topo, g, strat);
+    const ModelSimResult r = sim.simulate();
+    EXPECT_GT(r.latencyUs, 0.0);
+    EXPECT_GT(r.computeUs, 0.0);
+    // fc1 column + fc2 row: forward all-reduce only after fc2;
+    // gradient all-reduce from the batch partition.
+    EXPECT_GT(r.allReduceUs, 0.0);
+    EXPECT_GT(r.peakMemoryBytes, 0.0);
+}
+
+TEST(ModelSim, TransformerBlockBuildsAndSimulates)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 512; // keep the test light
+    const CompGraph g = buildTransformerBlock(cfg, 8);
+    ASSERT_EQ(g.numNodes(), 13);
+    ASSERT_EQ(g.edges().size(), 16u);
+
+    // All ops data-parallel over 4 devices.
+    std::vector<PartitionSeq> strat;
+    for (int n = 0; n < g.numNodes(); ++n) {
+        const int b_dim = g.node(n).dimIndex("B");
+        strat.push_back(PartitionSeq({PartitionStep::byDim(b_dim),
+                                      PartitionStep::byDim(b_dim)}));
+    }
+    const ModelSimulator sim(topo, g, strat);
+    const ModelSimResult r = sim.simulate(2);
+    EXPECT_GT(r.latencyUs, 0.0);
+    // Pure data parallelism: no redistribution at all (all edges
+    // aligned on the batch split), all-reduce only for gradients.
+    EXPECT_EQ(r.redistUs, 0.0);
+    EXPECT_GT(r.allReduceUs, 0.0);
+}
+
+TEST(ModelSim, LayerScalingIsLinear)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 256;
+    const CompGraph g = buildMlpBlock(cfg, 4);
+    std::vector<PartitionSeq> strat(
+        3, PartitionSeq(
+               {PartitionStep::byDim(0), PartitionStep::byDim(0)}));
+    const ModelSimulator sim(topo, g, strat);
+    const auto r1 = sim.simulate(1);
+    const auto r4 = sim.simulate(4);
+    EXPECT_NEAR(r4.latencyUs, 4.0 * r1.latencyUs, 1e-6);
+    EXPECT_GT(r4.peakMemoryBytes, r1.peakMemoryBytes);
+}
+
+} // namespace
+} // namespace primepar

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the support library (bits, regression, table).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bits.hh"
+#include "support/regression.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+
+namespace primepar {
+namespace {
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(-4));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(Bits, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0);
+    EXPECT_EQ(log2Exact(2), 1);
+    EXPECT_EQ(log2Exact(32), 5);
+    EXPECT_EQ(log2Exact(1 << 20), 20);
+}
+
+TEST(Bits, PositiveMod)
+{
+    EXPECT_EQ(positiveMod(5, 4), 1);
+    EXPECT_EQ(positiveMod(-1, 4), 3);
+    EXPECT_EQ(positiveMod(-4, 4), 0);
+    EXPECT_EQ(positiveMod(-5, 4), 3);
+    EXPECT_EQ(positiveMod(0, 7), 0);
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(Regression, ExactLine)
+{
+    // y = 3 + 2x must be recovered exactly.
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys{5, 7, 9, 11, 13};
+    const LinearModel m = fitLinear(xs, ys);
+    EXPECT_NEAR(m.intercept, 3.0, 1e-9);
+    EXPECT_NEAR(m.slope, 2.0, 1e-9);
+    EXPECT_NEAR(rSquared(m, xs, ys), 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineHighR2)
+{
+    Rng rng(7);
+    std::vector<double> xs, ys;
+    for (int i = 1; i <= 50; ++i) {
+        xs.push_back(i * 100.0);
+        ys.push_back(10.0 + 0.5 * i * 100.0 + rng.uniform(-1.0f, 1.0f));
+    }
+    const LinearModel m = fitLinear(xs, ys);
+    EXPECT_NEAR(m.slope, 0.5, 1e-2);
+    EXPECT_GT(rSquared(m, xs, ys), 0.999);
+}
+
+TEST(Regression, DegenerateSingleX)
+{
+    std::vector<double> xs{4, 4, 4};
+    std::vector<double> ys{1, 2, 3};
+    const LinearModel m = fitLinear(xs, ys);
+    EXPECT_NEAR(m.slope, 0.0, 1e-12);
+    EXPECT_NEAR(m.intercept, 2.0, 1e-12);
+}
+
+TEST(Regression, ClampsNegativePredictions)
+{
+    LinearModel m{-5.0, 1.0};
+    EXPECT_EQ(m(1.0), 0.0);
+    EXPECT_NEAR(m(10.0), 5.0, 1e-12);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const float v = rng.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"model", "gpus", "speedup"});
+    t.row({"OPT 175B", "32", "1.68"});
+    t.row({"Llama2 7B", "4", "1.16"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("model"), std::string::npos);
+    EXPECT_NE(s.find("OPT 175B"), std::string::npos);
+    EXPECT_NE(s.find("1.68"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace primepar

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Unit tests for the dense tensor library and reference kernels.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace primepar {
+namespace {
+
+TEST(Tensor, ConstructionAndShape)
+{
+    Tensor t(Shape{2, 3, 4});
+    EXPECT_EQ(t.rank(), 3);
+    EXPECT_EQ(t.numel(), 24);
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.dim(2), 4);
+    EXPECT_EQ(t.shapeString(), "[2, 3, 4]");
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, AtRoundTrips)
+{
+    Tensor t(Shape{2, 3});
+    t.at({1, 2}) = 7.0f;
+    t.at({0, 1}) = -3.0f;
+    EXPECT_EQ(t.at({1, 2}), 7.0f);
+    EXPECT_EQ(t.at({0, 1}), -3.0f);
+    EXPECT_EQ(t.data()[1 * 3 + 2], 7.0f);
+}
+
+TEST(Tensor, SliceAndAssignRoundTrip)
+{
+    Rng rng(1);
+    Tensor t = Tensor::random(Shape{4, 6}, rng);
+    Tensor s = t.slice({1, 2}, {2, 3});
+    EXPECT_EQ(s.shape(), (Shape{2, 3}));
+    for (std::int64_t i = 0; i < 2; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            EXPECT_EQ(s.at({i, j}), t.at({i + 1, j + 2}));
+
+    Tensor u(Shape{4, 6});
+    u.assignSlice({1, 2}, s);
+    for (std::int64_t i = 0; i < 2; ++i)
+        for (std::int64_t j = 0; j < 3; ++j)
+            EXPECT_EQ(u.at({i + 1, j + 2}), s.at({i, j}));
+}
+
+TEST(Tensor, NarrowMatchesSlice)
+{
+    Rng rng(2);
+    Tensor t = Tensor::random(Shape{4, 8}, rng);
+    Tensor a = t.narrow(1, 2, 4);
+    Tensor b = t.slice({0, 2}, {4, 4});
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0f);
+}
+
+TEST(Tensor, AccumulateSlice)
+{
+    Tensor t = Tensor::full(Shape{2, 2}, 1.0f);
+    Tensor s = Tensor::full(Shape{1, 2}, 2.0f);
+    t.accumulateSlice({1, 0}, s);
+    EXPECT_EQ(t.at({0, 0}), 1.0f);
+    EXPECT_EQ(t.at({1, 0}), 3.0f);
+    EXPECT_EQ(t.at({1, 1}), 3.0f);
+}
+
+TEST(Tensor, AddScaleZero)
+{
+    Tensor a = Tensor::full(Shape{3}, 2.0f);
+    Tensor b = Tensor::full(Shape{3}, 0.5f);
+    a.add(b);
+    EXPECT_EQ(a.at({0}), 2.5f);
+    a.scale(2.0f);
+    EXPECT_EQ(a.at({2}), 5.0f);
+    a.zero();
+    EXPECT_EQ(a.at({1}), 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Rng rng(3);
+    Tensor t = Tensor::random(Shape{2, 6}, rng);
+    Tensor r = t.reshape(Shape{3, 4});
+    EXPECT_EQ(r.numel(), t.numel());
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(r.data()[i], t.data()[i]);
+}
+
+TEST(Tensor, AllClose)
+{
+    Tensor a = Tensor::full(Shape{4}, 1.0f);
+    Tensor b = Tensor::full(Shape{4}, 1.0f + 1e-6f);
+    EXPECT_TRUE(a.allClose(b));
+    Tensor c = Tensor::full(Shape{4}, 1.1f);
+    EXPECT_FALSE(a.allClose(c));
+    Tensor d = Tensor::full(Shape{2, 2}, 1.0f);
+    EXPECT_FALSE(a.allClose(d)); // shape mismatch
+}
+
+TEST(Ops, LinearForwardSmall)
+{
+    // I = [[1, 2]], W = [[1, 0], [0, 1]] -> O = [[1, 2]].
+    Tensor i(Shape{1, 1, 2});
+    i.at({0, 0, 0}) = 1.0f;
+    i.at({0, 0, 1}) = 2.0f;
+    Tensor w(Shape{2, 2});
+    w.at({0, 0}) = 1.0f;
+    w.at({1, 1}) = 1.0f;
+    Tensor o = linearForward(i, w);
+    EXPECT_EQ(o.shape(), (Shape{1, 1, 2}));
+    EXPECT_EQ(o.at({0, 0, 0}), 1.0f);
+    EXPECT_EQ(o.at({0, 0, 1}), 2.0f);
+}
+
+TEST(Ops, LinearBackwardIsTransposedForward)
+{
+    Rng rng(4);
+    Tensor go = Tensor::random(Shape{2, 3, 4}, rng);
+    Tensor w = Tensor::random(Shape{5, 4}, rng);
+    Tensor gi = linearBackward(go, w);
+    EXPECT_EQ(gi.shape(), (Shape{2, 3, 5}));
+    // gi[b,m,n] = sum_k go[b,m,k] * w[n,k]
+    float expect = 0.0f;
+    for (int k = 0; k < 4; ++k)
+        expect += go.at({1, 2, k}) * w.at({3, k});
+    EXPECT_NEAR(gi.at({1, 2, 3}), expect, 1e-5f);
+}
+
+TEST(Ops, LinearGradientSumsBatchAndRows)
+{
+    Rng rng(5);
+    Tensor in = Tensor::random(Shape{2, 3, 4}, rng);
+    Tensor go = Tensor::random(Shape{2, 3, 5}, rng);
+    Tensor dw = linearGradient(in, go);
+    EXPECT_EQ(dw.shape(), (Shape{4, 5}));
+    float expect = 0.0f;
+    for (int b = 0; b < 2; ++b)
+        for (int m = 0; m < 3; ++m)
+            expect += in.at({b, m, 1}) * go.at({b, m, 2});
+    EXPECT_NEAR(dw.at({1, 2}), expect, 1e-5f);
+}
+
+TEST(Ops, LinearGradCheck)
+{
+    // Numerical gradient check of the linear op chain.
+    Rng rng(6);
+    Tensor in = Tensor::random(Shape{1, 2, 3}, rng);
+    Tensor w = Tensor::random(Shape{3, 2}, rng);
+    // loss = sum(O); dO = ones.
+    Tensor d_out = Tensor::full(Shape{1, 2, 2}, 1.0f);
+    Tensor dw = linearGradient(in, d_out);
+    Tensor di = linearBackward(d_out, w);
+
+    auto loss = [&](const Tensor &ii, const Tensor &ww) {
+        Tensor o = linearForward(ii, ww);
+        float s = 0.0f;
+        for (std::int64_t i = 0; i < o.numel(); ++i)
+            s += o.data()[i];
+        return s;
+    };
+
+    const float eps = 1e-2f;
+    {
+        Tensor wp = w, wm = w;
+        wp.at({1, 0}) += eps;
+        wm.at({1, 0}) -= eps;
+        const float num = (loss(in, wp) - loss(in, wm)) / (2 * eps);
+        EXPECT_NEAR(dw.at({1, 0}), num, 1e-2f);
+    }
+    {
+        Tensor ip = in, im = in;
+        ip.at({0, 1, 2}) += eps;
+        im.at({0, 1, 2}) -= eps;
+        const float num = (loss(ip, w) - loss(im, w)) / (2 * eps);
+        EXPECT_NEAR(di.at({0, 1, 2}), num, 1e-2f);
+    }
+}
+
+TEST(Ops, BatchedMatmulMatchesManual)
+{
+    Rng rng(7);
+    Tensor a = Tensor::random(Shape{2, 2, 3, 4}, rng);
+    Tensor b = Tensor::random(Shape{2, 2, 4, 5}, rng);
+    Tensor o = batchedMatmul(a, b);
+    EXPECT_EQ(o.shape(), (Shape{2, 2, 3, 5}));
+    float expect = 0.0f;
+    for (int l = 0; l < 4; ++l)
+        expect += a.at({1, 0, 2, l}) * b.at({1, 0, l, 3});
+    EXPECT_NEAR(o.at({1, 0, 2, 3}), expect, 1e-5f);
+}
+
+TEST(Ops, BatchedMatmulTransposeFlags)
+{
+    Rng rng(8);
+    Tensor a = Tensor::random(Shape{1, 3, 4}, rng);
+    Tensor b = Tensor::random(Shape{1, 5, 4}, rng);
+    // o = a x b^T
+    Tensor o = batchedMatmul(a, b, false, true);
+    EXPECT_EQ(o.shape(), (Shape{1, 3, 5}));
+    float expect = 0.0f;
+    for (int l = 0; l < 4; ++l)
+        expect += a.at({0, 2, l}) * b.at({0, 4, l});
+    EXPECT_NEAR(o.at({0, 2, 4}), expect, 1e-5f);
+
+    // o2 = a^T x a : [4, 4]
+    Tensor o2 = batchedMatmul(a, a, true, false);
+    EXPECT_EQ(o2.shape(), (Shape{1, 4, 4}));
+}
+
+TEST(Ops, SoftmaxRowsSumToOne)
+{
+    Rng rng(9);
+    Tensor x = Tensor::random(Shape{3, 7}, rng);
+    Tensor y = softmaxLastDim(x);
+    for (int r = 0; r < 3; ++r) {
+        float s = 0.0f;
+        for (int c = 0; c < 7; ++c) {
+            EXPECT_GT(y.at({r, c}), 0.0f);
+            s += y.at({r, c});
+        }
+        EXPECT_NEAR(s, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Ops, SoftmaxBackwardGradCheck)
+{
+    Rng rng(10);
+    Tensor x = Tensor::random(Shape{2, 5}, rng);
+    Tensor gy = Tensor::random(Shape{2, 5}, rng);
+    Tensor y = softmaxLastDim(x);
+    Tensor gx = softmaxBackward(y, gy);
+
+    auto loss = [&](const Tensor &xx) {
+        Tensor yy = softmaxLastDim(xx);
+        float s = 0.0f;
+        for (std::int64_t i = 0; i < yy.numel(); ++i)
+            s += yy.data()[i] * gy.data()[i];
+        return s;
+    };
+    const float eps = 1e-2f;
+    Tensor xp = x, xm = x;
+    xp.at({1, 3}) += eps;
+    xm.at({1, 3}) -= eps;
+    const float num = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(gx.at({1, 3}), num, 1e-2f);
+}
+
+TEST(Ops, LayerNormNormalizes)
+{
+    Rng rng(11);
+    Tensor x = Tensor::random(Shape{4, 16}, rng);
+    Tensor gamma = Tensor::full(Shape{16}, 1.0f);
+    Tensor beta(Shape{16});
+    const auto res = layerNormForward(x, gamma, beta);
+    for (int r = 0; r < 4; ++r) {
+        float mu = 0.0f, var = 0.0f;
+        for (int c = 0; c < 16; ++c)
+            mu += res.output.at({r, c});
+        mu /= 16;
+        for (int c = 0; c < 16; ++c)
+            var += (res.output.at({r, c}) - mu) *
+                   (res.output.at({r, c}) - mu);
+        var /= 16;
+        EXPECT_NEAR(mu, 0.0f, 1e-4f);
+        EXPECT_NEAR(var, 1.0f, 1e-2f);
+    }
+}
+
+TEST(Ops, LayerNormBackwardGradCheck)
+{
+    Rng rng(12);
+    Tensor x = Tensor::random(Shape{2, 8}, rng);
+    Tensor gamma = Tensor::random(Shape{8}, rng);
+    Tensor beta = Tensor::random(Shape{8}, rng);
+    Tensor gy = Tensor::random(Shape{2, 8}, rng);
+
+    const auto fwd = layerNormForward(x, gamma, beta);
+    const auto grads = layerNormBackward(x, fwd, gamma, gy);
+
+    auto loss = [&](const Tensor &xx, const Tensor &gg,
+                    const Tensor &bb) {
+        const auto r = layerNormForward(xx, gg, bb);
+        float s = 0.0f;
+        for (std::int64_t i = 0; i < r.output.numel(); ++i)
+            s += r.output.data()[i] * gy.data()[i];
+        return s;
+    };
+
+    const float eps = 1e-2f;
+    {
+        Tensor xp = x, xm = x;
+        xp.at({1, 4}) += eps;
+        xm.at({1, 4}) -= eps;
+        const float num =
+            (loss(xp, gamma, beta) - loss(xm, gamma, beta)) / (2 * eps);
+        EXPECT_NEAR(grads.d_input.at({1, 4}), num, 2e-2f);
+    }
+    {
+        Tensor gp = gamma, gm = gamma;
+        gp.at({3}) += eps;
+        gm.at({3}) -= eps;
+        const float num =
+            (loss(x, gp, beta) - loss(x, gm, beta)) / (2 * eps);
+        EXPECT_NEAR(grads.d_gamma.at({3}), num, 2e-2f);
+    }
+    {
+        Tensor bp = beta, bm = beta;
+        bp.at({5}) += eps;
+        bm.at({5}) -= eps;
+        const float num =
+            (loss(x, gamma, bp) - loss(x, gamma, bm)) / (2 * eps);
+        EXPECT_NEAR(grads.d_beta.at({5}), num, 2e-2f);
+    }
+}
+
+TEST(Ops, GeluAndBackward)
+{
+    EXPECT_NEAR(gelu(Tensor::full(Shape{1}, 0.0f)).at({0}), 0.0f, 1e-6f);
+    // gelu(x) -> x for large x, -> 0 for very negative x.
+    EXPECT_NEAR(gelu(Tensor::full(Shape{1}, 5.0f)).at({0}), 5.0f, 1e-3f);
+    EXPECT_NEAR(gelu(Tensor::full(Shape{1}, -5.0f)).at({0}), 0.0f, 1e-3f);
+
+    Rng rng(13);
+    Tensor x = Tensor::random(Shape{10}, rng);
+    Tensor gy = Tensor::full(Shape{10}, 1.0f);
+    Tensor gx = geluBackward(x, gy);
+    const float eps = 1e-3f;
+    for (int i = 0; i < 10; ++i) {
+        Tensor xp = x, xm = x;
+        xp.at({i}) += eps;
+        xm.at({i}) -= eps;
+        const float num =
+            (gelu(xp).at({i}) - gelu(xm).at({i})) / (2 * eps);
+        EXPECT_NEAR(gx.at({i}), num, 1e-2f);
+    }
+}
+
+TEST(Ops, ReluAndBackward)
+{
+    Tensor x(Shape{4});
+    x.at({0}) = -1.0f;
+    x.at({1}) = 2.0f;
+    x.at({2}) = 0.0f;
+    x.at({3}) = -0.5f;
+    Tensor y = relu(x);
+    EXPECT_EQ(y.at({0}), 0.0f);
+    EXPECT_EQ(y.at({1}), 2.0f);
+    Tensor gy = Tensor::full(Shape{4}, 3.0f);
+    Tensor gx = reluBackward(x, gy);
+    EXPECT_EQ(gx.at({0}), 0.0f);
+    EXPECT_EQ(gx.at({1}), 3.0f);
+    EXPECT_EQ(gx.at({2}), 0.0f);
+}
+
+TEST(Ops, AddTensors)
+{
+    Tensor a = Tensor::full(Shape{2, 2}, 1.5f);
+    Tensor b = Tensor::full(Shape{2, 2}, 2.5f);
+    Tensor c = addTensors(a, b);
+    EXPECT_EQ(c.at({1, 1}), 4.0f);
+}
+
+} // namespace
+} // namespace primepar

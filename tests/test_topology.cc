@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for device ids, cluster topology and group patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/cluster.hh"
+#include "topology/device.hh"
+#include "topology/groups.hh"
+
+namespace primepar {
+namespace {
+
+TEST(DeviceId, BitOrderMsbFirst)
+{
+    // D = (d1, d2, d3) with d1 the most significant bit: device 5 =
+    // 0b101 -> (1, 0, 1).
+    DeviceId d(3, 5);
+    EXPECT_EQ(d.bit(0), 1);
+    EXPECT_EQ(d.bit(1), 0);
+    EXPECT_EQ(d.bit(2), 1);
+    EXPECT_EQ(d.toString(), "(1,0,1)");
+}
+
+TEST(DeviceId, AllDevices)
+{
+    const auto devs = allDevices(3);
+    EXPECT_EQ(devs.size(), 8u);
+    EXPECT_EQ(devs[7].linear(), 7);
+    EXPECT_EQ(devs[0].numBits(), 3);
+}
+
+TEST(Cluster, PaperClusterShapes)
+{
+    // <= 4 devices: single node; beyond: 4 GPUs per node.
+    const auto c4 = ClusterTopology::paperCluster(4);
+    EXPECT_EQ(c4.numNodes(), 1);
+    EXPECT_EQ(c4.gpusPerNode(), 4);
+    const auto c32 = ClusterTopology::paperCluster(32);
+    EXPECT_EQ(c32.numNodes(), 8);
+    EXPECT_EQ(c32.gpusPerNode(), 4);
+    EXPECT_EQ(c32.numBits(), 5);
+}
+
+TEST(Cluster, NodePlacementAndBandwidth)
+{
+    const auto c = ClusterTopology::paperCluster(8);
+    EXPECT_EQ(c.nodeOf(0), 0);
+    EXPECT_EQ(c.nodeOf(3), 0);
+    EXPECT_EQ(c.nodeOf(4), 1);
+    EXPECT_TRUE(c.sameNode(1, 2));
+    EXPECT_FALSE(c.sameNode(3, 4));
+    EXPECT_GT(c.linkBandwidth(0, 1), c.linkBandwidth(0, 4));
+    EXPECT_LT(c.linkLatency(0, 1), c.linkLatency(0, 4));
+}
+
+TEST(Groups, EnumerateMatchesPaperFig9)
+{
+    // 8 GPUs, 2 nodes x 4: indicator (d2, d3) -> intra-node groups
+    // {0,1,2,3} and {4,5,6,7} (paper Fig. 9 discussion).
+    const auto groups = enumerateGroups(3, {1, 2});
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0], (DeviceGroup{0, 1, 2, 3}));
+    EXPECT_EQ(groups[1], (DeviceGroup{4, 5, 6, 7}));
+}
+
+TEST(Groups, IndicatorD1GivesCrossNodePairs)
+{
+    // Indicator (d1) -> groups (0,4), (1,5), (2,6), (3,7).
+    const auto groups = enumerateGroups(3, {0});
+    ASSERT_EQ(groups.size(), 4u);
+    EXPECT_EQ(groups[0], (DeviceGroup{0, 4}));
+    EXPECT_EQ(groups[1], (DeviceGroup{1, 5}));
+    EXPECT_EQ(groups[2], (DeviceGroup{2, 6}));
+    EXPECT_EQ(groups[3], (DeviceGroup{3, 7}));
+}
+
+TEST(Groups, EmptyIndicatorGivesSingletons)
+{
+    const auto groups = enumerateGroups(2, {});
+    EXPECT_EQ(groups.size(), 4u);
+    for (const auto &g : groups)
+        EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Groups, FullIndicatorGivesOneGroup)
+{
+    const auto groups = enumerateGroups(2, {0, 1});
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 4u);
+}
+
+TEST(Groups, GroupsPartitionDeviceSet)
+{
+    const auto groups = enumerateGroups(4, {0, 2});
+    std::vector<bool> seen(16, false);
+    for (const auto &g : groups) {
+        for (std::int64_t d : g) {
+            EXPECT_FALSE(seen[d]);
+            seen[d] = true;
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Groups, RingBottleneckDependsOnSpan)
+{
+    const auto c = ClusterTopology::paperCluster(8);
+    // Intra-node group: fast; cross-node group: bottlenecked.
+    const DeviceGroup intra{0, 1, 2, 3};
+    const DeviceGroup cross{0, 4};
+    EXPECT_EQ(ringBottleneckBandwidth(c, intra), c.intraBandwidth());
+    EXPECT_EQ(ringBottleneckBandwidth(c, cross), c.interBandwidth());
+    EXPECT_FALSE(groupSpansNodes(c, intra));
+    EXPECT_TRUE(groupSpansNodes(c, cross));
+}
+
+TEST(Groups, PatternKeyClassifiesBits)
+{
+    const auto c = ClusterTopology::paperCluster(8); // 2 nodes: 1 node bit
+    const auto key_intra = groupPatternKey(c, {1, 2});
+    EXPECT_EQ(key_intra.interNodeBits, 0);
+    EXPECT_EQ(key_intra.intraNodeBits, 2);
+    const auto key_mixed = groupPatternKey(c, {0, 2});
+    EXPECT_EQ(key_mixed.interNodeBits, 1);
+    EXPECT_EQ(key_mixed.intraNodeBits, 1);
+}
+
+TEST(Groups, IndicatorToString)
+{
+    EXPECT_EQ(indicatorToString({0, 2}), "(d1,d3)");
+    EXPECT_EQ(indicatorToString({}), "()");
+}
+
+} // namespace
+} // namespace primepar

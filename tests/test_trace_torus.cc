@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests of the trace recorder / exporters and of the 2-D torus
+ * topology (paper Sec. 7 discussion).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/transformer.hh"
+#include "sim/model_sim.hh"
+#include "sim/op_sim.hh"
+#include "sim/trace.hh"
+
+namespace primepar {
+namespace {
+
+TEST(Trace, RecordsAndExports)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    t.add(0, "compute", "fc:Forward", 0.0, 10.0);
+    t.add(1, "ring", "W shift", 2.0, 5.0);
+    t.add(0, "allreduce", "O all-reduce", 10.0, 14.0);
+    EXPECT_EQ(t.spans().size(), 3u);
+    EXPECT_DOUBLE_EQ(t.endUs(), 14.0);
+
+    const std::string json = t.toChromeJson();
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("fc:Forward"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+
+    const std::string ascii = t.toAscii(40);
+    EXPECT_NE(ascii.find("dev 0"), std::string::npos);
+    EXPECT_NE(ascii.find('#'), std::string::npos);
+    EXPECT_NE(ascii.find('A'), std::string::npos);
+}
+
+TEST(Trace, SimulatorFillsTrace)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    const OpSpec op = makeLinearOp("fc", 8, 512, 1024, 1024);
+    const OpPlan plan(op, PartitionSeq({PartitionStep::pSquare(1)}), 2);
+    SimContext ctx(topo);
+    Trace trace;
+    ctx.trace = &trace;
+    simulateOpPhase(ctx, plan, Phase::Forward);
+
+    int computes = 0, rings = 0;
+    for (const auto &s : trace.spans()) {
+        if (s.kind == "compute")
+            ++computes;
+        if (s.kind == "ring")
+            ++rings;
+        EXPECT_GE(s.endUs, s.startUs);
+    }
+    // 4 devices x 2 steps of compute; I and W shifts for 4 devices.
+    EXPECT_EQ(computes, 8);
+    EXPECT_EQ(rings, 8);
+}
+
+TEST(Trace, ModelSimTraceCoversAllKinds)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 256;
+    const CompGraph g = buildMlpBlock(cfg, 8);
+    // Megatron-ish: forces all-reduce and redistribution.
+    std::vector<PartitionSeq> strat = {
+        PartitionSeq({PartitionStep::byDim(1), PartitionStep::byDim(3)}),
+        PartitionSeq({PartitionStep::byDim(0), PartitionStep::byDim(1)}),
+        PartitionSeq({PartitionStep::byDim(2), PartitionStep::byDim(2)}),
+    };
+    Trace trace;
+    const ModelSimulator sim(topo, g, strat);
+    sim.simulate(1, &trace);
+    bool has_compute = false, has_redist = false, has_ar = false;
+    for (const auto &s : trace.spans()) {
+        has_compute |= s.kind == "compute";
+        has_redist |= s.kind == "redist";
+        has_ar |= s.kind == "allreduce";
+    }
+    EXPECT_TRUE(has_compute);
+    EXPECT_TRUE(has_redist);
+    EXPECT_TRUE(has_ar);
+}
+
+TEST(Torus, HopDistanceUsesInterleavedPlacement)
+{
+    // Torus coordinates de-interleave the device-id bits (r bits at
+    // even positions, c at odd) so PSquare's logical square tiles the
+    // physical torus. Device 1 = (r=0,c=1); 5 = (0,3); 12 = (2,2);
+    // 15 = (3,3).
+    const auto torus = ClusterTopology::torus2d(4);
+    EXPECT_EQ(torus.kind(), ClusterTopology::Kind::Torus2D);
+    EXPECT_EQ(torus.numDevices(), 16);
+    EXPECT_EQ(torus.hopDistance(0, 1), 1);
+    // (0,0) to (0,3) wraps around: one hop.
+    EXPECT_EQ(torus.hopDistance(0, 5), 1);
+    // (0,0) to (2,2): 2 + 2 hops.
+    EXPECT_EQ(torus.hopDistance(0, 12), 4);
+    // (0,0) to (3,3): wraps both ways: 2 hops.
+    EXPECT_EQ(torus.hopDistance(0, 15), 2);
+    EXPECT_EQ(torus.hopDistance(5, 5), 0);
+    // Symmetric.
+    EXPECT_EQ(torus.hopDistance(12, 0), 4);
+}
+
+TEST(Torus, UniformBandwidthLatencyByHops)
+{
+    const auto torus = ClusterTopology::torus2d(4);
+    EXPECT_DOUBLE_EQ(torus.linkBandwidth(0, 1),
+                     torus.linkBandwidth(0, 12));
+    EXPECT_LT(torus.linkLatency(0, 1), torus.linkLatency(0, 12));
+    EXPECT_TRUE(torus.sameNode(0, 1));
+    EXPECT_TRUE(torus.sameNode(0, 5));  // wraparound neighbour
+    EXPECT_FALSE(torus.sameNode(0, 12));
+}
+
+TEST(Torus, PSquareRingsAreAllNeighbourHops)
+{
+    // On a torus matching the PSquare square, the derived ring
+    // senders must all be 1-hop neighbours in at least one phase
+    // direction (rows/columns/diagonals are torus-routable).
+    const auto torus = ClusterTopology::torus2d(4);
+    const OpSpec op = makeLinearOp("fc", 4, 64, 64, 64);
+    const PartitionSeq seq({PartitionStep::pSquare(2)});
+    DsiTable dsi(op, seq, 4);
+    const PassComm fwd = derivePassComm(op, seq, dsi, 0);
+    for (const auto &step : fwd.stepShifts) {
+        for (const ShiftSet &set : step) {
+            for (const Transfer &tr : set.transfers) {
+                // Forward senders are (r, c+1) and (r+1, c): 1 hop.
+                EXPECT_LE(torus.hopDistance(tr.receiver, tr.sender), 1)
+                    << tr.receiver << " <- " << tr.sender;
+            }
+        }
+    }
+}
+
+TEST(Torus, FasterRingsThanHierarchicalCrossNode)
+{
+    // The whole point of Sec. 7: a P4x4 ring step on the torus beats
+    // the hierarchical cluster, whose rings cross InfiniBand.
+    const auto torus = ClusterTopology::torus2d(4);
+    const auto hier = ClusterTopology::paperCluster(16);
+    const OpSpec op = makeLinearOp("fc", 8, 1024, 4096, 4096);
+    const OpPlan plan(op, PartitionSeq({PartitionStep::pSquare(2)}), 4);
+
+    auto stall_of = [&](const ClusterTopology &topo) {
+        SimContext ctx(topo);
+        SimBreakdown total;
+        for (Phase ph :
+             {Phase::Forward, Phase::Backward, Phase::Gradient})
+            total.accumulate(simulateOpPhase(ctx, plan, ph));
+        return total;
+    };
+    const SimBreakdown on_torus = stall_of(torus);
+    const SimBreakdown on_hier = stall_of(hier);
+    EXPECT_LT(on_torus.ringUs, on_hier.ringUs);
+}
+
+} // namespace
+} // namespace primepar

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests of the ZeRO baseline model: stage-by-stage memory reduction
+ * and the memory/collective trade-off against tensor partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/zero.hh"
+
+namespace primepar {
+namespace {
+
+TEST(Zero, StageNames)
+{
+    EXPECT_STREQ(zeroStageName(ZeroStage::None), "DP");
+    EXPECT_STREQ(zeroStageName(ZeroStage::Three), "ZeRO-3");
+}
+
+TEST(Zero, MemoryDropsMonotonicallyWithStage)
+{
+    ModelConfig model = opt6p7b();
+    model.seqLength = 512;
+    const auto topo = ClusterTopology::paperCluster(16);
+    double prev = 1e30;
+    for (ZeroStage stage : {ZeroStage::None, ZeroStage::One,
+                            ZeroStage::Two, ZeroStage::Three}) {
+        const ZeroResult r = evaluateZero(model, topo, 16, stage);
+        EXPECT_LT(r.peakMemoryBytes, prev) << zeroStageName(stage);
+        prev = r.peakMemoryBytes;
+        EXPECT_GT(r.computeUs, 0.0);
+    }
+}
+
+TEST(Zero, Stage3ShardsEverything)
+{
+    ModelConfig model = opt6p7b();
+    model.seqLength = 512;
+    const auto topo = ClusterTopology::paperCluster(16);
+    const ZeroResult none = evaluateZero(model, topo, 16,
+                                         ZeroStage::None);
+    const ZeroResult z3 = evaluateZero(model, topo, 16,
+                                       ZeroStage::Three);
+    // Full state 12 bytes/param replicated vs fully sharded: the
+    // state part must shrink by ~16x (activations are shared).
+    const double state_none = model.totalParams() * 12.0;
+    const double state_z3 = state_none / 16.0;
+    EXPECT_NEAR(none.peakMemoryBytes - z3.peakMemoryBytes,
+                state_none - state_z3, 0.01 * state_none);
+}
+
+TEST(Zero, Stage3PaysMoreCollectiveThanStage2)
+{
+    ModelConfig model = opt6p7b();
+    model.seqLength = 512;
+    const auto topo = ClusterTopology::paperCluster(16);
+    const ZeroResult z2 = evaluateZero(model, topo, 16, ZeroStage::Two);
+    const ZeroResult z3 = evaluateZero(model, topo, 16,
+                                       ZeroStage::Three);
+    EXPECT_GT(z3.collectiveUs, z2.collectiveUs);
+    // Reduce-scatter is cheaper than the full all-reduce of DP.
+    const ZeroResult dp = evaluateZero(model, topo, 16,
+                                       ZeroStage::None);
+    EXPECT_LT(z2.collectiveUs, dp.collectiveUs);
+}
+
+TEST(Zero, ComputeUnchangedAcrossStages)
+{
+    ModelConfig model = opt6p7b();
+    model.seqLength = 512;
+    const auto topo = ClusterTopology::paperCluster(16);
+    const ZeroResult a = evaluateZero(model, topo, 16, ZeroStage::None);
+    const ZeroResult b = evaluateZero(model, topo, 16,
+                                      ZeroStage::Three);
+    EXPECT_DOUBLE_EQ(a.computeUs, b.computeUs);
+}
+
+} // namespace
+} // namespace primepar
