@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_torus.dir/bench_discussion_torus.cc.o"
+  "CMakeFiles/bench_discussion_torus.dir/bench_discussion_torus.cc.o.d"
+  "bench_discussion_torus"
+  "bench_discussion_torus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_zero.dir/bench_related_zero.cc.o"
+  "CMakeFiles/bench_related_zero.dir/bench_related_zero.cc.o.d"
+  "bench_related_zero"
+  "bench_related_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_opttime.cc" "bench/CMakeFiles/bench_table2_opttime.dir/bench_table2_opttime.cc.o" "gcc" "bench/CMakeFiles/bench_table2_opttime.dir/bench_table2_opttime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/primepar_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/primepar_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/primepar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/primepar_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/primepar_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/primepar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/primepar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/primepar_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/primepar_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/primepar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/primepar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

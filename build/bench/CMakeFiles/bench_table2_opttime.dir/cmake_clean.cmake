@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_opttime.dir/bench_table2_opttime.cc.o"
+  "CMakeFiles/bench_table2_opttime.dir/bench_table2_opttime.cc.o.d"
+  "bench_table2_opttime"
+  "bench_table2_opttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_opttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_bench_common.dir/common.cc.o"
+  "CMakeFiles/primepar_bench_common.dir/common.cc.o.d"
+  "libprimepar_bench_common.a"
+  "libprimepar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llama2_cluster_search.dir/llama2_cluster_search.cpp.o"
+  "CMakeFiles/llama2_cluster_search.dir/llama2_cluster_search.cpp.o.d"
+  "llama2_cluster_search"
+  "llama2_cluster_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llama2_cluster_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for llama2_cluster_search.
+# This may be replaced when dependencies are built.

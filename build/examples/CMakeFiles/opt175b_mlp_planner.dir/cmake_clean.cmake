@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt175b_mlp_planner.dir/opt175b_mlp_planner.cpp.o"
+  "CMakeFiles/opt175b_mlp_planner.dir/opt175b_mlp_planner.cpp.o.d"
+  "opt175b_mlp_planner"
+  "opt175b_mlp_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt175b_mlp_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

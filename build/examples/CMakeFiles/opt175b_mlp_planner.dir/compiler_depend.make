@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for opt175b_mlp_planner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for opt175b_mlp_planner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_inspect.dir/partition_inspect.cpp.o"
+  "CMakeFiles/partition_inspect.dir/partition_inspect.cpp.o.d"
+  "partition_inspect"
+  "partition_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_plan.dir/primepar_plan.cpp.o"
+  "CMakeFiles/primepar_plan.dir/primepar_plan.cpp.o.d"
+  "primepar_plan"
+  "primepar_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

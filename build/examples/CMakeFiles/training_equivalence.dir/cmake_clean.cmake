@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_equivalence.dir/training_equivalence.cpp.o"
+  "CMakeFiles/training_equivalence.dir/training_equivalence.cpp.o.d"
+  "training_equivalence"
+  "training_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("tensor")
+subdirs("topology")
+subdirs("partition")
+subdirs("comm")
+subdirs("graph")
+subdirs("sim")
+subdirs("cost")
+subdirs("optimizer")
+subdirs("baselines")
+subdirs("pipeline")
+subdirs("runtime")

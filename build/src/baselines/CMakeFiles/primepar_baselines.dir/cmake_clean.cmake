@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_baselines.dir/megatron.cc.o"
+  "CMakeFiles/primepar_baselines.dir/megatron.cc.o.d"
+  "CMakeFiles/primepar_baselines.dir/zero.cc.o"
+  "CMakeFiles/primepar_baselines.dir/zero.cc.o.d"
+  "libprimepar_baselines.a"
+  "libprimepar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_comm.dir/redistribution.cc.o"
+  "CMakeFiles/primepar_comm.dir/redistribution.cc.o.d"
+  "libprimepar_comm.a"
+  "libprimepar_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

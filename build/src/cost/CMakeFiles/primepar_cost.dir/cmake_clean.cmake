@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_cost.dir/cost_model.cc.o"
+  "CMakeFiles/primepar_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/primepar_cost.dir/profiler.cc.o"
+  "CMakeFiles/primepar_cost.dir/profiler.cc.o.d"
+  "libprimepar_cost.a"
+  "libprimepar_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_graph.dir/graph.cc.o"
+  "CMakeFiles/primepar_graph.dir/graph.cc.o.d"
+  "CMakeFiles/primepar_graph.dir/transformer.cc.o"
+  "CMakeFiles/primepar_graph.dir/transformer.cc.o.d"
+  "libprimepar_graph.a"
+  "libprimepar_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

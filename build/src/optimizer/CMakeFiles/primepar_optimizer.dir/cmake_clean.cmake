@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_optimizer.dir/catalog.cc.o"
+  "CMakeFiles/primepar_optimizer.dir/catalog.cc.o.d"
+  "CMakeFiles/primepar_optimizer.dir/segmented_dp.cc.o"
+  "CMakeFiles/primepar_optimizer.dir/segmented_dp.cc.o.d"
+  "libprimepar_optimizer.a"
+  "libprimepar_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

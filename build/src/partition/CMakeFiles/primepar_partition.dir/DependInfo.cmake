@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/alignment.cc" "src/partition/CMakeFiles/primepar_partition.dir/alignment.cc.o" "gcc" "src/partition/CMakeFiles/primepar_partition.dir/alignment.cc.o.d"
+  "/root/repo/src/partition/comm_pattern.cc" "src/partition/CMakeFiles/primepar_partition.dir/comm_pattern.cc.o" "gcc" "src/partition/CMakeFiles/primepar_partition.dir/comm_pattern.cc.o.d"
+  "/root/repo/src/partition/dsi.cc" "src/partition/CMakeFiles/primepar_partition.dir/dsi.cc.o" "gcc" "src/partition/CMakeFiles/primepar_partition.dir/dsi.cc.o.d"
+  "/root/repo/src/partition/op_spec.cc" "src/partition/CMakeFiles/primepar_partition.dir/op_spec.cc.o" "gcc" "src/partition/CMakeFiles/primepar_partition.dir/op_spec.cc.o.d"
+  "/root/repo/src/partition/partition_step.cc" "src/partition/CMakeFiles/primepar_partition.dir/partition_step.cc.o" "gcc" "src/partition/CMakeFiles/primepar_partition.dir/partition_step.cc.o.d"
+  "/root/repo/src/partition/space.cc" "src/partition/CMakeFiles/primepar_partition.dir/space.cc.o" "gcc" "src/partition/CMakeFiles/primepar_partition.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/primepar_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/primepar_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

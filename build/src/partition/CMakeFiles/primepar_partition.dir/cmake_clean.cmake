@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_partition.dir/alignment.cc.o"
+  "CMakeFiles/primepar_partition.dir/alignment.cc.o.d"
+  "CMakeFiles/primepar_partition.dir/comm_pattern.cc.o"
+  "CMakeFiles/primepar_partition.dir/comm_pattern.cc.o.d"
+  "CMakeFiles/primepar_partition.dir/dsi.cc.o"
+  "CMakeFiles/primepar_partition.dir/dsi.cc.o.d"
+  "CMakeFiles/primepar_partition.dir/op_spec.cc.o"
+  "CMakeFiles/primepar_partition.dir/op_spec.cc.o.d"
+  "CMakeFiles/primepar_partition.dir/partition_step.cc.o"
+  "CMakeFiles/primepar_partition.dir/partition_step.cc.o.d"
+  "CMakeFiles/primepar_partition.dir/space.cc.o"
+  "CMakeFiles/primepar_partition.dir/space.cc.o.d"
+  "libprimepar_partition.a"
+  "libprimepar_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_pipeline.dir/three_d.cc.o"
+  "CMakeFiles/primepar_pipeline.dir/three_d.cc.o.d"
+  "libprimepar_pipeline.a"
+  "libprimepar_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

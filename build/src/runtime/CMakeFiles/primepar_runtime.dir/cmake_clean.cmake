@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_runtime.dir/graph_executor.cc.o"
+  "CMakeFiles/primepar_runtime.dir/graph_executor.cc.o.d"
+  "CMakeFiles/primepar_runtime.dir/spmd_executor.cc.o"
+  "CMakeFiles/primepar_runtime.dir/spmd_executor.cc.o.d"
+  "CMakeFiles/primepar_runtime.dir/transformer_runtime.cc.o"
+  "CMakeFiles/primepar_runtime.dir/transformer_runtime.cc.o.d"
+  "libprimepar_runtime.a"
+  "libprimepar_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/primepar_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/primepar_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/primepar_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/primepar_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/model_sim.cc" "src/sim/CMakeFiles/primepar_sim.dir/model_sim.cc.o" "gcc" "src/sim/CMakeFiles/primepar_sim.dir/model_sim.cc.o.d"
+  "/root/repo/src/sim/op_sim.cc" "src/sim/CMakeFiles/primepar_sim.dir/op_sim.cc.o" "gcc" "src/sim/CMakeFiles/primepar_sim.dir/op_sim.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/primepar_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/primepar_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/primepar_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/primepar_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/primepar_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/primepar_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/primepar_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_sim.dir/engine.cc.o"
+  "CMakeFiles/primepar_sim.dir/engine.cc.o.d"
+  "CMakeFiles/primepar_sim.dir/memory.cc.o"
+  "CMakeFiles/primepar_sim.dir/memory.cc.o.d"
+  "CMakeFiles/primepar_sim.dir/model_sim.cc.o"
+  "CMakeFiles/primepar_sim.dir/model_sim.cc.o.d"
+  "CMakeFiles/primepar_sim.dir/op_sim.cc.o"
+  "CMakeFiles/primepar_sim.dir/op_sim.cc.o.d"
+  "CMakeFiles/primepar_sim.dir/trace.cc.o"
+  "CMakeFiles/primepar_sim.dir/trace.cc.o.d"
+  "libprimepar_sim.a"
+  "libprimepar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_support.dir/logging.cc.o"
+  "CMakeFiles/primepar_support.dir/logging.cc.o.d"
+  "CMakeFiles/primepar_support.dir/regression.cc.o"
+  "CMakeFiles/primepar_support.dir/regression.cc.o.d"
+  "CMakeFiles/primepar_support.dir/table.cc.o"
+  "CMakeFiles/primepar_support.dir/table.cc.o.d"
+  "libprimepar_support.a"
+  "libprimepar_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_tensor.dir/einsum.cc.o"
+  "CMakeFiles/primepar_tensor.dir/einsum.cc.o.d"
+  "CMakeFiles/primepar_tensor.dir/ops.cc.o"
+  "CMakeFiles/primepar_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/primepar_tensor.dir/tensor.cc.o"
+  "CMakeFiles/primepar_tensor.dir/tensor.cc.o.d"
+  "libprimepar_tensor.a"
+  "libprimepar_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

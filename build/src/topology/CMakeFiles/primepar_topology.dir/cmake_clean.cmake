@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primepar_topology.dir/cluster.cc.o"
+  "CMakeFiles/primepar_topology.dir/cluster.cc.o.d"
+  "CMakeFiles/primepar_topology.dir/device.cc.o"
+  "CMakeFiles/primepar_topology.dir/device.cc.o.d"
+  "CMakeFiles/primepar_topology.dir/groups.cc.o"
+  "CMakeFiles/primepar_topology.dir/groups.cc.o.d"
+  "libprimepar_topology.a"
+  "libprimepar_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primepar_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

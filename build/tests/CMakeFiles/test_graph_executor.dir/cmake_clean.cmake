@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_executor.dir/test_graph_executor.cc.o"
+  "CMakeFiles/test_graph_executor.dir/test_graph_executor.cc.o.d"
+  "test_graph_executor"
+  "test_graph_executor.pdb"
+  "test_graph_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

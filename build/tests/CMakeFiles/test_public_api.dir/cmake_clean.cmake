@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_public_api.dir/test_public_api.cc.o"
+  "CMakeFiles/test_public_api.dir/test_public_api.cc.o.d"
+  "test_public_api"
+  "test_public_api.pdb"
+  "test_public_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_public_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redistribution.dir/test_redistribution.cc.o"
+  "CMakeFiles/test_redistribution.dir/test_redistribution.cc.o.d"
+  "test_redistribution"
+  "test_redistribution.pdb"
+  "test_redistribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_torus.dir/test_trace_torus.cc.o"
+  "CMakeFiles/test_trace_torus.dir/test_trace_torus.cc.o.d"
+  "test_trace_torus"
+  "test_trace_torus.pdb"
+  "test_trace_torus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_torus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero.dir/test_zero.cc.o"
+  "CMakeFiles/test_zero.dir/test_zero.cc.o.d"
+  "test_zero"
+  "test_zero.pdb"
+  "test_zero[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

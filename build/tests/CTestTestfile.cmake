@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_redistribution[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_torus[1]_include.cmake")
+include("/root/repo/build/tests/test_zero[1]_include.cmake")
+include("/root/repo/build/tests/test_property_random[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_public_api[1]_include.cmake")
