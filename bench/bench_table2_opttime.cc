@@ -2,16 +2,38 @@
  * @file
  * Reproduces the paper's Table 2: wall-clock time of the segmented
  * dynamic programming optimizer for the OPT / Llama2 / BLOOM model
- * structures at parallelism sizes 4 / 8 / 16 / 32 (single thread).
+ * structures at parallelism sizes 4 / 8 / 16 / 32.
  *
  * Expected shape (paper, on a Xeon Gold 5218): ~85 ms at 4-8
  * devices, ~170 ms at 16, a few seconds at 32 — the jump at 32 comes
  * from the cubic dependence on the per-operator space size.
+ *
+ * Two modes:
+ *  - default: google-benchmark timings at numThreads = 1 (the paper's
+ *    single-thread setting);
+ *  - sweep (`--json out.json` and/or `--sweep`): runs every
+ *    (model, devices) cell at a sweep of planner thread counts,
+ *    verifies the chosen plans and costs are bit-identical across
+ *    thread counts, prints a table with per-phase timings and
+ *    speedups, and emits machine-readable JSON so planner-latency
+ *    trajectories can be tracked across commits.
+ *
+ *    bench_table2_opttime --sweep [--json FILE] [--devices 4,8,16]
+ *                         [--threads 1,2,4] \
+ *                         [--models "OPT 6.7B,Llama2 7B"]
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common.hh"
+#include "support/parallel.hh"
 
 using namespace primepar;
 using namespace primepar::bench;
@@ -28,6 +50,7 @@ optimizeOnce(benchmark::State &state, const ModelConfig &model)
 
     DpOptions opts;
     opts.numLayers = model.numLayers;
+    opts.numThreads = 1; // the paper's single-thread setting
     for (auto _ : state) {
         const DpResult r =
             SegmentedDpOptimizer(graph, cost, opts).optimize();
@@ -54,6 +77,143 @@ BM_Optimize_Bloom(benchmark::State &state)
     optimizeOnce(state, bloom7b1());
 }
 
+// ---------------------------------------------------------------------
+// Thread-sweep mode.
+
+struct SweepOptions
+{
+    std::string jsonPath;
+    std::vector<int> devices{4, 8, 16};
+    std::vector<int> threads;
+    std::vector<ModelConfig> models;
+};
+
+std::vector<int>
+parseIntList(const char *text)
+{
+    std::vector<int> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(std::atoi(item.c_str()));
+    return out;
+}
+
+/** Default thread sweep: 1, powers of two up to, and including, the
+ *  hardware concurrency. */
+std::vector<int>
+defaultThreadSweep()
+{
+    const int hw = hardwareConcurrency();
+    std::vector<int> sweep;
+    for (int t = 1; t < hw; t *= 2)
+        sweep.push_back(t);
+    sweep.push_back(hw);
+    return sweep;
+}
+
+struct SweepCell
+{
+    std::string model;
+    int devices = 0;
+    int numThreads = 0; // resolved
+    DpResult result;
+};
+
+int
+runSweep(const SweepOptions &opts)
+{
+    std::vector<SweepCell> cells;
+    bool deterministic = true;
+
+    TextTable table;
+    table.header({"model", "devices", "threads", "search ms",
+                  "catalog ms", "tables ms", "dp ms", "speedup"});
+
+    for (const ModelConfig &model : opts.models) {
+        for (const int devices : opts.devices) {
+            const ClusterTopology topo =
+                ClusterTopology::paperCluster(devices);
+            const CostModel cost(topo, profileModels(topo));
+            const CompGraph graph = buildTransformerBlock(model, 8);
+
+            DpResult baseline;
+            bool have_baseline = false;
+            double baseline_ms = 0.0;
+            for (const int threads : opts.threads) {
+                DpOptions dp;
+                dp.numLayers = model.numLayers;
+                dp.numThreads = threads;
+                const DpResult r =
+                    SegmentedDpOptimizer(graph, cost, dp).optimize();
+
+                SweepCell cell;
+                cell.model = model.name;
+                cell.devices = devices;
+                cell.numThreads = resolveNumThreads(threads);
+                cell.result = r;
+
+                if (!have_baseline) {
+                    baseline_ms = r.optimizationMs;
+                } else if (r.layerCost != baseline.layerCost ||
+                           r.totalCost != baseline.totalCost ||
+                           r.strategies != baseline.strategies) {
+                    deterministic = false;
+                    std::fprintf(stderr,
+                                 "DETERMINISM VIOLATION: %s @ %d "
+                                 "devices, %d threads diverges from "
+                                 "the single-thread plan\n",
+                                 model.name.c_str(), devices,
+                                 cell.numThreads);
+                }
+                table.row({model.name, std::to_string(devices),
+                           std::to_string(cell.numThreads),
+                           fmtDouble(r.optimizationMs, 1),
+                           fmtDouble(r.catalogMs, 1),
+                           fmtDouble(r.edgeTableMs, 1),
+                           fmtDouble(r.dpMs, 1),
+                           fmtDouble(baseline_ms / r.optimizationMs,
+                                     2)});
+                cells.push_back(std::move(cell));
+                if (!have_baseline) {
+                    baseline = r;
+                    have_baseline = true;
+                }
+            }
+        }
+    }
+    std::printf("%s", table.render().c_str());
+
+    if (!opts.jsonPath.empty()) {
+        std::ostringstream os;
+        os << "{\n  \"host_threads\": " << hardwareConcurrency()
+           << ",\n  \"deterministic\": "
+           << (deterministic ? "true" : "false") << ",\n  \"results\": [";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const SweepCell &c = cells[i];
+            os << (i ? "," : "") << "\n    {\"model\": \"" << c.model
+               << "\", \"devices\": " << c.devices
+               << ", \"num_threads\": " << c.numThreads
+               << ", \"search_ms\": " << c.result.optimizationMs
+               << ", \"catalog_ms\": " << c.result.catalogMs
+               << ", \"table_ms\": " << c.result.edgeTableMs
+               << ", \"dp_ms\": " << c.result.dpMs
+               << ", \"layer_cost_us\": " << c.result.layerCost
+               << ", \"total_cost_us\": " << c.result.totalCost << "}";
+        }
+        os << "\n  ]\n}\n";
+        std::ofstream out(opts.jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         opts.jsonPath.c_str());
+            return 1;
+        }
+        out << os.str();
+        std::printf("wrote %s\n", opts.jsonPath.c_str());
+    }
+    return deterministic ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK(BM_Optimize_OPT)
@@ -78,4 +238,48 @@ BENCHMARK(BM_Optimize_Bloom)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    SweepOptions sweep;
+    bool sweep_mode = false;
+    std::vector<std::string> model_names{"OPT 6.7B", "Llama2 7B",
+                                         "BLOOM 7B1"};
+    for (int i = 1; i < argc; ++i) {
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--sweep") == 0) {
+            sweep_mode = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            sweep_mode = true;
+            sweep.jsonPath = next();
+        } else if (std::strcmp(argv[i], "--devices") == 0) {
+            sweep.devices = parseIntList(next());
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            sweep.threads = parseIntList(next());
+        } else if (std::strcmp(argv[i], "--models") == 0) {
+            model_names.clear();
+            std::stringstream ss(next());
+            std::string item;
+            while (std::getline(ss, item, ','))
+                model_names.push_back(item);
+        }
+    }
+    if (sweep_mode) {
+        if (sweep.threads.empty())
+            sweep.threads = defaultThreadSweep();
+        for (const std::string &name : model_names)
+            sweep.models.push_back(modelByName(name));
+        return runSweep(sweep);
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

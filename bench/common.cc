@@ -34,7 +34,8 @@ measure(const std::string &system, const ModelConfig &model,
 }
 
 std::vector<SystemResult>
-compareSystems(const ModelConfig &model, int devices, std::int64_t batch)
+compareSystems(const ModelConfig &model, int devices, std::int64_t batch,
+               int num_threads)
 {
     const ClusterTopology topo = ClusterTopology::paperCluster(devices);
     const CostModel cost(topo, profileModels(topo));
@@ -46,12 +47,23 @@ compareSystems(const ModelConfig &model, int devices, std::int64_t batch)
     results.push_back(
         measure("Megatron", model, topo, graph, megatron.strategies));
 
-    const DpResult alpa = alpaOptimize(graph, cost, model.numLayers);
+    // The spatial-only search is a subspace of PrimePar's, but the
+    // catalogs differ (PSquare sequences excluded), so the shared
+    // cache helps across *cells*, not across the two searches.
+    const auto cache = std::make_shared<CatalogCache>();
+
+    DpOptions alpa_opts;
+    alpa_opts.numLayers = model.numLayers;
+    alpa_opts.numThreads = num_threads;
+    alpa_opts.catalogCache = cache;
+    const DpResult alpa = alpaOptimize(graph, cost, alpa_opts);
     results.push_back(
         measure("Alpa", model, topo, graph, alpa.strategies));
 
     DpOptions opts;
     opts.numLayers = model.numLayers;
+    opts.numThreads = num_threads;
+    opts.catalogCache = cache;
     const DpResult pp =
         SegmentedDpOptimizer(graph, cost, opts).optimize();
     results.push_back(

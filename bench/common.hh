@@ -48,10 +48,15 @@ SystemResult measure(const std::string &system, const ModelConfig &model,
  * Run the three systems of the paper's Figs. 7/8 on one (model,
  * device-count) cell: best Megatron (d, m), Alpa-like (optimal
  * spatial-only plan), PrimePar (full spatial-temporal plan).
+ *
+ * @param num_threads planner threads (0 = hardware concurrency); the
+ *        chosen plans are identical at any value. The Alpa and
+ *        PrimePar searches share one catalog cache.
  */
 std::vector<SystemResult> compareSystems(const ModelConfig &model,
                                          int devices,
-                                         std::int64_t batch);
+                                         std::int64_t batch,
+                                         int num_threads = 0);
 
 /** Tokens/s given a whole-model iteration latency. */
 double tokensPerSecond(const ModelConfig &model, std::int64_t batch,

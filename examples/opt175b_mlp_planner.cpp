@@ -74,7 +74,10 @@ main()
                     alpa.strategies[n].toString(graph.node(n)).c_str(),
                     pp.strategies[n].toString(graph.node(n)).c_str());
     }
-    std::printf("\n(PrimePar search: %.1f ms)\n\n", pp.optimizationMs);
+    std::printf("\n(PrimePar search: %.1f ms — catalogs %.1f, edge "
+                "tables %.1f, DP %.1f)\n\n",
+                pp.optimizationMs, pp.catalogMs, pp.edgeTableMs,
+                pp.dpMs);
 
     TextTable table;
     table.header({"plan", "compute ms", "collective ms", "ring ms",

@@ -9,7 +9,7 @@
  *
  * Usage:
  *   primepar_plan [--model "<name>"] [--devices N] [--batch B]
- *                 [--alpha A] [--layers L] [--no-psquare]
+ *                 [--alpha A] [--layers L] [--threads T] [--no-psquare]
  *                 [--no-batch-dim] [--trace FILE.json] [--compare]
  *
  * Model names: "OPT 6.7B", "OPT 175B", "Llama2 7B", "Llama2 70B",
@@ -35,7 +35,8 @@ struct Options
     int devices = 8;
     std::int64_t batch = 8;
     double alpha = 0.0;
-    int layers = 0; // 0 = model default
+    int layers = 0;  // 0 = model default
+    int threads = 0; // planner threads, 0 = hardware concurrency
     bool psquare = true;
     bool batchDim = true;
     bool compare = false;
@@ -66,6 +67,8 @@ parseArgs(int argc, char **argv)
             opts.alpha = std::atof(next());
         } else if (arg == "--layers") {
             opts.layers = std::atoi(next());
+        } else if (arg == "--threads") {
+            opts.threads = std::atoi(next());
         } else if (arg == "--no-psquare") {
             opts.psquare = false;
         } else if (arg == "--no-batch-dim") {
@@ -79,9 +82,10 @@ parseArgs(int argc, char **argv)
                 "usage: primepar_plan [--model NAME] [--devices N] "
                 "[--batch B]\n"
                 "                     [--alpha US_PER_MIB] [--layers L]"
-                " [--no-psquare]\n"
-                "                     [--no-batch-dim] [--trace F.json]"
-                " [--compare]\n");
+                " [--threads T]\n"
+                "                     [--no-psquare] [--no-batch-dim]"
+                " [--trace F.json]\n"
+                "                     [--compare]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument %s (try --help)\n",
@@ -120,12 +124,16 @@ main(int argc, char **argv)
 
     DpOptions dp;
     dp.numLayers = model.numLayers;
+    dp.numThreads = opts.threads;
     dp.space.allowPSquare = opts.psquare;
     if (!opts.batchDim)
         dp.space.excludedDims = {0};
     const DpResult plan = SegmentedDpOptimizer(graph, cost, dp).optimize();
 
-    std::printf("strategy (search took %.1f ms):\n", plan.optimizationMs);
+    std::printf("strategy (search took %.1f ms: catalogs %.1f, "
+                "edge tables %.1f, DP %.1f):\n",
+                plan.optimizationMs, plan.catalogMs, plan.edgeTableMs,
+                plan.dpMs);
     for (int n = 0; n < graph.numNodes(); ++n) {
         std::printf("  %-10s %s\n", graph.node(n).name.c_str(),
                     plan.strategies[n].toString(graph.node(n)).c_str());

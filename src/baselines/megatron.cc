@@ -131,9 +131,16 @@ alpaOptimize(const CompGraph &graph, const CostModel &cost,
              int num_layers)
 {
     DpOptions opts;
-    opts.space.allowPSquare = false;
     opts.numLayers = num_layers;
-    return SegmentedDpOptimizer(graph, cost, opts).optimize();
+    return alpaOptimize(graph, cost, std::move(opts));
+}
+
+DpResult
+alpaOptimize(const CompGraph &graph, const CostModel &cost,
+             DpOptions opts)
+{
+    opts.space.allowPSquare = false;
+    return SegmentedDpOptimizer(graph, cost, std::move(opts)).optimize();
 }
 
 } // namespace primepar

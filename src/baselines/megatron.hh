@@ -69,6 +69,13 @@ MegatronPlan bestMegatronPlan(const CompGraph &graph,
 DpResult alpaOptimize(const CompGraph &graph, const CostModel &cost,
                       int num_layers = 1);
 
+/**
+ * Same, with full planner options (thread count, catalog cache, extra
+ * space knobs); allowPSquare is forced off.
+ */
+DpResult alpaOptimize(const CompGraph &graph, const CostModel &cost,
+                      DpOptions opts);
+
 } // namespace primepar
 
 #endif // PRIMEPAR_BASELINES_MEGATRON_HH

@@ -1,15 +1,66 @@
 #include "cost_model.hh"
 
 #include <algorithm>
+#include <bit>
 #include <map>
+#include <sstream>
 
 #include "support/logging.hh"
 
 namespace primepar {
 
+namespace {
+
+void
+appendDouble(std::ostringstream &os, double v)
+{
+    os << std::bit_cast<std::uint64_t>(v) << ';';
+}
+
+void
+appendModel(std::ostringstream &os, const LinearModel &m)
+{
+    appendDouble(os, m.intercept);
+    appendDouble(os, m.slope);
+}
+
+std::string
+costFingerprint(const ClusterTopology &topo, const ProfiledModels &models,
+                double alpha, const MemoryModelParams &mem)
+{
+    std::ostringstream os;
+    os << static_cast<int>(topo.kind()) << ';' << topo.numNodes() << ';'
+       << topo.gpusPerNode() << ';';
+    appendDouble(os, topo.intraBandwidth());
+    appendDouble(os, topo.interBandwidth());
+    appendDouble(os, topo.linkLatency(0, 0));
+    if (topo.numNodes() > 1)
+        appendDouble(os, topo.linkLatency(0, topo.gpusPerNode()));
+    appendDouble(os, topo.deviceSpec().flops_per_us);
+    appendDouble(os, topo.deviceSpec().mem_bytes_per_us);
+    appendDouble(os, topo.deviceSpec().kernel_overhead_us);
+    for (const auto &[key, model] : models.allReduce) {
+        os << key.interNodeBits << ',' << key.intraNodeBits << ':';
+        appendModel(os, model);
+    }
+    appendModel(os, models.ringHop[0]);
+    appendModel(os, models.ringHop[1]);
+    appendModel(os, models.matmulKernel);
+    appendModel(os, models.memoryKernel);
+    appendModel(os, models.redistribution[0]);
+    appendModel(os, models.redistribution[1]);
+    appendDouble(os, alpha);
+    appendDouble(os, mem.paramStateFactor);
+    os << (mem.doubleBuffers ? 1 : 0) << ';';
+    return os.str();
+}
+
+} // namespace
+
 CostModel::CostModel(const ClusterTopology &topo_in,
                      ProfiledModels models_in, double alpha_memory)
-    : topo(topo_in), models(std::move(models_in)), alpha(alpha_memory)
+    : topo(topo_in), models(std::move(models_in)), alpha(alpha_memory),
+      fp(costFingerprint(topo, models, alpha, memParams))
 {}
 
 double

@@ -16,6 +16,8 @@
 #ifndef PRIMEPAR_COST_COST_MODEL_HH
 #define PRIMEPAR_COST_COST_MODEL_HH
 
+#include <string>
+
 #include "comm/redistribution.hh"
 #include "profiler.hh"
 #include "sim/memory.hh"
@@ -91,6 +93,15 @@ class CostModel
     const ClusterTopology &topology() const { return topo; }
     double alphaMemory() const { return alpha; }
 
+    /**
+     * Stable identity of every parameter feeding intra-cost
+     * evaluation (topology shape and link parameters, fitted model
+     * coefficients, alpha, memory-model knobs). Catalogs built under
+     * equal fingerprints are interchangeable — the key property the
+     * planner's CatalogCache relies on.
+     */
+    const std::string &fingerprint() const { return fp; }
+
   private:
     double ringSetLatency(const OpSpec &op, const ShiftSet &set) const;
 
@@ -98,6 +109,7 @@ class CostModel
     ProfiledModels models;
     double alpha;
     MemoryModelParams memParams;
+    std::string fp;
 };
 
 } // namespace primepar

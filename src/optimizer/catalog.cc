@@ -1,29 +1,134 @@
 #include "catalog.hh"
 
-#include <map>
+#include <algorithm>
+#include <unordered_map>
 
+#include "catalog_cache.hh"
 #include "support/logging.hh"
 
 namespace primepar {
 
+namespace {
+
+/** Fill plans[s] / intraCost[s] for every sequence of @p catalog, in
+ *  parallel over the sequences (each index writes its own slot). */
+void
+evaluateCatalog(NodeCatalog &catalog, const OpSpec &op,
+                const CostModel &cost, int num_bits, ThreadPool *pool)
+{
+    catalog.plans.resize(catalog.seqs.size());
+    catalog.intraCost.resize(catalog.seqs.size());
+    parallelFor(pool, catalog.seqs.size(), [&](std::size_t s) {
+        catalog.plans[s] =
+            std::make_unique<OpPlan>(op, catalog.seqs[s], num_bits);
+        catalog.intraCost[s] =
+            cost.intraCost(*catalog.plans[s]).weighted;
+    });
+}
+
+} // namespace
+
 NodeCatalog
 buildNodeCatalog(const CompGraph &graph, int node, const CostModel &cost,
-                 const SpaceOptions &opts)
+                 const SpaceOptions &opts, ThreadPool *pool)
 {
     const OpSpec &op = graph.node(node);
     NodeCatalog catalog;
     catalog.node = node;
     catalog.seqs =
         enumerateSequences(op, cost.topology().numBits(), opts);
-    catalog.plans.reserve(catalog.seqs.size());
-    catalog.intraCost.reserve(catalog.seqs.size());
-    for (const auto &seq : catalog.seqs) {
-        catalog.plans.push_back(std::make_unique<OpPlan>(
-            op, seq, cost.topology().numBits()));
-        catalog.intraCost.push_back(
-            cost.intraCost(*catalog.plans.back()).weighted);
-    }
+    evaluateCatalog(catalog, op, cost, cost.topology().numBits(), pool);
     return catalog;
+}
+
+std::vector<std::shared_ptr<const NodeCatalog>>
+buildAllNodeCatalogs(const CompGraph &graph, const CostModel &cost,
+                     const SpaceOptions &opts, ThreadPool *pool,
+                     CatalogCache *cache, CatalogBuildStats *stats)
+{
+    const int num_bits = cost.topology().numBits();
+    const int num_nodes = graph.numNodes();
+
+    // Group nodes by structural key (first-appearance order, so the
+    // result is independent of threading).
+    std::vector<std::string> keys(num_nodes);
+    for (int i = 0; i < num_nodes; ++i) {
+        keys[i] = catalogKey(graph.node(i), num_bits, opts,
+                             cost.fingerprint());
+    }
+    std::vector<int> representative;
+    std::unordered_map<std::string, int> unique_of;
+    std::vector<int> unique_idx(num_nodes);
+    for (int i = 0; i < num_nodes; ++i) {
+        const auto [it, inserted] = unique_of.emplace(
+            keys[i], static_cast<int>(representative.size()));
+        if (inserted)
+            representative.push_back(i);
+        unique_idx[i] = it->second;
+    }
+
+    // Resolve against the cache; list what must be built.
+    const int num_unique = static_cast<int>(representative.size());
+    std::vector<std::shared_ptr<const NodeCatalog>> unique(num_unique);
+    std::vector<int> to_build;
+    for (int u = 0; u < num_unique; ++u) {
+        if (cache) {
+            if (auto hit = cache->find(keys[representative[u]])) {
+                unique[u] = std::move(hit);
+                continue;
+            }
+        }
+        to_build.push_back(u);
+    }
+
+    // Enumerate sequences serially (cheap), then evaluate every
+    // (catalog, sequence) pair through one flat parallel loop so even
+    // a graph with few distinct nodes saturates the pool.
+    std::vector<std::shared_ptr<NodeCatalog>> fresh(to_build.size());
+    std::vector<std::size_t> offset(to_build.size() + 1, 0);
+    for (std::size_t b = 0; b < to_build.size(); ++b) {
+        const int node = representative[to_build[b]];
+        auto catalog = std::make_shared<NodeCatalog>();
+        catalog->node = node;
+        catalog->seqs =
+            enumerateSequences(graph.node(node), num_bits, opts);
+        catalog->plans.resize(catalog->seqs.size());
+        catalog->intraCost.resize(catalog->seqs.size());
+        offset[b + 1] = offset[b] + catalog->seqs.size();
+        fresh[b] = std::move(catalog);
+    }
+    parallelFor(pool, offset.back(), [&](std::size_t w) {
+        const std::size_t b =
+            static_cast<std::size_t>(
+                std::upper_bound(offset.begin(), offset.end(), w) -
+                offset.begin()) -
+            1;
+        NodeCatalog &catalog = *fresh[b];
+        const std::size_t s = w - offset[b];
+        const OpSpec &op = graph.node(catalog.node);
+        catalog.plans[s] =
+            std::make_unique<OpPlan>(op, catalog.seqs[s], num_bits);
+        catalog.intraCost[s] =
+            cost.intraCost(*catalog.plans[s]).weighted;
+    });
+
+    for (std::size_t b = 0; b < to_build.size(); ++b) {
+        std::shared_ptr<const NodeCatalog> catalog = std::move(fresh[b]);
+        if (cache) {
+            catalog = cache->insert(keys[representative[to_build[b]]],
+                                    std::move(catalog));
+        }
+        unique[to_build[b]] = std::move(catalog);
+    }
+
+    std::vector<std::shared_ptr<const NodeCatalog>> result(num_nodes);
+    for (int i = 0; i < num_nodes; ++i)
+        result[i] = unique[unique_idx[i]];
+    if (stats) {
+        stats->built = static_cast<int>(to_build.size());
+        stats->cacheHits = num_nodes - stats->built;
+    }
+    return result;
 }
 
 namespace {
@@ -35,24 +140,55 @@ struct LayoutClasses
     std::vector<int> classOf; ///< per sequence
 };
 
+/** Byte-serialize a device-box set for hashed class lookup (the boxes
+ *  of all candidate layouts of one edge endpoint have identical shape,
+ *  so the flat stream is unambiguous). */
+std::string
+boxKey(const std::vector<std::vector<SliceRange>> &device_box)
+{
+    std::string key;
+    std::size_t ranges = 0;
+    for (const auto &box : device_box)
+        ranges += box.size();
+    key.reserve(sizeof(std::int64_t) * (2 * ranges + 1));
+    const auto append = [&key](std::int64_t v) {
+        key.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    };
+    append(static_cast<std::int64_t>(device_box.size()));
+    for (const auto &box : device_box) {
+        for (const SliceRange &r : box) {
+            append(r.start);
+            append(r.end);
+        }
+    }
+    return key;
+}
+
 LayoutClasses
 classify(const OpSpec &op, const NodeCatalog &catalog,
          const TensorRef &ref, Phase phase, bool at_end,
          const EdgeDimMap &map,
-         const std::vector<std::int64_t> &sizes)
+         const std::vector<std::int64_t> &sizes, ThreadPool *pool)
 {
-    LayoutClasses result;
-    std::map<std::vector<std::vector<SliceRange>>, int> seen;
-    result.classOf.reserve(catalog.size());
-    for (int s = 0; s < catalog.size(); ++s) {
+    // Boundary layouts of all sequences (parallel, one slot each),
+    // then a serial hashed dedup in sequence order.
+    std::vector<TensorLayout> layouts(catalog.size());
+    parallelFor(pool, layouts.size(), [&](std::size_t s) {
         const DsiTable &dsi = catalog.plans[s]->dsi;
         const int t = at_end ? dsi.steps() - 1 : 0;
-        TensorLayout layout = layoutOf(op, dsi, ref, phase, t, map, sizes);
-        auto [it, inserted] =
-            seen.emplace(layout.deviceBox, static_cast<int>(
-                                               result.classes.size()));
+        layouts[s] = layoutOf(op, dsi, ref, phase, t, map, sizes);
+    });
+
+    LayoutClasses result;
+    std::unordered_map<std::string, int> seen;
+    seen.reserve(layouts.size());
+    result.classOf.reserve(catalog.size());
+    for (int s = 0; s < catalog.size(); ++s) {
+        auto [it, inserted] = seen.emplace(
+            boxKey(layouts[s].deviceBox),
+            static_cast<int>(result.classes.size()));
         if (inserted)
-            result.classes.push_back(std::move(layout));
+            result.classes.push_back(std::move(layouts[s]));
         result.classOf.push_back(it->second);
     }
     return result;
@@ -63,7 +199,7 @@ classify(const OpSpec &op, const NodeCatalog &catalog,
 EdgeCostTable
 buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
                    const NodeCatalog &src, const NodeCatalog &dst,
-                   const CostModel &cost)
+                   const CostModel &cost, ThreadPool *pool)
 {
     const OpSpec &producer = graph.node(edge.src);
     const OpSpec &consumer = graph.node(edge.dst);
@@ -77,34 +213,35 @@ buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
     // Boundary layouts, per class.
     const auto have_fwd =
         classify(producer, src, {producer.outputTensor, false},
-                 Phase::Forward, true, producer_map, sizes);
+                 Phase::Forward, true, producer_map, sizes, pool);
     const auto need_fwd =
         classify(consumer, dst, {edge.dstTensor, false}, Phase::Forward,
-                 false, consumer_map, sizes);
+                 false, consumer_map, sizes, pool);
     const auto have_bwd =
         classify(consumer, dst, {edge.dstTensor, true}, Phase::Backward,
-                 true, consumer_map, sizes);
+                 true, consumer_map, sizes, pool);
     const auto need_bwd =
         classify(producer, src, {producer.outputTensor, true},
-                 Phase::Backward, false, producer_map, sizes);
+                 Phase::Backward, false, producer_map, sizes, pool);
 
     // Link-class-aware traffic per class pair. Sources are prepared
     // (deduplicated boxes) once per class, so each pair evaluation is
-    // a tight intersection loop.
+    // a tight intersection loop. Pairs are independent slots, run in
+    // parallel over the flattened (have, need) index.
     auto traffic_table = [&](const LayoutClasses &have,
                              const LayoutClasses &need) {
-        std::vector<CostModel::PreparedSource> prepared;
-        prepared.reserve(have.classes.size());
-        for (const auto &h : have.classes)
-            prepared.push_back(CostModel::prepareSource(h));
+        std::vector<CostModel::PreparedSource> prepared(
+            have.classes.size());
+        parallelFor(pool, prepared.size(), [&](std::size_t h) {
+            prepared[h] = CostModel::prepareSource(have.classes[h]);
+        });
         std::vector<CostModel::TrafficSplit> table(
             have.classes.size() * need.classes.size());
-        for (std::size_t h = 0; h < have.classes.size(); ++h) {
-            for (std::size_t n = 0; n < need.classes.size(); ++n) {
-                table[h * need.classes.size() + n] =
-                    cost.trafficSplit(prepared[h], need.classes[n]);
-            }
-        }
+        parallelFor(pool, table.size(), [&](std::size_t idx) {
+            const std::size_t h = idx / need.classes.size();
+            const std::size_t n = idx % need.classes.size();
+            table[idx] = cost.trafficSplit(prepared[h], need.classes[n]);
+        });
         return table;
     };
     const auto fwd_traffic = traffic_table(have_fwd, need_fwd);
@@ -117,7 +254,8 @@ buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
     table.cost.resize(static_cast<std::size_t>(src.size()) * dst.size());
 
     const double bpe = consumer.bytesPerElement;
-    for (int ps = 0; ps < src.size(); ++ps) {
+    parallelFor(pool, static_cast<std::size_t>(src.size()),
+                [&](std::size_t ps) {
         const int hf = have_fwd.classOf[ps];
         const int nb = need_bwd.classOf[ps];
         for (int pd = 0; pd < dst.size(); ++pd) {
@@ -127,14 +265,14 @@ buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
                 fwd_traffic[hf * need_fwd.classes.size() + nf];
             const auto &b =
                 bwd_traffic[hb * need_bwd.classes.size() + nb];
-            table.cost[static_cast<std::size_t>(ps) * dst.size() + pd] =
+            table.cost[ps * dst.size() + pd] =
                 static_cast<float>(cost.redistLatencyUs(
                     static_cast<double>(f.intraNode + b.intraNode) *
                         bpe,
                     static_cast<double>(f.interNode + b.interNode) *
                         bpe));
         }
-    }
+    });
     return table;
 }
 

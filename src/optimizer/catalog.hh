@@ -9,6 +9,12 @@
  * induce the same boundary distribution of the transferred tensor, so
  * traffic is evaluated once per class pair instead of once per
  * sequence pair.
+ *
+ * Construction is embarrassingly parallel (one output slot per
+ * sequence / class pair / sequence pair) and accepts an optional
+ * ThreadPool; results are identical at any thread count. Catalogs of
+ * structurally identical nodes are shared via CatalogCache (see
+ * catalog_cache.hh).
  */
 
 #ifndef PRIMEPAR_OPTIMIZER_CATALOG_HH
@@ -20,12 +26,18 @@
 #include "cost/cost_model.hh"
 #include "graph/graph.hh"
 #include "partition/space.hh"
+#include "support/parallel.hh"
 
 namespace primepar {
+
+class CatalogCache;
 
 /** The strategy space of one node with cached evaluation artifacts. */
 struct NodeCatalog
 {
+    /** The node this catalog was built for. When the catalog is shared
+     *  through a CatalogCache this is the *first* node that needed it
+     *  (all sharers are structurally identical). */
     int node = -1;
     std::vector<PartitionSeq> seqs;
     std::vector<std::unique_ptr<OpPlan>> plans;
@@ -38,7 +50,31 @@ struct NodeCatalog
 /** Build the catalog of a node under the given space options. */
 NodeCatalog buildNodeCatalog(const CompGraph &graph, int node,
                              const CostModel &cost,
-                             const SpaceOptions &opts);
+                             const SpaceOptions &opts,
+                             ThreadPool *pool = nullptr);
+
+/** Outcome counters of a buildAllNodeCatalogs call. */
+struct CatalogBuildStats
+{
+    /** Catalogs actually constructed. */
+    int built = 0;
+    /** Nodes served by an existing catalog (same-graph duplicate or
+     *  CatalogCache entry from an earlier run). */
+    int cacheHits = 0;
+};
+
+/**
+ * Build (or fetch) the catalogs of every node of @p graph. Nodes with
+ * identical structural keys share one catalog; @p cache (optional)
+ * extends the sharing across optimizer invocations. Plan and cost
+ * evaluation is flattened over all (node, sequence) pairs and run on
+ * @p pool (optional).
+ */
+std::vector<std::shared_ptr<const NodeCatalog>>
+buildAllNodeCatalogs(const CompGraph &graph, const CostModel &cost,
+                     const SpaceOptions &opts, ThreadPool *pool = nullptr,
+                     CatalogCache *cache = nullptr,
+                     CatalogBuildStats *stats = nullptr);
 
 /** Dense inter-operator cost table of one edge. */
 struct EdgeCostTable
@@ -64,7 +100,8 @@ EdgeCostTable buildEdgeCostTable(const CompGraph &graph,
                                  const GraphEdge &edge,
                                  const NodeCatalog &src,
                                  const NodeCatalog &dst,
-                                 const CostModel &cost);
+                                 const CostModel &cost,
+                                 ThreadPool *pool = nullptr);
 
 } // namespace primepar
 

@@ -5,14 +5,25 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "support/logging.hh"
+#include "support/parallel.hh"
 
 namespace primepar {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
 
 /** Dense row-major double matrix. */
 struct Mat
@@ -81,25 +92,60 @@ struct DpContext
 {
     const CompGraph &graph;
     const CostModel &cost;
-    std::vector<NodeCatalog> catalogs;
+    ThreadPool *pool = nullptr;
+    std::vector<std::shared_ptr<const NodeCatalog>> catalogs;
     std::vector<EdgeCostTable> tables; // parallel to graph.edges()
+    /** (src, dst) -> indices into tables, built once; edgeCost() is
+     *  an O(log V) lookup instead of a full edge-list rescan. */
+    std::map<std::pair<int, int>, std::vector<std::size_t>> edgeIndex;
+
+    const NodeCatalog &
+    cat(int node) const
+    {
+        return *catalogs[node];
+    }
+
+    /** Build tables for every edge (parallel) and the (src, dst)
+     *  adjacency index. */
+    void
+    buildTables()
+    {
+        const auto &edges = graph.edges();
+        tables.resize(edges.size());
+        parallelFor(pool, edges.size(), [this, &edges](std::size_t e) {
+            tables[e] = buildEdgeCostTable(graph, edges[e],
+                                           cat(edges[e].src),
+                                           cat(edges[e].dst), cost, pool);
+        });
+        for (std::size_t e = 0; e < edges.size(); ++e)
+            edgeIndex[{edges[e].src, edges[e].dst}].push_back(e);
+    }
 
     /** Sum of the cost tables of all edges src -> dst (inf-free). */
     bool
     edgeCost(int src, int dst, Mat &out) const
     {
+        const auto it = edgeIndex.find({src, dst});
+        if (it == edgeIndex.end())
+            return false;
         bool found = false;
-        for (std::size_t e = 0; e < graph.edges().size(); ++e) {
-            const GraphEdge &edge = graph.edges()[e];
-            if (edge.src != src || edge.dst != dst)
-                continue;
+        for (const std::size_t e : it->second) {
+            const EdgeCostTable &table = tables[e];
             if (!found) {
-                out = Mat(tables[e].srcSize, tables[e].dstSize);
+                out = Mat(table.srcSize, table.dstSize);
                 found = true;
+            } else {
+                PRIMEPAR_ASSERT(
+                    table.srcSize == out.rows &&
+                        table.dstSize == out.cols,
+                    "parallel edges ", src, " -> ", dst,
+                    " have mismatched cost tables: ", table.srcSize,
+                    "x", table.dstSize, " vs ", out.rows, "x",
+                    out.cols);
             }
             for (int i = 0; i < out.rows; ++i)
                 for (int j = 0; j < out.cols; ++j)
-                    out.at(i, j) += tables[e].at(i, j);
+                    out.at(i, j) += table.at(i, j);
         }
         return found;
     }
@@ -113,20 +159,21 @@ solveSegment(const DpContext &ctx, int a, int c)
     seg.a = a;
     seg.c = c;
 
-    const auto &cat = ctx.catalogs;
     PRIMEPAR_ASSERT(c > a, "degenerate segment");
 
     // Init over [a, a+1].
     Mat e01;
     const bool has01 = ctx.edgeCost(a, a + 1, e01);
-    seg.C = Mat(cat[a].size(), cat[a + 1].size());
-    for (int i = 0; i < seg.C.rows; ++i) {
+    seg.C = Mat(ctx.cat(a).size(), ctx.cat(a + 1).size());
+    parallelFor(ctx.pool, static_cast<std::size_t>(seg.C.rows),
+                [&](std::size_t i) {
+        const int row = static_cast<int>(i);
         for (int j = 0; j < seg.C.cols; ++j) {
-            seg.C.at(i, j) = cat[a].intraCost[i] +
-                             cat[a + 1].intraCost[j] +
-                             (has01 ? e01.at(i, j) : 0.0);
+            seg.C.at(row, j) = ctx.cat(a).intraCost[row] +
+                               ctx.cat(a + 1).intraCost[j] +
+                               (has01 ? e01.at(row, j) : 0.0);
         }
-    }
+    });
 
     for (int next = a + 2; next <= c; ++next) {
         const int j = next - 1;
@@ -143,12 +190,19 @@ solveSegment(const DpContext &ctx, int a, int c)
         const bool has_chain = ctx.edgeCost(j, next, e_chain);
         const bool has_skip = a != j && ctx.edgeCost(a, next, e_skip);
 
-        Mat next_c(seg.C.rows, cat[next].size(), kInf);
-        ArgMat arg(seg.C.rows, cat[next].size());
-        for (int pa = 0; pa < seg.C.rows; ++pa) {
+        const NodeCatalog &cat_next = ctx.cat(next);
+        Mat next_c(seg.C.rows, cat_next.size(), kInf);
+        ArgMat arg(seg.C.rows, cat_next.size());
+        // Rows are independent (row pa reads row pa of seg.C, writes
+        // row pa of next_c/arg); the argmin over pj stays a serial
+        // loop inside one row, so ties break identically at any
+        // thread count.
+        parallelFor(ctx.pool, static_cast<std::size_t>(seg.C.rows),
+                    [&](std::size_t row) {
+            const int pa = static_cast<int>(row);
             for (int pj = 0; pj < seg.C.cols; ++pj) {
                 const double base = seg.C.at(pa, pj);
-                for (int pn = 0; pn < cat[next].size(); ++pn) {
+                for (int pn = 0; pn < cat_next.size(); ++pn) {
                     const double val =
                         base +
                         (has_chain ? e_chain.at(pj, pn) : 0.0);
@@ -159,12 +213,12 @@ solveSegment(const DpContext &ctx, int a, int c)
                 }
             }
             // Terms independent of p_j (Eq. 12's n_{j+1} and e').
-            for (int pn = 0; pn < cat[next].size(); ++pn) {
+            for (int pn = 0; pn < cat_next.size(); ++pn) {
                 next_c.at(pa, pn) +=
-                    cat[next].intraCost[pn] +
+                    cat_next.intraCost[pn] +
                     (has_skip ? e_skip.at(pa, pn) : 0.0);
             }
-        }
+        });
         seg.C = std::move(next_c);
         seg.args.push_back(std::move(arg));
     }
@@ -182,16 +236,25 @@ SegmentedDpOptimizer::SegmentedDpOptimizer(const CompGraph &graph_in,
 DpResult
 SegmentedDpOptimizer::optimize()
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
+    DpResult result;
 
-    DpContext ctx{graph, cost, {}, {}};
-    for (int n = 0; n < graph.numNodes(); ++n)
-        ctx.catalogs.push_back(
-            buildNodeCatalog(graph, n, cost, opts.space));
-    for (const GraphEdge &e : graph.edges()) {
-        ctx.tables.push_back(buildEdgeCostTable(
-            graph, e, ctx.catalogs[e.src], ctx.catalogs[e.dst], cost));
-    }
+    ThreadPool pool(opts.numThreads);
+    DpContext ctx{graph, cost, &pool, {}, {}, {}};
+
+    CatalogBuildStats cat_stats;
+    ctx.catalogs = buildAllNodeCatalogs(graph, cost, opts.space, &pool,
+                                        opts.catalogCache.get(),
+                                        &cat_stats);
+    result.catalogsBuilt = cat_stats.built;
+    result.catalogCacheHits = cat_stats.cacheHits;
+    result.catalogMs = msSince(t0);
+
+    const auto t1 = Clock::now();
+    ctx.buildTables();
+    result.edgeTableMs = msSince(t1);
+
+    const auto t2 = Clock::now();
 
     // Segment boundaries: sources of extended edges.
     std::set<int> boundary_set{0, graph.numNodes() - 1};
@@ -231,10 +294,13 @@ SegmentedDpOptimizer::optimize()
         rec.b = b;
         rec.c = right.c;
         rec.argB = ArgMat(total.rows, right.C.cols);
-        for (int i = 0; i < total.rows; ++i) {
+        // Same row-independence argument as in solveSegment.
+        parallelFor(ctx.pool, static_cast<std::size_t>(total.rows),
+                    [&](std::size_t row) {
+            const int i = static_cast<int>(row);
             for (int pb = 0; pb < total.cols; ++pb) {
                 const double left =
-                    total.at(i, pb) - ctx.catalogs[b].intraCost[pb];
+                    total.at(i, pb) - ctx.cat(b).intraCost[pb];
                 for (int k = 0; k < right.C.cols; ++k) {
                     const double val = left + right.C.at(pb, k);
                     if (val < merged.at(i, k)) {
@@ -247,7 +313,7 @@ SegmentedDpOptimizer::optimize()
                 for (int k = 0; k < right.C.cols; ++k)
                     merged.at(i, k) += e_cross.at(i, k);
             }
-        }
+        });
         total = std::move(merged);
         merges.push_back(std::move(rec));
     }
@@ -256,8 +322,8 @@ SegmentedDpOptimizer::optimize()
     // must tile onto the head node's state of the next layer; head and
     // tail have structurally aligned spaces (same dims), so restrict
     // the choice to aligned pairs and combine layer costs exactly.
-    const NodeCatalog &head = ctx.catalogs.front();
-    const NodeCatalog &tail = ctx.catalogs.back();
+    const NodeCatalog &head = ctx.cat(0);
+    const NodeCatalog &tail = ctx.cat(graph.numNodes() - 1);
 
     int best_p0 = 0, best_pl = 0;
     double best_layer = kInf, best_total = kInf;
@@ -320,43 +386,47 @@ SegmentedDpOptimizer::optimize()
         }
     }
 
-    DpResult result;
     for (int n = 0; n < graph.numNodes(); ++n) {
         PRIMEPAR_ASSERT(choice[n] >= 0, "node ", n, " unresolved");
-        result.strategies.push_back(ctx.catalogs[n].seqs[choice[n]]);
+        result.strategies.push_back(ctx.cat(n).seqs[choice[n]]);
     }
     result.layerCost = best_layer;
     result.totalCost = best_total;
-    result.optimizationMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
+    result.dpMs = msSince(t2);
+    result.optimizationMs = msSince(t0);
     return result;
 }
 
 DpResult
 bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
-                   const SpaceOptions &space)
+                   const SpaceOptions &space, CatalogCache *cache,
+                   int num_threads)
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
+    DpResult result;
 
-    std::vector<NodeCatalog> catalogs;
-    for (int n = 0; n < graph.numNodes(); ++n)
-        catalogs.push_back(buildNodeCatalog(graph, n, cost, space));
-    std::vector<EdgeCostTable> tables;
-    for (const GraphEdge &e : graph.edges())
-        tables.push_back(buildEdgeCostTable(
-            graph, e, catalogs[e.src], catalogs[e.dst], cost));
+    ThreadPool pool(num_threads);
+    DpContext ctx{graph, cost, &pool, {}, {}, {}};
+    CatalogBuildStats cat_stats;
+    ctx.catalogs = buildAllNodeCatalogs(graph, cost, space, &pool, cache,
+                                        &cat_stats);
+    result.catalogsBuilt = cat_stats.built;
+    result.catalogCacheHits = cat_stats.cacheHits;
+    result.catalogMs = msSince(t0);
+    const auto t1 = Clock::now();
+    ctx.buildTables();
+    result.edgeTableMs = msSince(t1);
 
+    const auto t2 = Clock::now();
     std::vector<int> idx(graph.numNodes(), 0), best;
     double best_cost = kInf;
     while (true) {
         double c = 0.0;
         for (int n = 0; n < graph.numNodes(); ++n)
-            c += catalogs[n].intraCost[idx[n]];
-        for (std::size_t e = 0; e < tables.size(); ++e) {
-            c += tables[e].at(idx[graph.edges()[e].src],
-                              idx[graph.edges()[e].dst]);
+            c += ctx.cat(n).intraCost[idx[n]];
+        for (std::size_t e = 0; e < ctx.tables.size(); ++e) {
+            c += ctx.tables[e].at(idx[graph.edges()[e].src],
+                                  idx[graph.edges()[e].dst]);
         }
         if (c < best_cost) {
             best_cost = c;
@@ -364,7 +434,7 @@ bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
         }
         int n = graph.numNodes() - 1;
         for (; n >= 0; --n) {
-            if (++idx[n] < catalogs[n].size())
+            if (++idx[n] < ctx.cat(n).size())
                 break;
             idx[n] = 0;
         }
@@ -372,15 +442,12 @@ bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
             break;
     }
 
-    DpResult result;
     for (int n = 0; n < graph.numNodes(); ++n)
-        result.strategies.push_back(catalogs[n].seqs[best[n]]);
+        result.strategies.push_back(ctx.cat(n).seqs[best[n]]);
     result.layerCost = best_cost;
     result.totalCost = best_cost;
-    result.optimizationMs =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
+    result.dpMs = msSince(t2);
+    result.optimizationMs = msSince(t0);
     return result;
 }
 

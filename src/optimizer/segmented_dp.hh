@@ -10,14 +10,23 @@
  * Eqs. 13-14 (subtracting the shared boundary node's intra cost and
  * adding the skip edge spanning the merge). Identical stacked layers
  * are combined by recursive doubling in log(#layers) merges.
+ *
+ * The planner itself is parallel: catalog construction, edge-table
+ * evaluation and the Bellman/merge row loops run on a ThreadPool with
+ * one output slot per index, so results are bit-identical at any
+ * thread count (see support/parallel.hh). Catalogs of structurally
+ * identical nodes are shared, optionally across invocations through a
+ * caller-supplied CatalogCache.
  */
 
 #ifndef PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH
 #define PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH
 
+#include <memory>
 #include <vector>
 
 #include "catalog.hh"
+#include "catalog_cache.hh"
 
 namespace primepar {
 
@@ -28,6 +37,13 @@ struct DpOptions
     SpaceOptions space;
     /** Stacked identical layers to optimize for. */
     int numLayers = 1;
+    /** Planner threads; 0 = hardware concurrency. Any value yields
+     *  bit-identical strategies and costs. */
+    int numThreads = 0;
+    /** Optional catalog store shared across runs (and with
+     *  bruteForceOptimize). nullptr still deduplicates identical
+     *  nodes within the run. */
+    std::shared_ptr<CatalogCache> catalogCache;
 };
 
 /** Result of an optimization run. */
@@ -41,6 +57,15 @@ struct DpResult
     double totalCost = 0.0;
     /** Wall-clock optimization time, ms. */
     double optimizationMs = 0.0;
+
+    /** Per-phase planner timings (sum <= optimizationMs), ms. */
+    double catalogMs = 0.0;   ///< catalog construction / cache lookup
+    double edgeTableMs = 0.0; ///< edge cost tables
+    double dpMs = 0.0;        ///< Bellman + merge + reconstruction
+
+    /** Catalogs built vs nodes served from a shared catalog. */
+    int catalogsBuilt = 0;
+    int catalogCacheHits = 0;
 };
 
 /** The optimizer: builds catalogs and tables, runs the segmented DP. */
@@ -62,9 +87,14 @@ class SegmentedDpOptimizer
 /**
  * Exhaustive reference: minimize Eq. 10 by enumerating all strategy
  * combinations. Exponential — for validating the DP on small graphs.
+ * @p cache may share catalogs with SegmentedDpOptimizer runs;
+ * @p num_threads parallelizes catalog/table construction (the
+ * enumeration itself stays serial — it is the reference).
  */
 DpResult bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
-                            const SpaceOptions &space);
+                            const SpaceOptions &space,
+                            CatalogCache *cache = nullptr,
+                            int num_threads = 1);
 
 } // namespace primepar
 

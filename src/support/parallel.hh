@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic parallel-execution support for the planner.
+ *
+ * The optimizer's hot loops (catalog construction, edge-table
+ * evaluation, Bellman rows) are data parallel with one output slot per
+ * index, so they can run on any number of threads without changing the
+ * result. ThreadPool::parallelFor() makes that contract explicit: it
+ * statically chunks [0, n) into contiguous ranges, every index writes
+ * only its own outputs, and no cross-thread reductions are performed —
+ * results (including argmin tie-breaking, which stays inside a single
+ * index's serial loop) are bit-identical at any thread count.
+ *
+ * Nested parallelFor() calls from inside a worker run inline on that
+ * worker (no deadlock, no oversubscription), so callees can
+ * parallelize unconditionally and inherit whatever level of the loop
+ * nest got the threads.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_PARALLEL_HH
+#define PRIMEPAR_SUPPORT_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace primepar {
+
+/** std::thread::hardware_concurrency(), clamped to >= 1. */
+int hardwareConcurrency();
+
+/** Resolve a user thread count: 0 means hardware concurrency;
+ *  anything else is clamped to >= 1. */
+int resolveNumThreads(int requested);
+
+/**
+ * A small fixed-size pool of worker threads driving parallelFor().
+ *
+ * The calling thread participates as one of the workers, so a pool of
+ * size N spawns N - 1 background threads and a pool of size 1 spawns
+ * none (parallelFor degenerates to a plain serial loop).
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads total workers incl. the caller (0 = all
+     *         hardware threads). */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total worker count including the calling thread. */
+    int numThreads() const { return nThreads; }
+
+    /**
+     * Run fn(i) for every i in [0, n), statically chunked over the
+     * workers; blocks until all indices completed. The first exception
+     * thrown by any fn is rethrown on the caller. Calls from inside a
+     * pool task execute serially inline.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    int nThreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable workCv;
+    std::deque<std::function<void()>> queue;
+    bool stopping = false;
+};
+
+/** parallelFor through an optional pool; nullptr runs serially. */
+void parallelFor(ThreadPool *pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_PARALLEL_HH

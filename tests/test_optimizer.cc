@@ -6,11 +6,14 @@
  * search behaviour on the transformer block.
  */
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "baselines/megatron.hh"
 #include "graph/transformer.hh"
 #include "optimizer/catalog.hh"
+#include "optimizer/catalog_cache.hh"
 #include "optimizer/segmented_dp.hh"
 
 namespace primepar {
@@ -183,6 +186,126 @@ TEST(SegmentedDp, StackedLayersPreferAlignedBoundaries)
         SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
     EXPECT_GE(dp.totalCost, dp.layerCost);
     EXPECT_LE(dp.totalCost, 8.0 * dp.layerCost + 1e-6);
+}
+
+TEST(SegmentedDp, BitIdenticalAcrossThreadCounts)
+{
+    // The determinism contract of support/parallel.hh: every thread
+    // count yields the same strategies and the exact same costs.
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cost(topo, profileModels(topo));
+    ModelConfig cfg = opt6p7b();
+    const CompGraph g = buildTransformerBlock(cfg, 8);
+
+    const auto run = [&](int threads) {
+        DpOptions opts;
+        opts.numLayers = cfg.numLayers;
+        opts.numThreads = threads;
+        return SegmentedDpOptimizer(g, cost, opts).optimize();
+    };
+    const DpResult serial = run(1);
+    for (int threads : {2, 8, 0}) {
+        const DpResult r = run(threads);
+        EXPECT_EQ(r.strategies, serial.strategies)
+            << "threads = " << threads;
+        EXPECT_EQ(r.layerCost, serial.layerCost)
+            << "threads = " << threads;
+        EXPECT_EQ(r.totalCost, serial.totalCost)
+            << "threads = " << threads;
+    }
+}
+
+TEST(SegmentedDp, IdenticalNodesShareOneCatalog)
+{
+    // The transformer block repeats structures (two layernorms, two
+    // residual adds): fewer catalogs are built than nodes exist, with
+    // the rest reported as cache hits — even without an external
+    // cache.
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cost(topo, profileModels(topo));
+    const CompGraph g = buildTransformerBlock(opt6p7b(), 8);
+
+    DpOptions opts;
+    const DpResult r = SegmentedDpOptimizer(g, cost, opts).optimize();
+    EXPECT_LT(r.catalogsBuilt, g.numNodes());
+    EXPECT_GE(r.catalogCacheHits, 2);
+    EXPECT_EQ(r.catalogsBuilt + r.catalogCacheHits, g.numNodes());
+}
+
+TEST(SegmentedDp, CatalogCachePersistsAcrossRuns)
+{
+    SmallFixture f;
+    const auto cache = std::make_shared<CatalogCache>();
+    DpOptions opts;
+    opts.catalogCache = cache;
+
+    const DpResult first =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    EXPECT_GT(first.catalogsBuilt, 0);
+    const std::size_t resident = cache->size();
+    EXPECT_EQ(resident, static_cast<std::size_t>(first.catalogsBuilt));
+
+    // Second run: every node is served from the cache...
+    const DpResult second =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    EXPECT_EQ(second.catalogsBuilt, 0);
+    EXPECT_EQ(second.catalogCacheHits, f.graph.numNodes());
+    EXPECT_EQ(cache->size(), resident);
+    EXPECT_EQ(second.strategies, first.strategies);
+    EXPECT_EQ(second.layerCost, first.layerCost);
+
+    // ...and bruteForceOptimize shares the same store.
+    const std::size_t hits_before = cache->hits();
+    const DpResult bf = bruteForceOptimize(f.graph, f.cost, opts.space,
+                                           cache.get(), 2);
+    EXPECT_EQ(bf.catalogsBuilt, 0);
+    EXPECT_GT(cache->hits(), hits_before);
+    EXPECT_NEAR(bf.layerCost, first.layerCost,
+                1e-6 * std::max(1.0, first.layerCost));
+
+    // A different space is a different key: nothing aliases.
+    DpOptions conv = opts;
+    conv.space.allowPSquare = false;
+    const DpResult spatial =
+        SegmentedDpOptimizer(f.graph, f.cost, conv).optimize();
+    EXPECT_GT(spatial.catalogsBuilt, 0);
+    EXPECT_GT(cache->size(), resident);
+}
+
+TEST(SegmentedDp, ParallelEdgesSummedViaEdgeIndex)
+{
+    // Two edges between the same node pair (both add inputs fed by
+    // node 0) exercise the multi-table accumulation behind the
+    // (src, dst) edge index; the DP must still match brute force.
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cost(topo, profileModels(topo));
+
+    CompGraph g;
+    g.addNode(makeElementwiseOp("input", {"B", "M", "H"},
+                                {8, 256, 1024}, 0.0));
+    g.addNode(makeAddOp("sum", {"B", "M", "H"}, {8, 256, 1024}));
+    g.addEdge(0, 1, 0, {0, 1, 2});
+    g.addEdge(0, 1, 1, {0, 1, 2});
+
+    DpOptions opts;
+    const DpResult dp = SegmentedDpOptimizer(g, cost, opts).optimize();
+    const DpResult bf = bruteForceOptimize(g, cost, opts.space);
+    EXPECT_NEAR(dp.layerCost, bf.layerCost,
+                1e-6 * std::max(1.0, bf.layerCost));
+    EXPECT_EQ(dp.strategies.size(), 2u);
+}
+
+TEST(SegmentedDp, ReportsPhaseTimings)
+{
+    SmallFixture f;
+    DpOptions opts;
+    const DpResult r =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    EXPECT_GT(r.catalogMs, 0.0);
+    EXPECT_GT(r.edgeTableMs, 0.0);
+    EXPECT_GT(r.dpMs, 0.0);
+    EXPECT_LE(r.catalogMs + r.edgeTableMs + r.dpMs,
+              r.optimizationMs + 1e-6);
 }
 
 TEST(Baselines, MegatronStrategiesMatchHandRules)

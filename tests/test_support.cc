@@ -1,11 +1,18 @@
 /**
  * @file
- * Unit tests for the support library (bits, regression, table).
+ * Unit tests for the support library (bits, regression, table,
+ * parallel).
  */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "support/bits.hh"
+#include "support/parallel.hh"
 #include "support/regression.hh"
 #include "support/rng.hh"
 #include "support/table.hh"
@@ -123,6 +130,99 @@ TEST(Table, FmtDouble)
 {
     EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
     EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Parallel, ResolveNumThreads)
+{
+    EXPECT_GE(resolveNumThreads(0), 1);
+    EXPECT_EQ(resolveNumThreads(0), hardwareConcurrency());
+    EXPECT_EQ(resolveNumThreads(3), 3);
+    EXPECT_EQ(resolveNumThreads(-2), hardwareConcurrency());
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexOnce)
+{
+    for (int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.numThreads(), threads);
+        std::vector<std::atomic<int>> counts(1000);
+        pool.parallelFor(counts.size(),
+                         [&](std::size_t i) { counts[i]++; });
+        for (const auto &c : counts)
+            EXPECT_EQ(c.load(), 1);
+    }
+}
+
+TEST(Parallel, ResultsIdenticalAcrossThreadCounts)
+{
+    // One output slot per index: any thread count computes the same
+    // values (the planner's determinism contract).
+    const auto run = [](int threads) {
+        ThreadPool pool(threads);
+        std::vector<double> out(257);
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            double v = 0.0;
+            for (std::size_t j = 0; j <= i; ++j)
+                v += 1.0 / (1.0 + static_cast<double>(j));
+            out[i] = v;
+        });
+        return out;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(serial, run(4));
+    EXPECT_EQ(serial, run(16));
+}
+
+TEST(Parallel, EmptyAndSingleRanges)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(64);
+    pool.parallelFor(8, [&](std::size_t outer) {
+        pool.parallelFor(8, [&](std::size_t inner) {
+            counts[outer * 8 + inner]++;
+        });
+    });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a throwing loop.
+    std::atomic<int> ok{0};
+    pool.parallelFor(10, [&](std::size_t) { ok++; });
+    EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(Parallel, NullPoolHelperRunsSerially)
+{
+    std::vector<int> order;
+    parallelFor(nullptr, 5, [&](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    std::vector<int> expect(5);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
 }
 
 } // namespace
