@@ -1,18 +1,40 @@
 /**
  * @file
- * Micro-benchmarks of PrimePar's hot paths (google-benchmark):
- * DSI table evaluation, communication-pattern derivation, partition
- * space enumeration, redistribution traffic evaluation and the SPMD
- * contraction kernel. These guard the optimizer's O(P^3) inner loops
- * against regressions.
+ * Micro-benchmarks of PrimePar's hot paths.
+ *
+ * Two modes:
+ *  - default (google-benchmark): DSI table evaluation, comm-pattern
+ *    derivation, partition space enumeration, redistribution traffic
+ *    and the SPMD contraction kernel — guards the optimizer's O(P^3)
+ *    inner loops against regressions.
+ *  - `--json [FILE]` (add `--quick` for CI sizes): the runtime
+ *    microbench. Reports blocked-vs-naive kernel timings (ms, GFLOP/s,
+ *    bytes moved), a partitioned training step across thread counts
+ *    (tokens/s, ring/all-reduce bytes, scaling efficiency) and buffer
+ *    pool statistics as a `primepar-bench-runtime-v1` JSON document,
+ *    validated by scripts/bench_check.sh.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/megatron.hh"
 #include "cost/cost_model.hh"
 #include "partition/comm_pattern.hh"
 #include "partition/space.hh"
+#include "runtime/graph_executor.hh"
+#include "runtime/transformer_runtime.hh"
 #include "tensor/einsum.hh"
+#include "tensor/gemm.hh"
+#include "tensor/ops.hh"
 
 using namespace primepar;
 
@@ -106,6 +128,309 @@ BM_ContractProduct(benchmark::State &state)
 }
 BENCHMARK(BM_ContractProduct)->Arg(32)->Arg(64);
 
+// ---------------------------------------------------------------------
+// Runtime microbench (--json mode)
+// ---------------------------------------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+/** Best-of-@p iters wall time of @p fn in milliseconds. */
+template <typename Fn>
+double
+timeMs(int iters, Fn &&fn)
+{
+    double best = 0.0;
+    for (int i = 0; i < iters; ++i) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (i == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** JSON float: bench_check.sh refuses NaN/Inf, so clamp them loudly. */
+std::string
+jnum(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed << v;
+    return os.str();
+}
+
+struct KernelReport
+{
+    std::string name;
+    std::int64_t m, n, k;
+    double blocked_ms, naive_ms, max_abs_diff;
+    std::int64_t bytes_moved;
+};
+
+void
+emitKernel(std::ostream &os, const KernelReport &r, bool last)
+{
+    const double flops = 2.0 * static_cast<double>(r.m) *
+                         static_cast<double>(r.n) *
+                         static_cast<double>(r.k);
+    os << "    {\"name\": \"" << r.name << "\", \"m\": " << r.m
+       << ", \"n\": " << r.n << ", \"k\": " << r.k
+       << ", \"blocked_ms\": " << jnum(r.blocked_ms)
+       << ", \"naive_ms\": " << jnum(r.naive_ms)
+       << ", \"speedup\": " << jnum(r.naive_ms / r.blocked_ms)
+       << ", \"gflops\": " << jnum(flops / (r.blocked_ms * 1e6))
+       << ", \"bytes_moved\": " << r.bytes_moved
+       << ", \"max_abs_diff\": " << jnum(r.max_abs_diff) << "}"
+       << (last ? "" : ",") << "\n";
+}
+
+std::vector<KernelReport>
+runKernelBenches(bool quick)
+{
+    std::vector<KernelReport> reports;
+    Rng rng(1234);
+    const int iters = quick ? 1 : 3;
+
+    // The acceptance-criterion GEMM: 1024^3 linearForward.
+    const std::int64_t G = quick ? 128 : 1024;
+    const std::int64_t S = quick ? 96 : 512;
+
+    {
+        const Tensor in = Tensor::random({G, G}, rng);
+        const Tensor w = Tensor::random({G, G}, rng);
+        Tensor blocked, ref;
+        const double bms =
+            timeMs(iters, [&] { blocked = linearForward(in, w); });
+        const double nms =
+            timeMs(1, [&] { ref = naive::linearForward(in, w); });
+        reports.push_back({"linearForward", G, G, G, bms, nms,
+                           static_cast<double>(blocked.maxAbsDiff(ref)),
+                           4 * (3 * G * G)});
+    }
+    {
+        const Tensor go = Tensor::random({S, S}, rng);
+        const Tensor w = Tensor::random({S, S}, rng);
+        Tensor blocked, ref;
+        const double bms =
+            timeMs(iters, [&] { blocked = linearBackward(go, w); });
+        const double nms =
+            timeMs(1, [&] { ref = naive::linearBackward(go, w); });
+        reports.push_back({"linearBackward", S, S, S, bms, nms,
+                           static_cast<double>(blocked.maxAbsDiff(ref)),
+                           4 * (3 * S * S)});
+    }
+    {
+        const Tensor in = Tensor::random({S, S}, rng);
+        const Tensor go = Tensor::random({S, S}, rng);
+        Tensor blocked, ref;
+        const double bms =
+            timeMs(iters, [&] { blocked = linearGradient(in, go); });
+        const double nms =
+            timeMs(1, [&] { ref = naive::linearGradient(in, go); });
+        reports.push_back({"linearGradient", S, S, S, bms, nms,
+                           static_cast<double>(blocked.maxAbsDiff(ref)),
+                           4 * (3 * S * S)});
+    }
+    {
+        const std::int64_t B = 8, M = quick ? 64 : 256;
+        const Tensor a = Tensor::random({B, M, M}, rng);
+        const Tensor b = Tensor::random({B, M, M}, rng);
+        Tensor blocked, ref;
+        const double bms = timeMs(
+            iters, [&] { blocked = batchedMatmul(a, b, false, true); });
+        const double nms = timeMs(
+            1, [&] { ref = naive::batchedMatmul(a, b, false, true); });
+        reports.push_back({"batchedMatmulNT", B * M, M, M, bms, nms,
+                           static_cast<double>(blocked.maxAbsDiff(ref)),
+                           4 * (3 * B * M * M)});
+    }
+    {
+        // The executor's generic contraction through the einsum GEMM
+        // fast path, against the seed odometer.
+        const std::int64_t M = quick ? 64 : 256;
+        const Tensor a = Tensor::random({M, M}, rng);
+        const Tensor b = Tensor::random({M, M}, rng);
+        Tensor blocked(Shape{M, M});
+        Tensor ref(Shape{M, M});
+        const double bms = timeMs(iters, [&] {
+            blocked.zero();
+            contractProduct(a, {0, 1}, b, {1, 2}, blocked, {0, 2});
+        });
+        const double nms = timeMs(1, [&] {
+            ref.zero();
+            naive::contract(a, {0, 1}, b, {1, 2}, ref, {0, 2});
+        });
+        reports.push_back({"contractProduct", M, M, M, bms, nms,
+                           static_cast<double>(blocked.maxAbsDiff(ref)),
+                           4 * (3 * M * M)});
+    }
+    return reports;
+}
+
+/** One partitioned transformer-block training step, timed per thread
+ *  count; outputs must be bit-identical across all of them. */
+void
+emitTrainingStep(std::ostream &os, bool quick)
+{
+    ModelConfig cfg;
+    cfg.name = "bench";
+    cfg.hiddenSize = quick ? 32 : 128;
+    cfg.numHeads = 4;
+    cfg.ffnSize = quick ? 64 : 512;
+    cfg.seqLength = quick ? 16 : 32;
+    cfg.numLayers = 1;
+    const std::int64_t batch = 4;
+
+    const CompGraph graph = buildTransformerBlock(cfg, batch);
+    Rng rng(99);
+    GraphIO io;
+    io.input = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+    io.params = randomBlockParams(graph, rng);
+    io.d_output = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+
+    // PrimePar-style plan over 4 emulated devices: PSquare on each
+    // linear, batch/sequence splits elsewhere.
+    std::vector<PartitionSeq> plan(graph.numNodes());
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        const OpSpec &op = graph.node(n);
+        if (op.psquare.has_value()) {
+            plan[n] = PartitionSeq({PartitionStep::pSquare(1)});
+        } else if (op.kind == "matmul" || op.kind == "softmax") {
+            plan[n] = PartitionSeq(
+                {PartitionStep::byDim(0),
+                 PartitionStep::byDim(op.dimIndex("Hd"))});
+        } else {
+            plan[n] = PartitionSeq(
+                {PartitionStep::byDim(0),
+                 PartitionStep::byDim(op.dimIndex("M"))});
+        }
+    }
+
+    const std::int64_t tokens = batch * cfg.seqLength;
+    const int iters = quick ? 1 : 3;
+    const std::vector<int> thread_settings = {1, 2, 4, 0};
+
+    double base_ms = 0.0;
+    GraphResult ref_result;
+    bool bit_identical = true;
+    std::int64_t ring_bytes = 0, allreduce_bytes = 0;
+
+    os << "  \"training_step\": {\n"
+       << "    \"model\": {\"hidden\": " << cfg.hiddenSize
+       << ", \"heads\": " << cfg.numHeads << ", \"ffn\": " << cfg.ffnSize
+       << ", \"seq\": " << cfg.seqLength << ", \"batch\": " << batch
+       << ", \"devices\": 4},\n"
+       << "    \"tokens_per_step\": " << tokens << ",\n"
+       << "    \"threads\": [\n";
+
+    for (std::size_t i = 0; i < thread_settings.size(); ++i) {
+        const int requested = thread_settings[i];
+        SpmdGraphExecutor exec(graph, plan, 2, requested);
+        installTransformerBlockTransforms(exec, cfg, batch);
+
+        GraphResult result;
+        const double ms =
+            timeMs(iters, [&] { result = exec.run(io); });
+        if (i == 0) {
+            base_ms = ms;
+            ref_result = result;
+            ring_bytes = exec.stats().ringElements * 4;
+            allreduce_bytes = exec.stats().allReduceElements * 4;
+        } else {
+            if (result.output.maxAbsDiff(ref_result.output) != 0.0f ||
+                result.d_input.maxAbsDiff(ref_result.d_input) != 0.0f)
+                bit_identical = false;
+            for (const auto &[name, grad] : ref_result.d_params) {
+                if (result.d_params.at(name).maxAbsDiff(grad) != 0.0f)
+                    bit_identical = false;
+            }
+        }
+        os << "      {\"num_threads\": " << requested
+           << ", \"resolved_threads\": " << resolveNumThreads(requested)
+           << ", \"ms_per_step\": " << jnum(ms)
+           << ", \"tokens_per_s\": "
+           << jnum(static_cast<double>(tokens) / (ms / 1000.0))
+           << ", \"speedup_vs_1t\": " << jnum(base_ms / ms) << "}"
+           << (i + 1 < thread_settings.size() ? "," : "") << "\n";
+    }
+
+    os << "    ],\n"
+       << "    \"ring_bytes_per_step\": " << ring_bytes << ",\n"
+       << "    \"allreduce_bytes_per_step\": " << allreduce_bytes
+       << ",\n"
+       << "    \"bit_identical_across_threads\": "
+       << (bit_identical ? "true" : "false") << "\n"
+       << "  },\n";
+}
+
+int
+runRuntimeBench(const std::string &out_path, bool quick)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"schema\": \"primepar-bench-runtime-v1\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"hardware_threads\": " << hardwareConcurrency() << ",\n";
+
+    BufferPool::global().resetStats();
+    const auto kernels = runKernelBenches(quick);
+    os << "  \"kernels\": [\n";
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        emitKernel(os, kernels[i], i + 1 == kernels.size());
+    os << "  ],\n";
+
+    emitTrainingStep(os, quick);
+
+    const BufferPoolStats ps = BufferPool::global().stats();
+    os << "  \"buffer_pool\": {\"acquires\": " << ps.acquires
+       << ", \"pool_hits\": " << ps.poolHits
+       << ", \"fresh_allocs\": " << ps.freshAllocs
+       << ", \"bytes_allocated\": " << ps.bytesAllocated
+       << ", \"bytes_retained\": " << ps.bytesRetained << "}\n"
+       << "}\n";
+
+    if (out_path.empty()) {
+        std::cout << os.str();
+    } else {
+        std::ofstream f(out_path);
+        if (!f) {
+            std::cerr << "cannot open " << out_path << "\n";
+            return 1;
+        }
+        f << os.str();
+        std::cerr << "wrote " << out_path << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool json = false, quick = false;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                out_path = argv[++i];
+        } else if (arg == "--quick") {
+            quick = true;
+        }
+    }
+    if (json || quick)
+        return runRuntimeBench(out_path, quick);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# Validate the runtime microbench JSON emitted by `bench_micro --json`.
+#
+# Usage: bench_check.sh <bench_micro binary> [output.json]
+#
+# Runs the bench in --quick mode, then checks that the output is valid
+# JSON with the primepar-bench-runtime-v1 schema, that no timing is
+# NaN/absent, that every kernel matched its naive reference exactly,
+# and that results were bit-identical across thread counts. Wired as an
+# optional ctest with the `bench` label (ctest -L bench).
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <bench_micro binary> [output.json]" >&2
+    exit 2
+fi
+
+BENCH="$1"
+OUT="${2:-$(mktemp /tmp/bench_runtime.XXXXXX.json)}"
+
+if ! command -v python3 > /dev/null 2>&1; then
+    echo "bench_check: python3 not available, skipping validation" >&2
+    exit 0
+fi
+
+"$BENCH" --json "$OUT" --quick
+
+python3 - "$OUT" <<'EOF'
+import json
+import math
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit(f"bench_check: {msg}")
+
+def finite(x, where):
+    if not isinstance(x, (int, float)) or isinstance(x, bool):
+        fail(f"{where} is not a number: {x!r}")
+    if math.isnan(x) or math.isinf(x):
+        fail(f"{where} is not finite: {x}")
+
+if doc.get("schema") != "primepar-bench-runtime-v1":
+    fail(f"unexpected schema {doc.get('schema')!r}")
+finite(doc.get("hardware_threads"), "hardware_threads")
+
+kernels = doc.get("kernels")
+if not isinstance(kernels, list) or not kernels:
+    fail("kernels missing or empty")
+for k in kernels:
+    name = k.get("name", "<unnamed>")
+    for field in ("blocked_ms", "naive_ms", "speedup", "gflops"):
+        finite(k.get(field), f"kernels[{name}].{field}")
+    if k["blocked_ms"] <= 0:
+        fail(f"kernels[{name}].blocked_ms not positive")
+    if k.get("max_abs_diff") != 0:
+        fail(f"kernels[{name}] diverged from the naive reference: "
+             f"max_abs_diff={k.get('max_abs_diff')}")
+
+step = doc.get("training_step")
+if not isinstance(step, dict):
+    fail("training_step missing")
+threads = step.get("threads")
+if not isinstance(threads, list) or not threads:
+    fail("training_step.threads missing or empty")
+for t in threads:
+    for field in ("ms_per_step", "tokens_per_s", "speedup_vs_1t"):
+        finite(t.get(field), f"threads[{t.get('num_threads')}].{field}")
+if step.get("bit_identical_across_threads") is not True:
+    fail("training step results were not bit-identical across threads")
+for field in ("ring_bytes_per_step", "allreduce_bytes_per_step"):
+    finite(step.get(field), f"training_step.{field}")
+
+pool = doc.get("buffer_pool")
+if not isinstance(pool, dict):
+    fail("buffer_pool missing")
+for field in ("acquires", "pool_hits", "fresh_allocs"):
+    finite(pool.get(field), f"buffer_pool.{field}")
+
+names = ", ".join(k["name"] for k in kernels)
+print(f"bench_check: OK ({len(kernels)} kernels: {names}; "
+      f"{len(threads)} thread settings)")
+EOF

@@ -6,16 +6,20 @@ namespace primepar {
 
 SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
                                      std::vector<PartitionSeq> strategies,
-                                     int num_bits)
+                                     int num_bits, int num_threads)
     : graph(graph_in)
 {
     PRIMEPAR_ASSERT(static_cast<int>(strategies.size()) ==
                         graph.numNodes(),
                     "one strategy per node required");
+    const int threads = resolveNumThreads(num_threads);
+    if (threads > 1)
+        pool = std::make_unique<ThreadPool>(threads);
     execs.reserve(graph.numNodes());
     for (int n = 0; n < graph.numNodes(); ++n) {
         execs.push_back(std::make_unique<SpmdOpExecutor>(
             graph.node(n), strategies[n], num_bits));
+        execs.back()->setThreadPool(pool.get());
     }
 }
 

@@ -64,10 +64,14 @@ class SpmdGraphExecutor
      * @param graph computation graph (chain plus skip edges)
      * @param strategies one partition sequence per node
      * @param num_bits device-id bit count (2^n emulated devices)
+     * @param num_threads worker threads for per-device sub-operator
+     *        execution: 0 = all hardware threads, 1 = serial. Results
+     *        are bit-identical at every setting (see
+     *        SpmdOpExecutor::setThreadPool).
      */
     SpmdGraphExecutor(const CompGraph &graph,
                       std::vector<PartitionSeq> strategies,
-                      int num_bits);
+                      int num_bits, int num_threads = 1);
 
     /** Install a transform on the edge @p src -> @p dst (tensor
      *  @p dst_tensor of the consumer). */
@@ -88,6 +92,8 @@ class SpmdGraphExecutor
                           const std::map<std::string, Tensor> &grads);
 
     const CompGraph &graph;
+    /** Shared worker pool for every node's executor (null = serial). */
+    std::unique_ptr<ThreadPool> pool;
     std::vector<std::unique_ptr<SpmdOpExecutor>> execs;
     std::map<std::string, EdgeTransform> transforms;
 };

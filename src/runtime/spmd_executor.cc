@@ -53,10 +53,14 @@ SpmdOpExecutor::scatter(const TensorRef &ref, const Tensor &full,
                         Phase phase, int t)
 {
     TensorStore store(dsiTable.numDevices());
-    for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
-        store[dev].data = sliceFor(ref, full, phase, dev, t);
-        store[dev].tuple = tupleAt(ref, phase, dev, t);
-    }
+    // Each device fills only its own slot; sliceFor/tupleAt are pure
+    // reads of the DSI table.
+    parallelFor(pool, static_cast<std::size_t>(dsiTable.numDevices()),
+                [&](std::size_t dev) {
+                    const auto d = static_cast<std::int64_t>(dev);
+                    store[dev].data = sliceFor(ref, full, phase, d, t);
+                    store[dev].tuple = tupleAt(ref, phase, d, t);
+                });
     stores[refKey(ref)] = std::move(store);
 }
 
@@ -98,10 +102,11 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
         TensorStore &store = it->second;
         // Double buffering: all sends read the pre-shift state.
         const TensorStore snapshot = store;
-        for (const Transfer &tr : set.transfers) {
+        for (const Transfer &tr : set.transfers)
             store[tr.receiver] = snapshot[tr.sender];
-            commStats.ringElements += set.elementsPerTransfer;
-        }
+        commStats.ringElements +=
+            set.elementsPerTransfer *
+            static_cast<std::int64_t>(set.transfers.size());
     }
 }
 
@@ -188,13 +193,10 @@ SpmdOpExecutor::computeLocal(const PassSpec &pass, std::int64_t dev,
             const Tensor beta(gamma.shape());
             const LayerNormResult res =
                 layerNormForward(x, gamma, beta);
-            if (aux["ln_mean"].empty()) {
-                aux["ln_mean"].resize(dsiTable.numDevices());
-                aux["ln_inv"].resize(dsiTable.numDevices());
-                aux["ln_dgamma"].resize(dsiTable.numDevices());
-            }
-            aux["ln_mean"][dev].data = res.mean;
-            aux["ln_inv"][dev].data = res.inv_std;
+            // Stores were pre-sized serially in runPass(); only this
+            // device's slot is written here (parallel-safe).
+            aux.at("ln_mean")[dev].data = res.mean;
+            aux.at("ln_inv")[dev].data = res.inv_std;
             return res.output;
         }
         if (pass.phase == Phase::Backward) {
@@ -202,20 +204,21 @@ SpmdOpExecutor::computeLocal(const PassSpec &pass, std::int64_t dev,
             const Tensor &gamma = slot(gamma_ref);
             const Tensor &dy = slot(operand_by_grad(true));
             LayerNormResult fwd;
-            PRIMEPAR_ASSERT(!aux["ln_mean"].empty(),
+            PRIMEPAR_ASSERT(aux.count("ln_mean") &&
+                                aux.at("ln_mean")[dev].data.numel() > 0,
                             "layernorm backward before forward");
-            fwd.mean = aux["ln_mean"][dev].data;
-            fwd.inv_std = aux["ln_inv"][dev].data;
+            fwd.mean = aux.at("ln_mean")[dev].data;
+            fwd.inv_std = aux.at("ln_inv")[dev].data;
             LayerNormGrads grads =
                 layerNormBackward(x, fwd, gamma, dy);
-            aux["ln_dgamma"][dev].data = std::move(grads.d_gamma);
+            aux.at("ln_dgamma")[dev].data = std::move(grads.d_gamma);
             return grads.d_input;
         }
         // Gradient: the gamma gradient cached during backward.
-        PRIMEPAR_ASSERT(!aux["ln_dgamma"].empty() &&
-                            aux["ln_dgamma"][dev].data.numel() > 0,
+        PRIMEPAR_ASSERT(aux.count("ln_dgamma") &&
+                            aux.at("ln_dgamma")[dev].data.numel() > 0,
                         "layernorm gradient before backward");
-        return aux["ln_dgamma"][dev].data;
+        return aux.at("ln_dgamma")[dev].data;
     }
     PRIMEPAR_PANIC("SpmdOpExecutor does not execute kind ", op.kind);
 }
@@ -227,6 +230,15 @@ SpmdOpExecutor::runPass(int pass_index,
     const PassSpec &pass = op.passes[pass_index];
     const PassComm &comm = passComms[pass_index];
     const int steps = dsiTable.steps();
+
+    // Pre-size auxiliary stores before any parallel region: a lazy
+    // resize inside computeLocal would be a structural data race once
+    // devices run concurrently.
+    if (op.kind == "layernorm" && !aux.count("ln_mean")) {
+        aux["ln_mean"].resize(dsiTable.numDevices());
+        aux["ln_inv"].resize(dsiTable.numDevices());
+        aux["ln_dgamma"].resize(dsiTable.numDevices());
+    }
 
     // Position operands: scatter on first use; otherwise the stashed
     // distribution must already align (operational feature 3).
@@ -250,14 +262,17 @@ SpmdOpExecutor::runPass(int pass_index,
     }
 
     // Fresh zero accumulators tagged with the step-0 output block.
+    Shape acc_shape;
+    for (int d : op.tensors[pass.output.tensor].dims)
+        acc_shape.push_back(dsiTable.sliceExtent(d));
     TensorStore acc(dsiTable.numDevices());
-    for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
-        Shape shape;
-        for (int d : op.tensors[pass.output.tensor].dims)
-            shape.push_back(dsiTable.sliceExtent(d));
-        acc[dev].data = Tensor(shape);
-        acc[dev].tuple = tupleAt(pass.output, pass.phase, dev, 0);
-    }
+    parallelFor(pool, static_cast<std::size_t>(dsiTable.numDevices()),
+                [&](std::size_t dev) {
+                    const auto d = static_cast<std::int64_t>(dev);
+                    acc[dev].data = Tensor(acc_shape);
+                    acc[dev].tuple =
+                        tupleAt(pass.output, pass.phase, d, 0);
+                });
     stores[refKey(pass.output)] = std::move(acc);
     TensorStore &out_store = stores[refKey(pass.output)];
 
@@ -272,10 +287,16 @@ SpmdOpExecutor::runPass(int pass_index,
                                 tupleAt(pass.output, pass.phase, dev, t),
                             "accumulator misplaced at step ", t);
         }
-        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
-            const Tensor partial = computeLocal(pass, dev, t);
-            out_store[dev].data.add(partial);
-        }
+        // The per-device sub-operators of this temporal step are
+        // independent: each device reads only already-positioned
+        // operand slots and accumulates into its own accumulator.
+        parallelFor(pool,
+                    static_cast<std::size_t>(dsiTable.numDevices()),
+                    [&](std::size_t dev) {
+                        const auto d = static_cast<std::int64_t>(dev);
+                        const Tensor partial = computeLocal(pass, d, t);
+                        out_store[dev].data.add(partial);
+                    });
         if (!comm.stepShifts[t].empty())
             applyShifts(comm.stepShifts[t], pass.phase, t + 1);
     }

@@ -34,6 +34,7 @@
 #include "partition/dsi.hh"
 #include "partition/op_spec.hh"
 #include "partition/partition_step.hh"
+#include "support/parallel.hh"
 #include "tensor/tensor.hh"
 
 namespace primepar {
@@ -104,6 +105,15 @@ class SpmdOpExecutor
 
     const DsiTable &dsi() const { return dsiTable; }
 
+    /**
+     * Execute per-device sub-operators on @p pool (nullptr = serial;
+     * not owned). Every device writes only its own slots and ring
+     * shifts / all-reduces remain serial barriers with a fixed
+     * reduction order, so results are bit-identical at any thread
+     * count.
+     */
+    void setThreadPool(ThreadPool *pool_in) { pool = pool_in; }
+
   private:
     struct DeviceSlot
     {
@@ -134,8 +144,11 @@ class SpmdOpExecutor
     std::vector<PassComm> passComms;
     std::map<std::string, TensorStore> stores;
     CommStats commStats;
-    /** Stashed layernorm/softmax style auxiliaries per device. */
+    /** Stashed layernorm/softmax style auxiliaries per device. All
+     *  entries are pre-sized serially in runPass() before any parallel
+     *  region, so computeLocal() only touches its own device's slot. */
     std::map<std::string, TensorStore> aux;
+    ThreadPool *pool = nullptr;
 };
 
 /**

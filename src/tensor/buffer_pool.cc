@@ -1,0 +1,157 @@
+#include "buffer_pool.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace primepar {
+
+BufferPool::~BufferPool()
+{
+    trim();
+}
+
+BufferPool &
+BufferPool::global()
+{
+    // Deliberately leaked: Tensors with static storage duration may
+    // release after any ordered destructor would have run.
+    static BufferPool *pool = new BufferPool;
+    return *pool;
+}
+
+float *
+BufferPool::acquire(std::int64_t n)
+{
+    PRIMEPAR_ASSERT(n >= 0, "negative buffer size");
+    if (n == 0)
+        return nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++st.acquires;
+        const auto it = freeLists.find(n);
+        if (it != freeLists.end() && !it->second.empty()) {
+            float *p = it->second.back();
+            it->second.pop_back();
+            ++st.poolHits;
+            st.bytesRetained -= n * static_cast<std::int64_t>(sizeof(float));
+            return p;
+        }
+        ++st.freshAllocs;
+        st.bytesAllocated += n * static_cast<std::int64_t>(sizeof(float));
+    }
+    return new float[n];
+}
+
+void
+BufferPool::release(float *p, std::int64_t n)
+{
+    if (!p)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        const std::int64_t bytes =
+            n * static_cast<std::int64_t>(sizeof(float));
+        if (st.bytesRetained + bytes <= maxRetainedBytes) {
+            freeLists[n].push_back(p);
+            st.bytesRetained += bytes;
+            return;
+        }
+    }
+    delete[] p;
+}
+
+BufferPoolStats
+BufferPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return st;
+}
+
+void
+BufferPool::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const std::int64_t retained = st.bytesRetained;
+    st = BufferPoolStats{};
+    st.bytesRetained = retained;
+}
+
+void
+BufferPool::trim()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto &[size, list] : freeLists) {
+        (void)size;
+        for (float *p : list)
+            delete[] p;
+        list.clear();
+    }
+    freeLists.clear();
+    st.bytesRetained = 0;
+}
+
+void
+BufferPool::setMaxRetainedBytes(std::int64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    maxRetainedBytes = bytes;
+}
+
+FloatBuffer::FloatBuffer(std::int64_t n_in, bool zeroed)
+    : ptr(BufferPool::global().acquire(n_in)), n(n_in)
+{
+    if (zeroed && ptr)
+        std::memset(ptr, 0, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+FloatBuffer::FloatBuffer(const FloatBuffer &other)
+    : ptr(BufferPool::global().acquire(other.n)), n(other.n)
+{
+    if (ptr)
+        std::memcpy(ptr, other.ptr,
+                    static_cast<std::size_t>(n) * sizeof(float));
+}
+
+FloatBuffer &
+FloatBuffer::operator=(const FloatBuffer &other)
+{
+    if (this == &other)
+        return *this;
+    if (n != other.n) {
+        BufferPool::global().release(ptr, n);
+        ptr = BufferPool::global().acquire(other.n);
+        n = other.n;
+    }
+    if (ptr)
+        std::memcpy(ptr, other.ptr,
+                    static_cast<std::size_t>(n) * sizeof(float));
+    return *this;
+}
+
+FloatBuffer::FloatBuffer(FloatBuffer &&other) noexcept
+    : ptr(other.ptr), n(other.n)
+{
+    other.ptr = nullptr;
+    other.n = 0;
+}
+
+FloatBuffer &
+FloatBuffer::operator=(FloatBuffer &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    BufferPool::global().release(ptr, n);
+    ptr = other.ptr;
+    n = other.n;
+    other.ptr = nullptr;
+    other.n = 0;
+    return *this;
+}
+
+FloatBuffer::~FloatBuffer()
+{
+    BufferPool::global().release(ptr, n);
+}
+
+} // namespace primepar

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Buffer-reuse allocator for tensor storage and kernel workspaces.
+ *
+ * The SPMD executor materializes many short-lived tensors per temporal
+ * step — operand slices, compute partials, shift snapshots — whose
+ * sizes recur identically step after step and iteration after
+ * iteration. Allocating them with new[] each time costs page faults
+ * and zeroing bandwidth that dwarfs the actual copies on small shards.
+ * BufferPool keeps released float arrays in exact-size free lists so
+ * the steady state performs no heap allocation at all.
+ *
+ * Thread safety: the pool is mutex-guarded; acquire()/release() may be
+ * called concurrently from the runtime's per-device workers. Recycled
+ * memory is handed out *uninitialized* — FloatBuffer zeroes on request
+ * (Tensor construction) and kernels that fully overwrite skip it.
+ */
+
+#ifndef PRIMEPAR_TENSOR_BUFFER_POOL_HH
+#define PRIMEPAR_TENSOR_BUFFER_POOL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace primepar {
+
+/** Counters describing pool effectiveness (see bench_micro --json). */
+struct BufferPoolStats
+{
+    std::int64_t acquires = 0;      ///< total acquire() calls
+    std::int64_t poolHits = 0;      ///< acquires served from a free list
+    std::int64_t freshAllocs = 0;   ///< acquires that hit the heap
+    std::int64_t bytesAllocated = 0; ///< cumulative fresh-alloc bytes
+    std::int64_t bytesRetained = 0;  ///< bytes currently cached
+};
+
+/**
+ * Exact-size-bucketed free lists of float arrays.
+ *
+ * Exact-size keying is deliberate: the runtime's temporaries recur
+ * with identical shapes every temporal step, so buckets converge after
+ * the first step and never fragment.
+ */
+class BufferPool
+{
+  public:
+    BufferPool() = default;
+    ~BufferPool();
+
+    BufferPool(const BufferPool &) = delete;
+    BufferPool &operator=(const BufferPool &) = delete;
+
+    /** The process-wide pool used by Tensor storage and kernels. */
+    static BufferPool &global();
+
+    /**
+     * Hand out an array of @p n floats with *unspecified* contents
+     * (recycled when a same-size buffer is free, else heap-allocated).
+     * n == 0 returns nullptr.
+     */
+    float *acquire(std::int64_t n);
+
+    /** Return an array obtained from acquire(); @p n must match. */
+    void release(float *p, std::int64_t n);
+
+    /** Snapshot of the counters. */
+    BufferPoolStats stats() const;
+
+    /** Reset the counters (not the cached buffers). */
+    void resetStats();
+
+    /** Free every cached buffer (outstanding ones are unaffected). */
+    void trim();
+
+    /** Cap on cached bytes; buffers released beyond it are freed
+     *  immediately. Default 512 MiB. */
+    void setMaxRetainedBytes(std::int64_t bytes);
+
+  private:
+    mutable std::mutex mu;
+    std::unordered_map<std::int64_t, std::vector<float *>> freeLists;
+    BufferPoolStats st;
+    std::int64_t maxRetainedBytes = std::int64_t(512) << 20;
+};
+
+/**
+ * Value-semantic float array backed by BufferPool::global().
+ *
+ * This is Tensor's storage: construction acquires from the pool (with
+ * optional zeroing), destruction releases back to it, copies memcpy —
+ * reusing the destination's existing allocation when sizes match.
+ */
+class FloatBuffer
+{
+  public:
+    FloatBuffer() = default;
+    explicit FloatBuffer(std::int64_t n, bool zeroed = true);
+    FloatBuffer(const FloatBuffer &other);
+    FloatBuffer &operator=(const FloatBuffer &other);
+    FloatBuffer(FloatBuffer &&other) noexcept;
+    FloatBuffer &operator=(FloatBuffer &&other) noexcept;
+    ~FloatBuffer();
+
+    float *data() { return ptr; }
+    const float *data() const { return ptr; }
+    std::int64_t size() const { return n; }
+
+  private:
+    float *ptr = nullptr;
+    std::int64_t n = 0;
+};
+
+/** RAII pooled scratch array for kernel-internal workspaces (packing
+ *  buffers, transposes). Contents start unspecified. */
+class Workspace
+{
+  public:
+    explicit Workspace(std::int64_t n_in)
+        : ptr(BufferPool::global().acquire(n_in)), n(n_in)
+    {}
+    ~Workspace() { BufferPool::global().release(ptr, n); }
+
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    float *data() { return ptr; }
+
+  private:
+    float *ptr;
+    std::int64_t n;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_TENSOR_BUFFER_POOL_HH

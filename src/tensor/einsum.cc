@@ -3,9 +3,125 @@
 #include <algorithm>
 #include <map>
 
+#include "gemm.hh"
 #include "support/logging.hh"
 
 namespace primepar {
+
+namespace {
+
+bool
+contains(const std::vector<int> &labels, int l)
+{
+    return std::find(labels.begin(), labels.end(), l) != labels.end();
+}
+
+bool
+hasDuplicates(const std::vector<int> &labels)
+{
+    for (std::size_t i = 0; i < labels.size(); ++i)
+        for (std::size_t j = i + 1; j < labels.size(); ++j)
+            if (labels[i] == labels[j])
+                return true;
+    return false;
+}
+
+/** Parameters of a batched-GEMM view of a labelled contraction. */
+struct GemmPlan
+{
+    std::int64_t batches = 1;
+    std::int64_t m = 1;
+    std::int64_t n = 1;
+    std::int64_t k = 1;
+    bool trans_a = false;
+    bool trans_b = false;
+};
+
+std::vector<int>
+concat(const std::vector<int> &x, const std::vector<int> &y)
+{
+    std::vector<int> r = x;
+    r.insert(r.end(), y.begin(), y.end());
+    return r;
+}
+
+/**
+ * Recognize a contraction that is a batched GEMM over contiguous label
+ * groups. Classify each label by membership (batch = in a, b and out;
+ * m = a and out; n = b and out; k = a and b only) and require each
+ * tensor's label list to be its groups concatenated in a row-major
+ * compatible order. The contracted group must keep the same internal
+ * order in both inputs, so the flattened GEMM contraction index walks
+ * the k labels exactly like the odometer fallback does — that is what
+ * keeps the fast path bit-identical to naive::contract.
+ */
+bool
+planGemm(const std::vector<int> &a_dims, const std::vector<int> &b_dims,
+         const std::vector<int> &out_dims,
+         const std::map<int, std::int64_t> &extent, GemmPlan &plan)
+{
+    if (hasDuplicates(a_dims) || hasDuplicates(b_dims) ||
+        hasDuplicates(out_dims))
+        return false;
+
+    std::vector<int> batch, m_labels, n_labels, k_labels;
+    for (int l : out_dims) {
+        const bool in_a = contains(a_dims, l);
+        const bool in_b = contains(b_dims, l);
+        if (in_a && in_b)
+            batch.push_back(l);
+        else if (in_a)
+            m_labels.push_back(l);
+        else if (in_b)
+            n_labels.push_back(l);
+        else
+            return false; // output-only label: not a contraction
+    }
+    for (int l : a_dims) {
+        if (!contains(out_dims, l)) {
+            if (!contains(b_dims, l))
+                return false; // summed label missing from b
+            k_labels.push_back(l);
+        }
+    }
+    for (int l : b_dims) {
+        if (!contains(out_dims, l) && !contains(a_dims, l))
+            return false;
+    }
+    if (k_labels.empty())
+        return false; // outer product; GEMM with k=0 would be a no-op
+
+    if (out_dims != concat(concat(batch, m_labels), n_labels))
+        return false;
+
+    if (a_dims == concat(concat(batch, m_labels), k_labels))
+        plan.trans_a = false;
+    else if (a_dims == concat(concat(batch, k_labels), m_labels))
+        plan.trans_a = true;
+    else
+        return false;
+
+    if (b_dims == concat(concat(batch, k_labels), n_labels))
+        plan.trans_b = false;
+    else if (b_dims == concat(concat(batch, n_labels), k_labels))
+        plan.trans_b = true;
+    else
+        return false;
+
+    auto product = [&](const std::vector<int> &labels) {
+        std::int64_t p = 1;
+        for (int l : labels)
+            p *= extent.at(l);
+        return p;
+    };
+    plan.batches = product(batch);
+    plan.m = product(m_labels);
+    plan.n = product(n_labels);
+    plan.k = product(k_labels);
+    return true;
+}
+
+} // namespace
 
 void
 contractProduct(const Tensor &a, const std::vector<int> &a_dims,
@@ -45,6 +161,31 @@ contractProduct(const Tensor &a, const std::vector<int> &a_dims,
     record(b_dims, b);
     record(out_dims, out);
 
+    for (const auto &[label, e] : extent) {
+        (void)label;
+        if (e == 0)
+            return;
+    }
+
+    // Fast path: every executor contraction (linear layers, attention
+    // score / context matmuls and their backward passes) is a batched
+    // GEMM over contiguous label groups. Detect that shape and run the
+    // blocked kernel; the per-element term order is unchanged.
+    GemmPlan plan;
+    if (planGemm(a_dims, b_dims, out_dims, extent, plan)) {
+        const float *ap = a.data();
+        const float *bp = b.data();
+        float *op = out.data();
+        const std::int64_t a_sz = plan.m * plan.k;
+        const std::int64_t b_sz = plan.k * plan.n;
+        const std::int64_t o_sz = plan.m * plan.n;
+        for (std::int64_t bt = 0; bt < plan.batches; ++bt)
+            gemmAccumulate(ap + bt * a_sz, bp + bt * b_sz,
+                           op + bt * o_sz, plan.m, plan.n, plan.k,
+                           plan.trans_a, plan.trans_b);
+        return;
+    }
+
     // Per-tensor stride of each loop label.
     auto strides_for = [&](const std::vector<int> &labels,
                            const Tensor &t) {
@@ -67,11 +208,8 @@ contractProduct(const Tensor &a, const std::vector<int> &a_dims,
     const std::size_t n_loops = loop_labels.size();
     std::vector<std::int64_t> idx(n_loops, 0);
     std::vector<std::int64_t> extents(n_loops);
-    for (std::size_t i = 0; i < n_loops; ++i) {
+    for (std::size_t i = 0; i < n_loops; ++i)
         extents[i] = extent[loop_labels[i]];
-        if (extents[i] == 0)
-            return;
-    }
     if (n_loops == 0) {
         // 0-d corner: single multiply-accumulate.
         out.data()[0] += a.data()[0] * b.data()[0];
@@ -82,12 +220,41 @@ contractProduct(const Tensor &a, const std::vector<int> &a_dims,
     const float *bp = b.data();
     float *op = out.data();
 
+    // Hoist the innermost loop out of the odometer into a specialized
+    // kernel chosen by its stride pattern. Each variant performs the
+    // identical multiply-accumulate sequence as the plain odometer —
+    // the dot variant accumulates through a scalar instead of memory,
+    // which adds the same terms in the same order.
+    const std::int64_t in_e = extents[n_loops - 1];
+    const std::int64_t in_as = a_stride[n_loops - 1];
+    const std::int64_t in_bs = b_stride[n_loops - 1];
+    const std::int64_t in_os = o_stride[n_loops - 1];
+
     std::int64_t a_pos = 0, b_pos = 0, o_pos = 0;
     while (true) {
-        op[o_pos] += ap[a_pos] * bp[b_pos];
+        if (in_os == 0) {
+            // Innermost label is contracted: dot product.
+            float acc = op[o_pos];
+            for (std::int64_t t = 0; t < in_e; ++t)
+                acc += ap[a_pos + t * in_as] * bp[b_pos + t * in_bs];
+            op[o_pos] = acc;
+        } else if (in_as == 0) {
+            // Broadcast a over the innermost output axis: axpy.
+            const float av = ap[a_pos];
+            for (std::int64_t t = 0; t < in_e; ++t)
+                op[o_pos + t * in_os] += av * bp[b_pos + t * in_bs];
+        } else if (in_bs == 0) {
+            const float bv = bp[b_pos];
+            for (std::int64_t t = 0; t < in_e; ++t)
+                op[o_pos + t * in_os] += ap[a_pos + t * in_as] * bv;
+        } else {
+            for (std::int64_t t = 0; t < in_e; ++t)
+                op[o_pos + t * in_os] +=
+                    ap[a_pos + t * in_as] * bp[b_pos + t * in_bs];
+        }
 
-        // Odometer increment, innermost label last.
-        int d = static_cast<int>(n_loops) - 1;
+        // Odometer increment over the remaining (outer) labels.
+        int d = static_cast<int>(n_loops) - 2;
         for (; d >= 0; --d) {
             ++idx[d];
             a_pos += a_stride[d];

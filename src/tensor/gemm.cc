@@ -1,0 +1,203 @@
+#include "gemm.hh"
+
+#include <algorithm>
+
+#include "buffer_pool.hh"
+#include "support/logging.hh"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PRIMEPAR_RESTRICT __restrict__
+#else
+#define PRIMEPAR_RESTRICT
+#endif
+
+namespace primepar {
+
+namespace {
+
+// Blocking parameters. NR*4 bytes is the C-tile row held in vector
+// registers; KC*NR*4 bytes (8 KiB) is the B panel a register tile
+// streams, sized to stay L1-resident across the i loop.
+constexpr std::int64_t MR = 4;
+constexpr std::int64_t NR = 8;
+constexpr std::int64_t KC = 256;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PRIMEPAR_GEMM_SIMD 1
+typedef float v4sf __attribute__((vector_size(16)));
+
+inline v4sf
+loadu(const float *p)
+{
+    v4sf v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void
+storeu(float *p, v4sf v)
+{
+    __builtin_memcpy(p, &v, sizeof(v));
+}
+
+inline v4sf
+splat(float x)
+{
+    return (v4sf){x, x, x, x};
+}
+
+/**
+ * Register micro-kernel: C[4][8] += A-rows x B-panel over l in
+ * [l0, l1). @p a points at the row block (element (r, l) at
+ * a[r*ars + l*acs]), @p b at column j0 of the full B (row l at
+ * b + l*ldb), @p c at the tile origin.
+ */
+inline void
+micro4x8(const float *PRIMEPAR_RESTRICT a, std::int64_t ars,
+         std::int64_t acs, const float *PRIMEPAR_RESTRICT b,
+         std::int64_t ldb, float *PRIMEPAR_RESTRICT c, std::int64_t ldc,
+         std::int64_t l0, std::int64_t l1)
+{
+    v4sf c00 = loadu(c + 0 * ldc), c01 = loadu(c + 0 * ldc + 4);
+    v4sf c10 = loadu(c + 1 * ldc), c11 = loadu(c + 1 * ldc + 4);
+    v4sf c20 = loadu(c + 2 * ldc), c21 = loadu(c + 2 * ldc + 4);
+    v4sf c30 = loadu(c + 3 * ldc), c31 = loadu(c + 3 * ldc + 4);
+    for (std::int64_t l = l0; l < l1; ++l) {
+        const float *PRIMEPAR_RESTRICT brow = b + l * ldb;
+        const v4sf b0 = loadu(brow);
+        const v4sf b1 = loadu(brow + 4);
+        const v4sf a0 = splat(a[0 * ars + l * acs]);
+        c00 += a0 * b0;
+        c01 += a0 * b1;
+        const v4sf a1 = splat(a[1 * ars + l * acs]);
+        c10 += a1 * b0;
+        c11 += a1 * b1;
+        const v4sf a2 = splat(a[2 * ars + l * acs]);
+        c20 += a2 * b0;
+        c21 += a2 * b1;
+        const v4sf a3 = splat(a[3 * ars + l * acs]);
+        c30 += a3 * b0;
+        c31 += a3 * b1;
+    }
+    storeu(c + 0 * ldc, c00);
+    storeu(c + 0 * ldc + 4, c01);
+    storeu(c + 1 * ldc, c10);
+    storeu(c + 1 * ldc + 4, c11);
+    storeu(c + 2 * ldc, c20);
+    storeu(c + 2 * ldc + 4, c21);
+    storeu(c + 3 * ldc, c30);
+    storeu(c + 3 * ldc + 4, c31);
+}
+
+/** Single-row variant of micro4x8 for the m % MR edge. */
+inline void
+micro1x8(const float *PRIMEPAR_RESTRICT a, std::int64_t acs,
+         const float *PRIMEPAR_RESTRICT b, std::int64_t ldb,
+         float *PRIMEPAR_RESTRICT c, std::int64_t l0, std::int64_t l1)
+{
+    v4sf c0 = loadu(c);
+    v4sf c1 = loadu(c + 4);
+    for (std::int64_t l = l0; l < l1; ++l) {
+        const float *PRIMEPAR_RESTRICT brow = b + l * ldb;
+        const v4sf av = splat(a[l * acs]);
+        c0 += av * loadu(brow);
+        c1 += av * loadu(brow + 4);
+    }
+    storeu(c, c0);
+    storeu(c + 4, c1);
+}
+#endif // PRIMEPAR_GEMM_SIMD
+
+/** Scalar edge kernel, same ascending-l term order: C[i][j0..n) over
+ *  rows [i0, i1). */
+void
+edgeCols(const float *PRIMEPAR_RESTRICT a, std::int64_t ars,
+         std::int64_t acs, const float *PRIMEPAR_RESTRICT b,
+         std::int64_t ldb, float *PRIMEPAR_RESTRICT c, std::int64_t ldc,
+         std::int64_t i0, std::int64_t i1, std::int64_t j0,
+         std::int64_t j1, std::int64_t l0, std::int64_t l1)
+{
+    for (std::int64_t i = i0; i < i1; ++i) {
+        float *PRIMEPAR_RESTRICT crow = c + i * ldc;
+        for (std::int64_t l = l0; l < l1; ++l) {
+            const float v = a[i * ars + l * acs];
+            const float *PRIMEPAR_RESTRICT brow = b + l * ldb;
+            for (std::int64_t j = j0; j < j1; ++j)
+                crow[j] += v * brow[j];
+        }
+    }
+}
+
+/**
+ * Blocked C[m,n] += A x B with B dense row-major k x n. A is accessed
+ * as A(i,l) = a[i*ars + l*acs], which covers both orientations.
+ */
+void
+gemmPanels(const float *PRIMEPAR_RESTRICT a, std::int64_t ars,
+           std::int64_t acs, const float *PRIMEPAR_RESTRICT b,
+           float *PRIMEPAR_RESTRICT c, std::int64_t m, std::int64_t n,
+           std::int64_t k)
+{
+    for (std::int64_t l0 = 0; l0 < k; l0 += KC) {
+        const std::int64_t l1 = std::min(k, l0 + KC);
+#if PRIMEPAR_GEMM_SIMD
+        std::int64_t j0 = 0;
+        for (; j0 + NR <= n; j0 += NR) {
+            std::int64_t i0 = 0;
+            for (; i0 + MR <= m; i0 += MR)
+                micro4x8(a + i0 * ars, ars, acs, b + j0, n,
+                         c + i0 * n + j0, n, l0, l1);
+            for (; i0 < m; ++i0)
+                micro1x8(a + i0 * ars, acs, b + j0, n, c + i0 * n + j0,
+                         l0, l1);
+        }
+        if (j0 < n)
+            edgeCols(a, ars, acs, b, n, c, n, 0, m, j0, n, l0, l1);
+#else
+        edgeCols(a, ars, acs, b, n, c, n, 0, m, 0, n, l0, l1);
+#endif
+    }
+}
+
+/** Cache-blocked transpose of an n x k matrix into a k x n buffer. */
+void
+packTranspose(const float *PRIMEPAR_RESTRICT src, float *PRIMEPAR_RESTRICT dst,
+              std::int64_t n, std::int64_t k)
+{
+    constexpr std::int64_t TB = 32;
+    for (std::int64_t l0 = 0; l0 < k; l0 += TB) {
+        const std::int64_t l1 = std::min(k, l0 + TB);
+        for (std::int64_t j0 = 0; j0 < n; j0 += TB) {
+            const std::int64_t j1 = std::min(n, j0 + TB);
+            for (std::int64_t l = l0; l < l1; ++l)
+                for (std::int64_t j = j0; j < j1; ++j)
+                    dst[l * n + j] = src[j * k + l];
+        }
+    }
+}
+
+} // namespace
+
+void
+gemmAccumulate(const float *a, const float *b, float *c, std::int64_t m,
+               std::int64_t n, std::int64_t k, bool trans_a, bool trans_b)
+{
+    PRIMEPAR_ASSERT(m >= 0 && n >= 0 && k >= 0, "negative GEMM extent");
+    if (m == 0 || n == 0 || k == 0)
+        return;
+
+    const std::int64_t ars = trans_a ? 1 : k;
+    const std::int64_t acs = trans_a ? m : 1;
+
+    if (!trans_b) {
+        gemmPanels(a, ars, acs, b, c, m, n, k);
+        return;
+    }
+    // Repack B^T so the inner kernel streams contiguous rows; the
+    // pooled workspace makes this allocation-free in steady state.
+    Workspace packed(k * n);
+    packTranspose(b, packed.data(), n, k);
+    gemmPanels(a, ars, acs, packed.data(), c, m, n, k);
+}
+
+} // namespace primepar

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gemm.hh"
 #include "support/logging.hh"
 
 namespace primepar {
@@ -35,20 +36,9 @@ linearForward(const Tensor &input, const Tensor &weight)
     out_shape.back() = k;
     Tensor out(out_shape);
 
-    const float *in = input.data();
-    const float *w = weight.data();
-    float *o = out.data();
-    for (std::int64_t i = 0; i < m_total; ++i) {
-        for (std::int64_t jn = 0; jn < n; ++jn) {
-            const float v = in[i * n + jn];
-            if (v == 0.0f)
-                continue;
-            const float *wrow = w + jn * k;
-            float *orow = o + i * k;
-            for (std::int64_t jk = 0; jk < k; ++jk)
-                orow[jk] += v * wrow[jk];
-        }
-    }
+    // out[i, jk] = sum_jn in[i, jn] * w[jn, jk], ascending jn.
+    gemmAccumulate(input.data(), weight.data(), out.data(), m_total, k, n,
+                   /*trans_a=*/false, /*trans_b=*/false);
     return out;
 }
 
@@ -66,19 +56,9 @@ linearBackward(const Tensor &d_output, const Tensor &weight)
     out_shape.back() = n;
     Tensor out(out_shape);
 
-    const float *go = d_output.data();
-    const float *w = weight.data();
-    float *gi = out.data();
-    for (std::int64_t i = 0; i < m_total; ++i) {
-        for (std::int64_t jn = 0; jn < n; ++jn) {
-            const float *wrow = w + jn * k;
-            const float *grow = go + i * k;
-            float acc = 0.0f;
-            for (std::int64_t jk = 0; jk < k; ++jk)
-                acc += grow[jk] * wrow[jk];
-            gi[i * n + jn] = acc;
-        }
-    }
+    // gi[i, jn] = sum_jk go[i, jk] * w[jn, jk], ascending jk.
+    gemmAccumulate(d_output.data(), weight.data(), out.data(), m_total, n,
+                   k, /*trans_a=*/false, /*trans_b=*/true);
     return out;
 }
 
@@ -94,20 +74,9 @@ linearGradient(const Tensor &input, const Tensor &d_output)
                     "linearGradient row count mismatch");
 
     Tensor dw(Shape{n, k});
-    const float *in = input.data();
-    const float *go = d_output.data();
-    float *g = dw.data();
-    for (std::int64_t i = 0; i < m_total; ++i) {
-        for (std::int64_t jn = 0; jn < n; ++jn) {
-            const float v = in[i * n + jn];
-            if (v == 0.0f)
-                continue;
-            const float *grow = go + i * k;
-            float *grad_row = g + jn * k;
-            for (std::int64_t jk = 0; jk < k; ++jk)
-                grad_row[jk] += v * grow[jk];
-        }
-    }
+    // dw[jn, jk] = sum_i in[i, jn] * go[i, jk], ascending i.
+    gemmAccumulate(input.data(), d_output.data(), dw.data(), n, k, m_total,
+                   /*trans_a=*/true, /*trans_b=*/false);
     return dw;
 }
 
@@ -145,26 +114,9 @@ batchedMatmul(const Tensor &a, const Tensor &b, bool trans_a, bool trans_b)
     const float *bp = b.data();
     float *op = out.data();
 
-    auto a_at = [&](std::int64_t base, std::int64_t i, std::int64_t j) {
-        return trans_a ? ap[base + j * a_cols + i] : ap[base + i * a_cols + j];
-    };
-    auto b_at = [&](std::int64_t base, std::int64_t i, std::int64_t j) {
-        return trans_b ? bp[base + j * b_cols + i] : bp[base + i * b_cols + j];
-    };
-
-    for (std::int64_t bt = 0; bt < batches; ++bt) {
-        const std::int64_t abase = bt * a_sz;
-        const std::int64_t bbase = bt * b_sz;
-        const std::int64_t obase = bt * o_sz;
-        for (std::int64_t i = 0; i < m; ++i) {
-            for (std::int64_t j = 0; j < k; ++j) {
-                float acc = 0.0f;
-                for (std::int64_t l = 0; l < inner; ++l)
-                    acc += a_at(abase, i, l) * b_at(bbase, l, j);
-                op[obase + i * k + j] = acc;
-            }
-        }
-    }
+    for (std::int64_t bt = 0; bt < batches; ++bt)
+        gemmAccumulate(ap + bt * a_sz, bp + bt * b_sz, op + bt * o_sz, m,
+                       k, inner, trans_a, trans_b);
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "support/logging.hh"
@@ -30,27 +31,55 @@ shapeStrides(const Shape &shape)
     return strides;
 }
 
+/**
+ * Longest contiguous run copyable in one memcpy from a slice: the
+ * innermost extent times every trailing dimension the slice covers
+ * completely. Returns the first dimension NOT folded into the run
+ * (-1 when the whole tensor is one run).
+ */
+int
+sliceRunDim(const Shape &shape, const std::vector<std::int64_t> &starts,
+            const std::vector<std::int64_t> &extents)
+{
+    int d = static_cast<int>(shape.size()) - 1;
+    while (d >= 0 && starts[d] == 0 && extents[d] == shape[d])
+        --d;
+    return d;
+}
+
 } // namespace
 
 Tensor::Tensor(Shape shape)
     : shapeVec(std::move(shape)), strides(shapeStrides(shapeVec)),
-      count(shapeCount(shapeVec)), storage(count, 0.0f)
+      count(shapeCount(shapeVec)), storage(count, /*zeroed=*/true)
 {}
+
+Tensor::Tensor(Shape shape, Uninit)
+    : shapeVec(std::move(shape)), strides(shapeStrides(shapeVec)),
+      count(shapeCount(shapeVec)), storage(count, /*zeroed=*/false)
+{}
+
+Tensor
+Tensor::uninitialized(Shape shape)
+{
+    return Tensor(std::move(shape), Uninit{});
+}
 
 Tensor
 Tensor::full(Shape shape, float value)
 {
-    Tensor t(std::move(shape));
-    std::fill(t.storage.begin(), t.storage.end(), value);
+    Tensor t = uninitialized(std::move(shape));
+    std::fill(t.storage.data(), t.storage.data() + t.count, value);
     return t;
 }
 
 Tensor
 Tensor::random(Shape shape, Rng &rng)
 {
-    Tensor t(std::move(shape));
-    for (float &v : t.storage)
-        v = rng.uniform();
+    Tensor t = uninitialized(std::move(shape));
+    float *p = t.storage.data();
+    for (std::int64_t i = 0; i < t.count; ++i)
+        p[i] = rng.uniform();
     return t;
 }
 
@@ -78,13 +107,13 @@ Tensor::flatIndex(const std::vector<std::int64_t> &index) const
 float &
 Tensor::at(const std::vector<std::int64_t> &index)
 {
-    return storage[flatIndex(index)];
+    return storage.data()[flatIndex(index)];
 }
 
 float
 Tensor::at(const std::vector<std::int64_t> &index) const
 {
-    return storage[flatIndex(index)];
+    return storage.data()[flatIndex(index)];
 }
 
 Tensor
@@ -102,27 +131,40 @@ Tensor::slice(const std::vector<std::int64_t> &starts,
                         shapeVec[d]);
     }
 
-    Tensor out(Shape(extents.begin(), extents.end()));
+    Tensor out = uninitialized(Shape(extents.begin(), extents.end()));
     if (out.count == 0)
         return out;
 
-    // Iterate over all rows of the innermost dimension and memcpy them.
+    // Copy the largest contiguous runs possible: every trailing
+    // dimension the slice covers completely folds into one memcpy.
     const int r = rank();
-    const std::int64_t inner = extents[r - 1];
-    std::vector<std::int64_t> idx(r, 0);
+    const int run_dim = sliceRunDim(shapeVec, starts, extents);
+    if (run_dim < 0) {
+        std::memcpy(out.storage.data(), storage.data(),
+                    static_cast<std::size_t>(count) * sizeof(float));
+        return out;
+    }
+    const std::int64_t run =
+        extents[run_dim] * (run_dim + 1 < r ? strides[run_dim] : 1);
+
+    std::vector<std::int64_t> idx(run_dim, 0);
+    std::int64_t base = starts[run_dim] * strides[run_dim];
+    for (int d = 0; d < run_dim; ++d)
+        base += starts[d] * strides[d];
+    std::int64_t src = base;
     std::int64_t out_pos = 0;
     while (true) {
-        std::int64_t src = 0;
-        for (int d = 0; d < r; ++d)
-            src += (starts[d] + idx[d]) * strides[d];
-        std::copy_n(storage.data() + src, inner,
-                    out.storage.data() + out_pos);
-        out_pos += inner;
+        std::memcpy(out.storage.data() + out_pos, storage.data() + src,
+                    static_cast<std::size_t>(run) * sizeof(float));
+        out_pos += run;
 
-        int d = r - 2;
+        int d = run_dim - 1;
         for (; d >= 0; --d) {
-            if (++idx[d] < extents[d])
+            ++idx[d];
+            src += strides[d];
+            if (idx[d] < extents[d])
                 break;
+            src -= extents[d] * strides[d];
             idx[d] = 0;
         }
         if (d < 0)
@@ -151,24 +193,40 @@ Tensor::assignSlice(const std::vector<std::int64_t> &starts,
     if (src.count == 0)
         return;
     const int r = rank();
-    const std::int64_t inner = src.shapeVec[r - 1];
-    std::vector<std::int64_t> idx(r, 0);
+    for (int d = 0; d < r; ++d) {
+        PRIMEPAR_ASSERT(starts[d] >= 0 &&
+                            starts[d] + src.shapeVec[d] <= shapeVec[d],
+                        "assignSlice out of range in dim ", d);
+    }
+
+    const std::vector<std::int64_t> extents(src.shapeVec.begin(),
+                                            src.shapeVec.end());
+    const int run_dim = sliceRunDim(shapeVec, starts, extents);
+    if (run_dim < 0) {
+        std::memcpy(storage.data(), src.storage.data(),
+                    static_cast<std::size_t>(count) * sizeof(float));
+        return;
+    }
+    const std::int64_t run =
+        extents[run_dim] * (run_dim + 1 < r ? strides[run_dim] : 1);
+
+    std::vector<std::int64_t> idx(run_dim, 0);
+    std::int64_t dst = starts[run_dim] * strides[run_dim];
+    for (int d = 0; d < run_dim; ++d)
+        dst += starts[d] * strides[d];
     std::int64_t src_pos = 0;
     while (true) {
-        std::int64_t dst = 0;
-        for (int d = 0; d < r; ++d) {
-            PRIMEPAR_ASSERT(starts[d] + idx[d] < shapeVec[d],
-                            "assignSlice out of range in dim ", d);
-            dst += (starts[d] + idx[d]) * strides[d];
-        }
-        std::copy_n(src.storage.data() + src_pos, inner,
-                    storage.data() + dst);
-        src_pos += inner;
+        std::memcpy(storage.data() + dst, src.storage.data() + src_pos,
+                    static_cast<std::size_t>(run) * sizeof(float));
+        src_pos += run;
 
-        int d = r - 2;
+        int d = run_dim - 1;
         for (; d >= 0; --d) {
-            if (++idx[d] < src.shapeVec[d])
+            ++idx[d];
+            dst += strides[d];
+            if (idx[d] < extents[d])
                 break;
+            dst -= extents[d] * strides[d];
             idx[d] = 0;
         }
         if (d < 0)
@@ -189,12 +247,14 @@ Tensor::accumulateSlice(const std::vector<std::int64_t> &starts,
     const std::int64_t inner = src.shapeVec[r - 1];
     std::vector<std::int64_t> idx(r, 0);
     std::int64_t src_pos = 0;
+    float *dst_base = storage.data();
+    const float *src_base = src.storage.data();
     while (true) {
         std::int64_t dst = 0;
         for (int d = 0; d < r; ++d)
             dst += (starts[d] + idx[d]) * strides[d];
         for (std::int64_t i = 0; i < inner; ++i)
-            storage[dst + i] += src.storage[src_pos + i];
+            dst_base[dst + i] += src_base[src_pos + i];
         src_pos += inner;
 
         int d = r - 2;
@@ -214,21 +274,26 @@ Tensor::add(const Tensor &other)
     PRIMEPAR_ASSERT(other.shapeVec == shapeVec,
                     "add shape mismatch: ", shapeString(), " vs ",
                     other.shapeString());
+    float *p = storage.data();
+    const float *q = other.storage.data();
     for (std::int64_t i = 0; i < count; ++i)
-        storage[i] += other.storage[i];
+        p[i] += q[i];
 }
 
 void
 Tensor::scale(float s)
 {
-    for (float &v : storage)
-        v *= s;
+    float *p = storage.data();
+    for (std::int64_t i = 0; i < count; ++i)
+        p[i] *= s;
 }
 
 void
 Tensor::zero()
 {
-    std::fill(storage.begin(), storage.end(), 0.0f);
+    if (count > 0)
+        std::memset(storage.data(), 0,
+                    static_cast<std::size_t>(count) * sizeof(float));
 }
 
 Tensor
@@ -236,8 +301,10 @@ Tensor::reshape(Shape new_shape) const
 {
     PRIMEPAR_ASSERT(shapeCount(new_shape) == count,
                     "reshape element count mismatch");
-    Tensor out(std::move(new_shape));
-    out.storage = storage;
+    Tensor out = uninitialized(std::move(new_shape));
+    if (count > 0)
+        std::memcpy(out.storage.data(), storage.data(),
+                    static_cast<std::size_t>(count) * sizeof(float));
     return out;
 }
 
@@ -252,19 +319,35 @@ Tensor::permute(const std::vector<int> &axes) const
                         "permute axis out of range");
         new_shape[i] = shapeVec[axes[i]];
     }
-    Tensor out(new_shape);
+    Tensor out = uninitialized(new_shape);
     if (count == 0)
         return out;
+
+    // Gather with the innermost output axis hoisted: when that axis
+    // is also the innermost source axis the row copies contiguously.
+    const int r = rank();
+    const std::int64_t inner_n = new_shape[r - 1];
+    const std::int64_t inner_s = strides[axes[r - 1]];
+    const float *src = storage.data();
+    float *dst = out.storage.data();
 
     std::vector<std::int64_t> idx(axes.size(), 0);
     std::int64_t out_pos = 0;
     while (true) {
-        std::int64_t src = 0;
-        for (std::size_t i = 0; i < axes.size(); ++i)
-            src += idx[i] * strides[axes[i]];
-        out.storage[out_pos++] = storage[src];
+        std::int64_t base = 0;
+        for (int i = 0; i < r - 1; ++i)
+            base += idx[i] * strides[axes[i]];
+        if (inner_s == 1) {
+            std::memcpy(dst + out_pos, src + base,
+                        static_cast<std::size_t>(inner_n) *
+                            sizeof(float));
+        } else {
+            for (std::int64_t t = 0; t < inner_n; ++t)
+                dst[out_pos + t] = src[base + t * inner_s];
+        }
+        out_pos += inner_n;
 
-        int d = rank() - 1;
+        int d = r - 2;
         for (; d >= 0; --d) {
             if (++idx[d] < new_shape[d])
                 break;
@@ -282,8 +365,10 @@ Tensor::maxAbsDiff(const Tensor &other) const
     PRIMEPAR_ASSERT(other.shapeVec == shapeVec,
                     "maxAbsDiff shape mismatch");
     float m = 0.0f;
+    const float *p = storage.data();
+    const float *q = other.storage.data();
     for (std::int64_t i = 0; i < count; ++i)
-        m = std::max(m, std::abs(storage[i] - other.storage[i]));
+        m = std::max(m, std::abs(p[i] - q[i]));
     return m;
 }
 
@@ -292,9 +377,11 @@ Tensor::allClose(const Tensor &other, float rtol, float atol) const
 {
     if (other.shapeVec != shapeVec)
         return false;
+    const float *p = storage.data();
+    const float *q = other.storage.data();
     for (std::int64_t i = 0; i < count; ++i) {
-        const float tol = atol + rtol * std::abs(other.storage[i]);
-        if (std::abs(storage[i] - other.storage[i]) > tol)
+        const float tol = atol + rtol * std::abs(q[i]);
+        if (std::abs(p[i] - q[i]) > tol)
             return false;
     }
     return true;

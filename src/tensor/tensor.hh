@@ -10,7 +10,9 @@
  * The tensor is contiguous row-major and always owns its storage; views
  * are materialized by slice()/narrow() which copy. This keeps aliasing
  * semantics trivial — the executor moves tensor *values* between
- * emulated devices anyway.
+ * emulated devices anyway. Storage is drawn from the process-wide
+ * BufferPool, so the runtime's per-step temporaries (slices, partials,
+ * shift snapshots) recycle memory instead of hitting the heap.
  */
 
 #ifndef PRIMEPAR_TENSOR_TENSOR_HH
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "buffer_pool.hh"
 #include "support/rng.hh"
 
 namespace primepar {
@@ -36,6 +39,13 @@ class Tensor
 
     /** Zero-initialized tensor of the given shape. */
     explicit Tensor(Shape shape);
+
+    /**
+     * Tensor of the given shape with *unspecified* contents (possibly
+     * recycled pool memory). Only for callers that overwrite every
+     * element before reading — slice/permute outputs, fill targets.
+     */
+    static Tensor uninitialized(Shape shape);
 
     /** Tensor filled with a constant. */
     static Tensor full(Shape shape, float value);
@@ -111,12 +121,16 @@ class Tensor
     std::string shapeString() const;
 
   private:
+    struct Uninit
+    {};
+    Tensor(Shape shape, Uninit);
+
     std::int64_t flatIndex(const std::vector<std::int64_t> &index) const;
 
     Shape shapeVec;
     std::vector<std::int64_t> strides;
     std::int64_t count = 0;
-    std::vector<float> storage;
+    FloatBuffer storage;
 };
 
 } // namespace primepar

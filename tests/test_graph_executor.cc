@@ -218,6 +218,38 @@ TEST(GraphExecutor, FullBlockWithPSquareLinears)
     EXPECT_GT(exec.stats().ringElements, 0);
 }
 
+TEST(GraphExecutor, BitIdenticalAcrossThreadCounts)
+{
+    // Per-device sub-operators run through the thread pool, but every
+    // device writes only its own slots and reductions keep a fixed
+    // order — so the whole GraphResult must be *exactly* equal (not
+    // allClose) at any thread count, including hardware concurrency.
+    BlockFixture f;
+    const auto plan = megatronStrategies(f.graph, {2, 2});
+    ASSERT_TRUE(plan.has_value());
+
+    GraphResult ref;
+    {
+        SpmdGraphExecutor serial(f.graph, *plan, 2, 1);
+        installTransformerBlockTransforms(serial, f.cfg, 2);
+        ref = serial.run(f.io);
+    }
+    for (const int threads : {2, 0}) {
+        SpmdGraphExecutor exec(f.graph, *plan, 2, threads);
+        installTransformerBlockTransforms(exec, f.cfg, 2);
+        const GraphResult got = exec.run(f.io);
+        EXPECT_EQ(got.output.maxAbsDiff(ref.output), 0.0f)
+            << "threads=" << threads;
+        EXPECT_EQ(got.d_input.maxAbsDiff(ref.d_input), 0.0f)
+            << "threads=" << threads;
+        ASSERT_EQ(got.d_params.size(), ref.d_params.size());
+        for (const auto &[name, grad] : ref.d_params) {
+            EXPECT_EQ(got.d_params.at(name).maxAbsDiff(grad), 0.0f)
+                << name << " threads=" << threads;
+        }
+    }
+}
+
 TEST(GraphExecutor, ResidualGradientsAccumulate)
 {
     // d_input must include both the ln1 path and the residual path;
