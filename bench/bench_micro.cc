@@ -10,13 +10,15 @@
  *  - `--json [FILE]` (add `--quick` for CI sizes): the runtime
  *    microbench. Reports blocked-vs-naive kernel timings (ms, GFLOP/s,
  *    bytes moved), a partitioned training step across thread counts
- *    (tokens/s, ring/all-reduce bytes, scaling efficiency) and buffer
- *    pool statistics as a `primepar-bench-runtime-v1` JSON document,
- *    validated by scripts/bench_check.sh.
+ *    (tokens/s, ring/all-reduce bytes, scaling efficiency), the
+ *    fault-free overhead of the checksummed transport (budget < 3%)
+ *    and buffer pool statistics as a `primepar-bench-runtime-v1` JSON
+ *    document, validated by scripts/bench_check.sh.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -32,6 +34,7 @@
 #include "partition/space.hh"
 #include "runtime/graph_executor.hh"
 #include "runtime/transformer_runtime.hh"
+#include "runtime/transport.hh"
 #include "tensor/einsum.hh"
 #include "tensor/gemm.hh"
 #include "tensor/ops.hh"
@@ -272,6 +275,29 @@ runKernelBenches(bool quick)
     return reports;
 }
 
+/** PrimePar-style plan over 4 emulated devices: PSquare on each
+ *  linear, batch/sequence splits elsewhere. */
+std::vector<PartitionSeq>
+benchBlockPlan(const CompGraph &graph)
+{
+    std::vector<PartitionSeq> plan(graph.numNodes());
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        const OpSpec &op = graph.node(n);
+        if (op.psquare.has_value()) {
+            plan[n] = PartitionSeq({PartitionStep::pSquare(1)});
+        } else if (op.kind == "matmul" || op.kind == "softmax") {
+            plan[n] = PartitionSeq(
+                {PartitionStep::byDim(0),
+                 PartitionStep::byDim(op.dimIndex("Hd"))});
+        } else {
+            plan[n] = PartitionSeq(
+                {PartitionStep::byDim(0),
+                 PartitionStep::byDim(op.dimIndex("M"))});
+        }
+    }
+    return plan;
+}
+
 /** One partitioned transformer-block training step, timed per thread
  *  count; outputs must be bit-identical across all of them. */
 void
@@ -295,23 +321,7 @@ emitTrainingStep(std::ostream &os, bool quick)
     io.d_output = Tensor::random(
         Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
 
-    // PrimePar-style plan over 4 emulated devices: PSquare on each
-    // linear, batch/sequence splits elsewhere.
-    std::vector<PartitionSeq> plan(graph.numNodes());
-    for (int n = 0; n < graph.numNodes(); ++n) {
-        const OpSpec &op = graph.node(n);
-        if (op.psquare.has_value()) {
-            plan[n] = PartitionSeq({PartitionStep::pSquare(1)});
-        } else if (op.kind == "matmul" || op.kind == "softmax") {
-            plan[n] = PartitionSeq(
-                {PartitionStep::byDim(0),
-                 PartitionStep::byDim(op.dimIndex("Hd"))});
-        } else {
-            plan[n] = PartitionSeq(
-                {PartitionStep::byDim(0),
-                 PartitionStep::byDim(op.dimIndex("M"))});
-        }
-    }
+    const std::vector<PartitionSeq> plan = benchBlockPlan(graph);
 
     const std::int64_t tokens = batch * cfg.seqLength;
     const int iters = quick ? 1 : 3;
@@ -370,6 +380,94 @@ emitTrainingStep(std::ostream &os, bool quick)
        << "  },\n";
 }
 
+/** Fault-free cost of routing every shift/all-reduce through the
+ *  checksummed transport vs direct in-process copies. Budget: < 3%
+ *  overhead per training step, with bit-identical outputs. */
+void
+emitFaultOverhead(std::ostream &os, bool quick)
+{
+    ModelConfig cfg;
+    cfg.name = "bench";
+    cfg.hiddenSize = quick ? 32 : 128;
+    cfg.numHeads = 4;
+    cfg.ffnSize = quick ? 64 : 512;
+    cfg.seqLength = quick ? 16 : 32;
+    cfg.numLayers = 1;
+    const std::int64_t batch = 4;
+
+    const CompGraph graph = buildTransformerBlock(cfg, batch);
+    Rng rng(99);
+    GraphIO io;
+    io.input = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+    io.params = randomBlockParams(graph, rng);
+    io.d_output = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+
+    const std::vector<PartitionSeq> plan = benchBlockPlan(graph);
+    const int rounds = quick ? 4 : 16;
+
+    SpmdGraphExecutor base_exec(graph, plan, 2, 0);
+    installTransformerBlockTransforms(base_exec, cfg, batch);
+
+    // Same step, but every transfer goes through the transport with
+    // checksums + header verification on (no injector, no guard): the
+    // cost a fault-free run pays for being protectable.
+    RuntimeHealth health;
+    InProcessTransport transport({}, nullptr, &health);
+    SpmdGraphExecutor fault_exec(graph, plan, 2, 0);
+    installTransformerBlockTransforms(fault_exec, cfg, batch);
+    fault_exec.setTransport(&transport);
+    GuardOptions guard;
+    guard.enabled = false;
+    fault_exec.setHealth(&health, guard);
+
+    // Interleave the two variants round-by-round (alternating which
+    // goes first) so machine-wide drift hits both alike;
+    // best-of-rounds absorbs transient noise.
+    GraphResult base_result, fault_result;
+    double base_ms = 0.0, transport_ms = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        double b, t;
+        if (r & 1) {
+            t = timeMs(1, [&] { fault_result = fault_exec.run(io); });
+            b = timeMs(1, [&] { base_result = base_exec.run(io); });
+        } else {
+            b = timeMs(1, [&] { base_result = base_exec.run(io); });
+            t = timeMs(1, [&] { fault_result = fault_exec.run(io); });
+        }
+        base_ms = (r == 0) ? b : std::min(base_ms, b);
+        transport_ms = (r == 0) ? t : std::min(transport_ms, t);
+    }
+
+    // One clean run for the per-step transfer counters.
+    health.reset();
+    fault_result = fault_exec.run(io);
+
+    bool bit_identical =
+        fault_result.output.maxAbsDiff(base_result.output) == 0.0f &&
+        fault_result.d_input.maxAbsDiff(base_result.d_input) == 0.0f;
+    for (const auto &[name, grad] : base_result.d_params) {
+        if (fault_result.d_params.at(name).maxAbsDiff(grad) != 0.0f)
+            bit_identical = false;
+    }
+
+    os << "  \"fault_overhead\": {\n"
+       << "    \"base_ms_per_step\": " << jnum(base_ms) << ",\n"
+       << "    \"transport_ms_per_step\": " << jnum(transport_ms)
+       << ",\n"
+       << "    \"overhead_pct\": "
+       << jnum((transport_ms / base_ms - 1.0) * 100.0) << ",\n"
+       << "    \"transfers_per_step\": " << health.transfers << ",\n"
+       << "    \"bytes_moved_per_step\": " << health.bytesMoved
+       << ",\n"
+       << "    \"bit_identical\": "
+       << (bit_identical ? "true" : "false") << ",\n"
+       << "    \"all_clear\": "
+       << (health.allClear() ? "true" : "false") << "\n"
+       << "  },\n";
+}
+
 int
 runRuntimeBench(const std::string &out_path, bool quick)
 {
@@ -387,6 +485,7 @@ runRuntimeBench(const std::string &out_path, bool quick)
     os << "  ],\n";
 
     emitTrainingStep(os, quick);
+    emitFaultOverhead(os, quick);
 
     const BufferPoolStats ps = BufferPool::global().stats();
     os << "  \"buffer_pool\": {\"acquires\": " << ps.acquires

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * `primepar_train` — fault-tolerant training loop demo.
+ *
+ * Trains a transformer block on emulated devices through the
+ * fault-injecting transport: per-step losses, periodic checkpoints,
+ * resume, and graceful degradation when a device permanently fails
+ * (re-plan on the surviving grid + restore of the last checkpoint).
+ *
+ * Usage:
+ *   primepar_train [--steps N] [--devices D] [--threads T] [--batch B]
+ *                  [--hidden H] [--heads A] [--ffn F] [--seq S]
+ *                  [--lr LR] [--momentum M] [--seed SEED]
+ *                  [--checkpoint FILE] [--checkpoint-every N]
+ *                  [--resume] [--fault-spec SPEC] [--plan dp|heuristic]
+ *
+ * Fault specs (see FaultSpec::parse), e.g.:
+ *   --fault-spec "drop=0.01,corrupt=0.005,seed=7"
+ *   --fault-spec "fail@step=5:dev=2"
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "optimizer/segmented_dp.hh"
+#include "runtime/trainer.hh"
+#include "support/bits.hh"
+
+using namespace primepar;
+
+namespace {
+
+struct Options
+{
+    int steps = 10;
+    int devices = 4;
+    int threads = 1;
+    std::int64_t batch = 4;
+    std::int64_t hidden = 32;
+    std::int64_t heads = 4;
+    std::int64_t ffn = 64;
+    std::int64_t seq = 16;
+    double lr = 0.01;
+    double momentum = 0.9;
+    std::uint64_t seed = 1234;
+    std::string checkpoint;
+    int checkpointEvery = 0;
+    bool resume = false;
+    std::string faultSpec;
+    std::string plan = "heuristic";
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--steps") {
+            opts.steps = std::atoi(next());
+        } else if (arg == "--devices") {
+            opts.devices = std::atoi(next());
+        } else if (arg == "--threads") {
+            opts.threads = std::atoi(next());
+        } else if (arg == "--batch") {
+            opts.batch = std::atoll(next());
+        } else if (arg == "--hidden") {
+            opts.hidden = std::atoll(next());
+        } else if (arg == "--heads") {
+            opts.heads = std::atoll(next());
+        } else if (arg == "--ffn") {
+            opts.ffn = std::atoll(next());
+        } else if (arg == "--seq") {
+            opts.seq = std::atoll(next());
+        } else if (arg == "--lr") {
+            opts.lr = std::atof(next());
+        } else if (arg == "--momentum") {
+            opts.momentum = std::atof(next());
+        } else if (arg == "--seed") {
+            opts.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--checkpoint") {
+            opts.checkpoint = next();
+        } else if (arg == "--checkpoint-every") {
+            opts.checkpointEvery = std::atoi(next());
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--fault-spec") {
+            opts.faultSpec = next();
+        } else if (arg == "--plan") {
+            opts.plan = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: primepar_train [--steps N] [--devices D]"
+                " [--threads T] [--batch B]\n"
+                "            [--hidden H] [--heads A] [--ffn F]"
+                " [--seq S] [--lr LR]\n"
+                "            [--momentum M] [--seed SEED]"
+                " [--checkpoint FILE]\n"
+                "            [--checkpoint-every N] [--resume]"
+                " [--fault-spec SPEC]\n"
+                "            [--plan dp|heuristic]\n");
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument %s (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    if (!isPowerOfTwo(opts.devices)) {
+        std::fprintf(stderr, "--devices must be a power of two\n");
+        std::exit(2);
+    }
+    if (opts.plan != "dp" && opts.plan != "heuristic") {
+        std::fprintf(stderr, "--plan must be dp or heuristic\n");
+        std::exit(2);
+    }
+    if (opts.resume && opts.checkpoint.empty()) {
+        std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+        std::exit(2);
+    }
+    return opts;
+}
+
+int
+log2i(int v)
+{
+    int bits = 0;
+    while ((1 << bits) < v)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+
+    TrainerOptions topts;
+    topts.model.name = "custom";
+    topts.model.hiddenSize = opts.hidden;
+    topts.model.numHeads = opts.heads;
+    topts.model.ffnSize = opts.ffn;
+    topts.model.seqLength = opts.seq;
+    topts.model.numLayers = 1;
+    topts.batch = opts.batch;
+    topts.numBits = log2i(opts.devices);
+    topts.numThreads = opts.threads;
+    topts.lr = opts.lr;
+    topts.momentum = opts.momentum;
+    topts.seed = opts.seed;
+    topts.checkpointPath = opts.checkpoint;
+    topts.checkpointEvery = opts.checkpointEvery;
+    if (opts.plan == "dp") {
+        // Re-planning (initial and after a device failure) through the
+        // segmented-DP optimizer on the current grid size. The DP may
+        // partition a layernorm's normalized dim (cost-model-only
+        // execution); the functional executor cannot run that, so such
+        // nodes fall back to the heuristic strategy.
+        topts.replanner = [](const CompGraph &g, int bits) {
+            DpOptions dp;
+            dp.numThreads = 0;
+            std::vector<PartitionSeq> plan =
+                replanForSurvivors(g, 1 << bits, dp).strategies;
+            const auto fallback = defaultBlockPlan(g, bits);
+            for (int n = 0; n < g.numNodes(); ++n) {
+                const OpSpec &op = g.node(n);
+                if (op.normalizedDim >= 0 &&
+                    plan[n].sliceCounts(op)[op.normalizedDim] > 1)
+                    plan[n] = fallback[n];
+            }
+            return plan;
+        };
+    }
+
+    try {
+        if (!opts.faultSpec.empty())
+            topts.faults = FaultSpec::parse(opts.faultSpec);
+
+        std::printf("training %lldx%lldx%lld block on %d devices"
+                    " (plan: %s%s)\n",
+                    static_cast<long long>(opts.hidden),
+                    static_cast<long long>(opts.ffn),
+                    static_cast<long long>(opts.seq), opts.devices,
+                    opts.plan.c_str(),
+                    topts.faults.enabled() ? ", faults on" : "");
+
+        BlockTrainer trainer(topts);
+        if (opts.resume) {
+            trainer.resumeFromCheckpointFile();
+            std::printf("resumed from '%s' at step %lld\n",
+                        opts.checkpoint.c_str(),
+                        static_cast<long long>(trainer.step()));
+        }
+
+        while (trainer.step() < opts.steps) {
+            const StepStats stats = trainer.trainStep();
+            std::printf("step %4lld  loss % .6f  (2^%d devices)\n",
+                        static_cast<long long>(stats.step), stats.loss,
+                        trainer.deviceBits());
+        }
+        if (!opts.checkpoint.empty())
+            trainer.saveCheckpointNow();
+
+        std::printf("\n%s\n", trainer.health().report().c_str());
+        return 0;
+    } catch (const DeviceFailedError &err) {
+        std::fprintf(stderr,
+                     "unrecoverable: %s (replan budget exhausted)\n",
+                     err.what());
+        return 1;
+    } catch (const RuntimeError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}

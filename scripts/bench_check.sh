@@ -74,6 +74,27 @@ if step.get("bit_identical_across_threads") is not True:
 for field in ("ring_bytes_per_step", "allreduce_bytes_per_step"):
     finite(step.get(field), f"training_step.{field}")
 
+fo = doc.get("fault_overhead")
+if not isinstance(fo, dict):
+    fail("fault_overhead missing")
+for field in ("base_ms_per_step", "transport_ms_per_step",
+              "overhead_pct", "transfers_per_step",
+              "bytes_moved_per_step"):
+    finite(fo.get(field), f"fault_overhead.{field}")
+if fo.get("bit_identical") is not True:
+    fail("transport-routed step diverged from the direct path")
+if fo.get("all_clear") is not True:
+    fail("fault-free transport run reported faults")
+if fo["transfers_per_step"] <= 0:
+    fail("fault_overhead.transfers_per_step not positive")
+# Budget is < 3% at full size; quick-mode steps are sub-millisecond
+# so per-transfer fixed costs and timer noise dominate — only a loose
+# sanity bound applies there.
+bound = 50.0 if doc.get("quick") else 3.0
+if fo["overhead_pct"] > bound:
+    fail(f"transport overhead {fo['overhead_pct']:.2f}% exceeds "
+         f"{bound}% budget")
+
 pool = doc.get("buffer_pool")
 if not isinstance(pool, dict):
     fail("buffer_pool missing")
@@ -82,5 +103,6 @@ for field in ("acquires", "pool_hits", "fresh_allocs"):
 
 names = ", ".join(k["name"] for k in kernels)
 print(f"bench_check: OK ({len(kernels)} kernels: {names}; "
-      f"{len(threads)} thread settings)")
+      f"{len(threads)} thread settings; transport overhead "
+      f"{fo['overhead_pct']:.2f}%)")
 EOF

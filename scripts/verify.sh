@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Repo verification gate: tier-1 tests plus the fault-tolerance suite
+# under AddressSanitizer/UBSan.
+#
+# Usage: verify.sh [--quick]
+#
+#   1. Configure + build the default tree (build/) and run the full
+#      ctest suite.
+#   2. Configure + build a sanitizer tree (build-asan/) with
+#      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the
+#      fault-labelled tests there (ctest -L fault) — the transport's
+#      retry/rollback paths move buffers across emulated device
+#      boundaries, exactly where lifetime bugs would hide.
+#
+# --quick skips the sanitizer rebuild when build-asan/ is already
+# configured. Exits non-zero on the first failure.
+
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+QUICK=0
+[ "${1:-}" = "--quick" ] && QUICK=1
+
+echo "== tier-1: configure + build =="
+cmake -B "$ROOT/build" -S "$ROOT" > /dev/null
+cmake --build "$ROOT/build" -j"$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$ROOT/build" --output-on-failure -j"$(nproc)"
+
+echo "== sanitizer (ASan+UBSan): configure + build =="
+if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then
+    cmake -B "$ROOT/build-asan" -S "$ROOT" \
+        -DPRIMEPAR_SANITIZE=ON > /dev/null
+fi
+cmake --build "$ROOT/build-asan" -j"$(nproc)" --target test_fault
+
+echo "== sanitizer: fault-path tests (ctest -L fault) =="
+ctest --test-dir "$ROOT/build-asan" --output-on-failure \
+    -L fault -j"$(nproc)"
+
+echo "verify.sh: all gates passed"

@@ -7,8 +7,10 @@
 #include <set>
 #include <utility>
 
+#include "cost/profiler.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
+#include "topology/cluster.hh"
 
 namespace primepar {
 
@@ -449,6 +451,19 @@ bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
     result.dpMs = msSince(t2);
     result.optimizationMs = msSince(t0);
     return result;
+}
+
+DpResult
+replanForSurvivors(const CompGraph &graph, int surviving_devices,
+                   DpOptions opts)
+{
+    PRIMEPAR_ASSERT(surviving_devices >= 1,
+                    "cannot re-plan for an empty device grid");
+    const ClusterTopology topo =
+        ClusterTopology::paperCluster(surviving_devices);
+    const CostModel cost(topo, profileModels(topo));
+    SegmentedDpOptimizer dp(graph, cost, std::move(opts));
+    return dp.optimize();
 }
 
 } // namespace primepar

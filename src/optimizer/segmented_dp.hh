@@ -96,6 +96,16 @@ DpResult bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
                             CatalogCache *cache = nullptr,
                             int num_threads = 1);
 
+/**
+ * Re-plan after permanent device failures: build the paper cluster of
+ * @p surviving_devices (a power of two), profile its latency models,
+ * and run the segmented DP for the shrunken grid. This is the recovery
+ * entry the fault-tolerant runtime calls when a 2^n grid degrades to
+ * 2^(n-1) survivors.
+ */
+DpResult replanForSurvivors(const CompGraph &graph, int surviving_devices,
+                            DpOptions opts = {});
+
 } // namespace primepar
 
 #endif // PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH

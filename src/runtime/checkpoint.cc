@@ -1,0 +1,196 @@
+#include "checkpoint.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "errors.hh"
+#include "fault.hh"
+
+namespace primepar {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'P', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+appendBytes(std::vector<char> &buf, const void *p, std::size_t n)
+{
+    const char *c = static_cast<const char *>(p);
+    buf.insert(buf.end(), c, c + n);
+}
+
+template <typename T>
+void
+appendScalar(std::vector<char> &buf, T v)
+{
+    appendBytes(buf, &v, sizeof(T));
+}
+
+void
+appendTensorMap(std::vector<char> &buf,
+                const std::map<std::string, Tensor> &m)
+{
+    appendScalar<std::uint64_t>(buf, m.size());
+    for (const auto &[name, t] : m) {
+        appendScalar<std::uint32_t>(
+            buf, static_cast<std::uint32_t>(name.size()));
+        appendBytes(buf, name.data(), name.size());
+        appendScalar<std::uint32_t>(
+            buf, static_cast<std::uint32_t>(t.rank()));
+        for (std::int64_t d : t.shape())
+            appendScalar<std::int64_t>(buf, d);
+        appendBytes(buf, t.data(),
+                    static_cast<std::size_t>(t.numel()) * sizeof(float));
+    }
+}
+
+/** Cursor over the loaded payload with bounds-checked reads. */
+struct Reader
+{
+    const char *p;
+    std::size_t left;
+    const std::string &path;
+
+    void
+    read(void *out, std::size_t n)
+    {
+        if (n > left)
+            throw CheckpointError("checkpoint '" + path +
+                                  "' is truncated inside the payload");
+        std::memcpy(out, p, n);
+        p += n;
+        left -= n;
+    }
+
+    template <typename T>
+    T
+    scalar()
+    {
+        T v;
+        read(&v, sizeof(T));
+        return v;
+    }
+};
+
+std::map<std::string, Tensor>
+readTensorMap(Reader &r)
+{
+    std::map<std::string, Tensor> m;
+    const std::uint64_t count = r.scalar<std::uint64_t>();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint32_t name_len = r.scalar<std::uint32_t>();
+        std::string name(name_len, '\0');
+        r.read(name.data(), name_len);
+        const std::uint32_t rank = r.scalar<std::uint32_t>();
+        Shape shape(rank);
+        for (std::uint32_t d = 0; d < rank; ++d)
+            shape[d] = r.scalar<std::int64_t>();
+        Tensor t = Tensor::uninitialized(shape);
+        r.read(t.data(),
+               static_cast<std::size_t>(t.numel()) * sizeof(float));
+        m.emplace(std::move(name), std::move(t));
+    }
+    return m;
+}
+
+} // namespace
+
+void
+saveCheckpoint(const std::string &path, const Checkpoint &ck)
+{
+    std::vector<char> payload;
+    appendScalar<std::uint64_t>(payload, ck.step);
+    appendTensorMap(payload, ck.params);
+    appendTensorMap(payload, ck.optState);
+    const std::uint64_t checksum =
+        checksumBytes(payload.data(), payload.size());
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw CheckpointError("cannot open '" + tmp +
+                                  "' for writing");
+        out.write(kMagic, sizeof(kMagic));
+        const std::uint32_t version = kVersion;
+        out.write(reinterpret_cast<const char *>(&version),
+                  sizeof(version));
+        const std::uint64_t size = payload.size();
+        out.write(reinterpret_cast<const char *>(&size), sizeof(size));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        out.write(reinterpret_cast<const char *>(&checksum),
+                  sizeof(checksum));
+        if (!out)
+            throw CheckpointError("write to '" + tmp + "' failed");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throw CheckpointError("cannot move '" + tmp + "' to '" + path +
+                              "'");
+}
+
+Checkpoint
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw CheckpointError("cannot open checkpoint '" + path + "'");
+    std::vector<char> file(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    const std::size_t header =
+        sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+    if (file.size() < header + sizeof(std::uint64_t))
+        throw CheckpointError("checkpoint '" + path +
+                              "' is truncated (only " +
+                              std::to_string(file.size()) + " bytes)");
+    if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0)
+        throw CheckpointError("'" + path +
+                              "' is not a PrimePar checkpoint "
+                              "(bad magic)");
+    std::uint32_t version;
+    std::memcpy(&version, file.data() + sizeof(kMagic), sizeof(version));
+    if (version != kVersion)
+        throw CheckpointError(
+            "checkpoint '" + path + "' has version " +
+            std::to_string(version) + "; this build reads version " +
+            std::to_string(kVersion));
+    std::uint64_t payload_size;
+    std::memcpy(&payload_size,
+                file.data() + sizeof(kMagic) + sizeof(version),
+                sizeof(payload_size));
+    if (file.size() != header + payload_size + sizeof(std::uint64_t))
+        throw CheckpointError(
+            "checkpoint '" + path + "' is truncated: header promises " +
+            std::to_string(payload_size) + " payload bytes, file has " +
+            std::to_string(file.size() - header -
+                           sizeof(std::uint64_t)));
+
+    const char *payload = file.data() + header;
+    std::uint64_t stored;
+    std::memcpy(&stored, payload + payload_size, sizeof(stored));
+    const std::uint64_t computed = checksumBytes(
+        payload, static_cast<std::size_t>(payload_size));
+    if (stored != computed)
+        throw CheckpointError(
+            "checkpoint '" + path + "' is corrupted: checksum " +
+            "mismatch (stored " + std::to_string(stored) +
+            ", computed " + std::to_string(computed) + ")");
+
+    Reader r{payload, static_cast<std::size_t>(payload_size), path};
+    Checkpoint ck;
+    ck.step = r.scalar<std::uint64_t>();
+    ck.params = readTensorMap(r);
+    ck.optState = readTensorMap(r);
+    if (r.left != 0)
+        throw CheckpointError("checkpoint '" + path + "' has " +
+                              std::to_string(r.left) +
+                              " trailing payload bytes");
+    return ck;
+}
+
+} // namespace primepar

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Versioned, checksummed training checkpoints.
+ *
+ * A checkpoint captures everything needed to resume training
+ * bit-identically: the step counter, the parameter tensors, and the
+ * optimizer state tensors (momentum). The on-disk format is
+ *
+ *   magic "PPCKPT01" | u32 version | u64 payload bytes
+ *   payload: u64 step, then the two tensor maps
+ *            (u64 count, entries of name / rank / dims / float data)
+ *   u64 FNV-64 checksum of the payload
+ *
+ * Loads validate magic, version, sizes, and the checksum, and throw
+ * CheckpointError with a precise diagnosis on any mismatch — a
+ * truncated or bit-flipped checkpoint is rejected, never silently
+ * resumed from. Saves write to `<path>.tmp` and rename, so a crash
+ * mid-save cannot destroy the previous checkpoint.
+ */
+
+#ifndef PRIMEPAR_RUNTIME_CHECKPOINT_HH
+#define PRIMEPAR_RUNTIME_CHECKPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.hh"
+
+namespace primepar {
+
+/** Resumable training state. */
+struct Checkpoint
+{
+    std::uint64_t step = 0;
+    /** Parameters keyed "<node>.<tensor>" (GraphIO::params keys). */
+    std::map<std::string, Tensor> params;
+    /** Optimizer state (momentum velocities), keyed like params. */
+    std::map<std::string, Tensor> optState;
+};
+
+/** Serialize @p ck to @p path; throws CheckpointError on I/O failure. */
+void saveCheckpoint(const std::string &path, const Checkpoint &ck);
+
+/** Load and validate @p path; throws CheckpointError when the file is
+ *  missing, truncated, version-mismatched, or fails its checksum. */
+Checkpoint loadCheckpoint(const std::string &path);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_CHECKPOINT_HH

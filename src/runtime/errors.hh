@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Structured runtime error types.
+ *
+ * The functional executor used to abort on any malformed input or
+ * failed transfer. At production scale failures are the steady state,
+ * so errors that a caller can meaningfully react to — a missing or
+ * misshaped input, an exhausted transfer retry budget, a permanently
+ * failed device, a corrupted checkpoint — are thrown as typed
+ * exceptions carrying the full diagnosis. PRIMEPAR_PANIC remains
+ * reserved for internal invariant violations (PrimePar bugs).
+ */
+
+#ifndef PRIMEPAR_RUNTIME_ERRORS_HH
+#define PRIMEPAR_RUNTIME_ERRORS_HH
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace primepar {
+
+/** Base of every recoverable runtime error. */
+class RuntimeError : public std::runtime_error
+{
+  public:
+    explicit RuntimeError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+inline std::string
+shapeToString(const std::vector<std::int64_t> &shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < shape.size(); ++i)
+        os << (i ? ", " : "") << shape[i];
+    os << "]";
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * A required input tensor is missing or has the wrong shape. Names the
+ * operator, phase, tensor, and expected vs. actual shape so the caller
+ * can fix the feed instead of reading a stack trace.
+ */
+class InputError : public RuntimeError
+{
+  public:
+    InputError(std::string op_name, std::string phase,
+               std::string tensor_name,
+               std::vector<std::int64_t> expected,
+               std::vector<std::int64_t> actual)
+        : RuntimeError(format(op_name, phase, tensor_name, expected,
+                              actual)),
+          op(std::move(op_name)), phase(std::move(phase)),
+          tensor(std::move(tensor_name)),
+          expectedShape(std::move(expected)),
+          actualShape(std::move(actual))
+    {}
+
+    std::string op;
+    std::string phase;
+    std::string tensor;
+    std::vector<std::int64_t> expectedShape;
+    /** Empty when the tensor was absent altogether. */
+    std::vector<std::int64_t> actualShape;
+
+  private:
+    static std::string
+    format(const std::string &op, const std::string &phase,
+           const std::string &tensor,
+           const std::vector<std::int64_t> &expected,
+           const std::vector<std::int64_t> &actual)
+    {
+        std::ostringstream os;
+        os << "op '" << op << "' (" << phase << "): ";
+        if (actual.empty()) {
+            os << "missing input tensor '" << tensor
+               << "' (expected shape "
+               << detail::shapeToString(expected) << ")";
+        } else {
+            os << "input tensor '" << tensor << "' has shape "
+               << detail::shapeToString(actual) << " but '" << op
+               << "' requires " << detail::shapeToString(expected);
+        }
+        return os.str();
+    }
+};
+
+/** Base of transport-layer failures; carries the transfer identity. */
+class TransportError : public RuntimeError
+{
+  public:
+    TransportError(const std::string &msg, std::string tensor_name,
+                   std::int64_t sender_dev, std::int64_t receiver_dev,
+                   std::int64_t train_step)
+        : RuntimeError(msg), tensor(std::move(tensor_name)),
+          sender(sender_dev), receiver(receiver_dev), step(train_step)
+    {}
+
+    std::string tensor;
+    std::int64_t sender;
+    std::int64_t receiver;
+    std::int64_t step;
+};
+
+/**
+ * A transfer kept failing transiently until the retry budget ran out.
+ * The executor reacts by rolling the temporal step back and
+ * re-executing it from the journal.
+ */
+class TransientFaultError : public TransportError
+{
+  public:
+    using TransportError::TransportError;
+};
+
+/** A device failed permanently; the runtime must degrade the grid. */
+class DeviceFailedError : public TransportError
+{
+  public:
+    DeviceFailedError(const std::string &msg, std::string tensor_name,
+                      std::int64_t sender_dev, std::int64_t receiver_dev,
+                      std::int64_t train_step, std::int64_t failed_dev)
+        : TransportError(msg, std::move(tensor_name), sender_dev,
+                         receiver_dev, train_step),
+          device(failed_dev)
+    {}
+
+    std::int64_t device;
+};
+
+/** A checkpoint file could not be written, read, or validated. */
+class CheckpointError : public RuntimeError
+{
+  public:
+    using RuntimeError::RuntimeError;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_ERRORS_HH

@@ -1,5 +1,6 @@
 #include "graph_executor.hh"
 
+#include "errors.hh"
 #include "support/logging.hh"
 
 namespace primepar {
@@ -21,6 +22,27 @@ SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
             graph.node(n), strategies[n], num_bits));
         execs.back()->setThreadPool(pool.get());
     }
+}
+
+void
+SpmdGraphExecutor::setTransport(Transport *t)
+{
+    for (auto &e : execs)
+        e->setTransport(t);
+}
+
+void
+SpmdGraphExecutor::setHealth(RuntimeHealth *h, GuardOptions g)
+{
+    for (auto &e : execs)
+        e->setHealth(h, g);
+}
+
+void
+SpmdGraphExecutor::beginStep(std::int64_t s)
+{
+    for (auto &e : execs)
+        e->beginStep(s);
 }
 
 std::string
@@ -78,8 +100,13 @@ SpmdGraphExecutor::run(const GraphIO &io)
             const std::string pkey =
                 op.name + "." + op.tensors[t].name;
             const auto it = io.params.find(pkey);
-            PRIMEPAR_ASSERT(it != io.params.end(),
-                            "missing parameter ", pkey);
+            if (it == io.params.end()) {
+                Shape expected;
+                for (int d : op.tensors[t].dims)
+                    expected.push_back(op.dims[d].size);
+                throw InputError(op.name, "Forward", pkey, expected,
+                                 {});
+            }
             inputs[op.tensors[t].name] = it->second;
         }
 

@@ -84,6 +84,17 @@ class SpmdGraphExecutor
     /** Sum of per-op communication counters of the last run. */
     CommStats stats() const;
 
+    /** Route every node's inter-device transfers through @p t (not
+     *  owned; nullptr restores direct in-process copies). */
+    void setTransport(Transport *t);
+
+    /** Record detections and numeric-anomaly findings of every node
+     *  into @p h (not owned). */
+    void setHealth(RuntimeHealth *h, GuardOptions g = GuardOptions{});
+
+    /** Stamp subsequent transfers with train step @p s. */
+    void beginStep(std::int64_t s);
+
   private:
     std::string edgeKey(const GraphEdge &e) const;
     /** Gradient of node @p n's output: external or accumulated from

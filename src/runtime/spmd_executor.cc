@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "errors.hh"
 #include "support/logging.hh"
 #include "tensor/einsum.hh"
 #include "tensor/ops.hh"
@@ -89,12 +90,19 @@ SpmdOpExecutor::gather(const TensorRef &ref) const
     return full;
 }
 
+Shape
+SpmdOpExecutor::fullShape(const TensorRef &ref) const
+{
+    Shape shape;
+    for (int d : op.tensors[ref.tensor].dims)
+        shape.push_back(op.dims[d].size);
+    return shape;
+}
+
 void
 SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
-                            Phase phase, int to_t)
+                            Phase phase, int to_t, const char *channel)
 {
-    (void)phase;
-    (void)to_t;
     for (const ShiftSet &set : shifts) {
         auto it = stores.find(refKey(set.tensor));
         PRIMEPAR_ASSERT(it != stores.end(), "shift of absent tensor ",
@@ -102,11 +110,62 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
         TensorStore &store = it->second;
         // Double buffering: all sends read the pre-shift state.
         const TensorStore snapshot = store;
-        for (const Transfer &tr : set.transfers)
-            store[tr.receiver] = snapshot[tr.sender];
+        for (const Transfer &tr : set.transfers) {
+            if (transport) {
+                TransferTag tag;
+                tag.tensor = refKey(set.tensor);
+                tag.channel = channel;
+                tag.phase = phase;
+                tag.temporalStep = to_t;
+                tag.sender = tr.sender;
+                tag.receiver = tr.receiver;
+                transport->transferInto(tag, snapshot[tr.sender].data,
+                                        store[tr.receiver].data);
+                store[tr.receiver].tuple = snapshot[tr.sender].tuple;
+            } else {
+                store[tr.receiver] = snapshot[tr.sender];
+            }
+        }
         commStats.ringElements +=
             set.elementsPerTransfer *
             static_cast<std::int64_t>(set.transfers.size());
+    }
+}
+
+void
+SpmdOpExecutor::runJournaled(const std::function<void()> &body)
+{
+    if (!(transport && transport->faultTolerant())) {
+        body();
+        return;
+    }
+    // Bounded in-flight log: one temporal step's worth of mutable
+    // device state. A transfer whose retry budget is exhausted unwinds
+    // here; the step is rolled back and re-executed from the journal.
+    constexpr int kMaxStepRetries = 3;
+    for (int tries = 0;; ++tries) {
+        auto stores_journal = stores;
+        auto aux_journal = aux;
+        const CommStats stats_journal = commStats;
+        try {
+            body();
+            return;
+        } catch (const TransientFaultError &err) {
+            if (tries >= kMaxStepRetries)
+                throw;
+            stores = std::move(stores_journal);
+            aux = std::move(aux_journal);
+            commStats = stats_journal;
+            if (health) {
+                ++health->stepRollbacks;
+                health->recordEvent(
+                    {FaultKind::None,
+                     std::string("temporal step rolled back after: ") +
+                         err.what(),
+                     err.tensor, err.step, err.sender, err.receiver,
+                     tries});
+            }
+        }
     }
 }
 
@@ -246,8 +305,12 @@ SpmdOpExecutor::runPass(int pass_index,
         const std::string key = refKey(ref);
         if (!stores.count(key)) {
             const auto it = inputs.find(key);
-            PRIMEPAR_ASSERT(it != inputs.end(), "missing input tensor ",
-                            key);
+            if (it == inputs.end())
+                throw InputError(op.name, phaseName(pass.phase), key,
+                                 fullShape(ref), {});
+            if (it->second.shape() != fullShape(ref))
+                throw InputError(op.name, phaseName(pass.phase), key,
+                                 fullShape(ref), it->second.shape());
             scatter(ref, it->second, pass.phase, 0);
             continue;
         }
@@ -273,54 +336,108 @@ SpmdOpExecutor::runPass(int pass_index,
                     acc[dev].tuple =
                         tupleAt(pass.output, pass.phase, d, 0);
                 });
-    stores[refKey(pass.output)] = std::move(acc);
-    TensorStore &out_store = stores[refKey(pass.output)];
+    const std::string out_key = refKey(pass.output);
+    stores[out_key] = std::move(acc);
 
     for (int t = 0; t < steps; ++t) {
-        if (t > 0 && !comm.accShifts[t - 1].empty()) {
-            applyShifts(comm.accShifts[t - 1], pass.phase, t);
-        }
-        // After any migration the accumulator must sit on the block
-        // this device owns at step t.
-        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
-            PRIMEPAR_ASSERT(out_store[dev].tuple ==
-                                tupleAt(pass.output, pass.phase, dev, t),
-                            "accumulator misplaced at step ", t);
-        }
-        // The per-device sub-operators of this temporal step are
-        // independent: each device reads only already-positioned
-        // operand slots and accumulates into its own accumulator.
-        parallelFor(pool,
-                    static_cast<std::size_t>(dsiTable.numDevices()),
-                    [&](std::size_t dev) {
-                        const auto d = static_cast<std::int64_t>(dev);
-                        const Tensor partial = computeLocal(pass, d, t);
-                        out_store[dev].data.add(partial);
-                    });
-        if (!comm.stepShifts[t].empty())
-            applyShifts(comm.stepShifts[t], pass.phase, t + 1);
+        // A rollback restores the whole store map, so the output store
+        // must be re-looked-up inside each (re-)execution of the step.
+        runJournaled([&] {
+            TensorStore &out_store = stores.at(out_key);
+            if (t > 0 && !comm.accShifts[t - 1].empty()) {
+                applyShifts(comm.accShifts[t - 1], pass.phase, t,
+                            "acc");
+            }
+            // After any migration the accumulator must sit on the
+            // block this device owns at step t.
+            for (std::int64_t dev = 0; dev < dsiTable.numDevices();
+                 ++dev) {
+                PRIMEPAR_ASSERT(
+                    out_store[dev].tuple ==
+                        tupleAt(pass.output, pass.phase, dev, t),
+                    "accumulator misplaced at step ", t);
+            }
+            // The per-device sub-operators of this temporal step are
+            // independent: each device reads only already-positioned
+            // operand slots and accumulates into its own accumulator.
+            parallelFor(pool,
+                        static_cast<std::size_t>(dsiTable.numDevices()),
+                        [&](std::size_t dev) {
+                            const auto d =
+                                static_cast<std::int64_t>(dev);
+                            const Tensor partial =
+                                computeLocal(pass, d, t);
+                            out_store[dev].data.add(partial);
+                        });
+            if (!comm.stepShifts[t].empty())
+                applyShifts(comm.stepShifts[t], pass.phase, t + 1,
+                            "ring");
+        });
     }
 
     // Grouped all-reduce of partial sums (conventional partitions).
     if (comm.allReduce.has_value()) {
         const AllReduceSpec &spec = *comm.allReduce;
-        for (const DeviceGroup &group : spec.groups) {
-            if (group.size() < 2)
-                continue;
-            Tensor sum = out_store[group[0]].data;
-            for (std::size_t i = 1; i < group.size(); ++i) {
-                PRIMEPAR_ASSERT(out_store[group[i]].tuple ==
-                                    out_store[group[0]].tuple,
-                                "all-reduce group block mismatch");
-                sum.add(out_store[group[i]].data);
+        runJournaled([&] {
+            TensorStore &out_store = stores.at(out_key);
+            for (const DeviceGroup &group : spec.groups) {
+                if (group.size() < 2)
+                    continue;
+                // Reduce to the group leader with a fixed order, then
+                // broadcast — each hop is a tracked transfer.
+                Tensor sum = out_store[group[0]].data;
+                for (std::size_t i = 1; i < group.size(); ++i) {
+                    PRIMEPAR_ASSERT(out_store[group[i]].tuple ==
+                                        out_store[group[0]].tuple,
+                                    "all-reduce group block mismatch");
+                    if (transport) {
+                        TransferTag tag;
+                        tag.tensor = out_key;
+                        tag.channel = "allreduce";
+                        tag.phase = pass.phase;
+                        tag.temporalStep = steps;
+                        tag.sender = group[i];
+                        tag.receiver = group[0];
+                        sum.add(transport->transfer(
+                            tag, out_store[group[i]].data));
+                    } else {
+                        sum.add(out_store[group[i]].data);
+                    }
+                }
+                for (std::size_t i = 0; i < group.size(); ++i) {
+                    if (transport && i > 0) {
+                        TransferTag tag;
+                        tag.tensor = out_key;
+                        tag.channel = "allreduce";
+                        tag.phase = pass.phase;
+                        tag.temporalStep = steps;
+                        tag.sender = group[0];
+                        tag.receiver = group[i];
+                        transport->transferInto(
+                            tag, sum, out_store[group[i]].data);
+                    } else {
+                        out_store[group[i]].data = sum;
+                    }
+                }
+                commStats.allReduceElements +=
+                    spec.elementsPerDevice *
+                    static_cast<std::int64_t>(group.size() - 1);
             }
-            for (std::int64_t member : group)
-                out_store[member].data = sum;
-            commStats.allReduceElements +=
-                spec.elementsPerDevice *
-                static_cast<std::int64_t>(group.size() - 1);
+            ++commStats.allReduceCount;
+        });
+    }
+
+    // Numeric anomaly guard at the phase boundary: every pass output
+    // is an activation (Forward), an input gradient (Backward), or a
+    // weight gradient (Gradient).
+    if (health && guard.enabled) {
+        const TensorStore &out_store = stores.at(out_key);
+        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+            guardTensor(*health, guard,
+                        op.name + "." + out_key + "@dev" +
+                            std::to_string(dev),
+                        trainStep, out_store[dev].data);
         }
-        ++commStats.allReduceCount;
     }
 }
 

@@ -24,10 +24,14 @@
 #ifndef PRIMEPAR_RUNTIME_SPMD_EXECUTOR_HH
 #define PRIMEPAR_RUNTIME_SPMD_EXECUTOR_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "fault.hh"
+#include "transport.hh"
 
 #include "partition/alignment.hh"
 #include "partition/comm_pattern.hh"
@@ -114,6 +118,39 @@ class SpmdOpExecutor
      */
     void setThreadPool(ThreadPool *pool_in) { pool = pool_in; }
 
+    /**
+     * Route all inter-device transfers (ring shifts, accumulator
+     * migrations, transition shifts, all-reduce gathers/broadcasts)
+     * through @p t (not owned; nullptr = direct in-process copies).
+     * When the transport is fault tolerant, each temporal step runs
+     * inside a bounded journal so an exhausted transfer retry rolls
+     * the step back and re-executes it instead of aborting.
+     */
+    void setTransport(Transport *t) { transport = t; }
+
+    /**
+     * Record transport detections and numeric-anomaly guard findings
+     * into @p h (not owned). With a health sink attached, every pass
+     * output — activations, input gradients, weight gradients — is
+     * scanned for NaN/Inf/explosions at its phase boundary.
+     */
+    void
+    setHealth(RuntimeHealth *h, GuardOptions g = GuardOptions{})
+    {
+        health = h;
+        guard = g;
+    }
+
+    /** Stamp subsequent transfers / guard findings with train step
+     *  @p s (forwards to the transport when one is attached). */
+    void
+    beginStep(std::int64_t s)
+    {
+        trainStep = s;
+        if (transport)
+            transport->beginStep(s);
+    }
+
   private:
     struct DeviceSlot
     {
@@ -133,10 +170,19 @@ class SpmdOpExecutor
     Tensor sliceFor(const TensorRef &ref, const Tensor &full,
                     Phase phase, std::int64_t dev, int t) const;
     void applyShifts(const std::vector<ShiftSet> &shifts, Phase phase,
-                     int to_t);
+                     int to_t, const char *channel);
     void runPass(int pass_index,
                  const std::map<std::string, Tensor> &inputs);
     Tensor computeLocal(const PassSpec &pass, std::int64_t dev, int t);
+    /** Full (unpartitioned) shape of the tensor behind @p ref. */
+    Shape fullShape(const TensorRef &ref) const;
+    /**
+     * Run @p body once, or — when the transport is fault tolerant —
+     * inside a journal of the mutable device state (stores, aux,
+     * counters) that is restored and retried when a transfer's retry
+     * budget is exhausted mid-step.
+     */
+    void runJournaled(const std::function<void()> &body);
 
     OpSpec op;
     PartitionSeq seq;
@@ -149,6 +195,10 @@ class SpmdOpExecutor
      *  region, so computeLocal() only touches its own device's slot. */
     std::map<std::string, TensorStore> aux;
     ThreadPool *pool = nullptr;
+    Transport *transport = nullptr;
+    RuntimeHealth *health = nullptr;
+    GuardOptions guard;
+    std::int64_t trainStep = 0;
 };
 
 /**

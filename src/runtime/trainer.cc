@@ -1,0 +1,239 @@
+#include "trainer.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "transformer_runtime.hh"
+
+namespace primepar {
+
+std::vector<PartitionSeq>
+defaultBlockPlan(const CompGraph &graph, int bits)
+{
+    std::vector<PartitionSeq> plan;
+    plan.reserve(static_cast<std::size_t>(graph.numNodes()));
+    for (int n = 0; n < graph.numNodes(); ++n) {
+        const OpSpec &op = graph.node(n);
+        PartitionSeq seq;
+        if (bits >= 2 && op.psquare.has_value())
+            seq.push(PartitionStep::pSquare(1));
+
+        auto dimByName = [&](const char *name) -> int {
+            for (std::size_t d = 0; d < op.dims.size(); ++d) {
+                if (op.dims[d].name == name)
+                    return static_cast<int>(d);
+            }
+            return -1;
+        };
+        std::vector<int> preferred;
+        auto prefer = [&](int d) {
+            if (d < 0)
+                return;
+            for (int have : preferred) {
+                if (have == d)
+                    return;
+            }
+            preferred.push_back(d);
+        };
+        prefer(dimByName("B"));
+        if (op.kind == "matmul" || op.kind == "softmax")
+            prefer(dimByName("Hd"));
+        prefer(dimByName("M"));
+        for (std::size_t d = 0; d < op.dims.size(); ++d)
+            prefer(static_cast<int>(d));
+
+        // Greedy fill of the remaining bits: first preferred dim whose
+        // additional halving the operator still validates.
+        while (seq.numBits() < bits) {
+            bool placed = false;
+            for (int d : preferred) {
+                PartitionSeq trial = seq;
+                trial.push(PartitionStep::byDim(d));
+                if (trial.validate(op).empty()) {
+                    seq = std::move(trial);
+                    placed = true;
+                    break;
+                }
+            }
+            PRIMEPAR_ASSERT(placed,
+                            "defaultBlockPlan: no partitionable dim of ",
+                            op.name, " can consume bit ", seq.numBits(),
+                            " of ", bits);
+        }
+        plan.push_back(std::move(seq));
+    }
+    return plan;
+}
+
+BlockTrainer::BlockTrainer(TrainerOptions opts_in)
+    : opts(std::move(opts_in)),
+      graph(buildTransformerBlock(opts.model, opts.batch))
+{
+    bits_ = opts.numBits;
+    strategies = opts.replanner ? opts.replanner(graph, bits_)
+                                : defaultBlockPlan(graph, bits_);
+    if (opts.faults.enabled())
+        injector = std::make_shared<FaultInjector>(opts.faults);
+    Rng rng(opts.seed | 1);
+    params = randomBlockParams(graph, rng);
+    buildExecutor();
+}
+
+BlockTrainer::~BlockTrainer() = default;
+
+void
+BlockTrainer::buildExecutor()
+{
+    exec = std::make_unique<SpmdGraphExecutor>(graph, strategies, bits_,
+                                               opts.numThreads);
+    installTransformerBlockTransforms(*exec, opts.model, opts.batch);
+    // A fresh transport per (re-)build: a degraded grid renumbers the
+    // devices, so the old dead-set must not carry over. The injector
+    // *is* shared, so scheduled faults keep their consumed budget.
+    transport = std::make_unique<InProcessTransport>(opts.transport,
+                                                     injector, &health_);
+    exec->setTransport(transport.get());
+    exec->setHealth(&health_, opts.guard);
+}
+
+GraphIO
+BlockTrainer::makeBatch(std::int64_t step) const
+{
+    // Batches are a pure function of (seed, step): a resumed run
+    // regenerates the exact inputs of the interrupted one.
+    Rng rng((opts.seed ^ (0x9e3779b97f4a7c15ull *
+                          static_cast<std::uint64_t>(step + 1))) |
+            1);
+    const Shape shape{opts.batch, opts.model.seqLength,
+                      opts.model.hiddenSize};
+    GraphIO io;
+    io.input = Tensor::random(shape, rng);
+    io.d_output = Tensor::random(shape, rng);
+    io.params = params;
+    return io;
+}
+
+void
+BlockTrainer::applyUpdate(const std::map<std::string, Tensor> &d_params)
+{
+    for (const auto &[name, grad] : d_params) {
+        auto wit = params.find(name);
+        PRIMEPAR_ASSERT(wit != params.end(),
+                        "gradient for unknown parameter ", name);
+        Tensor &w = wit->second;
+        auto vit = velocity.find(name);
+        if (vit == velocity.end())
+            vit = velocity.emplace(name, Tensor(w.shape())).first;
+        Tensor &v = vit->second;
+        v.scale(static_cast<float>(opts.momentum));
+        Tensor scaled = grad;
+        scaled.scale(static_cast<float>(-opts.lr));
+        v.add(scaled);
+        w.add(v);
+    }
+}
+
+StepStats
+BlockTrainer::trainStep()
+{
+    for (;;) {
+        const std::int64_t s = step_;
+        try {
+            const GraphIO io = makeBatch(s);
+            exec->beginStep(s);
+            const GraphResult res = exec->run(io);
+
+            // Probe loss: <O, dO> / numel — cheap, deterministic, and
+            // sensitive to any perturbation of output or parameters.
+            double loss = 0.0;
+            const float *o = res.output.data();
+            const float *g = io.d_output.data();
+            const std::int64_t numel = res.output.numel();
+            for (std::int64_t i = 0; i < numel; ++i)
+                loss += static_cast<double>(o[i]) *
+                        static_cast<double>(g[i]);
+            loss /= static_cast<double>(numel);
+
+            applyUpdate(res.d_params);
+            ++step_;
+            if (!opts.checkpointPath.empty() &&
+                opts.checkpointEvery > 0 &&
+                step_ % opts.checkpointEvery == 0) {
+                saveCheckpointNow();
+            }
+            return {s, loss};
+        } catch (const DeviceFailedError &err) {
+            if (replansDone >= opts.maxReplans || bits_ <= 0)
+                throw;
+            degradeAndRestore(err);
+        }
+    }
+}
+
+Checkpoint
+BlockTrainer::checkpoint() const
+{
+    Checkpoint ck;
+    ck.step = static_cast<std::uint64_t>(step_);
+    ck.params = params;
+    ck.optState = velocity;
+    return ck;
+}
+
+void
+BlockTrainer::saveCheckpointNow()
+{
+    PRIMEPAR_ASSERT(!opts.checkpointPath.empty(),
+                    "no checkpoint path configured");
+    saveCheckpoint(opts.checkpointPath, checkpoint());
+    checkpointOnDisk = true;
+}
+
+void
+BlockTrainer::restoreFrom(const Checkpoint &ck)
+{
+    step_ = static_cast<std::int64_t>(ck.step);
+    params = ck.params;
+    velocity = ck.optState;
+}
+
+void
+BlockTrainer::resumeFromCheckpointFile()
+{
+    restoreFrom(loadCheckpoint(opts.checkpointPath));
+    checkpointOnDisk = true;
+}
+
+void
+BlockTrainer::degradeAndRestore(const DeviceFailedError &err)
+{
+    ++replansDone;
+    ++health_.replans;
+    bits_ -= 1;
+    health_.recordEvent(
+        {FaultKind::DeviceFail,
+         "device " + std::to_string(err.device) +
+             " lost permanently; re-planning for the surviving 2^" +
+             std::to_string(bits_) + " grid",
+         err.tensor, err.step, err.sender, err.receiver, 0});
+    PRIMEPAR_INFORM("device ", err.device, " failed; degrading to 2^",
+                    bits_, " devices and restoring last checkpoint");
+
+    strategies = opts.replanner ? opts.replanner(graph, bits_)
+                                : defaultBlockPlan(graph, bits_);
+    if (checkpointOnDisk && !opts.checkpointPath.empty()) {
+        restoreFrom(loadCheckpoint(opts.checkpointPath));
+        ++health_.checkpointRestores;
+    } else {
+        // Nothing durable yet: cold-restart from the initial state —
+        // seeded, so the trajectory is still reproducible.
+        Rng rng(opts.seed | 1);
+        params = randomBlockParams(graph, rng);
+        velocity.clear();
+        step_ = 0;
+    }
+    buildExecutor();
+}
+
+} // namespace primepar

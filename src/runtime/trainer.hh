@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fault-tolerant training driver over the SPMD graph executor.
+ *
+ * BlockTrainer runs transformer-block training steps end to end:
+ * per-step seeded batches, a probe loss, SGD with momentum, periodic
+ * checkpoints, and — the point of this module — recovery. Transient
+ * transport faults are absorbed below it (retries, step rollbacks); a
+ * *permanent* device failure surfaces as DeviceFailedError, which the
+ * trainer answers by degrading the device grid from 2^n to 2^(n-1),
+ * re-planning the partition strategies for the survivors, and
+ * restoring from the last checkpoint. Batches are a pure function of
+ * (seed, step), so a resumed or degraded run replays the exact loss
+ * trajectory of the uninterrupted one.
+ */
+
+#ifndef PRIMEPAR_RUNTIME_TRAINER_HH
+#define PRIMEPAR_RUNTIME_TRAINER_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint.hh"
+#include "errors.hh"
+#include "fault.hh"
+#include "graph/transformer.hh"
+#include "graph_executor.hh"
+#include "transport.hh"
+
+namespace primepar {
+
+/** Everything configuring a BlockTrainer. */
+struct TrainerOptions
+{
+    ModelConfig model;
+    std::int64_t batch = 2;
+    /** Device-id bits: 2^n emulated devices. */
+    int numBits = 2;
+    int numThreads = 1;
+    double lr = 1e-2;
+    double momentum = 0.9;
+    /** Seeds parameter init and the per-step batches. */
+    std::uint64_t seed = 1234;
+
+    FaultSpec faults;
+    TransportOptions transport;
+    GuardOptions guard;
+
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpointPath;
+    /** Save every N completed steps (0 = only on explicit request). */
+    int checkpointEvery = 0;
+    /** Permanent device failures survivable before giving up. */
+    int maxReplans = 2;
+
+    /**
+     * Strategy provider for (re-)planning on a given grid size; null
+     * uses defaultBlockPlan(). The example wires the segmented-DP
+     * optimizer in here — the runtime library itself stays independent
+     * of the optimizer layer.
+     */
+    std::function<std::vector<PartitionSeq>(const CompGraph &, int)>
+        replanner;
+};
+
+/** Outcome of one completed training step. */
+struct StepStats
+{
+    std::int64_t step = 0;
+    double loss = 0.0;
+};
+
+/** Per-node default strategies: PSquare(1) on spatial-temporal-capable
+ *  ops when bits allow, conventional by-dim splits elsewhere. */
+std::vector<PartitionSeq> defaultBlockPlan(const CompGraph &graph,
+                                           int bits);
+
+/** Fault-tolerant training loop over one transformer block. */
+class BlockTrainer
+{
+  public:
+    explicit BlockTrainer(TrainerOptions opts);
+    ~BlockTrainer();
+
+    /**
+     * Run (and, on permanent device failure, recover and re-run) one
+     * training step. Throws DeviceFailedError only once the replan
+     * budget is exhausted.
+     */
+    StepStats trainStep();
+
+    /** Snapshot the current parameters / optimizer state / step. */
+    Checkpoint checkpoint() const;
+
+    /** Write checkpoint() to options().checkpointPath. */
+    void saveCheckpointNow();
+
+    /** Adopt @p ck as the current training state. */
+    void restoreFrom(const Checkpoint &ck);
+
+    /** Load options().checkpointPath and restoreFrom() it. */
+    void resumeFromCheckpointFile();
+
+    RuntimeHealth &health() { return health_; }
+    const TrainerOptions &options() const { return opts; }
+    std::int64_t step() const { return step_; }
+    /** Current grid size in bits (shrinks after a device failure). */
+    int deviceBits() const { return bits_; }
+
+  private:
+    GraphIO makeBatch(std::int64_t step) const;
+    void buildExecutor();
+    void applyUpdate(const std::map<std::string, Tensor> &d_params);
+    void degradeAndRestore(const DeviceFailedError &err);
+
+    TrainerOptions opts;
+    CompGraph graph;
+    std::vector<PartitionSeq> strategies;
+    int bits_ = 0;
+    std::int64_t step_ = 0;
+    int replansDone = 0;
+    bool checkpointOnDisk = false;
+
+    std::map<std::string, Tensor> params;
+    std::map<std::string, Tensor> velocity;
+
+    RuntimeHealth health_;
+    std::shared_ptr<FaultInjector> injector;
+    std::unique_ptr<InProcessTransport> transport;
+    std::unique_ptr<SpmdGraphExecutor> exec;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_TRAINER_HH

@@ -1,0 +1,185 @@
+#include "transport.hh"
+
+#include <sstream>
+
+#include "errors.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+/** The wire framing of one in-process message. The payload itself is
+ *  materialized directly in the receiver's buffer. */
+struct Message
+{
+    std::uint64_t seq = 0;
+    std::int64_t trainStep = 0;
+    int phase = 0;
+    int temporalStep = 0;
+    std::uint64_t checksum = 0;
+};
+
+std::string
+transferContext(const TransferTag &tag)
+{
+    std::ostringstream os;
+    os << tag.channel << " transfer of '" << tag.tensor << "' "
+       << tag.sender << "->" << tag.receiver << " ("
+       << phaseName(tag.phase) << " t=" << tag.temporalStep
+       << ", train step " << tag.trainStep << ")";
+    return os.str();
+}
+
+} // namespace
+
+InProcessTransport::InProcessTransport(
+    TransportOptions opts_in, std::shared_ptr<FaultInjector> injector_in,
+    RuntimeHealth *health_in)
+    : opts(opts_in), injector(std::move(injector_in)), health(health_in)
+{
+    PRIMEPAR_ASSERT(opts.maxAttempts >= 1,
+                    "transport needs at least one attempt");
+}
+
+void
+InProcessTransport::transferInto(const TransferTag &tag_in,
+                                 const Tensor &payload, Tensor &dst)
+{
+    TransferTag tag = tag_in;
+    tag.trainStep = trainStep;
+
+    auto failDevice = [&](std::int64_t device) -> void {
+        dead.insert(device);
+        if (health) {
+            ++health->deviceFailures;
+            health->recordEvent({FaultKind::DeviceFail,
+                                 "permanent device failure",
+                                 tag.tensor, tag.trainStep, tag.sender,
+                                 tag.receiver, 0});
+        }
+        throw DeviceFailedError(
+            "device " + std::to_string(device) +
+                " failed permanently during " + transferContext(tag),
+            tag.tensor, tag.sender, tag.receiver, tag.trainStep,
+            device);
+    };
+
+    if (dead.count(tag.sender))
+        failDevice(tag.sender);
+    if (dead.count(tag.receiver))
+        failDevice(tag.receiver);
+
+    const std::size_t payload_bytes =
+        static_cast<std::size_t>(payload.numel()) * sizeof(float);
+
+    for (int attempt = 0; attempt < opts.maxAttempts; ++attempt) {
+        const FaultKind fault =
+            injector ? injector->decide(tag, attempt) : FaultKind::None;
+
+        auto recordFault = [&](std::int64_t RuntimeHealth::*counter,
+                               const char *detail) {
+            if (!health)
+                return;
+            ++(health->*counter);
+            if (attempt + 1 < opts.maxAttempts) {
+                ++health->retries;
+                health->simulatedDelayUs +=
+                    opts.backoffUs * static_cast<double>(attempt + 1);
+            }
+            health->recordEvent({fault, detail, tag.tensor,
+                                 tag.trainStep, tag.sender,
+                                 tag.receiver, attempt});
+        };
+
+        if (fault == FaultKind::DeviceFail) {
+            // The fault hits whichever endpoint the schedule named;
+            // default to the sender for probability-driven failures.
+            failDevice(tag.sender);
+        }
+        if (fault == FaultKind::Drop) {
+            // The message never arrives; the receiver times out.
+            recordFault(&RuntimeHealth::dropsDetected,
+                        "transfer timed out (dropped)");
+            continue;
+        }
+
+        // Build the message: one payload copy into the receiver's
+        // buffer (exactly what the transport-free path performed) plus
+        // the header. The send checksum is computed inside the copy
+        // pass, so the payload is read from memory once, not twice,
+        // and a same-shape destination recycles its storage.
+        Message msg;
+        msg.seq = nextSeq;
+        msg.trainStep = tag.trainStep;
+        msg.phase = static_cast<int>(tag.phase);
+        msg.temporalStep = tag.temporalStep;
+        if (opts.checksums) {
+            if (dst.shape() != payload.shape())
+                dst = Tensor::uninitialized(payload.shape());
+            msg.checksum = checksumCopyBytes(
+                dst.data(), payload.data(), payload_bytes);
+        } else {
+            dst = payload;
+        }
+
+        if (fault == FaultKind::Delay) {
+            // Straggler: delivery succeeds but late. Track the delay;
+            // the simulator's FaultSimModel mirrors it in latency.
+            if (health) {
+                ++health->stragglers;
+                health->simulatedDelayUs += 8.0 * opts.backoffUs;
+                health->recordEvent({fault, "straggling transfer",
+                                     tag.tensor, tag.trainStep,
+                                     tag.sender, tag.receiver,
+                                     attempt});
+            }
+        } else if (fault == FaultKind::Corrupt) {
+            // Corrupt either the payload or the header tags — the low
+            // hash bit picks which, so both detection paths run.
+            const bool header = (msg.seq ^ static_cast<std::uint64_t>(
+                                               attempt)) & 1;
+            if (header || payload_bytes == 0) {
+                msg.trainStep ^= 0x40;
+                msg.seq ^= 0x1000;
+            } else {
+                const std::int64_t victim =
+                    static_cast<std::int64_t>(msg.seq) % dst.numel();
+                dst.data()[victim] += 1.0f;
+            }
+        }
+
+        // ---- Delivery-side verification ----
+        if (opts.checksums) {
+            if (msg.trainStep != tag.trainStep || msg.seq != nextSeq ||
+                msg.phase != static_cast<int>(tag.phase) ||
+                msg.temporalStep != tag.temporalStep) {
+                recordFault(&RuntimeHealth::headerMismatches,
+                            "stale or misordered message rejected");
+                continue;
+            }
+            const std::uint64_t got =
+                checksumBytes(dst.data(), payload_bytes);
+            if (got != msg.checksum) {
+                recordFault(&RuntimeHealth::corruptionsDetected,
+                            "payload checksum mismatch");
+                continue;
+            }
+        }
+
+        ++nextSeq;
+        if (health) {
+            ++health->transfers;
+            health->bytesMoved +=
+                static_cast<std::int64_t>(payload_bytes);
+        }
+        return;
+    }
+
+    throw TransientFaultError(
+        "retry budget (" + std::to_string(opts.maxAttempts) +
+            " attempts) exhausted for " + transferContext(tag),
+        tag.tensor, tag.sender, tag.receiver, tag.trainStep);
+}
+
+} // namespace primepar

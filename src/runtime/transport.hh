@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Pluggable transport between the SPMD executors and the tensor stores.
+ *
+ * Every inter-device movement of tensor values — ring shifts,
+ * accumulator migrations, transition shifts, grouped all-reduce
+ * gathers and broadcasts — goes through a Transport. The default
+ * in-process implementation frames each transfer as a message with a
+ * sequence number, the training step / phase / temporal step it
+ * belongs to, and a checksum of the payload, then verifies all of them
+ * on delivery. That turns silent corruption and misordering into
+ * *detected* faults that are retried with (simulated) backoff; a
+ * retry budget exhausted escalates to TransientFaultError, which the
+ * executor answers with a step rollback, and a permanently failed
+ * device raises DeviceFailedError for the runtime to degrade on.
+ *
+ * A FaultInjector, when attached, perturbs messages deterministically
+ * (drop / corrupt payload / corrupt header / delay / kill device), so
+ * every detection and recovery path is exercised by tests rather than
+ * trusted.
+ */
+
+#ifndef PRIMEPAR_RUNTIME_TRANSPORT_HH
+#define PRIMEPAR_RUNTIME_TRANSPORT_HH
+
+#include <memory>
+#include <set>
+
+#include "fault.hh"
+#include "tensor/tensor.hh"
+
+namespace primepar {
+
+/** Behavior knobs of the default transport. */
+struct TransportOptions
+{
+    /** Verify payload checksums and header tags on delivery. */
+    bool checksums = true;
+    /** Transfer attempts before escalating to TransientFaultError. */
+    int maxAttempts = 4;
+    /** Simulated backoff added per retry (accounted in health). */
+    double backoffUs = 50.0;
+};
+
+/** Moves tensor values between emulated devices. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Move one tensor value sender -> receiver, delivering into
+     * @p dst (which must not alias @p payload; its storage is reused
+     * when the shapes already match, so steady-state transfers touch
+     * no allocator). Throws TransientFaultError when the retry budget
+     * is exhausted and DeviceFailedError when an endpoint is dead; on
+     * throw @p dst is unspecified and the caller's journal rollback
+     * discards it.
+     */
+    virtual void transferInto(const TransferTag &tag,
+                              const Tensor &payload, Tensor &dst) = 0;
+
+    /** Convenience wrapper returning the delivered copy. */
+    Tensor transfer(const TransferTag &tag, const Tensor &payload)
+    {
+        Tensor out;
+        transferInto(tag, payload, out);
+        return out;
+    }
+
+    /** Advance the training-step counter stamped on every message. */
+    virtual void beginStep(std::int64_t step) { (void)step; }
+
+    /** True when faults can occur, i.e. the executor should journal
+     *  temporal steps for rollback. */
+    virtual bool faultTolerant() const { return false; }
+};
+
+/**
+ * The default transport: in-process value copies framed with
+ * seq/step/checksum verification, optional fault injection, and
+ * retry-with-backoff. Transfers are issued from the executor's serial
+ * barrier sections, so no internal locking is needed and the injected
+ * fault pattern is deterministic at any thread count.
+ */
+class InProcessTransport : public Transport
+{
+  public:
+    explicit InProcessTransport(
+        TransportOptions opts = {},
+        std::shared_ptr<FaultInjector> injector = nullptr,
+        RuntimeHealth *health = nullptr);
+
+    void transferInto(const TransferTag &tag, const Tensor &payload,
+                      Tensor &dst) override;
+
+    void beginStep(std::int64_t step) override { trainStep = step; }
+
+    bool faultTolerant() const override { return injector != nullptr; }
+
+    void setHealth(RuntimeHealth *h) { health = h; }
+
+    const std::set<std::int64_t> &deadDevices() const { return dead; }
+
+  private:
+    TransportOptions opts;
+    std::shared_ptr<FaultInjector> injector;
+    RuntimeHealth *health = nullptr;
+    std::int64_t trainStep = 0;
+    std::uint64_t nextSeq = 0;
+    std::set<std::int64_t> dead;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_TRANSPORT_HH

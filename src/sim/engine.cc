@@ -47,6 +47,20 @@ reduceScatterDuration(const ClusterTopology &topo, const DeviceGroup &group,
     return static_cast<double>(g - 1) * (lat + chunk / bw);
 }
 
+double
+FaultSimModel::expectedTransferUs(double wire) const
+{
+    const double retry_prob =
+        std::min(0.999, std::max(0.0, dropProb + corruptProb));
+    // Geometric number of attempts: E[attempts] = 1 / (1 - p).
+    const double attempts = 1.0 / (1.0 - retry_prob);
+    const double straggle =
+        std::max(0.0, stragglerProb) *
+        std::max(0.0, stragglerFactor - 1.0) * wire;
+    return attempts * wire + (attempts - 1.0) * retryBackoffUs +
+           straggle;
+}
+
 SimContext::SimContext(const ClusterTopology &topo_in)
     : topo(topo_in), computeEngine(topo.numDevices()),
       sendPort(topo.numDevices()), recvPort(topo.numDevices()),
@@ -59,7 +73,9 @@ SimContext::transfer(std::int64_t src, std::int64_t dst, double bytes,
 {
     if (src == dst)
         return ready_time;
-    const double wire = transferWireTime(topo, src, dst, bytes);
+    double wire = transferWireTime(topo, src, dst, bytes);
+    if (faults)
+        wire = faults->expectedTransferUs(wire);
     const double start = std::max(
         {ready_time, sendPort[src].freeAt(), recvPort[dst].freeAt()});
     sendPort[src].occupy(start, wire);

@@ -65,6 +65,27 @@ double ringAllReduceDuration(const ClusterTopology &topo,
 double reduceScatterDuration(const ClusterTopology &topo,
                              const DeviceGroup &group, double bytes);
 
+/**
+ * Expected latency inflation of an unreliable interconnect. Mirrors
+ * the runtime transport's recovery protocol in the simulator: dropped
+ * or corrupted messages are detected and retried (each failed attempt
+ * pays the wire time plus a backoff), stragglers stretch the final
+ * attempt. Probabilities are per transfer.
+ */
+struct FaultSimModel
+{
+    double dropProb = 0.0;
+    double corruptProb = 0.0;
+    double stragglerProb = 0.0;
+    /** A straggling attempt takes this multiple of the wire time. */
+    double stragglerFactor = 8.0;
+    /** Simulated backoff paid per failed attempt, us. */
+    double retryBackoffUs = 50.0;
+
+    /** Expected transfer duration given clean wire time @p wire. */
+    double expectedTransferUs(double wire) const;
+};
+
 /** Shared mutable state of one simulation run. */
 struct SimContext
 {
@@ -78,6 +99,9 @@ struct SimContext
     std::vector<double> ready;
     /** Optional span recorder (not owned); null disables tracing. */
     Trace *trace = nullptr;
+    /** Optional fault-aware latency model (not owned); null = clean
+     *  links. */
+    const FaultSimModel *faults = nullptr;
 
     /** Route one transfer through the ports; returns arrival time. */
     double transfer(std::int64_t src, std::int64_t dst, double bytes,

@@ -364,5 +364,35 @@ TEST(Baselines, AlpaNeverUsesPSquareAndPrimeParWins)
     EXPECT_LE(pp.layerCost, alpa.layerCost + 1e-9);
 }
 
+TEST(SegmentedDp, ReplanForSurvivorsShrinksTheGrid)
+{
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 512;
+    const CompGraph g = buildMlpBlock(cfg, 8);
+
+    // The recovery entry: plan for 4 devices, then for the 2 survivors
+    // of a failure. Both must be complete, valid plans for their grid.
+    for (const int devices : {4, 2}) {
+        const DpResult res = replanForSurvivors(g, devices);
+        ASSERT_EQ(static_cast<int>(res.strategies.size()),
+                  g.numNodes());
+        for (int n = 0; n < g.numNodes(); ++n) {
+            EXPECT_EQ(res.strategies[n].numBits(),
+                      devices == 4 ? 2 : 1);
+            EXPECT_EQ(res.strategies[n].validate(g.node(n)), "");
+        }
+        EXPECT_GT(res.layerCost, 0.0);
+    }
+
+    // Matches planning directly on the equivalent cluster.
+    const auto topo = ClusterTopology::paperCluster(2);
+    const CostModel cost(topo, profileModels(topo));
+    DpOptions opts;
+    const DpResult direct = SegmentedDpOptimizer(g, cost, opts).optimize();
+    const DpResult via = replanForSurvivors(g, 2);
+    EXPECT_EQ(via.strategies, direct.strategies);
+    EXPECT_DOUBLE_EQ(via.layerCost, direct.layerCost);
+}
+
 } // namespace
 } // namespace primepar

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "partition/space.hh"
+#include "runtime/errors.hh"
 #include "runtime/spmd_executor.hh"
 #include "support/rng.hh"
 #include "tensor/ops.hh"
@@ -340,12 +341,40 @@ TEST(SpmdExecutor, EmbeddingVocabAndTemporalPartitions)
                     .allReduce.has_value());
 }
 
-TEST(SpmdExecutorDeath, MissingInputPanics)
+TEST(SpmdExecutorErrors, MissingInputThrowsStructuredError)
 {
     const OpSpec op = makeLinearOp("fc", 2, 4, 4, 4);
     SpmdOpExecutor exec(op, PartitionSeq({PartitionStep::byDim(0)}), 1);
     std::map<std::string, Tensor> inputs; // empty
-    EXPECT_DEATH(exec.run(inputs), "missing input tensor");
+    try {
+        exec.run(inputs);
+        FAIL() << "expected InputError";
+    } catch (const InputError &err) {
+        EXPECT_EQ(err.op, "fc");
+        EXPECT_EQ(err.tensor, "I");
+        EXPECT_TRUE(err.actualShape.empty());
+        EXPECT_EQ(err.expectedShape, (std::vector<std::int64_t>{2, 4, 4}));
+        EXPECT_NE(std::string(err.what()).find("missing input tensor"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpmdExecutorErrors, ShapeMismatchThrowsStructuredError)
+{
+    const OpSpec op = makeLinearOp("fc", 2, 4, 4, 4);
+    SpmdOpExecutor exec(op, PartitionSeq({PartitionStep::byDim(0)}), 1);
+    std::map<std::string, Tensor> inputs;
+    inputs["I"] = Tensor(Shape{2, 4, 8}); // wrong hidden size
+    inputs["W"] = Tensor(Shape{4, 4});
+    inputs["dO"] = Tensor(Shape{2, 4, 4});
+    try {
+        exec.run(inputs);
+        FAIL() << "expected InputError";
+    } catch (const InputError &err) {
+        EXPECT_EQ(err.tensor, "I");
+        EXPECT_EQ(err.actualShape, (std::vector<std::int64_t>{2, 4, 8}));
+        EXPECT_EQ(err.expectedShape, (std::vector<std::int64_t>{2, 4, 4}));
+    }
 }
 
 TEST(SpmdExecutorDeath, SgdBeforeRunPanics)

@@ -78,6 +78,36 @@ TEST(Engine, ContextTransferQueuesOnPorts)
     EXPECT_DOUBLE_EQ(t3, t1);
 }
 
+TEST(Engine, FaultModelInflatesTransferLatency)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+
+    SimContext clean(topo);
+    const double base = clean.transfer(0, 1, 1e6, 0.0);
+
+    FaultSimModel faults;
+    faults.dropProb = 0.2;
+    faults.retryBackoffUs = 50.0;
+    faults.stragglerProb = 0.1;
+    SimContext faulty(topo);
+    faulty.faults = &faults;
+    const double slow = faulty.transfer(0, 1, 1e6, 0.0);
+    EXPECT_GT(slow, base);
+
+    // E[attempts] = 1/(1-p): 20% retries inflate the wire time by 25%
+    // plus the expected backoff and straggler terms.
+    const double wire = transferWireTime(topo, 0, 1, 1e6);
+    const double expected = wire / 0.8 + (1.0 / 0.8 - 1.0) * 50.0 +
+                            0.1 * (faults.stragglerFactor - 1.0) * wire;
+    EXPECT_NEAR(slow, expected, 1e-9);
+
+    // A clean model is a no-op.
+    FaultSimModel none;
+    SimContext same(topo);
+    same.faults = &none;
+    EXPECT_DOUBLE_EQ(same.transfer(0, 1, 1e6, 0.0), base);
+}
+
 TEST(OpSim, PSquareOverlapsRingWithCompute)
 {
     // With V100-class compute and NVLink, the P2x2 ring traffic should
