@@ -11,8 +11,10 @@
  *    microbench. Reports blocked-vs-naive kernel timings (ms, GFLOP/s,
  *    bytes moved), a partitioned training step across thread counts
  *    (tokens/s, ring/all-reduce bytes, scaling efficiency), the
- *    fault-free overhead of the checksummed transport (budget < 3%)
- *    and buffer pool statistics as a `primepar-bench-runtime-v1` JSON
+ *    fault-free overhead of the checksummed transport (budget < 3%),
+ *    the overhead of the full observability stack (tracing + metrics,
+ *    same budget) and buffer pool statistics as a
+ *    `primepar-bench-runtime-v1` JSON
  *    document, validated by scripts/bench_check.sh.
  */
 
@@ -33,6 +35,8 @@
 #include "partition/comm_pattern.hh"
 #include "partition/space.hh"
 #include "runtime/graph_executor.hh"
+#include "runtime/metrics.hh"
+#include "runtime/observer.hh"
 #include "runtime/transformer_runtime.hh"
 #include "runtime/transport.hh"
 #include "tensor/einsum.hh"
@@ -468,6 +472,94 @@ emitFaultOverhead(std::ostream &os, bool quick)
        << "  },\n";
 }
 
+/** Cost of attaching the full observability stack (TracingObserver +
+ *  MetricsObserver) to a transport-routed training step, vs the same
+ *  step unobserved. Budget: < 3% per step at full size. */
+void
+emitObserverOverhead(std::ostream &os, bool quick)
+{
+    ModelConfig cfg;
+    cfg.name = "bench";
+    cfg.hiddenSize = quick ? 32 : 128;
+    cfg.numHeads = 4;
+    cfg.ffnSize = quick ? 64 : 512;
+    cfg.seqLength = quick ? 16 : 32;
+    cfg.numLayers = 1;
+    const std::int64_t batch = 4;
+
+    const CompGraph graph = buildTransformerBlock(cfg, batch);
+    Rng rng(99);
+    GraphIO io;
+    io.input = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+    io.params = randomBlockParams(graph, rng);
+    io.d_output = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+
+    const std::vector<PartitionSeq> plan = benchBlockPlan(graph);
+    const int rounds = quick ? 4 : 16;
+
+    InProcessTransport base_transport;
+    SpmdGraphExecutor base_exec(graph, plan, 2, 0);
+    installTransformerBlockTransforms(base_exec, cfg, batch);
+    base_exec.setTransport(&base_transport);
+
+    TracingObserver tracer;
+    MetricsRegistry registry;
+    MetricsObserver metrics(&registry);
+    ObserverChain chain;
+    chain.add(&tracer);
+    chain.add(&metrics);
+    InProcessTransport traced_transport;
+    traced_transport.setObserver(&chain);
+    SpmdGraphExecutor traced_exec(graph, plan, 2, 0);
+    installTransformerBlockTransforms(traced_exec, cfg, batch);
+    traced_exec.setTransport(&traced_transport);
+    traced_exec.addObserver(&chain);
+
+    GraphResult base_result, traced_result;
+    double base_ms = 0.0, traced_ms = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        double b, t;
+        if (r & 1) {
+            t = timeMs(1, [&] { traced_result = traced_exec.run(io); });
+            b = timeMs(1, [&] { base_result = base_exec.run(io); });
+        } else {
+            b = timeMs(1, [&] { base_result = base_exec.run(io); });
+            t = timeMs(1, [&] { traced_result = traced_exec.run(io); });
+        }
+        base_ms = (r == 0) ? b : std::min(base_ms, b);
+        traced_ms = (r == 0) ? t : std::min(traced_ms, t);
+    }
+
+    // One clean run for the per-step span/transfer counters.
+    registry.reset();
+    tracer.reset();
+    traced_result = traced_exec.run(io);
+
+    bool bit_identical =
+        traced_result.output.maxAbsDiff(base_result.output) == 0.0f &&
+        traced_result.d_input.maxAbsDiff(base_result.d_input) == 0.0f;
+    for (const auto &[name, grad] : base_result.d_params) {
+        if (traced_result.d_params.at(name).maxAbsDiff(grad) != 0.0f)
+            bit_identical = false;
+    }
+    const std::int64_t spans = static_cast<std::int64_t>(
+        tracer.snapshot().spans().size());
+
+    os << "  \"observer_overhead\": {\n"
+       << "    \"base_ms_per_step\": " << jnum(base_ms) << ",\n"
+       << "    \"traced_ms_per_step\": " << jnum(traced_ms) << ",\n"
+       << "    \"overhead_pct\": "
+       << jnum((traced_ms / base_ms - 1.0) * 100.0) << ",\n"
+       << "    \"spans_per_step\": " << spans << ",\n"
+       << "    \"transfers_per_step\": "
+       << registry.counter("transport.transfers") << ",\n"
+       << "    \"bit_identical\": "
+       << (bit_identical ? "true" : "false") << "\n"
+       << "  },\n";
+}
+
 int
 runRuntimeBench(const std::string &out_path, bool quick)
 {
@@ -486,6 +578,7 @@ runRuntimeBench(const std::string &out_path, bool quick)
 
     emitTrainingStep(os, quick);
     emitFaultOverhead(os, quick);
+    emitObserverOverhead(os, quick);
 
     const BufferPoolStats ps = BufferPool::global().stats();
     os << "  \"buffer_pool\": {\"acquires\": " << ps.acquires

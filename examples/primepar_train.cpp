@@ -13,6 +13,13 @@
  *                  [--lr LR] [--momentum M] [--seed SEED]
  *                  [--checkpoint FILE] [--checkpoint-every N]
  *                  [--resume] [--fault-spec SPEC] [--plan dp|heuristic]
+ *                  [--trace-out FILE] [--metrics-out FILE]
+ *
+ * Observability: --trace-out records every runtime span through a
+ * TracingObserver and writes Chrome-trace JSON (open in a trace
+ * viewer) plus an ASCII per-kind summary on stdout; --metrics-out
+ * snapshots the MetricsRegistry (counters, histograms, buffer-pool
+ * hit rate) to a primepar-metrics-v1 JSON file.
  *
  * Fault specs (see FaultSpec::parse), e.g.:
  *   --fault-spec "drop=0.01,corrupt=0.005,seed=7"
@@ -24,9 +31,14 @@
 #include <cstring>
 #include <string>
 
+#include <fstream>
+
 #include "optimizer/segmented_dp.hh"
+#include "runtime/metrics.hh"
+#include "runtime/observer.hh"
 #include "runtime/trainer.hh"
 #include "support/bits.hh"
+#include "support/json.hh"
 
 using namespace primepar;
 
@@ -50,6 +62,8 @@ struct Options
     bool resume = false;
     std::string faultSpec;
     std::string plan = "heuristic";
+    std::string traceOut;
+    std::string metricsOut;
 };
 
 Options
@@ -98,6 +112,10 @@ parseArgs(int argc, char **argv)
             opts.faultSpec = next();
         } else if (arg == "--plan") {
             opts.plan = next();
+        } else if (arg == "--trace-out") {
+            opts.traceOut = next();
+        } else if (arg == "--metrics-out") {
+            opts.metricsOut = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: primepar_train [--steps N] [--devices D]"
@@ -108,7 +126,8 @@ parseArgs(int argc, char **argv)
                 " [--checkpoint FILE]\n"
                 "            [--checkpoint-every N] [--resume]"
                 " [--fault-spec SPEC]\n"
-                "            [--plan dp|heuristic]\n");
+                "            [--plan dp|heuristic] [--trace-out FILE]"
+                " [--metrics-out FILE]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument %s (try --help)\n",
@@ -155,13 +174,13 @@ main(int argc, char **argv)
     topts.model.seqLength = opts.seq;
     topts.model.numLayers = 1;
     topts.batch = opts.batch;
-    topts.numBits = log2i(opts.devices);
-    topts.numThreads = opts.threads;
+    topts.runtime.numBits = log2i(opts.devices);
+    topts.runtime.execution.numThreads = opts.threads;
     topts.lr = opts.lr;
     topts.momentum = opts.momentum;
     topts.seed = opts.seed;
-    topts.checkpointPath = opts.checkpoint;
-    topts.checkpointEvery = opts.checkpointEvery;
+    topts.runtime.checkpoint.path = opts.checkpoint;
+    topts.runtime.checkpoint.every = opts.checkpointEvery;
     if (opts.plan == "dp") {
         // Re-planning (initial and after a device failure) through the
         // segmented-DP optimizer on the current grid size. The DP may
@@ -186,7 +205,7 @@ main(int argc, char **argv)
 
     try {
         if (!opts.faultSpec.empty())
-            topts.faults = FaultSpec::parse(opts.faultSpec);
+            topts.runtime.faults = FaultSpec::parse(opts.faultSpec);
 
         std::printf("training %lldx%lldx%lld block on %d devices"
                     " (plan: %s%s)\n",
@@ -194,9 +213,16 @@ main(int argc, char **argv)
                     static_cast<long long>(opts.ffn),
                     static_cast<long long>(opts.seq), opts.devices,
                     opts.plan.c_str(),
-                    topts.faults.enabled() ? ", faults on" : "");
+                    topts.runtime.faults.enabled() ? ", faults on" : "");
 
         BlockTrainer trainer(topts);
+        TracingObserver tracer;
+        MetricsRegistry registry;
+        MetricsObserver metrics(&registry);
+        if (!opts.traceOut.empty())
+            trainer.addObserver(&tracer);
+        if (!opts.metricsOut.empty())
+            trainer.addObserver(&metrics);
         if (opts.resume) {
             trainer.resumeFromCheckpointFile();
             std::printf("resumed from '%s' at step %lld\n",
@@ -213,6 +239,24 @@ main(int argc, char **argv)
         if (!opts.checkpoint.empty())
             trainer.saveCheckpointNow();
 
+        if (!opts.traceOut.empty()) {
+            const Trace trace = tracer.snapshot();
+            std::ofstream out(opts.traceOut);
+            out << trace.toChromeJson();
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             opts.traceOut.c_str());
+                return 1;
+            }
+            std::printf("\n%s", trace.summary().c_str());
+            std::printf("trace written to %s\n", opts.traceOut.c_str());
+        }
+        if (!opts.metricsOut.empty()) {
+            saveJsonFile(opts.metricsOut, registry.snapshotJson());
+            std::printf("metrics written to %s\n",
+                        opts.metricsOut.c_str());
+        }
+
         std::printf("\n%s\n", trainer.health().report().c_str());
         return 0;
     } catch (const DeviceFailedError &err) {
@@ -222,6 +266,9 @@ main(int argc, char **argv)
         return 1;
     } catch (const RuntimeError &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    } catch (const JsonError &err) {
+        std::fprintf(stderr, "cannot write metrics: %s\n", err.what());
         return 1;
     }
 }

@@ -95,6 +95,22 @@ if fo["overhead_pct"] > bound:
     fail(f"transport overhead {fo['overhead_pct']:.2f}% exceeds "
          f"{bound}% budget")
 
+oo = doc.get("observer_overhead")
+if not isinstance(oo, dict):
+    fail("observer_overhead missing")
+for field in ("base_ms_per_step", "traced_ms_per_step",
+              "overhead_pct", "spans_per_step", "transfers_per_step"):
+    finite(oo.get(field), f"observer_overhead.{field}")
+if oo.get("bit_identical") is not True:
+    fail("observed step diverged from the unobserved one")
+if oo["spans_per_step"] <= 0:
+    fail("observer_overhead.spans_per_step not positive")
+# Same shape as the transport budget: 3% at full size, loose sanity
+# bound in quick mode where steps are sub-millisecond.
+if oo["overhead_pct"] > bound:
+    fail(f"observer overhead {oo['overhead_pct']:.2f}% exceeds "
+         f"{bound}% budget")
+
 pool = doc.get("buffer_pool")
 if not isinstance(pool, dict):
     fail("buffer_pool missing")
@@ -104,5 +120,6 @@ for field in ("acquires", "pool_hits", "fresh_allocs"):
 names = ", ".join(k["name"] for k in kernels)
 print(f"bench_check: OK ({len(kernels)} kernels: {names}; "
       f"{len(threads)} thread settings; transport overhead "
-      f"{fo['overhead_pct']:.2f}%)")
+      f"{fo['overhead_pct']:.2f}%; observer overhead "
+      f"{oo['overhead_pct']:.2f}%)")
 EOF

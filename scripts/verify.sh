@@ -6,7 +6,12 @@
 #
 #   1. Configure + build the default tree (build/) and run the full
 #      ctest suite.
-#   2. Configure + build a sanitizer tree (build-asan/) with
+#   2. Calibration smoke: run primepar_calibrate --quick against the
+#      real runtime, gating on R^2 > 0.9 for every fitted pattern, and
+#      check the written ProfiledModels JSON round-trips; then a traced
+#      primepar_train run must produce a valid Chrome-trace JSON and a
+#      parseable metrics snapshot.
+#   3. Configure + build a sanitizer tree (build-asan/) with
 #      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the
 #      fault-labelled tests there (ctest -L fault) — the transport's
 #      retry/rollback paths move buffers across emulated device
@@ -27,6 +32,67 @@ cmake --build "$ROOT/build" -j"$(nproc)"
 
 echo "== tier-1: ctest =="
 ctest --test-dir "$ROOT/build" --output-on-failure -j"$(nproc)"
+
+echo "== calibration smoke: fit models on the real runtime =="
+CAL_OUT="$(mktemp /tmp/calibration.XXXXXX.json)"
+"$ROOT/build/examples/primepar_calibrate" --quick --min-r2 0.9 \
+    --out "$CAL_OUT"
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$CAL_OUT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("schema") != "primepar-profiled-models-v1":
+    sys.exit(f"verify: unexpected calibration schema "
+             f"{doc.get('schema')!r}")
+for name in ("all_reduce", "ring_hop", "matmul_kernel",
+             "memory_kernel", "redistribution"):
+    if name not in doc:
+        sys.exit(f"verify: calibration JSON lacks {name!r}")
+if not doc["all_reduce"]:
+    sys.exit("verify: no all-reduce pattern was fitted")
+for name, r2 in doc.get("r2", {}).items():
+    if r2 < 0.9:
+        sys.exit(f"verify: fit {name} has R^2 {r2:.3f} < 0.9")
+print(f"verify: calibration OK "
+      f"({len(doc['all_reduce'])} all-reduce patterns, "
+      f"min R^2 {min(doc.get('r2', {1: 1.0}).values()):.4f})")
+EOF
+fi
+rm -f "$CAL_OUT"
+
+echo "== traced training run: chrome trace + metrics snapshot =="
+TRACE_OUT="$(mktemp /tmp/train_trace.XXXXXX.json)"
+METRICS_OUT="$(mktemp /tmp/train_metrics.XXXXXX.json)"
+"$ROOT/build/examples/primepar_train" --steps 2 --devices 4 \
+    --trace-out "$TRACE_OUT" --metrics-out "$METRICS_OUT" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$TRACE_OUT" "$METRICS_OUT" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    spans = json.load(f)
+if not isinstance(spans, list) or not spans:
+    sys.exit("verify: trace output is not a non-empty span array")
+for s in spans[:3]:
+    for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+        if field not in s:
+            sys.exit(f"verify: trace span lacks {field!r}")
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+if metrics.get("schema") != "primepar-metrics-v1":
+    sys.exit(f"verify: unexpected metrics schema "
+             f"{metrics.get('schema')!r}")
+if metrics.get("counters", {}).get("steps") != 2:
+    sys.exit("verify: metrics snapshot did not count 2 steps")
+print(f"verify: traced run OK ({len(spans)} spans, "
+      f"{len(metrics['counters'])} counters)")
+EOF
+fi
+rm -f "$TRACE_OUT" "$METRICS_OUT"
 
 echo "== sanitizer (ASan+UBSan): configure + build =="
 if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then

@@ -1,0 +1,135 @@
+#include "calibration.hh"
+
+namespace primepar {
+
+namespace {
+
+constexpr const char *kSchema = "primepar-profiled-models-v1";
+
+JsonValue
+modelToJson(const LinearModel &m)
+{
+    JsonValue v = JsonValue::object();
+    v.set("intercept", JsonValue(m.intercept));
+    v.set("slope", JsonValue(m.slope));
+    return v;
+}
+
+LinearModel
+modelFromJson(const JsonValue &v, const char *what)
+{
+    if (!v.isObject())
+        throw CalibrationError(std::string("model '") + what +
+                               "' is not an object");
+    LinearModel m;
+    m.intercept = v.at("intercept").asNumber();
+    m.slope = v.at("slope").asNumber();
+    return m;
+}
+
+} // namespace
+
+JsonValue
+profiledModelsToJson(const ProfiledModels &models,
+                     const CalibrationInfo *info)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("schema", JsonValue(kSchema));
+    if (info && !info->source.empty())
+        doc.set("source", JsonValue(info->source));
+
+    JsonValue all_reduce = JsonValue::array();
+    for (const auto &[key, model] : models.allReduce) {
+        JsonValue entry = modelToJson(model);
+        entry.set("inter_node_bits", JsonValue(key.interNodeBits));
+        entry.set("intra_node_bits", JsonValue(key.intraNodeBits));
+        all_reduce.push(std::move(entry));
+    }
+    doc.set("all_reduce", std::move(all_reduce));
+
+    JsonValue ring = JsonValue::object();
+    ring.set("intra", modelToJson(models.ringHop[0]));
+    ring.set("inter", modelToJson(models.ringHop[1]));
+    doc.set("ring_hop", std::move(ring));
+
+    doc.set("matmul_kernel", modelToJson(models.matmulKernel));
+    doc.set("memory_kernel", modelToJson(models.memoryKernel));
+
+    JsonValue redist = JsonValue::object();
+    redist.set("intra", modelToJson(models.redistribution[0]));
+    redist.set("inter", modelToJson(models.redistribution[1]));
+    doc.set("redistribution", std::move(redist));
+
+    if (info && !info->r2.empty()) {
+        JsonValue r2 = JsonValue::object();
+        for (const auto &[name, value] : info->r2)
+            r2.set(name, JsonValue(value));
+        doc.set("r2", std::move(r2));
+    }
+    return doc;
+}
+
+ProfiledModels
+profiledModelsFromJson(const JsonValue &doc, CalibrationInfo *info)
+{
+    if (!doc.isObject())
+        throw CalibrationError("model document is not a JSON object");
+    const JsonValue *schema = doc.find("schema");
+    if (!schema)
+        throw CalibrationError("model document has no 'schema' member");
+    if (schema->asString() != kSchema)
+        throw CalibrationError("unsupported model schema '" +
+                               schema->asString() + "' (expected " +
+                               kSchema + ")");
+
+    ProfiledModels models;
+    const JsonValue &all_reduce = doc.at("all_reduce");
+    if (!all_reduce.isArray())
+        throw CalibrationError("'all_reduce' is not an array");
+    for (const JsonValue &entry : all_reduce.items()) {
+        GroupPatternKey key;
+        key.interNodeBits =
+            static_cast<int>(entry.at("inter_node_bits").asNumber());
+        key.intraNodeBits =
+            static_cast<int>(entry.at("intra_node_bits").asNumber());
+        models.allReduce[key] = modelFromJson(entry, "all_reduce");
+    }
+    const JsonValue &ring = doc.at("ring_hop");
+    models.ringHop[0] = modelFromJson(ring.at("intra"), "ring_hop.intra");
+    models.ringHop[1] = modelFromJson(ring.at("inter"), "ring_hop.inter");
+    models.matmulKernel =
+        modelFromJson(doc.at("matmul_kernel"), "matmul_kernel");
+    models.memoryKernel =
+        modelFromJson(doc.at("memory_kernel"), "memory_kernel");
+    const JsonValue &redist = doc.at("redistribution");
+    models.redistribution[0] =
+        modelFromJson(redist.at("intra"), "redistribution.intra");
+    models.redistribution[1] =
+        modelFromJson(redist.at("inter"), "redistribution.inter");
+
+    if (info) {
+        *info = CalibrationInfo{};
+        if (const JsonValue *source = doc.find("source"))
+            info->source = source->asString();
+        if (const JsonValue *r2 = doc.find("r2")) {
+            for (const auto &[name, value] : r2->members())
+                info->r2[name] = value.asNumber();
+        }
+    }
+    return models;
+}
+
+void
+saveProfiledModels(const std::string &path, const ProfiledModels &models,
+                   const CalibrationInfo *info)
+{
+    saveJsonFile(path, profiledModelsToJson(models, info));
+}
+
+ProfiledModels
+loadProfiledModels(const std::string &path, CalibrationInfo *info)
+{
+    return profiledModelsFromJson(loadJsonFile(path), info);
+}
+
+} // namespace primepar

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Versioned persistence of calibrated latency models.
+ *
+ * The paper fits its cost-model coefficients by profiling the real
+ * system once per cluster and reusing the fits (Sec. 4.1). This module
+ * is the reuse half: ProfiledModels — whether fitted against the
+ * simulator (cost/profiler.hh) or against the real SPMD runtime
+ * (tools/primepar_calibrate) — round-trip through a
+ * `primepar-profiled-models-v1` JSON document, so a calibration run
+ * writes a file and every later planning run loads it instead of
+ * re-profiling.
+ *
+ * The document carries optional provenance (a free-form `source`
+ * string) and per-model R^2 fit diagnostics, which the loader hands
+ * back but the cost model ignores.
+ */
+
+#ifndef PRIMEPAR_COST_CALIBRATION_HH
+#define PRIMEPAR_COST_CALIBRATION_HH
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "profiler.hh"
+#include "support/json.hh"
+
+namespace primepar {
+
+/** Unknown schema, missing member, or malformed model document. */
+class CalibrationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Optional metadata carried alongside the fitted coefficients. */
+struct CalibrationInfo
+{
+    /** Where the fits came from, e.g. "simulator" or "spmd-runtime". */
+    std::string source;
+    /** R^2 per model, keyed by the JSON member names ("matmul_kernel",
+     *  "ring_hop.inter", "all_reduce.i0.n1", ...). */
+    std::map<std::string, double> r2;
+};
+
+/** Render models (+ optional metadata) as the v1 document. */
+JsonValue profiledModelsToJson(const ProfiledModels &models,
+                               const CalibrationInfo *info = nullptr);
+
+/** Parse a v1 document; throws CalibrationError on schema mismatch.
+ *  @p info, when non-null, receives the carried metadata. */
+ProfiledModels profiledModelsFromJson(const JsonValue &doc,
+                                      CalibrationInfo *info = nullptr);
+
+/** profiledModelsToJson + write to @p path. */
+void saveProfiledModels(const std::string &path,
+                        const ProfiledModels &models,
+                        const CalibrationInfo *info = nullptr);
+
+/** Load + parse @p path; throws CalibrationError / JsonError. */
+ProfiledModels loadProfiledModels(const std::string &path,
+                                  CalibrationInfo *info = nullptr);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_COST_CALIBRATION_HH

@@ -19,7 +19,10 @@
  *  - baselines/: Megatron-LM, Alpa-like and ZeRO baselines.
  *  - pipeline/: 3D parallelism composition (Sec. 6.4).
  *  - runtime/: the functional SPMD executor proving semantic
- *    equivalence with single-device training.
+ *    equivalence with single-device training, its fault-tolerance
+ *    stack (transport, checkpoints, trainer), and the observability
+ *    layer (RuntimeObserver, metrics, tracing) that feeds cost-model
+ *    calibration (cost/calibration.hh).
  */
 
 #ifndef PRIMEPAR_PRIMEPAR_HH
@@ -28,6 +31,7 @@
 #include "baselines/megatron.hh"
 #include "baselines/zero.hh"
 #include "comm/redistribution.hh"
+#include "cost/calibration.hh"
 #include "cost/cost_model.hh"
 #include "cost/profiler.hh"
 #include "graph/graph.hh"
@@ -41,12 +45,22 @@
 #include "partition/partition_step.hh"
 #include "partition/space.hh"
 #include "pipeline/three_d.hh"
+#include "runtime/checkpoint.hh"
+#include "runtime/errors.hh"
+#include "runtime/fault.hh"
+#include "runtime/graph_executor.hh"
+#include "runtime/metrics.hh"
+#include "runtime/observer.hh"
+#include "runtime/options.hh"
 #include "runtime/spmd_executor.hh"
+#include "runtime/trainer.hh"
+#include "runtime/transport.hh"
 #include "sim/engine.hh"
 #include "sim/memory.hh"
 #include "sim/model_sim.hh"
 #include "sim/op_sim.hh"
 #include "sim/trace.hh"
+#include "support/json.hh"
 #include "support/regression.hh"
 #include "tensor/ops.hh"
 #include "tensor/tensor.hh"

@@ -24,6 +24,13 @@ SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
     }
 }
 
+SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
+                                     std::vector<PartitionSeq> strategies,
+                                     const RuntimeOptions &options)
+    : SpmdGraphExecutor(graph_in, std::move(strategies),
+                        options.numBits, options.execution.numThreads)
+{}
+
 void
 SpmdGraphExecutor::setTransport(Transport *t)
 {
@@ -36,6 +43,13 @@ SpmdGraphExecutor::setHealth(RuntimeHealth *h, GuardOptions g)
 {
     for (auto &e : execs)
         e->setHealth(h, g);
+}
+
+void
+SpmdGraphExecutor::addObserver(RuntimeObserver *o)
+{
+    for (auto &e : execs)
+        e->addObserver(o);
 }
 
 void

@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "graph/graph.hh"
+#include "options.hh"
 #include "spmd_executor.hh"
 
 namespace primepar {
@@ -73,6 +74,13 @@ class SpmdGraphExecutor
                       std::vector<PartitionSeq> strategies,
                       int num_bits, int num_threads = 1);
 
+    /** Same, configured by the unified RuntimeOptions (numBits and
+     *  execution.numThreads are consumed here; transport / fault /
+     *  checkpoint sections are the caller's to wire). */
+    SpmdGraphExecutor(const CompGraph &graph,
+                      std::vector<PartitionSeq> strategies,
+                      const RuntimeOptions &options);
+
     /** Install a transform on the edge @p src -> @p dst (tensor
      *  @p dst_tensor of the consumer). */
     void setEdgeTransform(int src, int dst, int dst_tensor,
@@ -91,6 +99,10 @@ class SpmdGraphExecutor
     /** Record detections and numeric-anomaly findings of every node
      *  into @p h (not owned). */
     void setHealth(RuntimeHealth *h, GuardOptions g = GuardOptions{});
+
+    /** Attach @p o (not owned) to every node's executor; it receives
+     *  spans, tensor-produced and rollback events of the whole graph. */
+    void addObserver(RuntimeObserver *o);
 
     /** Stamp subsequent transfers with train step @p s. */
     void beginStep(std::int64_t s);

@@ -1,0 +1,71 @@
+#include "observer.hh"
+
+#include <chrono>
+
+namespace primepar {
+
+double
+observerNowUs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     epoch)
+        .count();
+}
+
+TracingObserver::TracingObserver() : baseUs(observerNowUs()) {}
+
+void
+TracingObserver::onSpan(std::int64_t device, SpanKind kind,
+                        const std::string &label, double start_us,
+                        double end_us)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    trace.add(device, kind, label, start_us - baseUs,
+              end_us - baseUs);
+}
+
+void
+TracingObserver::onCheckpoint(bool save, std::int64_t step,
+                              double wall_us)
+{
+    const double now = observerNowUs();
+    std::lock_guard<std::mutex> lock(mu);
+    // Checkpoints are whole-grid operations; device -1 is the
+    // conventional "runtime" row in the exported timeline.
+    trace.add(-1, SpanKind::Checkpoint,
+              std::string(save ? "checkpoint save" : "checkpoint "
+                                                     "restore") +
+                  "@step" + std::to_string(step),
+              now - wall_us - baseUs, now - baseUs);
+}
+
+Trace
+TracingObserver::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return trace;
+}
+
+void
+TracingObserver::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    trace.clear();
+    baseUs = observerNowUs();
+}
+
+void
+GuardObserver::onTensorProduced(const std::string &name,
+                                std::int64_t step, const Tensor &t)
+{
+    if (!health || !opts.enabled)
+        return;
+    // The scan itself is read-only; RuntimeHealth mutation needs the
+    // lock because pass outputs materialize on worker threads.
+    std::lock_guard<std::mutex> lock(mu);
+    guardTensor(*health, opts, name, step, t);
+}
+
+} // namespace primepar

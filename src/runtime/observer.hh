@@ -1,0 +1,263 @@
+/**
+ * @file
+ * The unified runtime observability API.
+ *
+ * Before this interface existed, instrumentation was ad-hoc: the
+ * simulator had its Trace, the transport updated RuntimeHealth
+ * counters directly, and the executor called the NaN/Inf guard inline.
+ * RuntimeObserver collapses all of it behind one set of callbacks that
+ * SpmdOpExecutor, InProcessTransport and BlockTrainer invoke at their
+ * instrumentation points:
+ *
+ *  - onSpan: per-device wall-clock execution spans (compute, ring
+ *    send-recv, all-reduce, redistribution, checkpoint) — the real
+ *    runtime's analogue of the simulator's Fig. 9 timeline;
+ *  - onTransfer / onFault / onRollback: transport-level delivery,
+ *    detection and recovery events;
+ *  - onTensorProduced: every pass output at its phase boundary (the
+ *    numeric-anomaly guard is an observer now, see GuardObserver);
+ *  - onStepBegin / onStepEnd / onCheckpoint: training-loop milestones.
+ *
+ * Concrete observers: TracingObserver (fills a Trace for Chrome-trace
+ * or ASCII export), MetricsObserver (metrics.hh), GuardObserver (the
+ * migrated NaN/Inf/explosion scan), and ObserverChain (fan-out).
+ *
+ * Threading contract: onSpan and onTensorProduced may be invoked
+ * concurrently from per-device worker threads; implementations must be
+ * thread-safe for those. All other callbacks arrive from the
+ * executor's serial sections. All hooks default to no-ops, so the
+ * tracing-off cost is one null/empty check at each instrumentation
+ * point (budgeted < 3% in bench_micro's observer_overhead section).
+ */
+
+#ifndef PRIMEPAR_RUNTIME_OBSERVER_HH
+#define PRIMEPAR_RUNTIME_OBSERVER_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fault.hh"
+#include "sim/trace.hh"
+#include "tensor/tensor.hh"
+
+namespace primepar {
+
+/** Monotonic wall clock in microseconds (process-wide epoch). */
+double observerNowUs();
+
+/** The observability callback interface (all hooks default no-op). */
+class RuntimeObserver
+{
+  public:
+    virtual ~RuntimeObserver() = default;
+
+    /** A training step is starting. */
+    virtual void
+    onStepBegin(std::int64_t step)
+    {
+        (void)step;
+    }
+
+    /** A training step completed in @p wall_us. */
+    virtual void
+    onStepEnd(std::int64_t step, double wall_us)
+    {
+        (void)step;
+        (void)wall_us;
+    }
+
+    /**
+     * One per-device execution span, in observerNowUs() time. May be
+     * called concurrently from worker threads.
+     */
+    virtual void
+    onSpan(std::int64_t device, SpanKind kind, const std::string &label,
+           double start_us, double end_us)
+    {
+        (void)device;
+        (void)kind;
+        (void)label;
+        (void)start_us;
+        (void)end_us;
+    }
+
+    /** One successfully delivered transfer of @p bytes payload bytes
+     *  (after @p attempts attempts), taking @p wall_us. */
+    virtual void
+    onTransfer(const TransferTag &tag, std::int64_t bytes, int attempts,
+               double wall_us)
+    {
+        (void)tag;
+        (void)bytes;
+        (void)attempts;
+        (void)wall_us;
+    }
+
+    /** A detected fault / retry / device failure (transport level). */
+    virtual void
+    onFault(const FaultEvent &event)
+    {
+        (void)event;
+    }
+
+    /** A temporal step was rolled back and will be re-executed. */
+    virtual void
+    onRollback(std::int64_t step)
+    {
+        (void)step;
+    }
+
+    /**
+     * A pass output (activation / gradient) materialized on a device
+     * at a phase boundary. May be called concurrently from worker
+     * threads. This is where the numeric-anomaly guard hooks in.
+     */
+    virtual void
+    onTensorProduced(const std::string &name, std::int64_t step,
+                     const Tensor &t)
+    {
+        (void)name;
+        (void)step;
+        (void)t;
+    }
+
+    /** A checkpoint was saved (@p save) or restored in @p wall_us. */
+    virtual void
+    onCheckpoint(bool save, std::int64_t step, double wall_us)
+    {
+        (void)save;
+        (void)step;
+        (void)wall_us;
+    }
+};
+
+/**
+ * Fan-out to several observers (not owned), in add() order. empty()
+ * is the runtime's fast path: instrumentation points check it before
+ * taking any timestamp.
+ */
+class ObserverChain : public RuntimeObserver
+{
+  public:
+    void
+    add(RuntimeObserver *o)
+    {
+        if (o)
+            list.push_back(o);
+    }
+
+    void clear() { list.clear(); }
+    bool empty() const { return list.empty(); }
+
+    void
+    onStepBegin(std::int64_t step) override
+    {
+        for (auto *o : list)
+            o->onStepBegin(step);
+    }
+    void
+    onStepEnd(std::int64_t step, double wall_us) override
+    {
+        for (auto *o : list)
+            o->onStepEnd(step, wall_us);
+    }
+    void
+    onSpan(std::int64_t device, SpanKind kind, const std::string &label,
+           double start_us, double end_us) override
+    {
+        for (auto *o : list)
+            o->onSpan(device, kind, label, start_us, end_us);
+    }
+    void
+    onTransfer(const TransferTag &tag, std::int64_t bytes, int attempts,
+               double wall_us) override
+    {
+        for (auto *o : list)
+            o->onTransfer(tag, bytes, attempts, wall_us);
+    }
+    void
+    onFault(const FaultEvent &event) override
+    {
+        for (auto *o : list)
+            o->onFault(event);
+    }
+    void
+    onRollback(std::int64_t step) override
+    {
+        for (auto *o : list)
+            o->onRollback(step);
+    }
+    void
+    onTensorProduced(const std::string &name, std::int64_t step,
+                     const Tensor &t) override
+    {
+        for (auto *o : list)
+            o->onTensorProduced(name, step, t);
+    }
+    void
+    onCheckpoint(bool save, std::int64_t step, double wall_us) override
+    {
+        for (auto *o : list)
+            o->onCheckpoint(save, step, wall_us);
+    }
+
+  private:
+    std::vector<RuntimeObserver *> list;
+};
+
+/**
+ * Records every span (and checkpoint event) into a Trace, normalized
+ * to the observer's construction time, for Chrome-trace / ASCII
+ * export. Thread-safe.
+ */
+class TracingObserver : public RuntimeObserver
+{
+  public:
+    TracingObserver();
+
+    void onSpan(std::int64_t device, SpanKind kind,
+                const std::string &label, double start_us,
+                double end_us) override;
+    void onCheckpoint(bool save, std::int64_t step,
+                      double wall_us) override;
+
+    /** The recording (copy: the live trace may keep growing). */
+    Trace snapshot() const;
+
+    /** Drop all recorded spans and re-anchor the time base. */
+    void reset();
+
+  private:
+    mutable std::mutex mu;
+    Trace trace;
+    double baseUs;
+};
+
+/**
+ * The numeric-anomaly guard as an observer: scans every produced
+ * tensor for NaN/Inf/explosions and records findings into a
+ * RuntimeHealth (not owned). This replaces the executor's former
+ * inline guardTensor call; SpmdOpExecutor::setHealth installs one
+ * internally for backward compatibility. Thread-safe.
+ */
+class GuardObserver : public RuntimeObserver
+{
+  public:
+    GuardObserver(RuntimeHealth *health, GuardOptions opts = {})
+        : health(health), opts(opts)
+    {}
+
+    void onTensorProduced(const std::string &name, std::int64_t step,
+                          const Tensor &t) override;
+
+  private:
+    std::mutex mu;
+    RuntimeHealth *health;
+    GuardOptions opts;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_OBSERVER_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The single runtime configuration struct.
+ *
+ * PRs 2-3 grew knobs in three places: executor threading on the
+ * SpmdGraphExecutor constructor, transport fault/retry settings in
+ * TransportOptions, and checkpoint/recovery settings spread over
+ * TrainerOptions. RuntimeOptions collapses them into one documented
+ * struct with nested sections, consumed by SpmdGraphExecutor,
+ * InProcessTransport and BlockTrainer alike:
+ *
+ *   RuntimeOptions rt;
+ *   rt.numBits = 3;                  // 2^3 emulated devices
+ *   rt.execution.numThreads = 0;     // all hardware threads
+ *   rt.transport.maxAttempts = 6;    // retry budget
+ *   rt.faults = FaultSpec::parse("drop=0.01");
+ *   rt.guard.explosionThreshold = 1e5f;
+ *   rt.checkpoint.path = "run.ppck";
+ *   rt.checkpoint.every = 10;
+ *
+ * The pre-redesign flat TrainerOptions fields survive one release as
+ * LegacyTrainerOptions (deprecated), which converts implicitly to the
+ * new TrainerOptions (trainer.hh).
+ */
+
+#ifndef PRIMEPAR_RUNTIME_OPTIONS_HH
+#define PRIMEPAR_RUNTIME_OPTIONS_HH
+
+#include <string>
+
+#include "fault.hh"
+#include "transport.hh"
+
+namespace primepar {
+
+/** Executor threading (per-device sub-operator parallelism). */
+struct ExecutionOptions
+{
+    /** Worker threads: 0 = all hardware threads, 1 = serial. Results
+     *  are bit-identical at every setting. */
+    int numThreads = 1;
+};
+
+/** Checkpointing and permanent-failure recovery. */
+struct CheckpointOptions
+{
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string path;
+    /** Save every N completed steps (0 = only on explicit request). */
+    int every = 0;
+    /** Permanent device failures survivable before giving up. */
+    int maxReplans = 2;
+};
+
+/** Everything configuring the SPMD runtime (executor + transport +
+ *  fault handling + checkpointing), in one place. */
+struct RuntimeOptions
+{
+    /** Device-id bits: 2^n emulated devices. */
+    int numBits = 2;
+    ExecutionOptions execution;
+    /** Transport framing: checksums, retry budget, backoff. */
+    TransportOptions transport;
+    /** Fault injection (disabled by default). */
+    FaultSpec faults;
+    /** Numeric-anomaly guard applied at phase boundaries. */
+    GuardOptions guard;
+    CheckpointOptions checkpoint;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_OPTIONS_HH

@@ -25,6 +25,40 @@ SpmdOpExecutor::refKey(const TensorRef &ref) const
     return op.refName(ref);
 }
 
+void
+SpmdOpExecutor::setHealth(RuntimeHealth *h, GuardOptions g)
+{
+    health = h;
+    guard = g;
+    ownedGuard = h ? std::make_unique<GuardObserver>(h, g) : nullptr;
+    rebuildObserverChain();
+}
+
+void
+SpmdOpExecutor::addObserver(RuntimeObserver *o)
+{
+    if (o)
+        userObservers.push_back(o);
+    rebuildObserverChain();
+}
+
+void
+SpmdOpExecutor::clearObservers()
+{
+    userObservers.clear();
+    rebuildObserverChain();
+}
+
+void
+SpmdOpExecutor::rebuildObserverChain()
+{
+    observers.clear();
+    for (RuntimeObserver *o : userObservers)
+        observers.add(o);
+    if (ownedGuard)
+        observers.add(ownedGuard.get());
+}
+
 std::vector<std::int64_t>
 SpmdOpExecutor::tupleAt(const TensorRef &ref, Phase phase,
                         std::int64_t dev, int t) const
@@ -54,13 +88,20 @@ SpmdOpExecutor::scatter(const TensorRef &ref, const Tensor &full,
                         Phase phase, int t)
 {
     TensorStore store(dsiTable.numDevices());
+    const bool tracing = observed();
+    const std::string label =
+        tracing ? op.name + " scatter " + refKey(ref) : std::string();
     // Each device fills only its own slot; sliceFor/tupleAt are pure
-    // reads of the DSI table.
+    // reads of the DSI table. onSpan is declared concurrency-safe.
     parallelFor(pool, static_cast<std::size_t>(dsiTable.numDevices()),
                 [&](std::size_t dev) {
                     const auto d = static_cast<std::int64_t>(dev);
+                    const double t0 = tracing ? observerNowUs() : 0.0;
                     store[dev].data = sliceFor(ref, full, phase, d, t);
                     store[dev].tuple = tupleAt(ref, phase, d, t);
+                    if (tracing)
+                        observers.onSpan(d, SpanKind::Redist, label, t0,
+                                         observerNowUs());
                 });
     stores[refKey(ref)] = std::move(store);
 }
@@ -103,14 +144,19 @@ void
 SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
                             Phase phase, int to_t, const char *channel)
 {
+    const bool tracing = observed();
     for (const ShiftSet &set : shifts) {
         auto it = stores.find(refKey(set.tensor));
         PRIMEPAR_ASSERT(it != stores.end(), "shift of absent tensor ",
                         refKey(set.tensor));
         TensorStore &store = it->second;
+        const std::string label =
+            tracing ? std::string(channel) + " " + refKey(set.tensor)
+                    : std::string();
         // Double buffering: all sends read the pre-shift state.
         const TensorStore snapshot = store;
         for (const Transfer &tr : set.transfers) {
+            const double t0 = tracing ? observerNowUs() : 0.0;
             if (transport) {
                 TransferTag tag;
                 tag.tensor = refKey(set.tensor);
@@ -125,6 +171,9 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
             } else {
                 store[tr.receiver] = snapshot[tr.sender];
             }
+            if (tracing)
+                observers.onSpan(tr.receiver, SpanKind::Ring, label, t0,
+                                 observerNowUs());
         }
         commStats.ringElements +=
             set.elementsPerTransfer *
@@ -165,6 +214,7 @@ SpmdOpExecutor::runJournaled(const std::function<void()> &body)
                      err.tensor, err.step, err.sender, err.receiver,
                      tries});
             }
+            observers.onRollback(err.step);
         }
     }
 }
@@ -289,6 +339,7 @@ SpmdOpExecutor::runPass(int pass_index,
     const PassSpec &pass = op.passes[pass_index];
     const PassComm &comm = passComms[pass_index];
     const int steps = dsiTable.steps();
+    const bool tracing = observed();
 
     // Pre-size auxiliary stores before any parallel region: a lazy
     // resize inside computeLocal would be a structural data race once
@@ -360,14 +411,24 @@ SpmdOpExecutor::runPass(int pass_index,
             // The per-device sub-operators of this temporal step are
             // independent: each device reads only already-positioned
             // operand slots and accumulates into its own accumulator.
+            const std::string compute_label =
+                tracing ? op.name + " " + phaseName(pass.phase) + " t" +
+                              std::to_string(t)
+                        : std::string();
             parallelFor(pool,
                         static_cast<std::size_t>(dsiTable.numDevices()),
                         [&](std::size_t dev) {
                             const auto d =
                                 static_cast<std::int64_t>(dev);
+                            const double t0 =
+                                tracing ? observerNowUs() : 0.0;
                             const Tensor partial =
                                 computeLocal(pass, d, t);
                             out_store[dev].data.add(partial);
+                            if (tracing)
+                                observers.onSpan(d, SpanKind::Compute,
+                                                 compute_label, t0,
+                                                 observerNowUs());
                         });
             if (!comm.stepShifts[t].empty())
                 applyShifts(comm.stepShifts[t], pass.phase, t + 1,
@@ -383,6 +444,7 @@ SpmdOpExecutor::runPass(int pass_index,
             for (const DeviceGroup &group : spec.groups) {
                 if (group.size() < 2)
                     continue;
+                const double g0 = tracing ? observerNowUs() : 0.0;
                 // Reduce to the group leader with a fixed order, then
                 // broadcast — each hop is a tracked transfer.
                 Tensor sum = out_store[group[0]].data;
@@ -422,21 +484,26 @@ SpmdOpExecutor::runPass(int pass_index,
                 commStats.allReduceElements +=
                     spec.elementsPerDevice *
                     static_cast<std::int64_t>(group.size() - 1);
+                if (tracing)
+                    observers.onSpan(group[0], SpanKind::AllReduce,
+                                     out_key + " allreduce", g0,
+                                     observerNowUs());
             }
             ++commStats.allReduceCount;
         });
     }
 
-    // Numeric anomaly guard at the phase boundary: every pass output
-    // is an activation (Forward), an input gradient (Backward), or a
-    // weight gradient (Gradient).
-    if (health && guard.enabled) {
+    // Phase boundary: every pass output — an activation (Forward), an
+    // input gradient (Backward), or a weight gradient (Gradient) — is
+    // announced to the observers. The numeric anomaly guard (a
+    // GuardObserver installed by setHealth) scans it here; emitted
+    // from this serial section, so event order is deterministic.
+    if (observed()) {
         const TensorStore &out_store = stores.at(out_key);
         for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
-            guardTensor(*health, guard,
-                        op.name + "." + out_key + "@dev" +
-                            std::to_string(dev),
-                        trainStep, out_store[dev].data);
+            observers.onTensorProduced(op.name + "." + out_key +
+                                           "@dev" + std::to_string(dev),
+                                       trainStep, out_store[dev].data);
         }
     }
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "fault.hh"
+#include "observer.hh"
 #include "transport.hh"
 
 #include "partition/alignment.hh"
@@ -130,16 +131,26 @@ class SpmdOpExecutor
 
     /**
      * Record transport detections and numeric-anomaly guard findings
-     * into @p h (not owned). With a health sink attached, every pass
-     * output — activations, input gradients, weight gradients — is
-     * scanned for NaN/Inf/explosions at its phase boundary.
+     * into @p h (not owned). Implemented on the observer API: this
+     * installs an internal GuardObserver that scans every pass output
+     * — activations, input gradients, weight gradients — for
+     * NaN/Inf/explosions at its phase boundary.
      */
-    void
-    setHealth(RuntimeHealth *h, GuardOptions g = GuardOptions{})
-    {
-        health = h;
-        guard = g;
-    }
+    void setHealth(RuntimeHealth *h, GuardOptions g = GuardOptions{});
+
+    /**
+     * Attach an observer (not owned; may be called several times, all
+     * attached observers see every event). The executor emits
+     * per-device Compute spans, Ring / AllReduce / Redist transfer
+     * spans, onTensorProduced for every pass output, and onRollback.
+     * With no observers attached the instrumentation points reduce to
+     * one branch each.
+     */
+    void addObserver(RuntimeObserver *o);
+
+    /** Detach all externally attached observers (the internal guard
+     *  installed by setHealth stays). */
+    void clearObservers();
 
     /** Stamp subsequent transfers / guard findings with train step
      *  @p s (forwards to the transport when one is attached). */
@@ -183,6 +194,10 @@ class SpmdOpExecutor
      * budget is exhausted mid-step.
      */
     void runJournaled(const std::function<void()> &body);
+    /** Rebuild the fan-out chain from user observers + owned guard. */
+    void rebuildObserverChain();
+    /** True when any observer (user or internal guard) is attached. */
+    bool observed() const { return !observers.empty(); }
 
     OpSpec op;
     PartitionSeq seq;
@@ -198,6 +213,11 @@ class SpmdOpExecutor
     Transport *transport = nullptr;
     RuntimeHealth *health = nullptr;
     GuardOptions guard;
+    /** Fan-out target of every instrumentation point. */
+    ObserverChain observers;
+    std::vector<RuntimeObserver *> userObservers;
+    /** The migrated NaN/Inf guard, owned, installed by setHealth. */
+    std::unique_ptr<GuardObserver> ownedGuard;
     std::int64_t trainStep = 0;
 };
 

@@ -70,11 +70,11 @@ BlockTrainer::BlockTrainer(TrainerOptions opts_in)
     : opts(std::move(opts_in)),
       graph(buildTransformerBlock(opts.model, opts.batch))
 {
-    bits_ = opts.numBits;
+    bits_ = opts.runtime.numBits;
     strategies = opts.replanner ? opts.replanner(graph, bits_)
                                 : defaultBlockPlan(graph, bits_);
-    if (opts.faults.enabled())
-        injector = std::make_shared<FaultInjector>(opts.faults);
+    if (opts.runtime.faults.enabled())
+        injector = std::make_shared<FaultInjector>(opts.runtime.faults);
     Rng rng(opts.seed | 1);
     params = randomBlockParams(graph, rng);
     buildExecutor();
@@ -85,16 +85,26 @@ BlockTrainer::~BlockTrainer() = default;
 void
 BlockTrainer::buildExecutor()
 {
-    exec = std::make_unique<SpmdGraphExecutor>(graph, strategies, bits_,
-                                               opts.numThreads);
+    exec = std::make_unique<SpmdGraphExecutor>(
+        graph, strategies, bits_, opts.runtime.execution.numThreads);
     installTransformerBlockTransforms(*exec, opts.model, opts.batch);
     // A fresh transport per (re-)build: a degraded grid renumbers the
     // devices, so the old dead-set must not carry over. The injector
     // *is* shared, so scheduled faults keep their consumed budget.
-    transport = std::make_unique<InProcessTransport>(opts.transport,
-                                                     injector, &health_);
+    transport = std::make_unique<InProcessTransport>(
+        opts.runtime.transport, injector, &health_);
     exec->setTransport(transport.get());
-    exec->setHealth(&health_, opts.guard);
+    exec->setHealth(&health_, opts.runtime.guard);
+    // One chain serves the whole stack; its address is stable, so
+    // observers attached later still reach the rebuilt executor.
+    exec->addObserver(&observers_);
+    transport->setObserver(&observers_);
+}
+
+void
+BlockTrainer::addObserver(RuntimeObserver *o)
+{
+    observers_.add(o);
 }
 
 GraphIO
@@ -140,6 +150,10 @@ BlockTrainer::trainStep()
     for (;;) {
         const std::int64_t s = step_;
         try {
+            const bool watched = !observers_.empty();
+            const double t0 = watched ? observerNowUs() : 0.0;
+            if (watched)
+                observers_.onStepBegin(s);
             const GraphIO io = makeBatch(s);
             exec->beginStep(s);
             const GraphResult res = exec->run(io);
@@ -157,14 +171,17 @@ BlockTrainer::trainStep()
 
             applyUpdate(res.d_params);
             ++step_;
-            if (!opts.checkpointPath.empty() &&
-                opts.checkpointEvery > 0 &&
-                step_ % opts.checkpointEvery == 0) {
+            if (watched)
+                observers_.onStepEnd(s, observerNowUs() - t0);
+            const CheckpointOptions &ck = opts.runtime.checkpoint;
+            if (!ck.path.empty() && ck.every > 0 &&
+                step_ % ck.every == 0) {
                 saveCheckpointNow();
             }
             return {s, loss};
         } catch (const DeviceFailedError &err) {
-            if (replansDone >= opts.maxReplans || bits_ <= 0)
+            if (replansDone >= opts.runtime.checkpoint.maxReplans ||
+                bits_ <= 0)
                 throw;
             degradeAndRestore(err);
         }
@@ -184,10 +201,14 @@ BlockTrainer::checkpoint() const
 void
 BlockTrainer::saveCheckpointNow()
 {
-    PRIMEPAR_ASSERT(!opts.checkpointPath.empty(),
+    PRIMEPAR_ASSERT(!opts.runtime.checkpoint.path.empty(),
                     "no checkpoint path configured");
-    saveCheckpoint(opts.checkpointPath, checkpoint());
+    const bool watched = !observers_.empty();
+    const double t0 = watched ? observerNowUs() : 0.0;
+    saveCheckpoint(opts.runtime.checkpoint.path, checkpoint());
     checkpointOnDisk = true;
+    if (watched)
+        observers_.onCheckpoint(true, step_, observerNowUs() - t0);
 }
 
 void
@@ -201,8 +222,12 @@ BlockTrainer::restoreFrom(const Checkpoint &ck)
 void
 BlockTrainer::resumeFromCheckpointFile()
 {
-    restoreFrom(loadCheckpoint(opts.checkpointPath));
+    const bool watched = !observers_.empty();
+    const double t0 = watched ? observerNowUs() : 0.0;
+    restoreFrom(loadCheckpoint(opts.runtime.checkpoint.path));
     checkpointOnDisk = true;
+    if (watched)
+        observers_.onCheckpoint(false, step_, observerNowUs() - t0);
 }
 
 void
@@ -222,8 +247,8 @@ BlockTrainer::degradeAndRestore(const DeviceFailedError &err)
 
     strategies = opts.replanner ? opts.replanner(graph, bits_)
                                 : defaultBlockPlan(graph, bits_);
-    if (checkpointOnDisk && !opts.checkpointPath.empty()) {
-        restoreFrom(loadCheckpoint(opts.checkpointPath));
+    if (checkpointOnDisk && !opts.runtime.checkpoint.path.empty()) {
+        resumeFromCheckpointFile();
         ++health_.checkpointRestores;
     } else {
         // Nothing durable yet: cold-restart from the initial state —

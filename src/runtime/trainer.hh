@@ -28,33 +28,26 @@
 #include "fault.hh"
 #include "graph/transformer.hh"
 #include "graph_executor.hh"
+#include "observer.hh"
+#include "options.hh"
 #include "transport.hh"
 
 namespace primepar {
 
-/** Everything configuring a BlockTrainer. */
+/** Everything configuring a BlockTrainer: the training hyperparameters
+ *  here, every runtime knob in the nested RuntimeOptions. */
 struct TrainerOptions
 {
     ModelConfig model;
     std::int64_t batch = 2;
-    /** Device-id bits: 2^n emulated devices. */
-    int numBits = 2;
-    int numThreads = 1;
     double lr = 1e-2;
     double momentum = 0.9;
     /** Seeds parameter init and the per-step batches. */
     std::uint64_t seed = 1234;
 
-    FaultSpec faults;
-    TransportOptions transport;
-    GuardOptions guard;
-
-    /** Checkpoint file; empty disables checkpointing. */
-    std::string checkpointPath;
-    /** Save every N completed steps (0 = only on explicit request). */
-    int checkpointEvery = 0;
-    /** Permanent device failures survivable before giving up. */
-    int maxReplans = 2;
+    /** Devices, threading, transport, faults, guard, checkpointing —
+     *  the unified runtime configuration (options.hh). */
+    RuntimeOptions runtime;
 
     /**
      * Strategy provider for (re-)planning on a given grid size; null
@@ -64,6 +57,52 @@ struct TrainerOptions
      */
     std::function<std::vector<PartitionSeq>(const CompGraph &, int)>
         replanner;
+};
+
+/**
+ * The pre-redesign flat option layout, kept for one release as a thin
+ * alias: it converts implicitly to TrainerOptions. New code should
+ * fill TrainerOptions{.runtime = ...} directly.
+ */
+struct [[deprecated(
+    "use TrainerOptions with the nested RuntimeOptions")]] //
+LegacyTrainerOptions
+{
+    ModelConfig model;
+    std::int64_t batch = 2;
+    int numBits = 2;
+    int numThreads = 1;
+    double lr = 1e-2;
+    double momentum = 0.9;
+    std::uint64_t seed = 1234;
+    FaultSpec faults;
+    TransportOptions transport;
+    GuardOptions guard;
+    std::string checkpointPath;
+    int checkpointEvery = 0;
+    int maxReplans = 2;
+    std::function<std::vector<PartitionSeq>(const CompGraph &, int)>
+        replanner;
+
+    operator TrainerOptions() const
+    {
+        TrainerOptions o;
+        o.model = model;
+        o.batch = batch;
+        o.lr = lr;
+        o.momentum = momentum;
+        o.seed = seed;
+        o.runtime.numBits = numBits;
+        o.runtime.execution.numThreads = numThreads;
+        o.runtime.faults = faults;
+        o.runtime.transport = transport;
+        o.runtime.guard = guard;
+        o.runtime.checkpoint.path = checkpointPath;
+        o.runtime.checkpoint.every = checkpointEvery;
+        o.runtime.checkpoint.maxReplans = maxReplans;
+        o.replanner = replanner;
+        return o;
+    }
 };
 
 /** Outcome of one completed training step. */
@@ -101,8 +140,17 @@ class BlockTrainer
     /** Adopt @p ck as the current training state. */
     void restoreFrom(const Checkpoint &ck);
 
-    /** Load options().checkpointPath and restoreFrom() it. */
+    /** Load options().runtime.checkpoint.path and restoreFrom() it. */
     void resumeFromCheckpointFile();
+
+    /**
+     * Attach an observer (not owned) to the whole training stack: it
+     * receives step begin/end and checkpoint events from the trainer,
+     * spans / tensor-produced / rollback events from the executors,
+     * and transfer / fault events from the transport — surviving
+     * executor rebuilds after grid degradation.
+     */
+    void addObserver(RuntimeObserver *o);
 
     RuntimeHealth &health() { return health_; }
     const TrainerOptions &options() const { return opts; }
@@ -128,6 +176,9 @@ class BlockTrainer
     std::map<std::string, Tensor> velocity;
 
     RuntimeHealth health_;
+    /** All attached observers; wired as one chain into the executor
+     *  and transport on every (re)build. */
+    ObserverChain observers_;
     std::shared_ptr<FaultInjector> injector;
     std::unique_ptr<InProcessTransport> transport;
     std::unique_ptr<SpmdGraphExecutor> exec;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "errors.hh"
+#include "observer.hh"
 #include "support/logging.hh"
 
 namespace primepar {
@@ -51,13 +52,16 @@ InProcessTransport::transferInto(const TransferTag &tag_in,
 
     auto failDevice = [&](std::int64_t device) -> void {
         dead.insert(device);
+        const FaultEvent event{FaultKind::DeviceFail,
+                               "permanent device failure", tag.tensor,
+                               tag.trainStep, tag.sender, tag.receiver,
+                               0};
         if (health) {
             ++health->deviceFailures;
-            health->recordEvent({FaultKind::DeviceFail,
-                                 "permanent device failure",
-                                 tag.tensor, tag.trainStep, tag.sender,
-                                 tag.receiver, 0});
+            health->recordEvent(event);
         }
+        if (observer)
+            observer->onFault(event);
         throw DeviceFailedError(
             "device " + std::to_string(device) +
                 " failed permanently during " + transferContext(tag),
@@ -72,6 +76,7 @@ InProcessTransport::transferInto(const TransferTag &tag_in,
 
     const std::size_t payload_bytes =
         static_cast<std::size_t>(payload.numel()) * sizeof(float);
+    const double t0 = observer ? observerNowUs() : 0.0;
 
     for (int attempt = 0; attempt < opts.maxAttempts; ++attempt) {
         const FaultKind fault =
@@ -79,17 +84,21 @@ InProcessTransport::transferInto(const TransferTag &tag_in,
 
         auto recordFault = [&](std::int64_t RuntimeHealth::*counter,
                                const char *detail) {
-            if (!health)
-                return;
-            ++(health->*counter);
-            if (attempt + 1 < opts.maxAttempts) {
-                ++health->retries;
-                health->simulatedDelayUs +=
-                    opts.backoffUs * static_cast<double>(attempt + 1);
+            const FaultEvent event{fault, detail, tag.tensor,
+                                   tag.trainStep, tag.sender,
+                                   tag.receiver, attempt};
+            if (health) {
+                ++(health->*counter);
+                if (attempt + 1 < opts.maxAttempts) {
+                    ++health->retries;
+                    health->simulatedDelayUs +=
+                        opts.backoffUs *
+                        static_cast<double>(attempt + 1);
+                }
+                health->recordEvent(event);
             }
-            health->recordEvent({fault, detail, tag.tensor,
-                                 tag.trainStep, tag.sender,
-                                 tag.receiver, attempt});
+            if (observer)
+                observer->onFault(event);
         };
 
         if (fault == FaultKind::DeviceFail) {
@@ -126,14 +135,16 @@ InProcessTransport::transferInto(const TransferTag &tag_in,
         if (fault == FaultKind::Delay) {
             // Straggler: delivery succeeds but late. Track the delay;
             // the simulator's FaultSimModel mirrors it in latency.
+            const FaultEvent event{fault, "straggling transfer",
+                                   tag.tensor, tag.trainStep,
+                                   tag.sender, tag.receiver, attempt};
             if (health) {
                 ++health->stragglers;
                 health->simulatedDelayUs += 8.0 * opts.backoffUs;
-                health->recordEvent({fault, "straggling transfer",
-                                     tag.tensor, tag.trainStep,
-                                     tag.sender, tag.receiver,
-                                     attempt});
+                health->recordEvent(event);
             }
+            if (observer)
+                observer->onFault(event);
         } else if (fault == FaultKind::Corrupt) {
             // Corrupt either the payload or the header tags — the low
             // hash bit picks which, so both detection paths run.
@@ -173,6 +184,10 @@ InProcessTransport::transferInto(const TransferTag &tag_in,
             health->bytesMoved +=
                 static_cast<std::int64_t>(payload_bytes);
         }
+        if (observer)
+            observer->onTransfer(
+                tag, static_cast<std::int64_t>(payload_bytes),
+                attempt + 1, observerNowUs() - t0);
         return;
     }
 

@@ -31,6 +31,8 @@
 
 namespace primepar {
 
+class RuntimeObserver;
+
 /** Behavior knobs of the default transport. */
 struct TransportOptions
 {
@@ -100,12 +102,17 @@ class InProcessTransport : public Transport
 
     void setHealth(RuntimeHealth *h) { health = h; }
 
+    /** Report every delivered transfer (bytes, attempts, wall time)
+     *  and detected fault to @p o (not owned; nullptr detaches). */
+    void setObserver(RuntimeObserver *o) { observer = o; }
+
     const std::set<std::int64_t> &deadDevices() const { return dead; }
 
   private:
     TransportOptions opts;
     std::shared_ptr<FaultInjector> injector;
     RuntimeHealth *health = nullptr;
+    RuntimeObserver *observer = nullptr;
     std::int64_t trainStep = 0;
     std::uint64_t nextSeq = 0;
     std::set<std::int64_t> dead;

@@ -71,7 +71,7 @@ ModelSimulator::simulateEdgeRedistribution(SimContext &ctx,
         max_arrival = std::max(max_arrival, arrive);
         if (ctx.trace) {
             ctx.trace->add(
-                tr.dst, "redist",
+                tr.dst, SpanKind::Redist,
                 producer.name + "->" + consumer.name,
                 arrive - transferWireTime(topo, tr.src, tr.dst, bytes),
                 arrive);

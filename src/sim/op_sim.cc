@@ -85,7 +85,7 @@ simulatePass(SimContext &ctx, const OpPlan &plan, int pass_index)
             device_compute[dev] += kernel;
             step_done[dev] = std::max(compute_end[dev], acc_ready[dev]);
             if (ctx.trace) {
-                ctx.trace->add(dev, "compute",
+                ctx.trace->add(dev, SpanKind::Compute,
                                op.name + ":" + phaseName(pass.phase),
                                compute_end[dev] - kernel,
                                compute_end[dev]);
@@ -109,7 +109,7 @@ simulatePass(SimContext &ctx, const OpPlan &plan, int pass_index)
                     ctx.topo, tr.sender, tr.receiver, bytes);
                 device_ring[tr.receiver] += wire;
                 if (ctx.trace) {
-                    ctx.trace->add(tr.receiver, "ring",
+                    ctx.trace->add(tr.receiver, SpanKind::Ring,
                                    op.refName(set.tensor) + " shift",
                                    arrive - wire, arrive);
                 }
@@ -134,7 +134,7 @@ simulatePass(SimContext &ctx, const OpPlan &plan, int pass_index)
                         ctx.topo, tr.sender, tr.receiver, bytes);
                     device_ring[tr.receiver] += wire;
                     if (ctx.trace) {
-                        ctx.trace->add(tr.receiver, "ring",
+                        ctx.trace->add(tr.receiver, SpanKind::Ring,
                                        op.refName(set.tensor) +
                                            " accumulator",
                                        arrive - wire, arrive);
@@ -169,7 +169,7 @@ simulatePass(SimContext &ctx, const OpPlan &plan, int pass_index)
                 ctx.recvPort[member].occupy(group_start, dur);
                 ctx.ready[member] = group_start + dur;
                 if (ctx.trace && dur > 0.0) {
-                    ctx.trace->add(member, "allreduce",
+                    ctx.trace->add(member, SpanKind::AllReduce,
                                    op.refName(spec.tensor) +
                                        " all-reduce",
                                    group_start, group_start + dur);

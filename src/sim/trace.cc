@@ -6,12 +6,25 @@
 
 namespace primepar {
 
+const char *
+toString(SpanKind kind)
+{
+    switch (kind) {
+    case SpanKind::Compute: return "compute";
+    case SpanKind::Ring: return "ring";
+    case SpanKind::AllReduce: return "allreduce";
+    case SpanKind::Redist: return "redist";
+    case SpanKind::Checkpoint: return "checkpoint";
+    }
+    return "unknown";
+}
+
 void
-Trace::add(std::int64_t device, std::string kind, std::string label,
+Trace::add(std::int64_t device, SpanKind kind, std::string label,
            double start_us, double end_us)
 {
     spansVec.push_back(
-        {device, std::move(kind), std::move(label), start_us, end_us});
+        {device, kind, std::move(label), start_us, end_us});
 }
 
 double
@@ -34,8 +47,8 @@ Trace::toChromeJson() const
             os << ",\n";
         first = false;
         os << "  {\"name\": \"" << s.label << "\", \"cat\": \""
-           << s.kind << "\", \"ph\": \"X\", \"ts\": " << s.startUs
-           << ", \"dur\": " << (s.endUs - s.startUs)
+           << toString(s.kind) << "\", \"ph\": \"X\", \"ts\": "
+           << s.startUs << ", \"dur\": " << (s.endUs - s.startUs)
            << ", \"pid\": 0, \"tid\": " << s.device << "}";
     }
     os << "\n]\n";
@@ -61,14 +74,13 @@ Trace::toAscii(int width) const
         a = std::clamp(a, 0, width - 1);
         b = std::clamp(b, a + 1, width);
         char c = '?';
-        if (s.kind == "compute")
-            c = '#';
-        else if (s.kind == "ring")
-            c = '~';
-        else if (s.kind == "allreduce")
-            c = 'A';
-        else if (s.kind == "redist")
-            c = 'r';
+        switch (s.kind) {
+        case SpanKind::Compute: c = '#'; break;
+        case SpanKind::Ring: c = '~'; break;
+        case SpanKind::AllReduce: c = 'A'; break;
+        case SpanKind::Redist: c = 'r'; break;
+        case SpanKind::Checkpoint: c = 'C'; break;
+        }
         for (int i = a; i < b; ++i) {
             // Compute dominates the glyph; comm shows in gaps.
             if (row[i] == '.' || c == '#')
@@ -79,8 +91,43 @@ Trace::toAscii(int width) const
     std::ostringstream os;
     for (const auto &[device, row] : rows)
         os << "dev " << device << " |" << row << "|\n";
-    os << "        (" << "#=compute, ~=ring, A=all-reduce, r=redist; "
-       << "span " << total << " us)\n";
+    os << "        (" << "#=compute, ~=ring, A=all-reduce, r=redist, "
+       << "C=checkpoint; span " << total << " us)\n";
+    return os.str();
+}
+
+std::string
+Trace::summary() const
+{
+    if (spansVec.empty())
+        return "(empty trace)\n";
+
+    struct KindTotals
+    {
+        std::int64_t count = 0;
+        double totalUs = 0.0;
+        std::map<std::int64_t, double> perDevice;
+    };
+    std::map<SpanKind, KindTotals> kinds;
+    for (const auto &s : spansVec) {
+        KindTotals &k = kinds[s.kind];
+        ++k.count;
+        const double dur = s.endUs - s.startUs;
+        k.totalUs += dur;
+        k.perDevice[s.device] += dur;
+    }
+
+    std::ostringstream os;
+    os << "span summary (" << spansVec.size() << " spans, "
+       << endUs() << " us wall):\n";
+    for (const auto &[kind, k] : kinds) {
+        double worst = 0.0;
+        for (const auto &[dev, us] : k.perDevice)
+            worst = std::max(worst, us);
+        os << "  " << toString(kind) << ": " << k.count
+           << " spans, total " << k.totalUs << " us, busiest device "
+           << worst << " us\n";
+    }
     return os.str();
 }
 

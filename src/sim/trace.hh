@@ -3,10 +3,16 @@
  * Execution-timeline recording and Chrome-trace export.
  *
  * The paper's Fig. 9 shows per-device kernel execution timelines of
- * the compared plans. The simulator can record every compute kernel,
- * ring transfer and collective as a span; this module renders the
- * recording either as chrome://tracing JSON (load the file in a
- * trace viewer) or as a compact ASCII timeline for terminals.
+ * the compared plans. Both the simulator and the real SPMD runtime
+ * (via TracingObserver) record every compute kernel, ring transfer,
+ * collective, redistribution and checkpoint as a span; this module
+ * renders the recording either as chrome://tracing JSON (load the
+ * file in a trace viewer), as a compact ASCII timeline for terminals,
+ * or as a per-kind ASCII summary.
+ *
+ * Span kinds are a closed enum (SpanKind) rather than free-form
+ * strings, so runtime traces and simulator traces merge into one
+ * viewer file without label skew.
  */
 
 #ifndef PRIMEPAR_SIM_TRACE_HH
@@ -18,23 +24,35 @@
 
 namespace primepar {
 
+/** The closed vocabulary of execution span kinds. */
+enum class SpanKind
+{
+    Compute,    ///< a per-device sub-operator kernel
+    Ring,       ///< ring shift / accumulator migration send-recv
+    AllReduce,  ///< grouped all-reduce participation
+    Redist,     ///< redistribution (scatter/gather) traffic
+    Checkpoint, ///< checkpoint save or restore
+};
+
+/** Stable lowercase name, also the Chrome-trace category. */
+const char *toString(SpanKind kind);
+
 /** One recorded execution span. */
 struct TraceSpan
 {
     std::int64_t device = 0;
-    /** "compute", "ring", "allreduce", "redist". */
-    std::string kind;
+    SpanKind kind = SpanKind::Compute;
     std::string label;
     double startUs = 0.0;
     double endUs = 0.0;
 };
 
-/** A recording of one simulated run. */
+/** A recording of one simulated or real run. */
 class Trace
 {
   public:
-    /** Append a span (ignored when the trace is disabled). */
-    void add(std::int64_t device, std::string kind, std::string label,
+    /** Append a span. */
+    void add(std::int64_t device, SpanKind kind, std::string label,
              double start_us, double end_us);
 
     const std::vector<TraceSpan> &spans() const { return spansVec; }
@@ -49,9 +67,17 @@ class Trace
 
     /**
      * ASCII rendering: one row per device, @p width columns; compute
-     * spans print '#', ring '~', all-reduce 'A', redistribution 'r'.
+     * spans print '#', ring '~', all-reduce 'A', redistribution 'r',
+     * checkpoint 'C'.
      */
     std::string toAscii(int width = 72) const;
+
+    /**
+     * ASCII summary: per span kind, the span count and the total and
+     * maximum-per-device busy time — the terminal-friendly digest of
+     * a recorded run.
+     */
+    std::string summary() const;
 
   private:
     std::vector<TraceSpan> spansVec;

@@ -1,0 +1,459 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace primepar {
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw JsonError("JSON value is not a bool");
+    return boolVal;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        throw JsonError("JSON value is not a number");
+    return numVal;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw JsonError("JSON value is not a string");
+    return strVal;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        throw JsonError("JSON value is not an array");
+    return arr;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    if (kind_ != Kind::Array)
+        throw JsonError("push on a non-array JSON value");
+    arr.push_back(std::move(v));
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        throw JsonError("JSON value is not an object");
+    return obj;
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    if (kind_ != Kind::Object)
+        throw JsonError("set on a non-object JSON value");
+    for (auto &[k, val] : obj) {
+        if (k == key) {
+            val = std::move(v);
+            return;
+        }
+    }
+    obj.emplace_back(key, std::move(v));
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        throw JsonError("member lookup on a non-object JSON value");
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw JsonError("missing JSON member '" + key + "'");
+    return *v;
+}
+
+namespace {
+
+void
+writeEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+writeNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null"; // JSON has no NaN/Inf; absence is detectable.
+        return;
+    }
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    // 17 significant digits round-trip any double exactly.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+void
+JsonValue::write(std::string &out, int indent, int depth) const
+{
+    switch (kind_) {
+    case Kind::Null: out += "null"; return;
+    case Kind::Bool: out += boolVal ? "true" : "false"; return;
+    case Kind::Number: writeNumber(out, numVal); return;
+    case Kind::String: writeEscaped(out, strVal); return;
+    case Kind::Array: {
+        if (arr.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            arr[i].write(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        return;
+    }
+    case Kind::Object: {
+        if (obj.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < obj.size(); ++i) {
+            if (i)
+                out += ',';
+            newlineIndent(out, indent, depth + 1);
+            writeEscaped(out, obj[i].first);
+            out += indent > 0 ? ": " : ":";
+            obj[i].second.write(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        return;
+    }
+    }
+}
+
+std::string
+JsonValue::toString(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (s.compare(pos, n, lit) == 0) {
+            pos += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    fail("unterminated escape");
+                char e = s[pos++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 't': out += '\t'; break;
+                case 'r': out += '\r'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    if (pos + 4 > s.size())
+                        fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = s[pos++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code += static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code += static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape digit");
+                    }
+                    // Our schemas are ASCII; encode BMP as UTF-8.
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 | (code >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3F));
+                        out +=
+                            static_cast<char>(0x80 | (code & 0x3F));
+                    }
+                    break;
+                }
+                default: fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+            ++pos;
+        bool digits = false;
+        auto eatDigits = [&] {
+            while (pos < s.size() && std::isdigit(
+                                         static_cast<unsigned char>(
+                                             s[pos]))) {
+                ++pos;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            eatDigits();
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '-' || s[pos] == '+'))
+                ++pos;
+            eatDigits();
+        }
+        if (!digits)
+            fail("malformed number");
+        return JsonValue(std::stod(s.substr(start, pos - start)));
+    }
+
+    JsonValue
+    value()
+    {
+        switch (peek()) {
+        case '{': {
+            ++pos;
+            JsonValue v = JsonValue::object();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                expect(':');
+                v.set(key, value());
+                char c = peek();
+                ++pos;
+                if (c == '}')
+                    return v;
+                if (c != ',')
+                    fail("expected ',' or '}' in object");
+            }
+        }
+        case '[': {
+            ++pos;
+            JsonValue v = JsonValue::array();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.push(value());
+                char c = peek();
+                ++pos;
+                if (c == ']')
+                    return v;
+                if (c != ',')
+                    fail("expected ',' or ']' in array");
+            }
+        }
+        case '"': return JsonValue(parseString());
+        case 't':
+            if (consumeLiteral("true"))
+                return JsonValue(true);
+            fail("bad literal");
+        case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue(false);
+            fail("bad literal");
+        case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            fail("bad literal");
+        default: return parseNumber();
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+JsonValue
+loadJsonFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        throw JsonError("cannot open '" + path + "' for reading");
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parseJson(os.str());
+}
+
+void
+saveJsonFile(const std::string &path, const JsonValue &v)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        throw JsonError("cannot open '" + path + "' for writing");
+    f << v.toString();
+    if (!f)
+        throw JsonError("failed writing '" + path + "'");
+}
+
+} // namespace primepar

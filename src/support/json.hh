@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON reading and writing.
+ *
+ * The observability layer exchanges small structured documents —
+ * calibrated latency models, metrics snapshots, bench reports — as
+ * JSON. This module provides just enough of the format for those
+ * schemas: a value tree with ordered object keys, a strict
+ * recursive-descent parser, and a writer that round-trips doubles
+ * exactly (17 significant digits). No external dependency.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_JSON_HH
+#define PRIMEPAR_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace primepar {
+
+/** Malformed JSON text or a type-mismatched access. */
+class JsonError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * One JSON value. Objects keep insertion order (so written documents
+ * are stable and diffable); lookups are linear, which is fine for the
+ * small schemas this repo exchanges.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : kind_(Kind::Bool), boolVal(b) {}
+    JsonValue(double n) : kind_(Kind::Number), numVal(n) {}
+    JsonValue(std::int64_t n)
+        : kind_(Kind::Number), numVal(static_cast<double>(n))
+    {}
+    JsonValue(int n) : kind_(Kind::Number), numVal(n) {}
+    JsonValue(std::string s) : kind_(Kind::String), strVal(std::move(s))
+    {}
+    JsonValue(const char *s) : kind_(Kind::String), strVal(s) {}
+
+    static JsonValue array() { return JsonValue(Kind::Array); }
+    static JsonValue object() { return JsonValue(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array access. */
+    const std::vector<JsonValue> &items() const;
+    void push(JsonValue v);
+
+    /** Object access. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+    /** Set (append or overwrite) an object member. */
+    void set(const std::string &key, JsonValue v);
+    /** Member lookup; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+    /** Member lookup; throws JsonError when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Serialize; @p indent > 0 pretty-prints. */
+    std::string toString(int indent = 2) const;
+
+  private:
+    explicit JsonValue(Kind k) : kind_(k) {}
+    void write(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+/** Parse @p text (one JSON document); throws JsonError on any
+ *  malformation, including trailing garbage. */
+JsonValue parseJson(const std::string &text);
+
+/** Read and parse a JSON file; throws JsonError (also on I/O). */
+JsonValue loadJsonFile(const std::string &path);
+
+/** Serialize @p v to @p path; throws JsonError on I/O failure. */
+void saveJsonFile(const std::string &path, const JsonValue &v);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_JSON_HH

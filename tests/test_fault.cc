@@ -422,7 +422,7 @@ tinyTrainer()
     TrainerOptions opts;
     opts.model = tinyModel();
     opts.batch = 2;
-    opts.numBits = 2;
+    opts.runtime.numBits = 2;
     opts.lr = 0.05;
     opts.seed = 2024;
     return opts;
@@ -444,7 +444,7 @@ TEST(Trainer, ResumeReproducesExactLossTrajectory)
     // Run half, checkpoint, throw the trainer away.
     const std::string path = testing::TempDir() + "ck_resume.ppck";
     TrainerOptions opts = tinyTrainer();
-    opts.checkpointPath = path;
+    opts.runtime.checkpoint.path = path;
     {
         BlockTrainer trainer(opts);
         for (int s = 0; s < resume_at; ++s) {
@@ -483,10 +483,10 @@ TEST(Trainer, SurvivesPermanentDeviceFailure)
 
     const std::string path = testing::TempDir() + "ck_failover.ppck";
     TrainerOptions opts = tinyTrainer();
-    opts.checkpointPath = path;
-    opts.checkpointEvery = 2;
-    opts.maxReplans = 1;
-    opts.faults = FaultSpec::parse("fail@step=4:dev=2");
+    opts.runtime.checkpoint.path = path;
+    opts.runtime.checkpoint.every = 2;
+    opts.runtime.checkpoint.maxReplans = 1;
+    opts.runtime.faults = FaultSpec::parse("fail@step=4:dev=2");
 
     BlockTrainer trainer(opts);
     std::vector<double> losses;
@@ -521,7 +521,8 @@ TEST(Trainer, TransientFaultsLeaveTrajectoryExact)
     }
 
     TrainerOptions opts = tinyTrainer();
-    opts.faults = FaultSpec::parse("drop=0.02,corrupt=0.02,seed=99");
+    opts.runtime.faults =
+        FaultSpec::parse("drop=0.02,corrupt=0.02,seed=99");
     BlockTrainer trainer(opts);
     for (int s = 0; s < total_steps; ++s) {
         EXPECT_EQ(trainer.trainStep().loss, ref_losses[s])

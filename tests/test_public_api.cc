@@ -45,6 +45,47 @@ TEST(PublicApi, EndToEndFlowThroughUmbrellaHeader)
     EXPECT_TRUE(out.output.allClose(ref.output, 1e-4f, 1e-5f));
 }
 
+TEST(PublicApi, ObservabilitySurfaceThroughUmbrellaHeader)
+{
+    // The observability + calibration API must be reachable from the
+    // single supported include: observe a real executor run, snapshot
+    // metrics as JSON, and round-trip ProfiledModels.
+    const OpSpec op = makeLinearOp("fc", 2, 4, 4, 4);
+    Rng rng(3);
+    std::map<std::string, Tensor> inputs{
+        {"I", Tensor::random(Shape{2, 4, 4}, rng)},
+        {"W", Tensor::random(Shape{4, 4}, rng)},
+        {"dO", Tensor::random(Shape{2, 4, 4}, rng)},
+    };
+
+    TracingObserver tracer;
+    MetricsRegistry registry;
+    MetricsObserver metrics(&registry);
+    SpmdOpExecutor exec(op, parseSequence(op, "P2x2"), 2);
+    exec.addObserver(&tracer);
+    exec.addObserver(&metrics);
+    (void)exec.run(inputs);
+
+    EXPECT_FALSE(tracer.snapshot().empty());
+    const JsonValue snapshot =
+        parseJson(registry.snapshotJson().toString());
+    EXPECT_TRUE(snapshot.isObject());
+
+    const ClusterTopology topo = ClusterTopology::paperCluster(4);
+    const ProfiledModels models = profileModels(topo);
+    const ProfiledModels back =
+        profiledModelsFromJson(profiledModelsToJson(models));
+    EXPECT_EQ(back.matmulKernel.intercept, models.matmulKernel.intercept);
+    EXPECT_EQ(back.matmulKernel.slope, models.matmulKernel.slope);
+    EXPECT_EQ(back.allReduce.size(), models.allReduce.size());
+
+    // RuntimeOptions is the one knob struct for the whole stack.
+    RuntimeOptions opts;
+    opts.numBits = 2;
+    opts.execution.numThreads = 2;
+    EXPECT_EQ(opts.checkpoint.maxReplans, 2);
+}
+
 TEST(PublicApi, TensorPermute)
 {
     Rng rng(2);

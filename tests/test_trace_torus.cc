@@ -18,9 +18,9 @@ TEST(Trace, RecordsAndExports)
 {
     Trace t;
     EXPECT_TRUE(t.empty());
-    t.add(0, "compute", "fc:Forward", 0.0, 10.0);
-    t.add(1, "ring", "W shift", 2.0, 5.0);
-    t.add(0, "allreduce", "O all-reduce", 10.0, 14.0);
+    t.add(0, SpanKind::Compute, "fc:Forward", 0.0, 10.0);
+    t.add(1, SpanKind::Ring, "W shift", 2.0, 5.0);
+    t.add(0, SpanKind::AllReduce, "O all-reduce", 10.0, 14.0);
     EXPECT_EQ(t.spans().size(), 3u);
     EXPECT_DOUBLE_EQ(t.endUs(), 14.0);
 
@@ -33,6 +33,18 @@ TEST(Trace, RecordsAndExports)
     EXPECT_NE(ascii.find("dev 0"), std::string::npos);
     EXPECT_NE(ascii.find('#'), std::string::npos);
     EXPECT_NE(ascii.find('A'), std::string::npos);
+
+    // The closed kind vocabulary has stable names (they are the
+    // Chrome-trace categories and the metrics counter suffixes).
+    EXPECT_STREQ(toString(SpanKind::Compute), "compute");
+    EXPECT_STREQ(toString(SpanKind::Ring), "ring");
+    EXPECT_STREQ(toString(SpanKind::AllReduce), "allreduce");
+    EXPECT_STREQ(toString(SpanKind::Redist), "redist");
+    EXPECT_STREQ(toString(SpanKind::Checkpoint), "checkpoint");
+
+    const std::string summary = t.summary();
+    EXPECT_NE(summary.find("compute"), std::string::npos);
+    EXPECT_NE(summary.find("ring"), std::string::npos);
 }
 
 TEST(Trace, SimulatorFillsTrace)
@@ -47,9 +59,9 @@ TEST(Trace, SimulatorFillsTrace)
 
     int computes = 0, rings = 0;
     for (const auto &s : trace.spans()) {
-        if (s.kind == "compute")
+        if (s.kind == SpanKind::Compute)
             ++computes;
-        if (s.kind == "ring")
+        if (s.kind == SpanKind::Ring)
             ++rings;
         EXPECT_GE(s.endUs, s.startUs);
     }
@@ -75,9 +87,9 @@ TEST(Trace, ModelSimTraceCoversAllKinds)
     sim.simulate(1, &trace);
     bool has_compute = false, has_redist = false, has_ar = false;
     for (const auto &s : trace.spans()) {
-        has_compute |= s.kind == "compute";
-        has_redist |= s.kind == "redist";
-        has_ar |= s.kind == "allreduce";
+        has_compute |= s.kind == SpanKind::Compute;
+        has_redist |= s.kind == SpanKind::Redist;
+        has_ar |= s.kind == SpanKind::AllReduce;
     }
     EXPECT_TRUE(has_compute);
     EXPECT_TRUE(has_redist);
