@@ -13,7 +13,12 @@
  *    (tokens/s, ring/all-reduce bytes, scaling efficiency), the
  *    fault-free overhead of the checksummed transport (budget < 3%),
  *    the overhead of the full observability stack (tracing + metrics,
- *    same budget) and buffer pool statistics as a
+ *    same budget), the async comm/compute overlap win on a
+ *    communication-heavy config over an emulated link (step speedup
+ *    and fraction of transfer time hidden; budgets >= 1.15x and >=
+ *    60% at full size), the per-codec bytes-on-wire of a
+ *    bf16-rounded gradient payload (pack must cost <= 0.7x raw and
+ *    round-trip exactly) and buffer pool statistics as a
  *    `primepar-bench-runtime-v1` JSON
  *    document, validated by scripts/bench_check.sh.
  */
@@ -409,9 +414,17 @@ emitFaultOverhead(std::ostream &os, bool quick)
         Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
 
     const std::vector<PartitionSeq> plan = benchBlockPlan(graph);
-    const int rounds = quick ? 4 : 16;
+    // Best-of over many interleaved rounds: the overhead budget is a
+    // ~0.3ms signal on an ~11ms step, so the minima need to converge
+    // further than the other sections' do.
+    const int rounds = quick ? 4 : 48;
 
+    // Serial pipeline on both sides: this section isolates the
+    // transport's copy/checksum cost, and the async comm worker's
+    // scheduling jitter on a shared core would drown the ~1% signal
+    // (the overlap win has its own overlap_efficiency section).
     SpmdGraphExecutor base_exec(graph, plan, 2, 0);
+    base_exec.setCommOverlap(false);
     installTransformerBlockTransforms(base_exec, cfg, batch);
 
     // Same step, but every transfer goes through the transport with
@@ -420,6 +433,7 @@ emitFaultOverhead(std::ostream &os, bool quick)
     RuntimeHealth health;
     InProcessTransport transport({}, nullptr, &health);
     SpmdGraphExecutor fault_exec(graph, plan, 2, 0);
+    fault_exec.setCommOverlap(false);
     installTransformerBlockTransforms(fault_exec, cfg, batch);
     fault_exec.setTransport(&transport);
     GuardOptions guard;
@@ -497,10 +511,17 @@ emitObserverOverhead(std::ostream &os, bool quick)
         Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
 
     const std::vector<PartitionSeq> plan = benchBlockPlan(graph);
-    const int rounds = quick ? 4 : 16;
+    // Best-of over many interleaved rounds: the overhead budget is a
+    // ~0.3ms signal on an ~11ms step, so the minima need to converge
+    // further than the other sections' do.
+    const int rounds = quick ? 4 : 48;
 
+    // Serial pipeline on both sides, for the same reason as the
+    // fault_overhead section: the observer cost is a small signal and
+    // the async worker's scheduling jitter would swamp it.
     InProcessTransport base_transport;
     SpmdGraphExecutor base_exec(graph, plan, 2, 0);
+    base_exec.setCommOverlap(false);
     installTransformerBlockTransforms(base_exec, cfg, batch);
     base_exec.setTransport(&base_transport);
 
@@ -513,6 +534,7 @@ emitObserverOverhead(std::ostream &os, bool quick)
     InProcessTransport traced_transport;
     traced_transport.setObserver(&chain);
     SpmdGraphExecutor traced_exec(graph, plan, 2, 0);
+    traced_exec.setCommOverlap(false);
     installTransformerBlockTransforms(traced_exec, cfg, batch);
     traced_exec.setTransport(&traced_transport);
     traced_exec.addObserver(&chain);
@@ -560,6 +582,171 @@ emitObserverOverhead(std::ostream &os, bool quick)
        << "  },\n";
 }
 
+/** Async ring/compute overlap vs the strictly synchronous path on a
+ *  communication-heavy block, plus the overlap efficiency (fraction
+ *  of transfer time hidden under compute spans). Budgets at full
+ *  size: >= 1.15x step speedup, >= 60% hidden. */
+void
+emitOverlapEfficiency(std::ostream &os, bool quick)
+{
+    // Communication-heavy on purpose: a wide model over an emulated
+    // 1 GB/s link, so the ring traffic's in-flight wire time is a
+    // large slice of the synchronous step — the async pipeline's
+    // window to win back.
+    ModelConfig cfg;
+    cfg.name = "bench";
+    cfg.hiddenSize = quick ? 32 : 192;
+    cfg.numHeads = 4;
+    cfg.ffnSize = quick ? 64 : 768;
+    cfg.seqLength = quick ? 16 : 64;
+    cfg.numLayers = 1;
+    const std::int64_t batch = 4;
+
+    const CompGraph graph = buildTransformerBlock(cfg, batch);
+    Rng rng(99);
+    GraphIO io;
+    io.input = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+    io.params = randomBlockParams(graph, rng);
+    io.d_output = Tensor::random(
+        Shape{batch, cfg.seqLength, cfg.hiddenSize}, rng);
+
+    const std::vector<PartitionSeq> plan = benchBlockPlan(graph);
+    const int rounds = quick ? 4 : 16;
+
+    // The emulated interconnect: 20 us per-transfer latency, 1 GB/s.
+    // In-flight wire time is a sleep, not CPU work, so the async
+    // executor can genuinely hide it even on one hardware thread.
+    TransportOptions topts;
+    topts.linkLatencyUs = 20.0;
+    topts.linkBytesPerUs = 1000.0;
+
+    InProcessTransport sync_transport(topts, nullptr, nullptr);
+    SpmdGraphExecutor sync_exec(graph, plan, 2, 0);
+    sync_exec.setCommOverlap(false);
+    installTransformerBlockTransforms(sync_exec, cfg, batch);
+    sync_exec.setTransport(&sync_transport);
+
+    InProcessTransport async_transport(topts, nullptr, nullptr);
+    SpmdGraphExecutor async_exec(graph, plan, 2, 0);
+    installTransformerBlockTransforms(async_exec, cfg, batch);
+    async_exec.setTransport(&async_transport);
+
+    GraphResult sync_result, async_result;
+    double sync_ms = 0.0, async_ms = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        double s, a;
+        if (r & 1) {
+            a = timeMs(1, [&] { async_result = async_exec.run(io); });
+            s = timeMs(1, [&] { sync_result = sync_exec.run(io); });
+        } else {
+            s = timeMs(1, [&] { sync_result = sync_exec.run(io); });
+            a = timeMs(1, [&] { async_result = async_exec.run(io); });
+        }
+        sync_ms = (r == 0) ? s : std::min(sync_ms, s);
+        async_ms = (r == 0) ? a : std::min(async_ms, a);
+    }
+
+    bool bit_identical =
+        async_result.output.maxAbsDiff(sync_result.output) == 0.0f &&
+        async_result.d_input.maxAbsDiff(sync_result.d_input) == 0.0f;
+    for (const auto &[name, grad] : sync_result.d_params) {
+        if (async_result.d_params.at(name).maxAbsDiff(grad) != 0.0f)
+            bit_identical = false;
+    }
+
+    // One traced async run for the overlap accounting: how much of
+    // the summed Ring span time lies under a Compute span.
+    TracingObserver tracer;
+    async_exec.addObserver(&tracer);
+    async_exec.run(io);
+    const OverlapStats ov = tracer.overlapStats();
+
+    os << "  \"overlap_efficiency\": {\n"
+       << "    \"link_latency_us\": " << jnum(topts.linkLatencyUs)
+       << ",\n"
+       << "    \"link_bytes_per_us\": " << jnum(topts.linkBytesPerUs)
+       << ",\n"
+       << "    \"sync_ms_per_step\": " << jnum(sync_ms) << ",\n"
+       << "    \"async_ms_per_step\": " << jnum(async_ms) << ",\n"
+       << "    \"speedup\": " << jnum(sync_ms / async_ms) << ",\n"
+       << "    \"transfer_us_per_step\": " << jnum(ov.transferUs)
+       << ",\n"
+       << "    \"hidden_us_per_step\": " << jnum(ov.hiddenUs) << ",\n"
+       << "    \"efficiency\": " << jnum(ov.efficiency()) << ",\n"
+       << "    \"bit_identical\": "
+       << (bit_identical ? "true" : "false") << "\n"
+       << "  },\n";
+}
+
+/** Wire compression of a bit-packable gradient workload: bf16-rounded
+ *  fp32 through each codec-equipped transport channel. Budget: the
+ *  lossless pack stream is <= 0.7x the raw bytes, round-tripped
+ *  exactly. */
+void
+emitBytesOnWire(std::ostream &os, bool quick)
+{
+    const std::int64_t n = quick ? (1 << 14) : (1 << 20);
+    Rng rng(4242);
+    Tensor grads = Tensor::random(Shape{n}, rng);
+    // Gradients that went through a bf16 stage: the canonical
+    // bit-packable payload (low 16 bits zero).
+    float *p = grads.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::uint32_t u;
+        std::memcpy(&u, &p[i], 4);
+        u &= 0xffff0000u;
+        std::memcpy(&p[i], &u, 4);
+    }
+
+    TransferTag tag;
+    tag.tensor = "dW";
+    tag.channel = "allreduce";
+    tag.sender = 0;
+    tag.receiver = 1;
+    const int iters = quick ? 2 : 5;
+
+    os << "  \"bytes_on_wire\": {\n"
+       << "    \"elements\": " << n << ",\n"
+       << "    \"raw_bytes\": " << 4 * n << ",\n"
+       << "    \"codecs\": [\n";
+
+    bool pack_exact = false;
+    double pack_ratio = 1.0;
+    const char *codecs[] = {"none", "pack", "bf16", "int8"};
+    for (std::size_t c = 0; c < 4; ++c) {
+        TransportOptions topts;
+        topts.codec = CodecConfig::parse(codecs[c]);
+        RuntimeHealth health;
+        InProcessTransport transport(topts, nullptr, &health);
+        Tensor recv;
+        const double ms = timeMs(
+            iters, [&] { transport.transferInto(tag, grads, recv); });
+        const std::int64_t wire = health.bytesOnWire /
+                                  std::max<std::int64_t>(
+                                      health.transfers, 1);
+        const double ratio = static_cast<double>(wire) /
+                             static_cast<double>(4 * n);
+        const bool exact = recv.maxAbsDiff(grads) == 0.0f;
+        if (std::string(codecs[c]) == "pack") {
+            pack_exact = exact;
+            pack_ratio = ratio;
+        }
+        os << "      {\"codec\": \"" << codecs[c]
+           << "\", \"wire_bytes\": " << wire
+           << ", \"ratio\": " << jnum(ratio)
+           << ", \"ms_per_transfer\": " << jnum(ms)
+           << ", \"exact\": " << (exact ? "true" : "false") << "}"
+           << (c + 1 < 4 ? "," : "") << "\n";
+    }
+
+    os << "    ],\n"
+       << "    \"pack_ratio\": " << jnum(pack_ratio) << ",\n"
+       << "    \"pack_exact_round_trip\": "
+       << (pack_exact ? "true" : "false") << "\n"
+       << "  },\n";
+}
+
 int
 runRuntimeBench(const std::string &out_path, bool quick)
 {
@@ -579,6 +766,8 @@ runRuntimeBench(const std::string &out_path, bool quick)
     emitTrainingStep(os, quick);
     emitFaultOverhead(os, quick);
     emitObserverOverhead(os, quick);
+    emitOverlapEfficiency(os, quick);
+    emitBytesOnWire(os, quick);
 
     const BufferPoolStats ps = BufferPool::global().stats();
     os << "  \"buffer_pool\": {\"acquires\": " << ps.acquires

@@ -13,6 +13,7 @@
  *                  [--lr LR] [--momentum M] [--seed SEED]
  *                  [--checkpoint FILE] [--checkpoint-every N]
  *                  [--resume] [--fault-spec SPEC] [--plan dp|heuristic]
+ *                  [--codec SPEC] [--no-overlap]
  *                  [--trace-out FILE] [--metrics-out FILE]
  *
  * Observability: --trace-out records every runtime span through a
@@ -20,6 +21,15 @@
  * viewer) plus an ASCII per-kind summary on stdout; --metrics-out
  * snapshots the MetricsRegistry (counters, histograms, buffer-pool
  * hit rate) to a primepar-metrics-v1 JSON file.
+ *
+ * Communication: ring shifts overlap with compute by default
+ * (--no-overlap forces the serial barrier pipeline — useful for A/B
+ * timing; both produce bit-identical results). --codec compresses
+ * wire traffic per channel (see CodecConfig::parse), e.g.:
+ *   --codec pack                  # lossless bit-packing, everywhere
+ *   --codec "ring=pack,allreduce=bf16"
+ * After training the demo prints raw vs on-wire bytes so the codec's
+ * effect is visible.
  *
  * Fault specs (see FaultSpec::parse), e.g.:
  *   --fault-spec "drop=0.01,corrupt=0.005,seed=7"
@@ -62,6 +72,8 @@ struct Options
     bool resume = false;
     std::string faultSpec;
     std::string plan = "heuristic";
+    std::string codec;
+    bool overlap = true;
     std::string traceOut;
     std::string metricsOut;
 };
@@ -112,6 +124,10 @@ parseArgs(int argc, char **argv)
             opts.faultSpec = next();
         } else if (arg == "--plan") {
             opts.plan = next();
+        } else if (arg == "--codec") {
+            opts.codec = next();
+        } else if (arg == "--no-overlap") {
+            opts.overlap = false;
         } else if (arg == "--trace-out") {
             opts.traceOut = next();
         } else if (arg == "--metrics-out") {
@@ -126,7 +142,9 @@ parseArgs(int argc, char **argv)
                 " [--checkpoint FILE]\n"
                 "            [--checkpoint-every N] [--resume]"
                 " [--fault-spec SPEC]\n"
-                "            [--plan dp|heuristic] [--trace-out FILE]"
+                "            [--plan dp|heuristic] [--codec SPEC]"
+                " [--no-overlap]\n"
+                "            [--trace-out FILE]"
                 " [--metrics-out FILE]\n");
             std::exit(0);
         } else {
@@ -176,6 +194,7 @@ main(int argc, char **argv)
     topts.batch = opts.batch;
     topts.runtime.numBits = log2i(opts.devices);
     topts.runtime.execution.numThreads = opts.threads;
+    topts.runtime.execution.overlapComm = opts.overlap;
     topts.lr = opts.lr;
     topts.momentum = opts.momentum;
     topts.seed = opts.seed;
@@ -206,6 +225,9 @@ main(int argc, char **argv)
     try {
         if (!opts.faultSpec.empty())
             topts.runtime.faults = FaultSpec::parse(opts.faultSpec);
+        if (!opts.codec.empty())
+            topts.runtime.transport.codec =
+                CodecConfig::parse(opts.codec);
 
         std::printf("training %lldx%lldx%lld block on %d devices"
                     " (plan: %s%s)\n",
@@ -255,6 +277,31 @@ main(int argc, char **argv)
             saveJsonFile(opts.metricsOut, registry.snapshotJson());
             std::printf("metrics written to %s\n",
                         opts.metricsOut.c_str());
+        }
+
+        // Communication volume: the last step's logical payloads plus
+        // the run's exact per-transfer raw/wire byte totals (these
+        // differ from CommVolume::rawBytes() when all-reduces ran —
+        // the wire carries gather + broadcast hops).
+        const CommVolume comm = trainer.lastStepComm();
+        const RuntimeHealth &health = trainer.health();
+        std::printf("\nlast step comm: %lld ring elements, "
+                    "%lld all-reduce elements (%d reduces), "
+                    "%lld raw bytes\n",
+                    static_cast<long long>(comm.ringElements),
+                    static_cast<long long>(comm.allReduceElements),
+                    comm.allReduceCount,
+                    static_cast<long long>(comm.rawBytes()));
+        if (health.transfers > 0 && health.bytesMoved > 0) {
+            std::printf(
+                "wire traffic (run total): raw %lld bytes, on wire "
+                "%lld bytes (%.2fx%s%s)\n",
+                static_cast<long long>(health.bytesMoved),
+                static_cast<long long>(health.bytesOnWire),
+                static_cast<double>(health.bytesOnWire) /
+                    static_cast<double>(health.bytesMoved),
+                opts.codec.empty() ? "" : ", codec ",
+                opts.codec.c_str());
         }
 
         std::printf("\n%s\n", trainer.health().report().c_str());

@@ -111,6 +111,47 @@ if oo["overhead_pct"] > bound:
     fail(f"observer overhead {oo['overhead_pct']:.2f}% exceeds "
          f"{bound}% budget")
 
+ov = doc.get("overlap_efficiency")
+if not isinstance(ov, dict):
+    fail("overlap_efficiency missing")
+for field in ("sync_ms_per_step", "async_ms_per_step", "speedup",
+              "transfer_us_per_step", "hidden_us_per_step",
+              "efficiency"):
+    finite(ov.get(field), f"overlap_efficiency.{field}")
+if ov.get("bit_identical") is not True:
+    fail("async overlap diverged from the synchronous path")
+# Budgets at full size: the async pipeline wins >= 1.15x on the
+# communication-heavy config and hides >= 60% of the posted transfer
+# time. Quick-mode steps are sub-millisecond, so scheduling noise
+# drowns both — only loose sanity bounds apply there.
+min_speedup = 0.3 if doc.get("quick") else 1.15
+min_eff = 0.0 if doc.get("quick") else 0.60
+if ov["speedup"] < min_speedup:
+    fail(f"overlap speedup {ov['speedup']:.3f}x below the "
+         f"{min_speedup}x budget")
+if ov["efficiency"] < min_eff:
+    fail(f"overlap efficiency {ov['efficiency']:.2%} below the "
+         f"{min_eff:.0%} budget")
+
+bw = doc.get("bytes_on_wire")
+if not isinstance(bw, dict):
+    fail("bytes_on_wire missing")
+for field in ("elements", "raw_bytes", "pack_ratio"):
+    finite(bw.get(field), f"bytes_on_wire.{field}")
+if bw.get("pack_exact_round_trip") is not True:
+    fail("pack codec did not round-trip the gradient payload exactly")
+# The lossless pack stream must cost <= 0.7x raw bytes on the
+# bit-packable (bf16-rounded) gradient workload, in both modes — the
+# ratio is a property of the data, not of timing.
+if bw["pack_ratio"] > 0.7:
+    fail(f"pack ratio {bw['pack_ratio']:.3f} exceeds the 0.7 budget")
+codecs = bw.get("codecs")
+if not isinstance(codecs, list) or not codecs:
+    fail("bytes_on_wire.codecs missing or empty")
+for c in codecs:
+    for field in ("wire_bytes", "ratio", "ms_per_transfer"):
+        finite(c.get(field), f"codecs[{c.get('codec')}].{field}")
+
 pool = doc.get("buffer_pool")
 if not isinstance(pool, dict):
     fail("buffer_pool missing")
@@ -121,5 +162,6 @@ names = ", ".join(k["name"] for k in kernels)
 print(f"bench_check: OK ({len(kernels)} kernels: {names}; "
       f"{len(threads)} thread settings; transport overhead "
       f"{fo['overhead_pct']:.2f}%; observer overhead "
-      f"{oo['overhead_pct']:.2f}%)")
+      f"{oo['overhead_pct']:.2f}%; overlap {ov['speedup']:.2f}x at "
+      f"{ov['efficiency']:.0%} hidden; pack {bw['pack_ratio']:.2f}x)")
 EOF

@@ -12,10 +12,13 @@
 #      primepar_train run must produce a valid Chrome-trace JSON and a
 #      parseable metrics snapshot.
 #   3. Configure + build a sanitizer tree (build-asan/) with
-#      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the
-#      fault-labelled tests there (ctest -L fault) — the transport's
-#      retry/rollback paths move buffers across emulated device
-#      boundaries, exactly where lifetime bugs would hide.
+#      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the fault-
+#      and codec-labelled tests there (ctest -L 'fault|codec') — the
+#      transport's retry/rollback paths move buffers across emulated
+#      device boundaries, the async executor posts transfers into
+#      recycled pool buffers while compute runs, and the codecs do raw
+#      byte-level bit packing: exactly where lifetime and
+#      out-of-bounds bugs would hide.
 #
 # --quick skips the sanitizer rebuild when build-asan/ is already
 # configured. Exits non-zero on the first failure.
@@ -99,10 +102,11 @@ if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then
     cmake -B "$ROOT/build-asan" -S "$ROOT" \
         -DPRIMEPAR_SANITIZE=ON > /dev/null
 fi
-cmake --build "$ROOT/build-asan" -j"$(nproc)" --target test_fault
+cmake --build "$ROOT/build-asan" -j"$(nproc)" \
+    --target test_fault test_codec
 
-echo "== sanitizer: fault-path tests (ctest -L fault) =="
+echo "== sanitizer: fault + codec tests (ctest -L 'fault|codec') =="
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-    -L fault -j"$(nproc)"
+    -L 'fault|codec' -j"$(nproc)"
 
 echo "verify.sh: all gates passed"

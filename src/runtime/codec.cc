@@ -1,0 +1,471 @@
+#include "codec.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "errors.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+/** Words per pack/int8 block. One block is small enough to stay in
+ *  L1 across the two passes (OR scan, then emit) and large enough to
+ *  amortize the 2-byte header below 2% overhead. */
+constexpr std::int64_t kBlockWords = 128;
+
+inline std::uint32_t
+loadWord(const float *p)
+{
+    std::uint32_t w;
+    std::memcpy(&w, p, sizeof w);
+    return w;
+}
+
+inline void
+storeWord(float *p, std::uint32_t w)
+{
+    std::memcpy(p, &w, sizeof w);
+}
+
+inline int
+countTrailingZeros(std::uint32_t x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctz(x);
+#else
+    int c = 0;
+    while (!(x & 1)) {
+        x >>= 1;
+        ++c;
+    }
+    return c;
+#endif
+}
+
+inline int
+countLeadingZeros(std::uint32_t x)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_clz(x);
+#else
+    int c = 0;
+    while (!(x & 0x80000000u)) {
+        x <<= 1;
+        ++c;
+    }
+    return c;
+#endif
+}
+
+// ---------------------------------------------------------------- Pack
+
+/**
+ * Stream layout: per block of up to kBlockWords fp32 words, a 2-byte
+ * header (bit width, right shift) followed by ceil(count*width/8)
+ * payload bytes. width/shift come from the OR of the block's raw
+ * words: every word in the block is fully described by bits
+ * [shift, shift+width). All-zero blocks are header-only.
+ */
+std::size_t
+packEncode(const float *src, std::int64_t n, std::uint8_t *dst)
+{
+    std::uint8_t *out = dst;
+    for (std::int64_t base = 0; base < n; base += kBlockWords) {
+        const std::int64_t count = std::min(kBlockWords, n - base);
+        const float *blk = src + base;
+
+        std::uint32_t or_all = 0;
+        for (std::int64_t i = 0; i < count; ++i)
+            or_all |= loadWord(blk + i);
+
+        int shift = 0, width = 0;
+        if (or_all) {
+            shift = countTrailingZeros(or_all);
+            width = 32 - countLeadingZeros(or_all) - shift;
+        }
+        *out++ = static_cast<std::uint8_t>(width);
+        *out++ = static_cast<std::uint8_t>(shift);
+
+        if (width == 0)
+            continue;
+        // Byte-aligned widths cover the common cases (bf16-rounded
+        // data is width 16, int8-ish width 8, incompressible 32) with
+        // loops the compiler vectorizes; odd widths go through a
+        // 64-bit accumulator bit stream.
+        if (width == 32) {
+            for (std::int64_t i = 0; i < count; ++i) {
+                const std::uint32_t v = loadWord(blk + i) >> shift;
+                std::memcpy(out + 4 * i, &v, 4);
+            }
+            out += 4 * count;
+        } else if (width == 24) {
+            for (std::int64_t i = 0; i < count; ++i) {
+                const std::uint32_t v = loadWord(blk + i) >> shift;
+                out[3 * i + 0] = static_cast<std::uint8_t>(v);
+                out[3 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+                out[3 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+            }
+            out += 3 * count;
+        } else if (width == 16) {
+            for (std::int64_t i = 0; i < count; ++i) {
+                const std::uint16_t v = static_cast<std::uint16_t>(
+                    loadWord(blk + i) >> shift);
+                std::memcpy(out + 2 * i, &v, 2);
+            }
+            out += 2 * count;
+        } else if (width == 8) {
+            for (std::int64_t i = 0; i < count; ++i)
+                out[i] = static_cast<std::uint8_t>(loadWord(blk + i) >>
+                                                   shift);
+            out += count;
+        } else {
+            std::uint64_t acc = 0;
+            int nbits = 0;
+            for (std::int64_t i = 0; i < count; ++i) {
+                const std::uint64_t v = loadWord(blk + i) >> shift;
+                acc |= v << nbits;
+                nbits += width;
+                while (nbits >= 8) {
+                    *out++ = static_cast<std::uint8_t>(acc);
+                    acc >>= 8;
+                    nbits -= 8;
+                }
+            }
+            if (nbits)
+                *out++ = static_cast<std::uint8_t>(acc);
+        }
+    }
+    return static_cast<std::size_t>(out - dst);
+}
+
+void
+packDecode(const std::uint8_t *src, std::size_t bytes, float *dst,
+           std::int64_t n)
+{
+    const std::uint8_t *in = src;
+    const std::uint8_t *end = src + bytes;
+    for (std::int64_t base = 0; base < n; base += kBlockWords) {
+        const std::int64_t count = std::min(kBlockWords, n - base);
+        float *blk = dst + base;
+        PRIMEPAR_ASSERT(in + 2 <= end, "pack stream truncated");
+        const int width = in[0];
+        const int shift = in[1];
+        in += 2;
+        PRIMEPAR_ASSERT(width >= 0 && width <= 32 && shift >= 0 &&
+                            shift + width <= 32,
+                        "pack header corrupt: width=", width,
+                        " shift=", shift);
+        if (width == 0) {
+            for (std::int64_t i = 0; i < count; ++i)
+                blk[i] = 0.0f;
+            continue;
+        }
+        const std::size_t payload =
+            (static_cast<std::size_t>(count) * width + 7) / 8;
+        PRIMEPAR_ASSERT(in + payload <= end, "pack stream truncated");
+        if (width == 32) {
+            for (std::int64_t i = 0; i < count; ++i) {
+                std::uint32_t v;
+                std::memcpy(&v, in + 4 * i, 4);
+                storeWord(blk + i, v << shift);
+            }
+        } else if (width == 24) {
+            for (std::int64_t i = 0; i < count; ++i) {
+                const std::uint32_t v =
+                    static_cast<std::uint32_t>(in[3 * i + 0]) |
+                    (static_cast<std::uint32_t>(in[3 * i + 1]) << 8) |
+                    (static_cast<std::uint32_t>(in[3 * i + 2]) << 16);
+                storeWord(blk + i, v << shift);
+            }
+        } else if (width == 16) {
+            for (std::int64_t i = 0; i < count; ++i) {
+                std::uint16_t v;
+                std::memcpy(&v, in + 2 * i, 2);
+                storeWord(blk + i,
+                          static_cast<std::uint32_t>(v) << shift);
+            }
+        } else if (width == 8) {
+            for (std::int64_t i = 0; i < count; ++i)
+                storeWord(blk + i,
+                          static_cast<std::uint32_t>(in[i]) << shift);
+        } else {
+            std::uint64_t acc = 0;
+            int nbits = 0;
+            const std::uint8_t *p = in;
+            const std::uint32_t mask = (1u << width) - 1u;
+            for (std::int64_t i = 0; i < count; ++i) {
+                while (nbits < width) {
+                    acc |= static_cast<std::uint64_t>(*p++) << nbits;
+                    nbits += 8;
+                }
+                storeWord(blk + i,
+                          (static_cast<std::uint32_t>(acc) & mask)
+                              << shift);
+                acc >>= width;
+                nbits -= width;
+            }
+        }
+        in += payload;
+    }
+    PRIMEPAR_ASSERT(in == end, "pack stream has ",
+                    static_cast<std::int64_t>(end - in),
+                    " trailing bytes");
+}
+
+// ---------------------------------------------------------------- Bf16
+
+inline std::uint16_t
+bf16FromFloat(std::uint32_t u)
+{
+    if ((u & 0x7fffffffu) > 0x7f800000u) // NaN: keep it quiet, keep it NaN
+        return static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+    // Round to nearest even on the dropped 16 mantissa bits.
+    const std::uint32_t rounded = u + 0x7fffu + ((u >> 16) & 1u);
+    return static_cast<std::uint16_t>(rounded >> 16);
+}
+
+std::size_t
+bf16Encode(const float *src, std::int64_t n, std::uint8_t *dst)
+{
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::uint16_t v = bf16FromFloat(loadWord(src + i));
+        std::memcpy(dst + 2 * i, &v, 2);
+    }
+    return static_cast<std::size_t>(2 * n);
+}
+
+void
+bf16Decode(const std::uint8_t *src, std::size_t bytes, float *dst,
+           std::int64_t n)
+{
+    PRIMEPAR_ASSERT(bytes == static_cast<std::size_t>(2 * n),
+                    "bf16 stream size mismatch");
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::uint16_t v;
+        std::memcpy(&v, src + 2 * i, 2);
+        storeWord(dst + i, static_cast<std::uint32_t>(v) << 16);
+    }
+}
+
+// ---------------------------------------------------------------- Int8
+
+/** Per block: a 4-byte fp32 scale (maxAbs/127) then one int8 per
+ *  value. Quantization is round-half-away-from-zero, clamped. */
+std::size_t
+int8Encode(const float *src, std::int64_t n, std::uint8_t *dst)
+{
+    std::uint8_t *out = dst;
+    for (std::int64_t base = 0; base < n; base += kBlockWords) {
+        const std::int64_t count = std::min(kBlockWords, n - base);
+        const float *blk = src + base;
+        float max_abs = 0.0f;
+        for (std::int64_t i = 0; i < count; ++i)
+            max_abs = std::max(max_abs, std::fabs(blk[i]));
+        const float scale = max_abs / 127.0f;
+        std::memcpy(out, &scale, 4);
+        out += 4;
+        const float inv = scale > 0.0f ? 1.0f / scale : 0.0f;
+        for (std::int64_t i = 0; i < count; ++i) {
+            const float scaled = blk[i] * inv;
+            int q = static_cast<int>(scaled >= 0.0f ? scaled + 0.5f
+                                                    : scaled - 0.5f);
+            q = std::max(-127, std::min(127, q));
+            out[i] = static_cast<std::uint8_t>(
+                static_cast<std::int8_t>(q));
+        }
+        out += count;
+    }
+    return static_cast<std::size_t>(out - dst);
+}
+
+void
+int8Decode(const std::uint8_t *src, std::size_t bytes, float *dst,
+           std::int64_t n)
+{
+    const std::uint8_t *in = src;
+    const std::uint8_t *end = src + bytes;
+    for (std::int64_t base = 0; base < n; base += kBlockWords) {
+        const std::int64_t count = std::min(kBlockWords, n - base);
+        PRIMEPAR_ASSERT(in + 4 + count <= end,
+                        "int8 stream truncated");
+        float scale;
+        std::memcpy(&scale, in, 4);
+        in += 4;
+        for (std::int64_t i = 0; i < count; ++i)
+            dst[base + i] =
+                static_cast<float>(static_cast<std::int8_t>(in[i])) *
+                scale;
+        in += count;
+    }
+    PRIMEPAR_ASSERT(in == end, "int8 stream has ",
+                    static_cast<std::int64_t>(end - in),
+                    " trailing bytes");
+}
+
+std::int64_t
+blockCount(std::int64_t n)
+{
+    return (n + kBlockWords - 1) / kBlockWords;
+}
+
+} // namespace
+
+const char *
+codecKindName(CodecKind kind)
+{
+    switch (kind) {
+    case CodecKind::None:
+        return "none";
+    case CodecKind::Pack:
+        return "pack";
+    case CodecKind::Bf16:
+        return "bf16";
+    case CodecKind::Int8:
+        return "int8";
+    }
+    return "?";
+}
+
+CodecKind
+parseCodecKind(const std::string &name)
+{
+    if (name == "none")
+        return CodecKind::None;
+    if (name == "pack")
+        return CodecKind::Pack;
+    if (name == "bf16")
+        return CodecKind::Bf16;
+    if (name == "int8")
+        return CodecKind::Int8;
+    throw RuntimeError("unknown codec '" + name +
+                       "' (expected none|pack|bf16|int8)");
+}
+
+bool
+codecLossless(CodecKind kind)
+{
+    return kind == CodecKind::None || kind == CodecKind::Pack;
+}
+
+CodecKind
+CodecConfig::forChannel(const char *channel) const
+{
+    const std::string c = channel ? channel : "";
+    if (c == "ring")
+        return ring;
+    if (c == "acc")
+        return acc;
+    if (c == "allreduce")
+        return allreduce;
+    return CodecKind::None;
+}
+
+bool
+CodecConfig::any() const
+{
+    return ring != CodecKind::None || acc != CodecKind::None ||
+           allreduce != CodecKind::None;
+}
+
+CodecConfig
+CodecConfig::parse(const std::string &text)
+{
+    CodecConfig config;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string token = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            const CodecKind kind = parseCodecKind(token);
+            config.ring = config.acc = config.allreduce = kind;
+            continue;
+        }
+        const std::string channel = token.substr(0, eq);
+        const CodecKind kind = parseCodecKind(token.substr(eq + 1));
+        if (channel == "ring")
+            config.ring = kind;
+        else if (channel == "acc")
+            config.acc = kind;
+        else if (channel == "allreduce")
+            config.allreduce = kind;
+        else
+            throw RuntimeError(
+                "unknown codec channel '" + channel +
+                "' (expected ring|acc|allreduce)");
+    }
+    return config;
+}
+
+std::string
+CodecConfig::toString() const
+{
+    return std::string("ring=") + codecKindName(ring) +
+           ",acc=" + codecKindName(acc) +
+           ",allreduce=" + codecKindName(allreduce);
+}
+
+std::size_t
+codecBound(CodecKind kind, std::int64_t n)
+{
+    PRIMEPAR_ASSERT(n >= 0, "negative element count");
+    switch (kind) {
+    case CodecKind::None:
+        return static_cast<std::size_t>(4 * n);
+    case CodecKind::Pack:
+        // 2-byte header per block + at most the raw words.
+        return static_cast<std::size_t>(2 * blockCount(n) + 4 * n);
+    case CodecKind::Bf16:
+        return static_cast<std::size_t>(2 * n);
+    case CodecKind::Int8:
+        return static_cast<std::size_t>(4 * blockCount(n) + n);
+    }
+    PRIMEPAR_PANIC("unhandled codec kind");
+}
+
+std::size_t
+codecEncode(CodecKind kind, const float *src, std::int64_t n,
+            std::uint8_t *dst)
+{
+    switch (kind) {
+    case CodecKind::Pack:
+        return packEncode(src, n, dst);
+    case CodecKind::Bf16:
+        return bf16Encode(src, n, dst);
+    case CodecKind::Int8:
+        return int8Encode(src, n, dst);
+    case CodecKind::None:
+        break;
+    }
+    PRIMEPAR_PANIC("codecEncode called with kind None");
+}
+
+void
+codecDecode(CodecKind kind, const std::uint8_t *src, std::size_t bytes,
+            float *dst, std::int64_t n)
+{
+    switch (kind) {
+    case CodecKind::Pack:
+        packDecode(src, bytes, dst, n);
+        return;
+    case CodecKind::Bf16:
+        bf16Decode(src, bytes, dst, n);
+        return;
+    case CodecKind::Int8:
+        int8Decode(src, bytes, dst, n);
+        return;
+    case CodecKind::None:
+        break;
+    }
+    PRIMEPAR_PANIC("codecDecode called with kind None");
+}
+
+} // namespace primepar

@@ -234,7 +234,7 @@ RuntimeHealth::report() const
     std::ostringstream os;
     os << "RuntimeHealth:\n"
        << "  transfers          " << transfers << " (" << bytesMoved
-       << " bytes)\n"
+       << " bytes, " << bytesOnWire << " on wire)\n"
        << "  drops detected     " << dropsDetected << "\n"
        << "  corrupt payloads   " << corruptionsDetected << "\n"
        << "  header mismatches  " << headerMismatches << "\n"

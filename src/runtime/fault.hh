@@ -143,6 +143,7 @@ class RuntimeHealth
     // Transport counters.
     std::int64_t transfers = 0;
     std::int64_t bytesMoved = 0;
+    std::int64_t bytesOnWire = 0; ///< post-codec bytes (== bytesMoved raw)
     std::int64_t dropsDetected = 0;
     std::int64_t corruptionsDetected = 0;  ///< payload checksum mismatch
     std::int64_t headerMismatches = 0;     ///< seq/step tag mismatch

@@ -29,13 +29,22 @@ SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
                                      const RuntimeOptions &options)
     : SpmdGraphExecutor(graph_in, std::move(strategies),
                         options.numBits, options.execution.numThreads)
-{}
+{
+    setCommOverlap(options.execution.overlapComm);
+}
 
 void
 SpmdGraphExecutor::setTransport(Transport *t)
 {
     for (auto &e : execs)
         e->setTransport(t);
+}
+
+void
+SpmdGraphExecutor::setCommOverlap(bool on)
+{
+    for (auto &e : execs)
+        e->setCommOverlap(on);
 }
 
 void
@@ -186,14 +195,15 @@ SpmdGraphExecutor::run(const GraphIO &io)
     return result;
 }
 
-CommStats
+CommVolume
 SpmdGraphExecutor::stats() const
 {
-    CommStats total;
+    CommVolume total;
     for (const auto &e : execs) {
         total.ringElements += e->stats().ringElements;
         total.allReduceElements += e->stats().allReduceElements;
         total.allReduceCount += e->stats().allReduceCount;
+        total.wireBytes += e->stats().wireBytes;
     }
     return total;
 }

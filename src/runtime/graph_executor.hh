@@ -90,11 +90,15 @@ class SpmdGraphExecutor
     GraphResult run(const GraphIO &io);
 
     /** Sum of per-op communication counters of the last run. */
-    CommStats stats() const;
+    CommVolume stats() const;
 
     /** Route every node's inter-device transfers through @p t (not
      *  owned; nullptr restores direct in-process copies). */
     void setTransport(Transport *t);
+
+    /** Toggle the async ring/compute overlap on every node's
+     *  executor (SpmdOpExecutor::setCommOverlap; default on). */
+    void setCommOverlap(bool on);
 
     /** Record detections and numeric-anomaly findings of every node
      *  into @p h (not owned). */

@@ -175,14 +175,17 @@ MetricsObserver::onSpan(std::int64_t device, SpanKind kind,
 
 void
 MetricsObserver::onTransfer(const TransferTag &tag, std::int64_t bytes,
-                            int attempts, double wall_us)
+                            std::int64_t wire_bytes, int attempts,
+                            double wall_us)
 {
     (void)attempts;
     reg->add("transport.transfers");
     reg->add("transport.bytes", bytes);
+    reg->add("transport.wire_bytes", wire_bytes);
     const std::string channel = tag.channel;
     reg->add("transport.transfers." + channel);
     reg->add("transport.bytes." + channel, bytes);
+    reg->add("transport.wire_bytes." + channel, wire_bytes);
     reg->observe("transport.transfer_us." + channel, wall_us);
 }
 

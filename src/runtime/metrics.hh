@@ -99,6 +99,7 @@ class MetricsRegistry
  * Counter schema (all deterministic):
  *   steps
  *   transport.transfers[.<channel>]   transport.bytes[.<channel>]
+ *   transport.wire_bytes[.<channel>]  (post-codec bytes on the wire)
  *   faults.detected  faults.<kind>    executor.rollbacks
  *   anomalies.scans                   checkpoint.saves / .restores
  *   spans.<kind>
@@ -117,7 +118,8 @@ class MetricsObserver : public RuntimeObserver
                 const std::string &label, double start_us,
                 double end_us) override;
     void onTransfer(const TransferTag &tag, std::int64_t bytes,
-                    int attempts, double wall_us) override;
+                    std::int64_t wire_bytes, int attempts,
+                    double wall_us) override;
     void onFault(const FaultEvent &event) override;
     void onRollback(std::int64_t step) override;
     void onTensorProduced(const std::string &name, std::int64_t step,

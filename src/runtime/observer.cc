@@ -48,6 +48,13 @@ TracingObserver::snapshot() const
     return trace;
 }
 
+OverlapStats
+TracingObserver::overlapStats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return primepar::overlapStats(trace);
+}
+
 void
 TracingObserver::reset()
 {

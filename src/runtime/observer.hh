@@ -84,13 +84,15 @@ class RuntimeObserver
     }
 
     /** One successfully delivered transfer of @p bytes payload bytes
-     *  (after @p attempts attempts), taking @p wall_us. */
+     *  — of which @p wire_bytes actually crossed the wire post-codec
+     *  — after @p attempts attempts, taking @p wall_us. */
     virtual void
-    onTransfer(const TransferTag &tag, std::int64_t bytes, int attempts,
-               double wall_us)
+    onTransfer(const TransferTag &tag, std::int64_t bytes,
+               std::int64_t wire_bytes, int attempts, double wall_us)
     {
         (void)tag;
         (void)bytes;
+        (void)wire_bytes;
         (void)attempts;
         (void)wall_us;
     }
@@ -171,11 +173,12 @@ class ObserverChain : public RuntimeObserver
             o->onSpan(device, kind, label, start_us, end_us);
     }
     void
-    onTransfer(const TransferTag &tag, std::int64_t bytes, int attempts,
+    onTransfer(const TransferTag &tag, std::int64_t bytes,
+               std::int64_t wire_bytes, int attempts,
                double wall_us) override
     {
         for (auto *o : list)
-            o->onTransfer(tag, bytes, attempts, wall_us);
+            o->onTransfer(tag, bytes, wire_bytes, attempts, wall_us);
     }
     void
     onFault(const FaultEvent &event) override
@@ -225,6 +228,11 @@ class TracingObserver : public RuntimeObserver
 
     /** The recording (copy: the live trace may keep growing). */
     Trace snapshot() const;
+
+    /** Ring-vs-Compute overlap of the recording so far: how much of
+     *  the transfer time the async executor hid behind compute (see
+     *  overlapStats() in sim/trace.hh). */
+    OverlapStats overlapStats() const;
 
     /** Drop all recorded spans and re-anchor the time base. */
     void reset();

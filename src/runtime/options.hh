@@ -39,6 +39,11 @@ struct ExecutionOptions
     /** Worker threads: 0 = all hardware threads, 1 = serial. Results
      *  are bit-identical at every setting. */
     int numThreads = 1;
+    /** Overlap ring communication with compute on a dedicated comm
+     *  worker (SpmdOpExecutor::setCommOverlap). Bit-identical to the
+     *  synchronous path; off restores strictly step-synchronous
+     *  transfers (mainly for A/B benchmarking). */
+    bool overlapComm = true;
 };
 
 /** Checkpointing and permanent-failure recovery. */

@@ -165,8 +165,10 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
                 tag.temporalStep = to_t;
                 tag.sender = tr.sender;
                 tag.receiver = tr.receiver;
-                transport->transferInto(tag, snapshot[tr.sender].data,
-                                        store[tr.receiver].data);
+                const TransferReceipt receipt = transport->transferInto(
+                    tag, snapshot[tr.sender].data,
+                    store[tr.receiver].data);
+                commStats.wireBytes += receipt.wireBytes;
                 store[tr.receiver].tuple = snapshot[tr.sender].tuple;
             } else {
                 store[tr.receiver] = snapshot[tr.sender];
@@ -179,6 +181,91 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
             set.elementsPerTransfer *
             static_cast<std::int64_t>(set.transfers.size());
     }
+}
+
+void
+SpmdOpExecutor::postRingShifts(RingBatch &batch,
+                               const std::vector<ShiftSet> &shifts,
+                               Phase phase, int to_t)
+{
+    const bool tracing = observed();
+    for (const ShiftSet &set : shifts) {
+        const std::string key = refKey(set.tensor);
+        const auto it = stores.find(key);
+        PRIMEPAR_ASSERT(it != stores.end(), "shift of absent tensor ",
+                        key);
+        TensorStore &store = it->second;
+        const std::string label =
+            tracing ? "ring " + key : std::string();
+        for (const Transfer &tr : set.transfers) {
+            PendingRecv recv;
+            recv.set = &set;
+            recv.src = &store[tr.sender].data;
+            recv.receiver = tr.receiver;
+            recv.label = label;
+            // The pre-shift tuple, captured now: the store slots are
+            // not rewritten until the commit, so this is the same
+            // snapshot semantics as the synchronous path — without
+            // the snapshot's deep copy of the whole store.
+            recv.tuple = store[tr.sender].tuple;
+            if (transport) {
+                recv.tag.tensor = key;
+                recv.tag.channel = "ring";
+                recv.tag.phase = phase;
+                recv.tag.temporalStep = to_t;
+                recv.tag.sender = tr.sender;
+                recv.tag.receiver = tr.receiver;
+            }
+            batch.recvs.push_back(std::move(recv));
+        }
+        batch.elements +=
+            set.elementsPerTransfer *
+            static_cast<std::int64_t>(set.transfers.size());
+    }
+
+    // One task for the whole step's ring traffic: the transport sees
+    // the same serial transfer order as the synchronous path, just on
+    // the comm thread instead of between compute sections. A transfer
+    // fault escapes the task and resurfaces at the wait() inside
+    // commitRingShifts() — within the same step journal.
+    commWorker.post([this, &batch, tracing] {
+        for (PendingRecv &recv : batch.recvs) {
+            const double t0 = tracing ? observerNowUs() : 0.0;
+            if (transport) {
+                const TransferReceipt receipt = transport->transferInto(
+                    recv.tag, *recv.src, recv.staged);
+                batch.wireBytes += receipt.wireBytes;
+            } else {
+                recv.staged = *recv.src;
+            }
+            if (tracing)
+                observers.onSpan(recv.receiver, SpanKind::Ring,
+                                 recv.label, t0, observerNowUs());
+        }
+    });
+}
+
+void
+SpmdOpExecutor::commitRingShifts(RingBatch &batch)
+{
+    // The join: rethrows a posted-ahead transfer's fault into the
+    // step journal before any staged value becomes visible, so a
+    // rollback re-executes exactly this step. The RingJoin span is
+    // the exposed (un-hidden) part of the posted transfer time —
+    // what overlapStats() charges against the overlap budget.
+    const bool tracing = observed();
+    const double t0 = tracing ? observerNowUs() : 0.0;
+    commWorker.wait();
+    if (tracing)
+        observers.onSpan(0, SpanKind::RingJoin, "ring join", t0,
+                         observerNowUs());
+    for (PendingRecv &recv : batch.recvs) {
+        TensorStore &store = stores.at(refKey(recv.set->tensor));
+        store[recv.receiver].data = std::move(recv.staged);
+        store[recv.receiver].tuple = std::move(recv.tuple);
+    }
+    commStats.ringElements += batch.elements;
+    commStats.wireBytes += batch.wireBytes;
 }
 
 void
@@ -408,6 +495,22 @@ SpmdOpExecutor::runPass(int pass_index,
                         tupleAt(pass.output, pass.phase, dev, t),
                     "accumulator misplaced at step ", t);
             }
+            // Post the ring shifts toward step t+1 *before* compute:
+            // they move operand tensors this step only reads, so the
+            // sends and the blocked GEMMs overlap, with the receives
+            // parked in staging buffers until the barrier. The step
+            // shifts never move the pass output (accumulator moves
+            // are accShifts), which is what makes the overlap legal.
+            RingBatch batch;
+            const bool posted =
+                overlapComm && !comm.stepShifts[t].empty();
+            if (posted) {
+                for (const ShiftSet &set : comm.stepShifts[t])
+                    PRIMEPAR_ASSERT(refKey(set.tensor) != out_key,
+                                    "step shift of the pass output");
+                postRingShifts(batch, comm.stepShifts[t], pass.phase,
+                               t + 1);
+            }
             // The per-device sub-operators of this temporal step are
             // independent: each device reads only already-positioned
             // operand slots and accumulates into its own accumulator.
@@ -415,22 +518,37 @@ SpmdOpExecutor::runPass(int pass_index,
                 tracing ? op.name + " " + phaseName(pass.phase) + " t" +
                               std::to_string(t)
                         : std::string();
-            parallelFor(pool,
-                        static_cast<std::size_t>(dsiTable.numDevices()),
-                        [&](std::size_t dev) {
-                            const auto d =
-                                static_cast<std::int64_t>(dev);
-                            const double t0 =
-                                tracing ? observerNowUs() : 0.0;
-                            const Tensor partial =
-                                computeLocal(pass, d, t);
-                            out_store[dev].data.add(partial);
-                            if (tracing)
-                                observers.onSpan(d, SpanKind::Compute,
-                                                 compute_label, t0,
-                                                 observerNowUs());
-                        });
-            if (!comm.stepShifts[t].empty())
+            try {
+                parallelFor(
+                    pool,
+                    static_cast<std::size_t>(dsiTable.numDevices()),
+                    [&](std::size_t dev) {
+                        const auto d = static_cast<std::int64_t>(dev);
+                        const double t0 =
+                            tracing ? observerNowUs() : 0.0;
+                        const Tensor partial =
+                            computeLocal(pass, d, t);
+                        out_store[dev].data.add(partial);
+                        if (tracing)
+                            observers.onSpan(d, SpanKind::Compute,
+                                             compute_label, t0,
+                                             observerNowUs());
+                    });
+            } catch (...) {
+                // Never unwind past an in-flight batch — the batch
+                // storage dies with this frame. The compute error
+                // outranks whatever the comm worker ran into.
+                if (posted) {
+                    try {
+                        commWorker.wait();
+                    } catch (...) {
+                    }
+                }
+                throw;
+            }
+            if (posted)
+                commitRingShifts(batch);
+            else if (!comm.stepShifts[t].empty())
                 applyShifts(comm.stepShifts[t], pass.phase, t + 1,
                             "ring");
         });
@@ -460,8 +578,14 @@ SpmdOpExecutor::runPass(int pass_index,
                         tag.temporalStep = steps;
                         tag.sender = group[i];
                         tag.receiver = group[0];
-                        sum.add(transport->transfer(
-                            tag, out_store[group[i]].data));
+                        Tensor recv;
+                        commStats.wireBytes +=
+                            transport
+                                ->transferInto(
+                                    tag, out_store[group[i]].data,
+                                    recv)
+                                .wireBytes;
+                        sum.add(recv);
                     } else {
                         sum.add(out_store[group[i]].data);
                     }
@@ -475,8 +599,12 @@ SpmdOpExecutor::runPass(int pass_index,
                         tag.temporalStep = steps;
                         tag.sender = group[0];
                         tag.receiver = group[i];
-                        transport->transferInto(
-                            tag, sum, out_store[group[i]].data);
+                        commStats.wireBytes +=
+                            transport
+                                ->transferInto(
+                                    tag, sum,
+                                    out_store[group[i]].data)
+                                .wireBytes;
                     } else {
                         out_store[group[i]].data = sum;
                     }
@@ -513,7 +641,7 @@ SpmdOpExecutor::reset()
 {
     stores.clear();
     aux.clear();
-    commStats = CommStats{};
+    commStats = CommVolume{};
 }
 
 void

@@ -53,12 +53,31 @@ struct TrainStepResult
 };
 
 /** Communication volume observed during execution. */
-struct CommStats
+struct CommVolume
 {
     std::int64_t ringElements = 0;      ///< ring shift traffic
     std::int64_t allReduceElements = 0; ///< summed all-reduce payloads
     int allReduceCount = 0;             ///< number of grouped all-reduces
+    /** Post-codec bytes that actually crossed the transport (all
+     *  channels). 4 bytes per element when no codec is configured;
+     *  0 when transfers are direct in-process copies (no transport —
+     *  there is no wire). */
+    std::int64_t wireBytes = 0;
+
+    /** Raw fp32 bytes of the counted communication volume. Note the
+     *  all-reduce convention: allReduceElements counts each reduce's
+     *  payload once, while the wire carries gather + broadcast hops,
+     *  so with all-reduce traffic this undercounts the per-transfer
+     *  raw sum (RuntimeHealth::bytesMoved is that exact sum). */
+    std::int64_t
+    rawBytes() const
+    {
+        return 4 * (ringElements + allReduceElements);
+    }
 };
+
+/** Pre-overlap-PR name; same struct. */
+using CommStats = CommVolume;
 
 /**
  * Executes the full Forward / Backward / Gradient cycle of one
@@ -106,7 +125,7 @@ class SpmdOpExecutor
     Tensor sgdUpdateAndGather(double lr);
 
     /** Traffic counters of the last run(). */
-    const CommStats &stats() const { return commStats; }
+    const CommVolume &stats() const { return commStats; }
 
     const DsiTable &dsi() const { return dsiTable; }
 
@@ -128,6 +147,18 @@ class SpmdOpExecutor
      * the step back and re-executes it instead of aborting.
      */
     void setTransport(Transport *t) { transport = t; }
+
+    /**
+     * Overlap ring communication with compute (default on): the ring
+     * shifts toward step t+1 are posted to a dedicated comm worker
+     * while step t's sub-operators run, receiving into recycled
+     * staging buffers that are swapped in at the step barrier. Sends
+     * read operand stores the compute only reads, so results stay
+     * bit-identical to the synchronous path; a fault during a
+     * posted-ahead transfer surfaces at the barrier and rolls back
+     * exactly this step. Off = the synchronous double-buffered path.
+     */
+    void setCommOverlap(bool on) { overlapComm = on; }
 
     /**
      * Record transport detections and numeric-anomaly guard findings
@@ -172,6 +203,30 @@ class SpmdOpExecutor
     /** Per-device storage of one logical tensor. */
     using TensorStore = std::vector<DeviceSlot>;
 
+    /** One posted-ahead ring receive: the payload lands in a staging
+     *  tensor (recycled pool storage) while compute runs and is
+     *  swapped into the store at the step barrier. */
+    struct PendingRecv
+    {
+        const ShiftSet *set = nullptr;
+        const Tensor *src = nullptr; ///< live sender slot (read-only)
+        std::int64_t receiver = 0;
+        TransferTag tag;  ///< used only with a transport
+        std::string label; ///< Ring span label (empty untraced)
+        Tensor staged;
+        std::vector<std::int64_t> tuple;
+    };
+
+    /** Everything in flight on the comm worker for one temporal
+     *  step. wireBytes is written by the worker and read after the
+     *  join (synchronized by SerialWorker's wait()). */
+    struct RingBatch
+    {
+        std::vector<PendingRecv> recvs;
+        std::int64_t elements = 0;
+        std::int64_t wireBytes = 0;
+    };
+
     std::string refKey(const TensorRef &ref) const;
     void scatter(const TensorRef &ref, const Tensor &full, Phase phase,
                  int t);
@@ -182,6 +237,17 @@ class SpmdOpExecutor
                     Phase phase, std::int64_t dev, int t) const;
     void applyShifts(const std::vector<ShiftSet> &shifts, Phase phase,
                      int to_t, const char *channel);
+    /** Fill @p batch (whose storage must outlive the join) and post
+     *  its transfers to the comm worker. Sends read live operand
+     *  stores — legal because the overlapped compute only reads them
+     *  — and receives stay out of the stores until
+     *  commitRingShifts(). */
+    void postRingShifts(RingBatch &batch,
+                        const std::vector<ShiftSet> &shifts,
+                        Phase phase, int to_t);
+    /** Join the comm worker (rethrowing any transfer fault into the
+     *  step journal) and swap the staged receives into the stores. */
+    void commitRingShifts(RingBatch &batch);
     void runPass(int pass_index,
                  const std::map<std::string, Tensor> &inputs);
     Tensor computeLocal(const PassSpec &pass, std::int64_t dev, int t);
@@ -204,13 +270,19 @@ class SpmdOpExecutor
     DsiTable dsiTable;
     std::vector<PassComm> passComms;
     std::map<std::string, TensorStore> stores;
-    CommStats commStats;
+    CommVolume commStats;
     /** Stashed layernorm/softmax style auxiliaries per device. All
      *  entries are pre-sized serially in runPass() before any parallel
      *  region, so computeLocal() only touches its own device's slot. */
     std::map<std::string, TensorStore> aux;
     ThreadPool *pool = nullptr;
     Transport *transport = nullptr;
+    bool overlapComm = true;
+    /** The dedicated communication thread (lazily started). Only one
+     *  batch is ever in flight; every serial transfer section runs
+     *  strictly after the preceding join, so the transport still sees
+     *  a serial, deterministic transfer order. */
+    SerialWorker commWorker;
     RuntimeHealth *health = nullptr;
     GuardOptions guard;
     /** Fan-out target of every instrumentation point. */

@@ -87,6 +87,7 @@ BlockTrainer::buildExecutor()
 {
     exec = std::make_unique<SpmdGraphExecutor>(
         graph, strategies, bits_, opts.runtime.execution.numThreads);
+    exec->setCommOverlap(opts.runtime.execution.overlapComm);
     installTransformerBlockTransforms(*exec, opts.model, opts.batch);
     // A fresh transport per (re-)build: a degraded grid renumbers the
     // devices, so the old dead-set must not carry over. The injector

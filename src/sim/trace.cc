@@ -12,6 +12,7 @@ toString(SpanKind kind)
     switch (kind) {
     case SpanKind::Compute: return "compute";
     case SpanKind::Ring: return "ring";
+    case SpanKind::RingJoin: return "ring-join";
     case SpanKind::AllReduce: return "allreduce";
     case SpanKind::Redist: return "redist";
     case SpanKind::Checkpoint: return "checkpoint";
@@ -77,6 +78,7 @@ Trace::toAscii(int width) const
         switch (s.kind) {
         case SpanKind::Compute: c = '#'; break;
         case SpanKind::Ring: c = '~'; break;
+        case SpanKind::RingJoin: c = 'j'; break;
         case SpanKind::AllReduce: c = 'A'; break;
         case SpanKind::Redist: c = 'r'; break;
         case SpanKind::Checkpoint: c = 'C'; break;
@@ -129,6 +131,68 @@ Trace::summary() const
            << worst << " us\n";
     }
     return os.str();
+}
+
+OverlapStats
+overlapStats(const Trace &trace)
+{
+    // Merge all compute spans into a sorted union of disjoint
+    // intervals, then clip each ring span against it.
+    std::vector<std::pair<double, double>> compute;
+    for (const TraceSpan &s : trace.spans()) {
+        if (s.kind == SpanKind::Compute && s.endUs > s.startUs)
+            compute.emplace_back(s.startUs, s.endUs);
+    }
+    std::sort(compute.begin(), compute.end());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto &iv : compute) {
+        if (!merged.empty() && iv.first <= merged.back().second)
+            merged.back().second =
+                std::max(merged.back().second, iv.second);
+        else
+            merged.push_back(iv);
+    }
+
+    OverlapStats stats;
+    double concurrent = 0.0, exposed = 0.0;
+    bool any_join = false;
+    for (const TraceSpan &s : trace.spans()) {
+        if (s.kind == SpanKind::RingJoin) {
+            // The join stall is the transfer time the step could not
+            // hide (zero-length joins still mark the trace as posted).
+            exposed += std::max(0.0, s.endUs - s.startUs);
+            any_join = true;
+            continue;
+        }
+        if (s.kind != SpanKind::Ring || s.endUs <= s.startUs)
+            continue;
+        // Step-shift transfers only — accumulator migrations ("acc
+        // <tensor>") stay synchronous by design and are not part of
+        // the overlap budget.
+        if (s.label.rfind("ring ", 0) != 0)
+            continue;
+        stats.transferUs += s.endUs - s.startUs;
+        // First merged interval ending after the span starts.
+        auto it = std::lower_bound(
+            merged.begin(), merged.end(), s.startUs,
+            [](const std::pair<double, double> &iv, double t) {
+                return iv.second <= t;
+            });
+        for (; it != merged.end() && it->first < s.endUs; ++it) {
+            concurrent += std::min(s.endUs, it->second) -
+                          std::max(s.startUs, it->first);
+        }
+    }
+    // Two views of "hidden" (see OverlapStats): genuine wall-clock
+    // concurrency, and — when transfers were posted ahead — the part
+    // the join never had to wait for. Take the stronger claim.
+    stats.hiddenUs = concurrent;
+    if (any_join) {
+        stats.hiddenUs = std::max(
+            stats.hiddenUs,
+            std::max(0.0, stats.transferUs - exposed));
+    }
+    return stats;
 }
 
 } // namespace primepar

@@ -29,6 +29,7 @@ enum class SpanKind
 {
     Compute,    ///< a per-device sub-operator kernel
     Ring,       ///< ring shift / accumulator migration send-recv
+    RingJoin,   ///< time the step join blocked on posted transfers
     AllReduce,  ///< grouped all-reduce participation
     Redist,     ///< redistribution (scatter/gather) traffic
     Checkpoint, ///< checkpoint save or restore
@@ -82,6 +83,42 @@ class Trace
   private:
     std::vector<TraceSpan> spansVec;
 };
+
+/**
+ * Compute/communication overlap digest of a recorded run: how much of
+ * the ring-transfer time was hidden from the step's critical path.
+ * This is the runtime measurement of the paper's Fig. 9 claim — ring
+ * traffic that the blocked GEMMs hide costs no wall-clock time.
+ *
+ * Hidden time is the larger of two views, so the digest is meaningful
+ * on any host:
+ *  - wall-interval overlap: Ring span time lying under the union of
+ *    Compute span intervals (true concurrency on multi-core hosts);
+ *  - join exposure: posted transfer time minus the RingJoin stalls —
+ *    on a single hardware thread the comm worker timeshares with
+ *    compute, so a transfer is "hidden" exactly when the step's join
+ *    did not have to wait for it.
+ * A trace with no RingJoin spans (strictly synchronous execution)
+ * only gets the first view.
+ */
+struct OverlapStats
+{
+    double transferUs = 0.0; ///< summed ring-shift span durations
+    double hiddenUs = 0.0;   ///< portion off the critical path
+
+    /** Fraction of transfer time hidden behind compute (1.0 when the
+     *  run had no ring traffic at all). */
+    double
+    efficiency() const
+    {
+        return transferUs > 0.0 ? hiddenUs / transferUs : 1.0;
+    }
+};
+
+/** Measure @p trace's ring/compute overlap (any device's compute
+ *  hides any device's transfer — the emulated devices share the
+ *  machine's execution resources). */
+OverlapStats overlapStats(const Trace &trace);
 
 } // namespace primepar
 

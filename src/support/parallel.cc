@@ -154,4 +154,65 @@ parallelFor(ThreadPool *pool, std::size_t n,
         fn(i);
 }
 
+SerialWorker::~SerialWorker()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    if (worker.joinable())
+        worker.join();
+}
+
+void
+SerialWorker::post(std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    PRIMEPAR_ASSERT(!busy && !task,
+                    "SerialWorker::post while a task is in flight");
+    if (!worker.joinable())
+        worker = std::thread([this] { loop(); });
+    task = std::move(fn);
+    busy = true;
+    cv.notify_all();
+}
+
+void
+SerialWorker::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return !busy; });
+    if (error) {
+        std::exception_ptr err = error;
+        error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+SerialWorker::loop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cv.wait(lock, [&] { return stopping || task; });
+        if (!task && stopping)
+            return;
+        std::function<void()> fn = std::move(task);
+        task = nullptr;
+        lock.unlock();
+        std::exception_ptr err;
+        try {
+            fn();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        lock.lock();
+        error = err;
+        busy = false;
+        cv.notify_all();
+    }
+}
+
 } // namespace primepar

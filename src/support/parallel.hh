@@ -83,6 +83,47 @@ class ThreadPool
 void parallelFor(ThreadPool *pool, std::size_t n,
                  const std::function<void(std::size_t)> &fn);
 
+/**
+ * A lazily started background thread running one posted task at a
+ * time. SpmdOpExecutor uses one as its communication worker: the ring
+ * transfers of a temporal step are posted here while the blocked
+ * GEMMs compute on the caller (and its ThreadPool), and wait() joins
+ * the two sides at the step barrier. The thread is only created on
+ * the first post(), so executors that never overlap pay nothing.
+ *
+ * An exception escaping the task is captured and rethrown from
+ * wait() — that is how a TransientFaultError raised by a posted-ahead
+ * transfer reaches the executor's journal at the join point.
+ */
+class SerialWorker
+{
+  public:
+    SerialWorker() = default;
+    ~SerialWorker();
+
+    SerialWorker(const SerialWorker &) = delete;
+    SerialWorker &operator=(const SerialWorker &) = delete;
+
+    /** Run @p fn on the worker thread. The worker must be idle:
+     *  every post() must be paired with a wait() before the next. */
+    void post(std::function<void()> fn);
+
+    /** Block until the posted task (if any) finished; rethrows the
+     *  exception it exited with, if any. Idempotent. */
+    void wait();
+
+  private:
+    void loop();
+
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void()> task;
+    bool busy = false;
+    bool stopping = false;
+    std::exception_ptr error;
+};
+
 } // namespace primepar
 
 #endif // PRIMEPAR_SUPPORT_PARALLEL_HH

@@ -50,9 +50,10 @@ struct BlockCase
 
     GraphResult
     run(const std::vector<PartitionSeq> &plan, Transport *transport,
-        RuntimeHealth *health, int threads = 1)
+        RuntimeHealth *health, int threads = 1, bool overlap = true)
     {
         SpmdGraphExecutor exec(graph, plan, 2, threads);
+        exec.setCommOverlap(overlap);
         installTransformerBlockTransforms(exec, cfg, 2);
         if (transport)
             exec.setTransport(transport);
@@ -290,6 +291,57 @@ TEST(Transport, ScheduledFaultForcesStepRollback)
     const GraphResult got = c.run(plan, &transport, &health);
     expectIdentical(got, ref);
     EXPECT_GE(health.stepRollbacks, 1);
+}
+
+TEST(Transport, PostedAheadFaultRollsBackOneStepLikeSync)
+{
+    // With overlap on, ring transfers for step t+1 are posted while
+    // step t computes. A fault that exhausts the retry budget of such
+    // a posted-ahead transfer surfaces at the step join — inside the
+    // same journal frame — so exactly one temporal step rolls back,
+    // the re-run recovers bit-identically, and the whole fault /
+    // retry / rollback trajectory matches the synchronous path.
+    BlockCase c;
+    const auto plan = defaultBlockPlan(c.graph, 2);
+    const GraphResult ref = c.run(plan, nullptr, nullptr);
+
+    TransportOptions topts;
+    FaultSpec spec;
+    ScheduledFault fault;
+    fault.kind = FaultKind::Corrupt;
+    fault.fires = topts.maxAttempts;
+    spec.schedule.push_back(fault);
+
+    RuntimeHealth sync_health;
+    {
+        InProcessTransport transport(
+            topts, std::make_shared<FaultInjector>(spec),
+            &sync_health);
+        const GraphResult got = c.run(plan, &transport, &sync_health,
+                                      /*threads=*/1,
+                                      /*overlap=*/false);
+        expectIdentical(got, ref);
+    }
+    EXPECT_GE(sync_health.stepRollbacks, 1);
+
+    for (const int threads : {1, 0}) {
+        RuntimeHealth health;
+        InProcessTransport transport(
+            topts, std::make_shared<FaultInjector>(spec), &health);
+        const GraphResult got =
+            c.run(plan, &transport, &health, threads,
+                  /*overlap=*/true);
+        expectIdentical(got, ref);
+        // The async pipeline keeps the synchronous transfer order, so
+        // the scheduled fault hits the same transfer and triggers the
+        // same single-step rollback.
+        EXPECT_EQ(health.stepRollbacks, sync_health.stepRollbacks);
+        EXPECT_EQ(health.corruptionsDetected +
+                      health.headerMismatches,
+                  sync_health.corruptionsDetected +
+                      sync_health.headerMismatches);
+        EXPECT_EQ(health.retries, sync_health.retries);
+    }
 }
 
 TEST(Transport, PermanentDeviceFailureRaises)

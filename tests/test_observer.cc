@@ -51,7 +51,8 @@ struct CountingObserver : RuntimeObserver
         ++spans;
     }
     void
-    onTransfer(const TransferTag &, std::int64_t, int, double) override
+    onTransfer(const TransferTag &, std::int64_t, std::int64_t, int,
+               double) override
     {
         ++transfers;
     }
@@ -126,7 +127,7 @@ TEST(Observer, ChainFansOutToEveryMember)
     chain.onStepBegin(0);
     chain.onStepEnd(0, 1.0);
     chain.onSpan(0, SpanKind::Compute, "x", 0.0, 1.0);
-    chain.onTransfer(TransferTag{}, 64, 1, 1.0);
+    chain.onTransfer(TransferTag{}, 64, 64, 1, 1.0);
     chain.onFault(FaultEvent{});
     chain.onRollback(0);
     Tensor t(Shape{1});
