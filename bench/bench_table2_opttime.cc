@@ -20,7 +20,18 @@
  *
  *    bench_table2_opttime --sweep [--json FILE] [--devices 4,8,16]
  *                         [--threads 1,2,4] \
- *                         [--models "OPT 6.7B,Llama2 7B"]
+ *                         [--models "OPT 6.7B,Llama2 7B"] \
+ *                         [--prune on|off|both] [--beam N]
+ *
+ *    The sweep scales to big topologies (--devices 512,1024,...,4096):
+ *    above 64 devices it bounds the per-operator space
+ *    (maxTemporalSteps = 8, then 4 above 1024 devices), narrows the
+ *    pruning pilot to 8 candidates, and defaults to the certified-gap
+ *    beam (16 wide up to 1024 devices, 8 above), since the exhaustive
+ *    space there holds 10^5-10^8 sequences per operator. `--prune
+ *    both` runs each cell with and without dominance pruning — the
+ *    A/B column behind BENCH_planner.json — and verifies that the
+ *    two agree bit-identically whenever no beam truncation occurred.
  */
 
 #include <benchmark/benchmark.h>
@@ -33,6 +44,8 @@
 #include <vector>
 
 #include "common.hh"
+#include "runtime/errors.hh"
+#include "support/bits.hh"
 #include "support/parallel.hh"
 
 using namespace primepar;
@@ -86,7 +99,21 @@ struct SweepOptions
     std::vector<int> devices{4, 8, 16};
     std::vector<int> threads;
     std::vector<ModelConfig> models;
+    int pruneMode = 1;  // 0 = off, 1 = on, 2 = both (A/B)
+    int beamWidth = -1; // -1 = auto by device count
 };
+
+/** Beam default: exact up to 64 devices, then narrow with scale so
+ *  the 4096-device cell stays under a minute. Catalog evaluation cost
+ *  per candidate and traffic cost per class pair both grow with the
+ *  device count, so the beam must *shrink* as the topology grows. */
+int
+autoBeamWidth(int devices)
+{
+    if (devices <= 64)
+        return 0;
+    return devices <= 1024 ? 16 : 8;
+}
 
 std::vector<int>
 parseIntList(const char *text)
@@ -117,6 +144,8 @@ struct SweepCell
     std::string model;
     int devices = 0;
     int numThreads = 0; // resolved
+    bool pruned = true;
+    int beamWidth = 0;
     DpResult result;
 };
 
@@ -124,11 +153,21 @@ int
 runSweep(const SweepOptions &opts)
 {
     std::vector<SweepCell> cells;
-    bool deterministic = true;
+    bool consistent = true;
 
     TextTable table;
-    table.header({"model", "devices", "threads", "search ms",
-                  "catalog ms", "tables ms", "dp ms", "speedup"});
+    table.header({"model", "devices", "threads", "prune", "search ms",
+                  "catalog ms", "pilot ms", "tables ms", "dp ms",
+                  "gap %", "speedup"});
+
+    // Exhaustive (prune off) first so the speedup column reads as the
+    // pruning gain; within a mode, later thread counts read as thread
+    // scaling.
+    std::vector<bool> prune_modes;
+    if (opts.pruneMode != 1)
+        prune_modes.push_back(false);
+    if (opts.pruneMode != 0)
+        prune_modes.push_back(true);
 
     for (const ModelConfig &model : opts.models) {
         for (const int devices : opts.devices) {
@@ -136,48 +175,82 @@ runSweep(const SweepOptions &opts)
                 ClusterTopology::paperCluster(devices);
             const CostModel cost(topo, profileModels(topo));
             const CompGraph graph = buildTransformerBlock(model, 8);
+            const int beam = opts.beamWidth >= 0
+                                 ? opts.beamWidth
+                                 : autoBeamWidth(devices);
 
-            DpResult baseline;
+            DpResult baseline; // first run of this (model, devices)
             bool have_baseline = false;
             double baseline_ms = 0.0;
-            for (const int threads : opts.threads) {
-                DpOptions dp;
-                dp.numLayers = model.numLayers;
-                dp.numThreads = threads;
-                const DpResult r =
-                    SegmentedDpOptimizer(graph, cost, dp).optimize();
-
-                SweepCell cell;
-                cell.model = model.name;
-                cell.devices = devices;
-                cell.numThreads = resolveNumThreads(threads);
-                cell.result = r;
-
-                if (!have_baseline) {
-                    baseline_ms = r.optimizationMs;
-                } else if (r.layerCost != baseline.layerCost ||
-                           r.totalCost != baseline.totalCost ||
-                           r.strategies != baseline.strategies) {
-                    deterministic = false;
+            for (const bool pruned : prune_modes) {
+                if (!pruned && devices > 64) {
                     std::fprintf(stderr,
-                                 "DETERMINISM VIOLATION: %s @ %d "
-                                 "devices, %d threads diverges from "
-                                 "the single-thread plan\n",
-                                 model.name.c_str(), devices,
-                                 cell.numThreads);
+                                 "warning: exhaustive planning at %d "
+                                 "devices may take hours\n",
+                                 devices);
                 }
-                table.row({model.name, std::to_string(devices),
-                           std::to_string(cell.numThreads),
-                           fmtDouble(r.optimizationMs, 1),
-                           fmtDouble(r.catalogMs, 1),
-                           fmtDouble(r.edgeTableMs, 1),
-                           fmtDouble(r.dpMs, 1),
-                           fmtDouble(baseline_ms / r.optimizationMs,
-                                     2)});
-                cells.push_back(std::move(cell));
-                if (!have_baseline) {
-                    baseline = r;
-                    have_baseline = true;
+                for (const int threads : opts.threads) {
+                    DpOptions dp;
+                    dp.numLayers = model.numLayers;
+                    dp.numThreads = threads;
+                    dp.pruneDominated = pruned;
+                    dp.beamWidth = beam;
+                    if (devices > 64) {
+                        // Big-topology bounds: cap the per-operator
+                        // temporal depth and narrow the pilot (any
+                        // pilotWidth >= 1 keeps pruning exact; a
+                        // pilot as wide as the beam would redo the
+                        // full table work a second time).
+                        dp.space.maxTemporalSteps =
+                            devices > 1024 ? 4 : 8;
+                        dp.pilotWidth = 8;
+                    }
+                    const DpResult r =
+                        SegmentedDpOptimizer(graph, cost, dp)
+                            .optimize();
+
+                    SweepCell cell;
+                    cell.model = model.name;
+                    cell.devices = devices;
+                    cell.numThreads = resolveNumThreads(threads);
+                    cell.pruned = pruned;
+                    cell.beamWidth = beam;
+                    cell.result = r;
+
+                    if (!have_baseline) {
+                        baseline_ms = r.optimizationMs;
+                    } else if (!r.truncated && !baseline.truncated &&
+                               (r.layerCost != baseline.layerCost ||
+                                r.totalCost != baseline.totalCost ||
+                                r.strategies != baseline.strategies)) {
+                        // Exact runs must agree bit-identically across
+                        // thread counts AND across prune on/off.
+                        consistent = false;
+                        std::fprintf(
+                            stderr,
+                            "CONSISTENCY VIOLATION: %s @ %d devices, "
+                            "%d threads, prune %s diverges from the "
+                            "first exact plan\n",
+                            model.name.c_str(), devices,
+                            cell.numThreads, pruned ? "on" : "off");
+                    }
+                    table.row({model.name, std::to_string(devices),
+                               std::to_string(cell.numThreads),
+                               pruned ? "on" : "off",
+                               fmtDouble(r.optimizationMs, 1),
+                               fmtDouble(r.catalogMs, 1),
+                               fmtDouble(r.pilotMs, 1),
+                               fmtDouble(r.edgeTableMs, 1),
+                               fmtDouble(r.dpMs, 1),
+                               fmtDouble(r.gapPct, 2),
+                               fmtDouble(baseline_ms /
+                                             r.optimizationMs,
+                                         2)});
+                    cells.push_back(std::move(cell));
+                    if (!have_baseline) {
+                        baseline = r;
+                        have_baseline = true;
+                    }
                 }
             }
         }
@@ -188,18 +261,27 @@ runSweep(const SweepOptions &opts)
         std::ostringstream os;
         os << "{\n  \"host_threads\": " << hardwareConcurrency()
            << ",\n  \"deterministic\": "
-           << (deterministic ? "true" : "false") << ",\n  \"results\": [";
+           << (consistent ? "true" : "false") << ",\n  \"results\": [";
         for (std::size_t i = 0; i < cells.size(); ++i) {
             const SweepCell &c = cells[i];
+            const DpResult &r = c.result;
             os << (i ? "," : "") << "\n    {\"model\": \"" << c.model
                << "\", \"devices\": " << c.devices
                << ", \"num_threads\": " << c.numThreads
-               << ", \"search_ms\": " << c.result.optimizationMs
-               << ", \"catalog_ms\": " << c.result.catalogMs
-               << ", \"table_ms\": " << c.result.edgeTableMs
-               << ", \"dp_ms\": " << c.result.dpMs
-               << ", \"layer_cost_us\": " << c.result.layerCost
-               << ", \"total_cost_us\": " << c.result.totalCost << "}";
+               << ", \"prune\": " << (c.pruned ? "true" : "false")
+               << ", \"beam_width\": " << c.beamWidth
+               << ", \"search_ms\": " << r.optimizationMs
+               << ", \"catalog_ms\": " << r.catalogMs
+               << ", \"pilot_ms\": " << r.pilotMs
+               << ", \"table_ms\": " << r.edgeTableMs
+               << ", \"dp_ms\": " << r.dpMs
+               << ", \"candidates_total\": " << r.candidatesTotal
+               << ", \"candidates_kept\": " << r.candidatesKept
+               << ", \"states_pruned\": " << r.statesPruned
+               << ", \"truncated\": " << (r.truncated ? "true" : "false")
+               << ", \"gap_pct\": " << r.gapPct
+               << ", \"layer_cost_us\": " << r.layerCost
+               << ", \"total_cost_us\": " << r.totalCost << "}";
         }
         os << "\n  ]\n}\n";
         std::ofstream out(opts.jsonPath);
@@ -211,7 +293,7 @@ runSweep(const SweepOptions &opts)
         out << os.str();
         std::printf("wrote %s\n", opts.jsonPath.c_str());
     }
-    return deterministic ? 0 : 1;
+    return consistent ? 0 : 1;
 }
 
 } // namespace
@@ -239,7 +321,7 @@ BENCHMARK(BM_Optimize_Bloom)
     ->Iterations(1);
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     SweepOptions sweep;
     bool sweep_mode = false;
@@ -262,6 +344,20 @@ main(int argc, char **argv)
             sweep.devices = parseIntList(next());
         } else if (std::strcmp(argv[i], "--threads") == 0) {
             sweep.threads = parseIntList(next());
+        } else if (std::strcmp(argv[i], "--prune") == 0) {
+            const std::string mode = next();
+            if (mode == "off")
+                sweep.pruneMode = 0;
+            else if (mode == "on")
+                sweep.pruneMode = 1;
+            else if (mode == "both")
+                sweep.pruneMode = 2;
+            else
+                throw InputError("--prune must be on, off or both "
+                                 "(got '" +
+                                 mode + "')");
+        } else if (std::strcmp(argv[i], "--beam") == 0) {
+            sweep.beamWidth = std::atoi(next());
         } else if (std::strcmp(argv[i], "--models") == 0) {
             model_names.clear();
             std::stringstream ss(next());
@@ -271,6 +367,17 @@ main(int argc, char **argv)
         }
     }
     if (sweep_mode) {
+        for (const int d : sweep.devices) {
+            if (d < 1 || !isPowerOfTwo(d)) {
+                throw InputError(
+                    "--devices entries must be positive powers of two "
+                    "(got " +
+                    std::to_string(d) +
+                    "); the paper cluster tiles 2^k devices");
+            }
+        }
+        if (sweep.beamWidth > 0 && sweep.beamWidth < 2)
+            throw InputError("--beam must be 0 (exact) or >= 2");
         if (sweep.threads.empty())
             sweep.threads = defaultThreadSweep();
         for (const std::string &name : model_names)
@@ -282,4 +389,15 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const InputError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 }

@@ -11,6 +11,7 @@
  *   primepar_plan [--model "<name>"] [--devices N] [--batch B]
  *                 [--alpha A] [--layers L] [--threads T] [--no-psquare]
  *                 [--no-batch-dim] [--trace FILE.json] [--compare]
+ *                 [--no-prune] [--beam-width N] [--metrics-out F.json]
  *
  * Model names: "OPT 6.7B", "OPT 175B", "Llama2 7B", "Llama2 70B",
  * "BLOOM 7B1", "BLOOM 176B".
@@ -40,7 +41,11 @@ struct Options
     bool psquare = true;
     bool batchDim = true;
     bool compare = false;
+    bool prune = true;  // exact dominance pruning (A/B: --no-prune)
+    int beamWidth = 0;  // 0 = exact; > 0 = certified-gap beam
+    int maxTemporalSteps = 0; // 0 = unbounded per-operator space
     std::string traceFile;
+    std::string metricsFile;
 };
 
 Options
@@ -77,6 +82,14 @@ parseArgs(int argc, char **argv)
             opts.compare = true;
         } else if (arg == "--trace") {
             opts.traceFile = next();
+        } else if (arg == "--no-prune") {
+            opts.prune = false;
+        } else if (arg == "--beam-width") {
+            opts.beamWidth = std::atoi(next());
+        } else if (arg == "--max-temporal-steps") {
+            opts.maxTemporalSteps = std::atoi(next());
+        } else if (arg == "--metrics-out") {
+            opts.metricsFile = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: primepar_plan [--model NAME] [--devices N] "
@@ -85,7 +98,10 @@ parseArgs(int argc, char **argv)
                 " [--threads T]\n"
                 "                     [--no-psquare] [--no-batch-dim]"
                 " [--trace F.json]\n"
-                "                     [--compare]\n");
+                "                     [--compare] [--no-prune]"
+                " [--beam-width N]\n"
+                "                     [--max-temporal-steps K]"
+                " [--metrics-out F.json]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument %s (try --help)\n",
@@ -93,9 +109,23 @@ parseArgs(int argc, char **argv)
             std::exit(2);
         }
     }
-    if (!isPowerOfTwo(opts.devices)) {
-        std::fprintf(stderr, "--devices must be a power of two\n");
-        std::exit(2);
+    if (opts.devices < 1 || !isPowerOfTwo(opts.devices)) {
+        throw InputError("--devices must be a positive power of two "
+                         "(got " +
+                         std::to_string(opts.devices) +
+                         "); the paper cluster tiles 2^k devices");
+    }
+    if (opts.beamWidth < 0) {
+        throw InputError("--beam-width must be >= 0 (got " +
+                         std::to_string(opts.beamWidth) + ")");
+    }
+    if (opts.maxTemporalSteps < 0 ||
+        (opts.maxTemporalSteps != 0 &&
+         !isPowerOfTwo(opts.maxTemporalSteps))) {
+        throw InputError(
+            "--max-temporal-steps must be 0 (unbounded) or a power of "
+            "two (got " +
+            std::to_string(opts.maxTemporalSteps) + ")");
     }
     return opts;
 }
@@ -103,7 +133,7 @@ parseArgs(int argc, char **argv)
 } // namespace
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
     ModelConfig model = modelByName(opts.model);
@@ -122,18 +152,29 @@ main(int argc, char **argv)
     const CostModel cost(topo, profileModels(topo), opts.alpha);
     const CompGraph graph = buildTransformerBlock(model, opts.batch);
 
+    MetricsRegistry metrics;
     DpOptions dp;
     dp.numLayers = model.numLayers;
     dp.numThreads = opts.threads;
     dp.space.allowPSquare = opts.psquare;
     if (!opts.batchDim)
         dp.space.excludedDims = {0};
+    dp.pruneDominated = opts.prune;
+    dp.beamWidth = opts.beamWidth;
+    if (opts.maxTemporalSteps > 0)
+        dp.space.maxTemporalSteps = opts.maxTemporalSteps;
+    dp.metrics = &metrics;
     const DpResult plan = SegmentedDpOptimizer(graph, cost, dp).optimize();
 
     std::printf("strategy (search took %.1f ms: catalogs %.1f, "
-                "edge tables %.1f, DP %.1f):\n",
-                plan.optimizationMs, plan.catalogMs, plan.edgeTableMs,
-                plan.dpMs);
+                "pilot %.1f, edge tables %.1f, DP %.1f):\n",
+                plan.optimizationMs, plan.catalogMs, plan.pilotMs,
+                plan.edgeTableMs, plan.dpMs);
+    if (plan.truncated) {
+        std::printf("  beam width %d truncated the space: cost is "
+                    "within %.2f%% of optimal (certified)\n",
+                    opts.beamWidth, plan.gapPct);
+    }
     for (int n = 0; n < graph.numNodes(); ++n) {
         std::printf("  %-10s %s\n", graph.node(n).name.c_str(),
                     plan.strategies[n].toString(graph.node(n)).c_str());
@@ -183,5 +224,22 @@ main(int argc, char **argv)
         add("Alpa-like", alpa.strategies);
         std::printf("%s", table.render().c_str());
     }
+
+    if (!opts.metricsFile.empty()) {
+        saveJsonFile(opts.metricsFile, metrics.snapshotJson());
+        std::printf("planner metrics written to %s\n",
+                    opts.metricsFile.c_str());
+    }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const InputError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
 }

@@ -2,17 +2,31 @@
 # Validate the runtime microbench JSON emitted by `bench_micro --json`.
 #
 # Usage: bench_check.sh <bench_micro binary> [output.json]
+#        bench_check.sh --planner <bench_table2_opttime> [output.json]
 #
-# Runs the bench in --quick mode, then checks that the output is valid
-# JSON with the primepar-bench-runtime-v1 schema, that no timing is
-# NaN/absent, that every kernel matched its naive reference exactly,
-# and that results were bit-identical across thread counts. Wired as an
-# optional ctest with the `bench` label (ctest -L bench).
+# Default mode runs the microbench in --quick mode, then checks that
+# the output is valid JSON with the primepar-bench-runtime-v1 schema,
+# that no timing is NaN/absent, that every kernel matched its naive
+# reference exactly, and that results were bit-identical across thread
+# counts.
+#
+# --planner (the `planner_opttime` gate) runs the planner A/B sweep at
+# the largest cell where the exhaustive baseline is still tractable on
+# a CI host (32 devices, OPT 6.7B, one thread), and fails unless
+# dominance pruning is at least 5x faster than the exhaustive planner
+# while producing a bit-identical plan. Both are wired as optional
+# ctests with the `bench` label (ctest -L bench).
 
 set -eu
 
+MODE=micro
+if [ "${1:-}" = "--planner" ]; then
+    MODE=planner
+    shift
+fi
+
 if [ "$#" -lt 1 ]; then
-    echo "usage: $0 <bench_micro binary> [output.json]" >&2
+    echo "usage: $0 [--planner] <bench binary> [output.json]" >&2
     exit 2
 fi
 
@@ -21,6 +35,59 @@ OUT="${2:-$(mktemp /tmp/bench_runtime.XXXXXX.json)}"
 
 if ! command -v python3 > /dev/null 2>&1; then
     echo "bench_check: python3 not available, skipping validation" >&2
+    exit 0
+fi
+
+if [ "$MODE" = "planner" ]; then
+    "$BENCH" --sweep --devices "${PLANNER_DEVICES:-32}" --threads 1 \
+        --models "OPT 6.7B" --prune both --json "$OUT"
+
+    python3 - "$OUT" <<'EOF'
+import json
+import math
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit(f"bench_check: {msg}")
+
+if doc.get("deterministic") is not True:
+    fail("planner results diverged across prune modes / thread counts")
+results = doc.get("results")
+if not isinstance(results, list) or not results:
+    fail("planner results missing or empty")
+for r in results:
+    for field in ("search_ms", "catalog_ms", "pilot_ms", "table_ms",
+                  "dp_ms", "layer_cost_us", "total_cost_us", "gap_pct"):
+        v = r.get(field)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                or math.isnan(v) or math.isinf(v):
+            fail(f"results[].{field} is not finite: {v!r}")
+    if r["search_ms"] <= 0:
+        fail("results[].search_ms not positive")
+    if not r.get("truncated") and r["gap_pct"] != 0:
+        fail("untruncated run reported a nonzero optimality gap")
+
+devices = max(r["devices"] for r in results)
+off = [r for r in results if r["devices"] == devices and not r["prune"]]
+on = [r for r in results if r["devices"] == devices and r["prune"]]
+if not off or not on:
+    fail(f"missing prune on/off pair at {devices} devices")
+speedup = off[0]["search_ms"] / on[0]["search_ms"]
+if speedup < 5.0:
+    fail(f"pruning speedup {speedup:.2f}x at {devices} devices is "
+         f"below the 5x budget (exhaustive {off[0]['search_ms']:.0f} "
+         f"ms, pruned {on[0]['search_ms']:.0f} ms)")
+if on[0]["candidates_kept"] >= on[0]["candidates_total"]:
+    fail("pruning kept the whole space — the fast path did nothing")
+print(f"bench_check: OK (planner {speedup:.1f}x at {devices} devices: "
+      f"exhaustive {off[0]['search_ms']:.0f} ms -> pruned "
+      f"{on[0]['search_ms']:.0f} ms, kept "
+      f"{on[0]['candidates_kept']}/{on[0]['candidates_total']} "
+      f"candidates, plans bit-identical)")
+EOF
     exit 0
 fi
 

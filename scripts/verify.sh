@@ -12,13 +12,15 @@
 #      primepar_train run must produce a valid Chrome-trace JSON and a
 #      parseable metrics snapshot.
 #   3. Configure + build a sanitizer tree (build-asan/) with
-#      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the fault-
-#      and codec-labelled tests there (ctest -L 'fault|codec') — the
-#      transport's retry/rollback paths move buffers across emulated
-#      device boundaries, the async executor posts transfers into
-#      recycled pool buffers while compute runs, and the codecs do raw
-#      byte-level bit packing: exactly where lifetime and
-#      out-of-bounds bugs would hide.
+#      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the fault-,
+#      codec- and planner-labelled tests there
+#      (ctest -L 'fault|codec|planner') — the transport's
+#      retry/rollback paths move buffers across emulated device
+#      boundaries, the async executor posts transfers into recycled
+#      pool buffers while compute runs, the codecs do raw byte-level
+#      bit packing, and the pruned planner indexes dense edge tables
+#      through candidate-position indirection: exactly where lifetime
+#      and out-of-bounds bugs would hide.
 #
 # --quick skips the sanitizer rebuild when build-asan/ is already
 # configured. Exits non-zero on the first failure.
@@ -103,10 +105,10 @@ if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then
         -DPRIMEPAR_SANITIZE=ON > /dev/null
 fi
 cmake --build "$ROOT/build-asan" -j"$(nproc)" \
-    --target test_fault test_codec
+    --target test_fault test_codec test_optimizer
 
-echo "== sanitizer: fault + codec tests (ctest -L 'fault|codec') =="
+echo "== sanitizer: fault + codec + planner tests =="
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-    -L 'fault|codec' -j"$(nproc)"
+    -L 'fault|codec|planner' -j"$(nproc)"
 
 echo "verify.sh: all gates passed"

@@ -269,6 +269,254 @@ CostModel::trafficSplit(const TensorLayout &have,
     return trafficSplit(prepareSource(have), need);
 }
 
+CostModel::PreparedSourceGrid
+CostModel::prepareSourceGrid(const TensorLayout &have) const
+{
+    PreparedSourceGrid grid;
+    grid.flat = prepareSource(have);
+    const int num_boxes = static_cast<int>(grid.flat.boxes.size());
+    grid.dims = num_boxes > 0
+                    ? static_cast<int>(grid.flat.boxes[0].size())
+                    : 0;
+
+    grid.boxOfDevice.assign(
+        static_cast<std::size_t>(have.numDevices()), -1);
+    for (std::size_t b = 0; b < grid.flat.holders.size(); ++b) {
+        for (const std::int64_t dev : grid.flat.holders[b])
+            grid.boxOfDevice[dev] = static_cast<std::int32_t>(b);
+    }
+
+    grid.maskWords = (topo.numNodes() + 63) / 64;
+    grid.nodeMask.assign(
+        static_cast<std::size_t>(num_boxes) * grid.maskWords, 0);
+    for (int b = 0; b < num_boxes; ++b) {
+        for (const std::int64_t h : grid.flat.holders[b]) {
+            const int node = topo.nodeOf(h);
+            grid.nodeMask[static_cast<std::size_t>(b) * grid.maskWords +
+                          node / 64] |= std::uint64_t{1} << (node % 64);
+        }
+    }
+
+    // Per-dim realized intervals; the grid index is only usable when
+    // they are pairwise disjoint (they always are for layoutOf()
+    // layouts, where each dim carries one slice partition).
+    grid.gridValid = true;
+    grid.intervals.resize(grid.dims);
+    grid.tuple.assign(static_cast<std::size_t>(num_boxes) * grid.dims,
+                      -1);
+    for (int d = 0; d < grid.dims && grid.gridValid; ++d) {
+        std::map<SliceRange, std::int32_t> ids;
+        for (int b = 0; b < num_boxes; ++b)
+            ids.emplace(grid.flat.boxes[b][d], 0);
+        auto &ivs = grid.intervals[d];
+        ivs.reserve(ids.size());
+        std::int32_t id = 0;
+        for (auto &[range, assigned] : ids) {
+            if (!ivs.empty() && ivs.back().end > range.start) {
+                grid.gridValid = false;
+                break;
+            }
+            assigned = id++;
+            ivs.push_back(range);
+        }
+        if (!grid.gridValid)
+            break;
+        for (int b = 0; b < num_boxes; ++b) {
+            grid.tuple[static_cast<std::size_t>(b) * grid.dims + d] =
+                ids[grid.flat.boxes[b][d]];
+        }
+    }
+    if (grid.gridValid) {
+        grid.order.resize(num_boxes);
+        for (int b = 0; b < num_boxes; ++b)
+            grid.order[b] = b;
+        const std::int32_t *tuple = grid.tuple.data();
+        const int dims = grid.dims;
+        std::sort(grid.order.begin(), grid.order.end(),
+                  [tuple, dims](std::int32_t a, std::int32_t b) {
+                      for (int d = 0; d < dims; ++d) {
+                          const std::int32_t ta = tuple[a * dims + d];
+                          const std::int32_t tb = tuple[b * dims + d];
+                          if (ta != tb)
+                              return ta < tb;
+                      }
+                      return a < b;
+                  });
+    }
+    return grid;
+}
+
+CostModel::PreparedNeed
+CostModel::prepareNeed(const TensorLayout &need) const
+{
+    PreparedNeed out;
+    out.layout = need;
+    std::map<std::vector<SliceRange>, std::int32_t> box_ids;
+    std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t>
+        group_ids;
+    for (std::int64_t dev = 0; dev < need.numDevices(); ++dev) {
+        const auto [bit, binserted] = box_ids.emplace(
+            need.deviceBox[dev],
+            static_cast<std::int32_t>(out.boxes.size()));
+        if (binserted)
+            out.boxes.push_back(need.deviceBox[dev]);
+        const std::int32_t node = topo.nodeOf(dev);
+        const auto [git, ginserted] = group_ids.emplace(
+            std::make_pair(bit->second, node),
+            static_cast<std::int32_t>(out.groups.size()));
+        if (ginserted) {
+            PreparedNeed::Group g;
+            g.box = bit->second;
+            g.node = node;
+            out.groups.push_back(std::move(g));
+        }
+        out.groups[git->second].devices.push_back(
+            static_cast<std::int32_t>(dev));
+    }
+    return out;
+}
+
+CostModel::TrafficSplit
+CostModel::trafficSplitFast(const PreparedSourceGrid &have,
+                            const PreparedNeed &need) const
+{
+    if (!have.gridValid)
+        return trafficSplit(have.flat, need.layout);
+
+    TrafficSplit split;
+    const int dims = have.dims;
+    std::vector<std::int32_t> lo(dims), hi(dims);
+    std::vector<std::vector<std::int64_t>> ovl(dims);
+
+    for (const PreparedNeed::Group &g : need.groups) {
+        const auto &need_box = need.boxes[g.box];
+
+        // Per-dim overlapping interval-id ranges and overlap lengths.
+        bool empty = false;
+        for (int d = 0; d < dims; ++d) {
+            const auto &ivs = have.intervals[d];
+            const SliceRange &nr = need_box[d];
+            // First interval with end > nr.start.
+            const auto first = std::upper_bound(
+                ivs.begin(), ivs.end(), nr.start,
+                [](std::int64_t s, const SliceRange &r) {
+                    return s < r.end;
+                });
+            // First interval with start >= nr.end.
+            const auto last = std::lower_bound(
+                first, ivs.end(), nr.end,
+                [](const SliceRange &r, std::int64_t e) {
+                    return r.start < e;
+                });
+            lo[d] = static_cast<std::int32_t>(first - ivs.begin());
+            hi[d] = static_cast<std::int32_t>(last - ivs.begin());
+            if (lo[d] >= hi[d]) {
+                empty = true;
+                break;
+            }
+            ovl[d].assign(hi[d] - lo[d], 0);
+            for (std::int32_t id = lo[d]; id < hi[d]; ++id)
+                ovl[d][id - lo[d]] = nr.intersect(ivs[id]);
+        }
+
+        std::int64_t group_intra = 0, group_inter = 0;
+        if (!empty) {
+            // Walk the lex-sorted boxes, narrowing to the tuple
+            // rectangle one dim at a time.
+            const std::int32_t *tuple = have.tuple.data();
+            const auto descend = [&](auto &&self, int level,
+                                     std::int32_t b0, std::int32_t b1,
+                                     std::int64_t vol) -> void {
+                if (level == dims) {
+                    for (std::int32_t i = b0; i < b1; ++i) {
+                        const std::int32_t box = have.order[i];
+                        const std::uint64_t word =
+                            have.nodeMask[static_cast<std::size_t>(
+                                              box) *
+                                              have.maskWords +
+                                          g.node / 64];
+                        if (word & (std::uint64_t{1} << (g.node % 64)))
+                            group_intra += vol;
+                        else
+                            group_inter += vol;
+                    }
+                    return;
+                }
+                for (std::int32_t id = lo[level]; id < hi[level];
+                     ++id) {
+                    const auto cmp = [&](std::int32_t box,
+                                         std::int32_t v) {
+                        return tuple[box * dims + level] < v;
+                    };
+                    const auto s0 = std::lower_bound(
+                        have.order.begin() + b0,
+                        have.order.begin() + b1, id, cmp);
+                    const auto s1 = std::lower_bound(
+                        s0, have.order.begin() + b1, id + 1, cmp);
+                    if (s0 != s1) {
+                        self(self, level + 1,
+                             static_cast<std::int32_t>(
+                                 s0 - have.order.begin()),
+                             static_cast<std::int32_t>(
+                                 s1 - have.order.begin()),
+                             vol * ovl[level][id - lo[level]]);
+                    }
+                }
+            };
+            descend(descend, 0, 0,
+                    static_cast<std::int32_t>(have.order.size()), 1);
+        }
+
+        // Each member device's own box was classified intra above
+        // (the device itself is a same-node holder); the slow path
+        // skips it entirely, so subtract its overlap.
+        for (const std::int32_t dev : g.devices) {
+            const std::int32_t own = have.boxOfDevice[dev];
+            std::int64_t own_vol = own >= 0 ? 1 : 0;
+            if (own >= 0) {
+                const auto &own_box = have.flat.boxes[own];
+                for (int d = 0; d < dims && own_vol != 0; ++d)
+                    own_vol *= need_box[d].intersect(own_box[d]);
+            }
+            split.intraNode += group_intra - own_vol;
+            split.interNode += group_inter;
+        }
+    }
+    return split;
+}
+
+double
+CostModel::computeFloorUs(const OpSpec &op) const
+{
+    const double devices =
+        static_cast<double>(std::int64_t{1} << topo.numBits());
+    // Temporal steps divide the per-step kernel size; with 2k of n
+    // bits spent on a PSquare the step count is at most 2^(n/2).
+    const double max_steps = static_cast<double>(
+        std::int64_t{1} << (topo.numBits() / 2));
+    double floor_us = 0.0;
+    for (const PassSpec &pass : op.passes) {
+        const double flops = op.passFlops(pass) / devices;
+        double bytes = 0.0;
+        for (const TensorRef &ref : pass.operands)
+            bytes += op.tensorNumel(ref.tensor) * op.bytesPerElement;
+        bytes += op.tensorNumel(pass.output.tensor) * op.bytesPerElement;
+        bytes /= devices;
+        const bool math_bound =
+            op.kind == "linear" || op.kind == "matmul";
+        const LinearModel &m =
+            math_bound ? models.matmulKernel : models.memoryKernel;
+        const double x = math_bound ? flops : bytes;
+        // sum_t kernel(x / steps) = steps * intercept + slope * x is
+        // monotone in steps for nonneg intercepts; guard against a
+        // fitted negative intercept by evaluating both extremes.
+        const double at_one = m(x);
+        const double at_max = max_steps * m.intercept + m.slope * x;
+        floor_us += std::max(0.0, std::min(at_one, at_max));
+    }
+    return floor_us;
+}
+
 double
 CostModel::redistLatencyUs(double intra_bytes, double inter_bytes) const
 {

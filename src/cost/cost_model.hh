@@ -87,6 +87,73 @@ class CostModel
     TrafficSplit trafficSplit(const TensorLayout &have,
                               const TensorLayout &need) const;
 
+    /**
+     * Grid-indexed source view for the fast traffic path. Layouts
+     * produced by layoutOf() are (partial) product grids: every box is
+     * a product of per-dimension intervals drawn from one disjoint
+     * interval set per dimension. Indexing the realized boxes by their
+     * interval-id tuples turns the per-destination "intersect every
+     * source box" scan of trafficSplit() into an orthogonal range
+     * query over only the overlapping boxes. When the structure checks
+     * fail (overlapping per-dim intervals), gridValid is false and
+     * evaluation falls back to the exact slow path — the fast path is
+     * an *exact* reformulation, never an approximation.
+     */
+    struct PreparedSourceGrid
+    {
+        PreparedSource flat; ///< always valid; slow-path fallback
+        bool gridValid = false;
+        int dims = 0;
+        /** Per dim: sorted, pairwise-disjoint realized intervals. */
+        std::vector<std::vector<SliceRange>> intervals;
+        /** Per box: interval id per dim ([box * dims + d]). */
+        std::vector<std::int32_t> tuple;
+        /** Box indices sorted lexicographically by tuple. */
+        std::vector<std::int32_t> order;
+        /** Bitmask over nodes holding a replica ([box*maskWords+w]). */
+        int maskWords = 0;
+        std::vector<std::uint64_t> nodeMask;
+        /** Each device's own box index. */
+        std::vector<std::int32_t> boxOfDevice;
+    };
+
+    /** Build the grid view (uses the topology for node masks). */
+    PreparedSourceGrid prepareSourceGrid(const TensorLayout &have) const;
+
+    /**
+     * Destination view for the fast traffic path: devices grouped by
+     * (need box, node) — all members see identical remote traffic, so
+     * the range query runs once per group.
+     */
+    struct PreparedNeed
+    {
+        TensorLayout layout; ///< kept for the slow-path fallback
+        std::vector<std::vector<SliceRange>> boxes; ///< distinct
+        struct Group
+        {
+            std::int32_t box = 0;
+            std::int32_t node = 0;
+            std::vector<std::int32_t> devices;
+        };
+        std::vector<Group> groups;
+    };
+
+    /** Build the destination view. */
+    PreparedNeed prepareNeed(const TensorLayout &need) const;
+
+    /** Exact fast traffic split; bit-identical to trafficSplit(). */
+    TrafficSplit trafficSplitFast(const PreparedSourceGrid &have,
+                                  const PreparedNeed &need) const;
+
+    /**
+     * Admissible lower bound on the weighted intra cost of *any*
+     * partition sequence of @p op on this topology: the summed
+     * per-pass kernel latency at maximal parallelism, with every
+     * communication and memory term dropped. Used to certify the
+     * reported cost gap of the planner's approximate beam mode.
+     */
+    double computeFloorUs(const OpSpec &op) const;
+
     /** Fitted redistribution latency for the given traffic. */
     double redistLatencyUs(double intra_bytes, double inter_bytes) const;
 

@@ -26,6 +26,54 @@ evaluateCatalog(NodeCatalog &catalog, const OpSpec &op,
     });
 }
 
+/** Enumeration over-collects this factor past the budget, so the
+ *  final keep-best cut runs on *evaluated* intra costs rather than the
+ *  structural surrogate score alone. */
+constexpr int kBeamOvercollect = 4;
+
+SpaceOptions
+enumerationOptions(const SpaceOptions &opts)
+{
+    SpaceOptions e = opts;
+    if (e.candidateBudget > 0)
+        e.candidateBudget *= kBeamOvercollect;
+    return e;
+}
+
+/** Keep the @p budget cheapest sequences by evaluated intra cost
+ *  (ties: lower index), preserving the original sequence order. */
+void
+trimToBudget(NodeCatalog &catalog, int budget)
+{
+    if (budget <= 0 || catalog.size() <= budget)
+        return;
+    std::vector<int> idx(catalog.seqs.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = static_cast<int>(i);
+    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+        return catalog.intraCost[a] < catalog.intraCost[b] ||
+               (catalog.intraCost[a] == catalog.intraCost[b] && a < b);
+    });
+    idx.resize(budget);
+    std::sort(idx.begin(), idx.end());
+
+    std::vector<PartitionSeq> seqs;
+    std::vector<std::unique_ptr<OpPlan>> plans;
+    std::vector<double> intra;
+    seqs.reserve(idx.size());
+    plans.reserve(idx.size());
+    intra.reserve(idx.size());
+    for (int i : idx) {
+        seqs.push_back(std::move(catalog.seqs[i]));
+        plans.push_back(std::move(catalog.plans[i]));
+        intra.push_back(catalog.intraCost[i]);
+    }
+    catalog.seqs = std::move(seqs);
+    catalog.plans = std::move(plans);
+    catalog.intraCost = std::move(intra);
+    catalog.truncated = true;
+}
+
 } // namespace
 
 NodeCatalog
@@ -35,9 +83,13 @@ buildNodeCatalog(const CompGraph &graph, int node, const CostModel &cost,
     const OpSpec &op = graph.node(node);
     NodeCatalog catalog;
     catalog.node = node;
-    catalog.seqs =
-        enumerateSequences(op, cost.topology().numBits(), opts);
+    EnumerationInfo info;
+    catalog.seqs = enumerateSequences(op, cost.topology().numBits(),
+                                      enumerationOptions(opts), &info);
+    catalog.spaceSize = info.totalSequences;
+    catalog.truncated = info.truncated;
     evaluateCatalog(catalog, op, cost, cost.topology().numBits(), pool);
+    trimToBudget(catalog, opts.candidateBudget);
     return catalog;
 }
 
@@ -86,12 +138,16 @@ buildAllNodeCatalogs(const CompGraph &graph, const CostModel &cost,
     // a graph with few distinct nodes saturates the pool.
     std::vector<std::shared_ptr<NodeCatalog>> fresh(to_build.size());
     std::vector<std::size_t> offset(to_build.size() + 1, 0);
+    const SpaceOptions enum_opts = enumerationOptions(opts);
     for (std::size_t b = 0; b < to_build.size(); ++b) {
         const int node = representative[to_build[b]];
         auto catalog = std::make_shared<NodeCatalog>();
         catalog->node = node;
-        catalog->seqs =
-            enumerateSequences(graph.node(node), num_bits, opts);
+        EnumerationInfo info;
+        catalog->seqs = enumerateSequences(graph.node(node), num_bits,
+                                           enum_opts, &info);
+        catalog->spaceSize = info.totalSequences;
+        catalog->truncated = info.truncated;
         catalog->plans.resize(catalog->seqs.size());
         catalog->intraCost.resize(catalog->seqs.size());
         offset[b + 1] = offset[b] + catalog->seqs.size();
@@ -113,6 +169,7 @@ buildAllNodeCatalogs(const CompGraph &graph, const CostModel &cost,
     });
 
     for (std::size_t b = 0; b < to_build.size(); ++b) {
+        trimToBudget(*fresh[b], opts.candidateBudget);
         std::shared_ptr<const NodeCatalog> catalog = std::move(fresh[b]);
         if (cache) {
             catalog = cache->insert(keys[representative[to_build[b]]],
@@ -166,29 +223,33 @@ boxKey(const std::vector<std::vector<SliceRange>> &device_box)
 
 LayoutClasses
 classify(const OpSpec &op, const NodeCatalog &catalog,
-         const TensorRef &ref, Phase phase, bool at_end,
-         const EdgeDimMap &map,
+         const std::vector<std::int32_t> *cand, const TensorRef &ref,
+         Phase phase, bool at_end, const EdgeDimMap &map,
          const std::vector<std::int64_t> &sizes, ThreadPool *pool)
 {
-    // Boundary layouts of all sequences (parallel, one slot each),
-    // then a serial hashed dedup in sequence order.
-    std::vector<TensorLayout> layouts(catalog.size());
-    parallelFor(pool, layouts.size(), [&](std::size_t s) {
+    // Boundary layouts of all candidate positions (parallel, one slot
+    // each), then a serial hashed dedup in position order.
+    const std::size_t count =
+        cand ? cand->size() : static_cast<std::size_t>(catalog.size());
+    std::vector<TensorLayout> layouts(count);
+    parallelFor(pool, layouts.size(), [&](std::size_t p) {
+        const std::size_t s =
+            cand ? static_cast<std::size_t>((*cand)[p]) : p;
         const DsiTable &dsi = catalog.plans[s]->dsi;
         const int t = at_end ? dsi.steps() - 1 : 0;
-        layouts[s] = layoutOf(op, dsi, ref, phase, t, map, sizes);
+        layouts[p] = layoutOf(op, dsi, ref, phase, t, map, sizes);
     });
 
     LayoutClasses result;
     std::unordered_map<std::string, int> seen;
     seen.reserve(layouts.size());
-    result.classOf.reserve(catalog.size());
-    for (int s = 0; s < catalog.size(); ++s) {
+    result.classOf.reserve(count);
+    for (std::size_t p = 0; p < count; ++p) {
         auto [it, inserted] = seen.emplace(
-            boxKey(layouts[s].deviceBox),
+            boxKey(layouts[p].deviceBox),
             static_cast<int>(result.classes.size()));
         if (inserted)
-            result.classes.push_back(std::move(layouts[s]));
+            result.classes.push_back(std::move(layouts[p]));
         result.classOf.push_back(it->second);
     }
     return result;
@@ -199,7 +260,8 @@ classify(const OpSpec &op, const NodeCatalog &catalog,
 EdgeCostTable
 buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
                    const NodeCatalog &src, const NodeCatalog &dst,
-                   const CostModel &cost, ThreadPool *pool)
+                   const CostModel &cost, ThreadPool *pool,
+                   const EdgeTableOptions &topts)
 {
     const OpSpec &producer = graph.node(edge.src);
     const OpSpec &consumer = graph.node(edge.dst);
@@ -210,62 +272,210 @@ buildEdgeCostTable(const CompGraph &graph, const GraphEdge &edge,
     for (int d : consumer.tensors[edge.dstTensor].dims)
         consumer_map.push_back(d);
 
-    // Boundary layouts, per class.
-    const auto have_fwd =
-        classify(producer, src, {producer.outputTensor, false},
-                 Phase::Forward, true, producer_map, sizes, pool);
-    const auto need_fwd =
-        classify(consumer, dst, {edge.dstTensor, false}, Phase::Forward,
-                 false, consumer_map, sizes, pool);
-    const auto have_bwd =
-        classify(consumer, dst, {edge.dstTensor, true}, Phase::Backward,
-                 true, consumer_map, sizes, pool);
-    const auto need_bwd =
-        classify(producer, src, {producer.outputTensor, true},
-                 Phase::Backward, false, producer_map, sizes, pool);
+    // Boundary layouts, per class, over the candidate positions.
+    const auto have_fwd = classify(producer, src, topts.srcCandidates,
+                                   {producer.outputTensor, false},
+                                   Phase::Forward, true, producer_map,
+                                   sizes, pool);
+    const auto need_fwd = classify(consumer, dst, topts.dstCandidates,
+                                   {edge.dstTensor, false},
+                                   Phase::Forward, false, consumer_map,
+                                   sizes, pool);
+    const auto have_bwd = classify(consumer, dst, topts.dstCandidates,
+                                   {edge.dstTensor, true},
+                                   Phase::Backward, true, consumer_map,
+                                   sizes, pool);
+    const auto need_bwd = classify(producer, src, topts.srcCandidates,
+                                   {producer.outputTensor, true},
+                                   Phase::Backward, false, producer_map,
+                                   sizes, pool);
+
+    const int src_count = topts.srcCandidates
+                              ? static_cast<int>(topts.srcCandidates->size())
+                              : src.size();
+    const int dst_count = topts.dstCandidates
+                              ? static_cast<int>(topts.dstCandidates->size())
+                              : dst.size();
+
+    // Joint dominance bound (see EdgeTableOptions::pairBudget): a
+    // class pair is evaluated iff at least one of its sequence pairs
+    // can still be on an optimal plan — i.e. the per-class intra
+    // minima fit the budget. Per-sequence entries over the budget are
+    // priced +inf below without ever computing their traffic.
+    const bool budgeted =
+        topts.pairBudget < std::numeric_limits<double>::infinity();
+    std::vector<double> intra_src(src_count), intra_dst(dst_count);
+    if (budgeted) {
+        for (int p = 0; p < src_count; ++p)
+            intra_src[p] = src.intraCost[topts.srcCandidates
+                                             ? (*topts.srcCandidates)[p]
+                                             : p];
+        for (int p = 0; p < dst_count; ++p)
+            intra_dst[p] = dst.intraCost[topts.dstCandidates
+                                             ? (*topts.dstCandidates)[p]
+                                             : p];
+    }
+    const auto class_min = [&](const LayoutClasses &lc,
+                               const std::vector<double> &intra) {
+        std::vector<double> mins(
+            lc.classes.size(), std::numeric_limits<double>::infinity());
+        for (std::size_t p = 0; p < lc.classOf.size(); ++p)
+            mins[lc.classOf[p]] = std::min(mins[lc.classOf[p]], intra[p]);
+        return mins;
+    };
 
     // Link-class-aware traffic per class pair. Sources are prepared
-    // (deduplicated boxes) once per class, so each pair evaluation is
-    // a tight intersection loop. Pairs are independent slots, run in
-    // parallel over the flattened (have, need) index.
+    // (deduplicated boxes, plus the grid index on the fast path) once
+    // per class, so each pair evaluation is a tight intersection loop.
+    // Pairs are independent slots, run in parallel over the flattened
+    // (have, need) index. Both paths produce identical integers.
     auto traffic_table = [&](const LayoutClasses &have,
-                             const LayoutClasses &need) {
-        std::vector<CostModel::PreparedSource> prepared(
-            have.classes.size());
-        parallelFor(pool, prepared.size(), [&](std::size_t h) {
-            prepared[h] = CostModel::prepareSource(have.classes[h]);
-        });
+                             const LayoutClasses &need,
+                             const std::vector<double> &have_intra,
+                             const std::vector<double> &need_intra) {
         std::vector<CostModel::TrafficSplit> table(
             have.classes.size() * need.classes.size());
-        parallelFor(pool, table.size(), [&](std::size_t idx) {
+        std::vector<double> have_min, need_min;
+        if (budgeted) {
+            have_min = class_min(have, have_intra);
+            need_min = class_min(need, need_intra);
+        }
+        const auto hopeless = [&](std::size_t idx) {
+            if (!budgeted)
+                return false;
             const std::size_t h = idx / need.classes.size();
             const std::size_t n = idx % need.classes.size();
-            table[idx] = cost.trafficSplit(prepared[h], need.classes[n]);
-        });
+            return have_min[h] + need_min[n] > topts.pairBudget;
+        };
+
+        // Cross-edge memo: resolve already-priced geometry pairs up
+        // front; only the leftovers hit the traffic evaluators.
+        std::vector<std::string> have_keys, need_keys;
+        std::vector<char> memoized(table.size(), 0);
+        if (topts.memo) {
+            const auto length_prefixed = [](const std::string &k) {
+                const std::int64_t len =
+                    static_cast<std::int64_t>(k.size());
+                std::string out(reinterpret_cast<const char *>(&len),
+                                sizeof(len));
+                out += k;
+                return out;
+            };
+            have_keys.reserve(have.classes.size());
+            for (const auto &c : have.classes)
+                have_keys.push_back(length_prefixed(boxKey(c.deviceBox)));
+            need_keys.reserve(need.classes.size());
+            for (const auto &c : need.classes)
+                need_keys.push_back(length_prefixed(boxKey(c.deviceBox)));
+            std::lock_guard<std::mutex> lock(topts.memo->mutex);
+            for (std::size_t idx = 0; idx < table.size(); ++idx) {
+                if (hopeless(idx))
+                    continue;
+                const auto it = topts.memo->map.find(
+                    have_keys[idx / need.classes.size()] +
+                    need_keys[idx % need.classes.size()]);
+                if (it != topts.memo->map.end()) {
+                    table[idx] = it->second;
+                    memoized[idx] = 1;
+                }
+            }
+        }
+        const auto resolved = [&](std::size_t idx) {
+            return hopeless(idx) || memoized[idx];
+        };
+        // Classes whose every pair is already resolved need no
+        // prepared source/need structures at all.
+        std::vector<char> have_used(have.classes.size(), 0);
+        std::vector<char> need_used(need.classes.size(), 0);
+        for (std::size_t idx = 0; idx < table.size(); ++idx) {
+            if (resolved(idx))
+                continue;
+            have_used[idx / need.classes.size()] = 1;
+            need_used[idx % need.classes.size()] = 1;
+        }
+        const auto publish = [&]() {
+            if (!topts.memo)
+                return;
+            std::lock_guard<std::mutex> lock(topts.memo->mutex);
+            for (std::size_t idx = 0; idx < table.size(); ++idx) {
+                if (hopeless(idx) || memoized[idx])
+                    continue;
+                topts.memo->map.emplace(
+                    have_keys[idx / need.classes.size()] +
+                        need_keys[idx % need.classes.size()],
+                    table[idx]);
+            }
+        };
+        if (topts.fastTraffic) {
+            std::vector<CostModel::PreparedSourceGrid> grids(
+                have.classes.size());
+            parallelFor(pool, grids.size(), [&](std::size_t h) {
+                if (have_used[h])
+                    grids[h] = cost.prepareSourceGrid(have.classes[h]);
+            });
+            std::vector<CostModel::PreparedNeed> needs(
+                need.classes.size());
+            parallelFor(pool, needs.size(), [&](std::size_t n) {
+                if (need_used[n])
+                    needs[n] = cost.prepareNeed(need.classes[n]);
+            });
+            parallelFor(pool, table.size(), [&](std::size_t idx) {
+                if (resolved(idx))
+                    return;
+                const std::size_t h = idx / need.classes.size();
+                const std::size_t n = idx % need.classes.size();
+                table[idx] = cost.trafficSplitFast(grids[h], needs[n]);
+            });
+        } else {
+            std::vector<CostModel::PreparedSource> prepared(
+                have.classes.size());
+            parallelFor(pool, prepared.size(), [&](std::size_t h) {
+                if (have_used[h])
+                    prepared[h] =
+                        CostModel::prepareSource(have.classes[h]);
+            });
+            parallelFor(pool, table.size(), [&](std::size_t idx) {
+                if (resolved(idx))
+                    return;
+                const std::size_t h = idx / need.classes.size();
+                const std::size_t n = idx % need.classes.size();
+                table[idx] =
+                    cost.trafficSplit(prepared[h], need.classes[n]);
+            });
+        }
+        publish();
         return table;
     };
-    const auto fwd_traffic = traffic_table(have_fwd, need_fwd);
-    const auto bwd_traffic = traffic_table(have_bwd, need_bwd);
+    const auto fwd_traffic =
+        traffic_table(have_fwd, need_fwd, intra_src, intra_dst);
+    const auto bwd_traffic =
+        traffic_table(have_bwd, need_bwd, intra_dst, intra_src);
 
     EdgeCostTable table;
     table.edge = &edge;
-    table.srcSize = src.size();
-    table.dstSize = dst.size();
-    table.cost.resize(static_cast<std::size_t>(src.size()) * dst.size());
+    table.srcSize = src_count;
+    table.dstSize = dst_count;
+    table.cost.resize(static_cast<std::size_t>(src_count) * dst_count);
 
     const double bpe = consumer.bytesPerElement;
-    parallelFor(pool, static_cast<std::size_t>(src.size()),
+    parallelFor(pool, static_cast<std::size_t>(src_count),
                 [&](std::size_t ps) {
         const int hf = have_fwd.classOf[ps];
         const int nb = need_bwd.classOf[ps];
-        for (int pd = 0; pd < dst.size(); ++pd) {
+        for (int pd = 0; pd < dst_count; ++pd) {
+            if (budgeted &&
+                intra_src[ps] + intra_dst[pd] > topts.pairBudget) {
+                table.cost[ps * dst_count + pd] =
+                    std::numeric_limits<float>::infinity();
+                continue;
+            }
             const int nf = need_fwd.classOf[pd];
             const int hb = have_bwd.classOf[pd];
             const auto &f =
                 fwd_traffic[hf * need_fwd.classes.size() + nf];
             const auto &b =
                 bwd_traffic[hb * need_bwd.classes.size() + nb];
-            table.cost[ps * dst.size() + pd] =
+            table.cost[ps * dst_count + pd] =
                 static_cast<float>(cost.redistLatencyUs(
                     static_cast<double>(f.intraNode + b.intraNode) *
                         bpe,

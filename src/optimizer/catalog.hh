@@ -20,7 +20,11 @@
 #ifndef PRIMEPAR_OPTIMIZER_CATALOG_HH
 #define PRIMEPAR_OPTIMIZER_CATALOG_HH
 
+#include <limits>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cost/cost_model.hh"
@@ -43,6 +47,12 @@ struct NodeCatalog
     std::vector<std::unique_ptr<OpPlan>> plans;
     /** Eq. 7 weighted intra cost per sequence. */
     std::vector<double> intraCost;
+    /** Leaves of the full partition space (>= seqs.size()). */
+    std::size_t spaceSize = 0;
+    /** True iff SpaceOptions::candidateBudget dropped sequences: the
+     *  catalog is an approximate cover of the space and downstream
+     *  results must report a cost gap. */
+    bool truncated = false;
 
     int size() const { return static_cast<int>(seqs.size()); }
 };
@@ -93,6 +103,47 @@ struct EdgeCostTable
 };
 
 /**
+ * Cross-edge memo of class-pair traffic splits. Traffic depends only
+ * on the two boundary device-box geometries and the topology, so
+ * edges carrying identically-shaped tensors (most of a transformer
+ * block) ask the same questions — one run-scoped memo answers them
+ * once. Thread-safe; a duplicate concurrent computation stores the
+ * same integers, so results stay deterministic.
+ */
+struct TrafficMemo
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, CostModel::TrafficSplit> map;
+};
+
+/** Table-construction knobs (all defaults = the legacy behavior). */
+struct EdgeTableOptions
+{
+    /**
+     * Restrict the table to these sequence indices of the endpoint
+     * catalogs (ascending; nullptr = all). Rows/columns are *candidate
+     * positions*: at(p_s, p_d) prices srcCandidates[p_s] against
+     * dstCandidates[p_d]. The segmented DP passes its dominance-pruned
+     * survivor lists here, shrinking table work quadratically.
+     */
+    const std::vector<std::int32_t> *srcCandidates = nullptr;
+    const std::vector<std::int32_t> *dstCandidates = nullptr;
+    /** Evaluate class-pair traffic through the grid-indexed fast path
+     *  (CostModel::trafficSplitFast) — exact, bit-identical values. */
+    bool fastTraffic = false;
+    /**
+     * Joint dominance bound: a sequence pair whose summed intra cost
+     * exceeds this is on no optimal plan (the planner passes its pilot
+     * upper bound minus the best completion of the remaining nodes),
+     * so its traffic is never evaluated and its entry is set to +inf.
+     * +inf (the default) evaluates every pair.
+     */
+    double pairBudget = std::numeric_limits<double>::infinity();
+    /** Optional cross-edge traffic memo (see TrafficMemo). */
+    TrafficMemo *memo = nullptr;
+};
+
+/**
  * Build the cost table of @p edge: forward + backward redistribution
  * traffic (Eq. 9) through the fitted redistribution latency model.
  */
@@ -101,7 +152,8 @@ EdgeCostTable buildEdgeCostTable(const CompGraph &graph,
                                  const NodeCatalog &src,
                                  const NodeCatalog &dst,
                                  const CostModel &cost,
-                                 ThreadPool *pool = nullptr);
+                                 ThreadPool *pool = nullptr,
+                                 const EdgeTableOptions &topts = {});
 
 } // namespace primepar
 

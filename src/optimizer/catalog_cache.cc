@@ -33,7 +33,7 @@ catalogKey(const OpSpec &op, int num_bits, const SpaceOptions &opts,
 {
     std::ostringstream os;
     os << num_bits << ';' << (opts.allowPSquare ? 1 : 0) << ';'
-       << opts.maxTemporalSteps << ';';
+       << opts.maxTemporalSteps << ';' << opts.candidateBudget << ';';
     for (int d : opts.excludedDims)
         os << d << ',';
     os << ';';
@@ -116,6 +116,85 @@ CatalogCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return missCount;
+}
+
+std::shared_ptr<const DpSegment>
+CatalogCache::findSegment(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = segments.find(key);
+    if (it == segments.end()) {
+        ++segmentMissCount;
+        return nullptr;
+    }
+    ++segmentHitCount;
+    return it->second;
+}
+
+std::shared_ptr<const DpSegment>
+CatalogCache::insertSegment(const std::string &key,
+                            std::shared_ptr<const DpSegment> segment)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = segments.find(key);
+    if (it != segments.end())
+        return it->second;
+    const std::size_t bytes = segment->bytes();
+    if (segmentByteCount + bytes > segmentByteBudget)
+        return segment; // over budget: usable, just not resident
+    segmentByteCount += bytes;
+    segments.emplace(key, segment);
+    return segment;
+}
+
+void
+CatalogCache::setSegmentByteBudget(std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    segmentByteBudget = bytes;
+}
+
+std::size_t
+CatalogCache::segmentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return segmentByteCount;
+}
+
+std::size_t
+CatalogCache::segmentHits() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return segmentHitCount;
+}
+
+std::size_t
+CatalogCache::segmentMisses() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return segmentMissCount;
+}
+
+std::shared_ptr<const PlanCacheEntry>
+CatalogCache::findPlan(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = plans.find(key);
+    if (it == plans.end()) {
+        ++planMissCount;
+        return nullptr;
+    }
+    ++planHitCount;
+    return it->second;
+}
+
+std::shared_ptr<const PlanCacheEntry>
+CatalogCache::insertPlan(const std::string &key,
+                         std::shared_ptr<const PlanCacheEntry> plan)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto [it, inserted] = plans.emplace(key, std::move(plan));
+    return it->second;
 }
 
 } // namespace primepar

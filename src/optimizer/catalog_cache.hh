@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "catalog.hh"
+#include "dp_core.hh"
 
 namespace primepar {
 
@@ -36,9 +37,18 @@ std::string catalogKey(const OpSpec &op, int num_bits,
                        const std::string &cost_fingerprint);
 
 /**
- * Thread-safe shared-ownership catalog store. Entries are immutable
- * once inserted; concurrent inserts under the same key keep the first
- * entry (last caller adopts it), so all holders share one catalog.
+ * Thread-safe shared-ownership store for the planner's memoizable
+ * artifacts. Three keyspaces share one instance:
+ *   - node catalogs (catalogKey);
+ *   - solved segment Bellman matrices (the planner's segment keys,
+ *     which serialize the member catalogs' keys, the surviving
+ *     candidate lists, and the interior edge structure) under a byte
+ *     budget — matrices at large device counts are the dominant
+ *     memory cost;
+ *   - whole-plan results (graph-level keys).
+ * Entries are immutable once inserted; concurrent inserts under the
+ * same key keep the first entry (later callers adopt it), so all
+ * holders share one object.
  */
 class CatalogCache
 {
@@ -59,12 +69,54 @@ class CatalogCache
     /** find() calls that returned nullptr. */
     std::size_t misses() const;
 
+    /** Look up a solved segment; nullptr when absent. */
+    std::shared_ptr<const DpSegment> findSegment(const std::string &key);
+
+    /**
+     * Insert a solved segment. Entries beyond the byte budget are not
+     * stored (the segment is still returned for use); existing entries
+     * are never evicted — the budget caps growth, and planner keys are
+     * stable enough that the first-stored segments are the hot ones.
+     */
+    std::shared_ptr<const DpSegment>
+    insertSegment(const std::string &key,
+                  std::shared_ptr<const DpSegment> segment);
+
+    /** Cap on resident segment bytes (default 512 MiB). */
+    void setSegmentByteBudget(std::size_t bytes);
+    std::size_t segmentBytes() const;
+    std::size_t segmentHits() const;
+    std::size_t segmentMisses() const;
+
+    /** Look up a whole-plan result; nullptr when absent. */
+    std::shared_ptr<const PlanCacheEntry> findPlan(const std::string &key);
+
+    /** Insert a whole-plan result (first insert wins). */
+    std::shared_ptr<const PlanCacheEntry>
+    insertPlan(const std::string &key,
+               std::shared_ptr<const PlanCacheEntry> plan);
+
+    std::size_t planHits() const;
+    std::size_t planMisses() const;
+
   private:
     mutable std::mutex mu;
     std::unordered_map<std::string, std::shared_ptr<const NodeCatalog>>
         entries;
     std::size_t hitCount = 0;
     std::size_t missCount = 0;
+
+    std::unordered_map<std::string, std::shared_ptr<const DpSegment>>
+        segments;
+    std::size_t segmentByteBudget = std::size_t{512} << 20;
+    std::size_t segmentByteCount = 0;
+    std::size_t segmentHitCount = 0;
+    std::size_t segmentMissCount = 0;
+
+    std::unordered_map<std::string, std::shared_ptr<const PlanCacheEntry>>
+        plans;
+    std::size_t planHitCount = 0;
+    std::size_t planMissCount = 0;
 };
 
 } // namespace primepar

@@ -17,6 +17,14 @@
  * thread count (see support/parallel.hh). Catalogs of structurally
  * identical nodes are shared, optionally across invocations through a
  * caller-supplied CatalogCache.
+ *
+ * Large topologies are handled by three composable layers (DESIGN.md
+ * Sec. 11): exact dominance pruning driven by a pilot upper bound
+ * (DpOptions::pruneDominated — byte-identical results, order-of-
+ * magnitude faster), an explicitly approximate beam over each
+ * operator's space with a certified cost gap (DpOptions::beamWidth),
+ * and memoization of pruned catalogs, solved segments, and whole plans
+ * in the CatalogCache.
  */
 
 #ifndef PRIMEPAR_OPTIMIZER_SEGMENTED_DP_HH
@@ -30,6 +38,8 @@
 
 namespace primepar {
 
+class MetricsRegistry;
+
 /** Options of one optimization run. */
 struct DpOptions
 {
@@ -42,8 +52,41 @@ struct DpOptions
     int numThreads = 0;
     /** Optional catalog store shared across runs (and with
      *  bruteForceOptimize). nullptr still deduplicates identical
-     *  nodes within the run. */
+     *  nodes within the run. With pruning enabled it additionally
+     *  memoizes solved segments and whole plans. */
     std::shared_ptr<CatalogCache> catalogCache;
+
+    /**
+     * Exact dominance pruning. A cheap pilot DP over each node's
+     * best-intra candidates yields an upper bound; sequences and
+     * Bellman states provably unable to beat it are dropped, and edge
+     * tables are built over the survivors through the grid-indexed
+     * traffic fast path. The result — strategies and all costs — is
+     * byte-identical to the exhaustive planner at any thread count
+     * (see DESIGN.md for the proof); false selects the legacy
+     * exhaustive path, kept as the A/B baseline.
+     */
+    bool pruneDominated = true;
+
+    /**
+     * 0 = exact over the full space. > 0 enables the explicitly
+     * approximate big-topology mode: each operator keeps only this
+     * many candidate sequences (the best by evaluated intra cost among
+     * a structurally preselected 4x pool), and the result reports a
+     * certified optimality gap (DpResult::gapPct). This is what makes
+     * 512-4096-device planning tractable — the full per-operator space
+     * there has 10^5-10^8 sequences.
+     */
+    int beamWidth = 0;
+
+    /** Candidates per node in the pruning pilot pass. Any value >= 1
+     *  is exact; larger finds tighter bounds sooner, smaller is
+     *  cheaper. */
+    int pilotWidth = 24;
+
+    /** Optional sink for planner counters and phase timings
+     *  ("planner.*" names); may be nullptr. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Result of an optimization run. */
@@ -60,12 +103,36 @@ struct DpResult
 
     /** Per-phase planner timings (sum <= optimizationMs), ms. */
     double catalogMs = 0.0;   ///< catalog construction / cache lookup
+    double pilotMs = 0.0;     ///< pruning pilot (upper-bound) pass
     double edgeTableMs = 0.0; ///< edge cost tables
     double dpMs = 0.0;        ///< Bellman + merge + reconstruction
 
     /** Catalogs built vs nodes served from a shared catalog. */
     int catalogsBuilt = 0;
     int catalogCacheHits = 0;
+
+    /** Materialized sequences summed over nodes, before and after
+     *  dominance pruning (equal when pruning is off). */
+    std::int64_t candidatesTotal = 0;
+    std::int64_t candidatesKept = 0;
+    /** Bellman/merge states proven unable to reach a plan within the
+     *  pilot upper bound and skipped. */
+    std::int64_t statesPruned = 0;
+
+    /** True iff beamWidth truncated at least one operator's space —
+     *  only then can the result be suboptimal. */
+    bool truncated = false;
+    /** Certified lower bound on the achievable layer cost, us. Equals
+     *  layerCost when the result is provably optimal. */
+    double lowerBoundUs = 0.0;
+    /** Certified relative suboptimality bound of layerCost, percent.
+     *  Exactly 0 when the result is provably optimal. */
+    double gapPct = 0.0;
+
+    /** Segments of this run served from the cache's segment store. */
+    int segmentCacheHits = 0;
+    /** Whole result served from the cache's plan store. */
+    bool planCacheHit = false;
 };
 
 /** The optimizer: builds catalogs and tables, runs the segmented DP. */

@@ -1,12 +1,62 @@
 #include "space.hh"
 
 #include <algorithm>
+#include <queue>
 
 #include "support/logging.hh"
 
 namespace primepar {
 
 namespace {
+
+/**
+ * Structural cost proxy of one fully-assigned sequence, in "traffic
+ * elements". Only used to *rank* candidates when a candidateBudget is
+ * set — the survivors are re-evaluated under the real cost model — so
+ * it deliberately trades fidelity for O(dims x tensors) evaluation:
+ *   - reduction traffic: per pass, the per-device output slice times
+ *     (1 - 1/group) over the partial-sum group implied by contracted
+ *     dim splits;
+ *   - temporal ring traffic: (steps - 1) re-shifts of the per-device
+ *     operand slices;
+ *   - a small weight on per-device resident memory, favoring balanced
+ *     cuts among otherwise communication-free candidates.
+ */
+double
+structuralScore(const OpSpec &op, const std::vector<std::int64_t> &slices,
+                int psquare_k)
+{
+    const auto slice_numel = [&](int tensor) {
+        double numel = 1.0;
+        for (int d : op.tensors[tensor].dims) {
+            numel *= static_cast<double>(op.dims[d].size) /
+                     static_cast<double>(slices[d]);
+        }
+        return numel;
+    };
+
+    double comm = 0.0;
+    double operand_elems = 0.0;
+    for (const PassSpec &pass : op.passes) {
+        double group = 1.0;
+        for (int d : pass.contracted)
+            group *= static_cast<double>(slices[d]);
+        if (group > 1.0)
+            comm += slice_numel(pass.output.tensor) * (1.0 - 1.0 / group);
+        for (const TensorRef &ref : pass.operands)
+            operand_elems += slice_numel(ref.tensor);
+    }
+    if (psquare_k > 0) {
+        const double steps =
+            static_cast<double>(std::int64_t{1} << psquare_k);
+        comm += (steps - 1.0) * operand_elems / steps;
+    }
+
+    double mem = 0.0;
+    for (std::size_t t = 0; t < op.tensors.size(); ++t)
+        mem += slice_numel(static_cast<int>(t));
+    return comm + 0.02 * mem;
+}
 
 struct Enumerator
 {
@@ -16,9 +66,51 @@ struct Enumerator
     std::vector<PartitionStep> current;
     std::vector<std::int64_t> slices; // running slice counts per dim
 
+    std::size_t totalLeaves = 0;
+    int psquareK = 0; // k of the PSquare step on the current path
+
+    /** Budget mode: (score, DFS leaf index, steps) max-heap holding
+     *  the current best candidateBudget leaves. Later DFS index loses
+     *  ties, so the kept set is the one a full sort would keep. */
+    struct Held
+    {
+        double score;
+        std::size_t leaf;
+        std::vector<PartitionStep> steps;
+
+        bool
+        operator<(const Held &other) const
+        {
+            return score < other.score ||
+                   (score == other.score && leaf < other.leaf);
+        }
+    };
+    std::priority_queue<Held> heap;
+
     Enumerator(const OpSpec &op, const SpaceOptions &opts)
         : op(op), opts(opts), slices(op.dims.size(), 1)
     {}
+
+    void
+    emitLeaf()
+    {
+        const std::size_t leaf = totalLeaves++;
+        if (opts.candidateBudget <= 0) {
+            out.emplace_back(current);
+            return;
+        }
+        const double score = structuralScore(op, slices, psquareK);
+        const std::size_t budget =
+            static_cast<std::size_t>(opts.candidateBudget);
+        if (heap.size() == budget) {
+            const Held &worst = heap.top();
+            if (worst.score < score ||
+                (worst.score == score && worst.leaf < leaf))
+                return;
+            heap.pop();
+        }
+        heap.push(Held{score, leaf, current});
+    }
 
     bool
     dimAllowed(int d) const
@@ -42,7 +134,7 @@ struct Enumerator
     recurse(int bits_left, bool used_psquare)
     {
         if (bits_left == 0) {
-            out.emplace_back(current);
+            emitLeaf();
             return;
         }
 
@@ -74,7 +166,9 @@ struct Enumerator
                 slices[psq.m] *= f;
                 slices[psq.n] *= f;
                 slices[psq.k] *= f;
+                psquareK = k;
                 recurse(bits_left - 2 * k, true);
+                psquareK = 0;
                 slices[psq.m] /= f;
                 slices[psq.n] /= f;
                 slices[psq.k] /= f;
@@ -87,11 +181,40 @@ struct Enumerator
 } // namespace
 
 std::vector<PartitionSeq>
-enumerateSequences(const OpSpec &op, int num_bits, const SpaceOptions &opts)
+enumerateSequences(const OpSpec &op, int num_bits, const SpaceOptions &opts,
+                   EnumerationInfo *info)
 {
     PRIMEPAR_ASSERT(num_bits >= 0, "negative bit count");
     Enumerator e(op, opts);
     e.recurse(num_bits, false);
+    if (opts.candidateBudget > 0) {
+        // Drain the heap, then restore DFS order by leaf index.
+        struct Kept
+        {
+            std::size_t leaf;
+            std::vector<PartitionStep> steps;
+        };
+        std::vector<Kept> kept;
+        kept.reserve(e.heap.size());
+        while (!e.heap.empty()) {
+            kept.push_back(Kept{e.heap.top().leaf,
+                                std::move(const_cast<Enumerator::Held &>(
+                                              e.heap.top())
+                                              .steps)});
+            e.heap.pop();
+        }
+        std::sort(kept.begin(), kept.end(),
+                  [](const Kept &a, const Kept &b) {
+                      return a.leaf < b.leaf;
+                  });
+        e.out.reserve(kept.size());
+        for (Kept &k : kept)
+            e.out.emplace_back(std::move(k.steps));
+    }
+    if (info) {
+        info->totalSequences = e.totalLeaves;
+        info->truncated = e.out.size() < e.totalLeaves;
+    }
     PRIMEPAR_ASSERT(!e.out.empty() || num_bits > 0,
                     "empty partition space for ", op.name);
     if (e.out.empty()) {

@@ -35,17 +35,43 @@ struct SpaceOptions
     /** Upper bound on the number of temporal steps 2^k (0 = no
      *  bound). Bounds the PSquare size. */
     int maxTemporalSteps = 0;
+
+    /**
+     * Cap on the number of sequences returned (0 = the full space).
+     * When the space exceeds the budget, the DFS still visits every
+     * leaf but only materializes the @p candidateBudget best-looking
+     * candidates under a structural communication/memory score
+     * (ties broken by DFS order, so the selection is deterministic).
+     * Survivors are returned in DFS order. This is the approximate
+     * big-topology mode: at 512+ devices the full space has 10^5-10^8
+     * sequences per operator and cannot even be materialized.
+     */
+    int candidateBudget = 0;
+};
+
+/** Outcome of one enumeration (for truncation reporting). */
+struct EnumerationInfo
+{
+    /** Leaves of the full space (valid sequences), whether or not
+     *  they were materialized. */
+    std::size_t totalSequences = 0;
+    /** True iff candidateBudget dropped at least one sequence. */
+    bool truncated = false;
 };
 
 /**
  * Enumerate all valid partition sequences of @p op over 2^n devices.
  *
  * Sequences violating divisibility (a dimension cut into more slices
- * than its size supports) are excluded.
+ * than its size supports) are excluded. With
+ * SpaceOptions::candidateBudget set, at most that many sequences are
+ * returned (see the field's comment); @p info (optional) reports the
+ * full space size and whether truncation occurred.
  */
 std::vector<PartitionSeq> enumerateSequences(const OpSpec &op,
                                              int num_bits,
-                                             const SpaceOptions &opts = {});
+                                             const SpaceOptions &opts = {},
+                                             EnumerationInfo *info = nullptr);
 
 } // namespace primepar
 

@@ -54,6 +54,11 @@ shapeToString(const std::vector<std::int64_t> &shape)
 class InputError : public RuntimeError
 {
   public:
+    /** Free-form variant for rejecting malformed caller input outside
+     *  the executor — e.g. CLI argument validation ("--devices must be
+     *  a power of two"). Field members stay empty. */
+    explicit InputError(const std::string &msg) : RuntimeError(msg) {}
+
     InputError(std::string op_name, std::string phase,
                std::string tensor_name,
                std::vector<std::int64_t> expected,

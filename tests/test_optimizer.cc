@@ -15,6 +15,7 @@
 #include "optimizer/catalog.hh"
 #include "optimizer/catalog_cache.hh"
 #include "optimizer/segmented_dp.hh"
+#include "runtime/metrics.hh"
 
 namespace primepar {
 namespace {
@@ -392,6 +393,190 @@ TEST(SegmentedDp, ReplanForSurvivorsShrinksTheGrid)
     const DpResult via = replanForSurvivors(g, 2);
     EXPECT_EQ(via.strategies, direct.strategies);
     EXPECT_DOUBLE_EQ(via.layerCost, direct.layerCost);
+}
+
+// ---------------------------------------------------------------------
+// Dominance pruning (DESIGN.md Sec. 11): the pruned planner must be an
+// exact drop-in for the exhaustive one wherever the latter is
+// tractable — same strategies, bit-identical costs.
+
+/** Run one graph with pruning on and off and demand byte identity.
+ *  @p expect_drops: demand the filter actually discarded sequences
+ *  (false for configs whose stacked upper bound keeps the whole
+ *  space — still exact, just not faster). */
+void
+expectPrunedParity(const CompGraph &g, const CostModel &cost,
+                   DpOptions opts, bool expect_drops = true)
+{
+    opts.pruneDominated = true;
+    const DpResult pruned = SegmentedDpOptimizer(g, cost, opts).optimize();
+    opts.pruneDominated = false;
+    const DpResult full = SegmentedDpOptimizer(g, cost, opts).optimize();
+
+    EXPECT_EQ(pruned.strategies, full.strategies);
+    EXPECT_EQ(pruned.layerCost, full.layerCost); // bitwise, not NEAR
+    EXPECT_EQ(pruned.totalCost, full.totalCost);
+    EXPECT_FALSE(pruned.truncated);
+    EXPECT_EQ(pruned.gapPct, 0.0);
+    EXPECT_EQ(pruned.lowerBoundUs, pruned.layerCost);
+    // The speed must come from actually dropping something.
+    if (expect_drops) {
+        EXPECT_LT(pruned.candidatesKept, pruned.candidatesTotal);
+    }
+}
+
+TEST(Pruning, ParityOnMlpChain)
+{
+    SmallFixture f;
+    DpOptions opts;
+    expectPrunedParity(f.graph, f.cost, opts);
+}
+
+TEST(Pruning, ParityOnTransformerBlockWithSkipEdges)
+{
+    const auto topo = ClusterTopology::paperCluster(4);
+    const CostModel cost(topo, profileModels(topo));
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 512;
+    const CompGraph g = buildTransformerBlock(cfg, 8);
+    DpOptions opts;
+    expectPrunedParity(g, cost, opts);
+}
+
+TEST(Pruning, ParityOnStackedLayersAndEightDevices)
+{
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cost(topo, profileModels(topo));
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 512;
+    const CompGraph g = buildMlpBlock(cfg, 8);
+    DpOptions opts;
+    opts.numLayers = 24; // stacked merge path
+    // The stacked bound (totalCost + (L-1) * hmax) / L is loose on a
+    // graph this small — everything survives, and that is the point:
+    // exactness never depends on the filter biting.
+    expectPrunedParity(g, cost, opts, /*expect_drops=*/false);
+}
+
+TEST(Pruning, ParityOnConventionalSpace)
+{
+    // A space whose optimum has zero inter-operator cost: the pilot
+    // upper bound equals the sum of per-node minima exactly, so the
+    // slack filter runs at its floating-point boundary (regression
+    // guard for over-pruning the optimum itself).
+    SmallFixture f;
+    DpOptions opts;
+    opts.space.allowPSquare = false;
+    expectPrunedParity(f.graph, f.cost, opts);
+}
+
+TEST(Pruning, DeterministicAcrossThreadCounts)
+{
+    SmallFixture f;
+    DpOptions opts;
+    opts.numLayers = 12;
+    opts.numThreads = 1;
+    const DpResult one =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    for (const int threads : {2, 4}) {
+        opts.numThreads = threads;
+        const DpResult many =
+            SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+        EXPECT_EQ(many.strategies, one.strategies);
+        EXPECT_EQ(many.layerCost, one.layerCost);
+        EXPECT_EQ(many.totalCost, one.totalCost);
+    }
+}
+
+TEST(Pruning, BeamReportsGapOnlyWhenTruncating)
+{
+    SmallFixture f;
+    DpOptions exact;
+    const DpResult full =
+        SegmentedDpOptimizer(f.graph, f.cost, exact).optimize();
+
+    // A beam wide enough to hold the whole space truncates nothing
+    // and must certify optimality.
+    DpOptions wide = exact;
+    wide.beamWidth = 100000;
+    const DpResult w =
+        SegmentedDpOptimizer(f.graph, f.cost, wide).optimize();
+    EXPECT_FALSE(w.truncated);
+    EXPECT_EQ(w.gapPct, 0.0);
+    EXPECT_EQ(w.layerCost, full.layerCost);
+    EXPECT_EQ(w.strategies, full.strategies);
+
+    // A tiny beam truncates; the result carries a certified bound
+    // that really contains the exhaustive optimum.
+    DpOptions narrow = exact;
+    narrow.beamWidth = 2;
+    const DpResult n =
+        SegmentedDpOptimizer(f.graph, f.cost, narrow).optimize();
+    ASSERT_TRUE(n.truncated);
+    EXPECT_GE(n.layerCost, full.layerCost);
+    EXPECT_LE(n.lowerBoundUs, full.layerCost + 1e-9);
+    EXPECT_GE(n.gapPct, 0.0);
+    if (n.layerCost > full.layerCost) {
+        EXPECT_GT(n.gapPct, 0.0);
+    }
+}
+
+TEST(Pruning, PlanAndSegmentStoresServeRepeatRuns)
+{
+    // 8-device MLP with stacked layers: the stacked upper bound keeps
+    // every candidate, so two runs with different layer counts share
+    // identical survivor lists — the precondition for a segment-store
+    // hit under a different plan key.
+    const auto topo = ClusterTopology::paperCluster(8);
+    const CostModel cost(topo, profileModels(topo));
+    ModelConfig cfg = opt6p7b();
+    cfg.seqLength = 512;
+    const CompGraph g = buildMlpBlock(cfg, 8);
+
+    const auto cache = std::make_shared<CatalogCache>();
+    DpOptions opts;
+    opts.catalogCache = cache;
+    opts.numLayers = 24;
+
+    const DpResult first =
+        SegmentedDpOptimizer(g, cost, opts).optimize();
+    EXPECT_FALSE(first.planCacheHit);
+
+    // Identical run: the whole plan comes out of the plan store.
+    const DpResult again =
+        SegmentedDpOptimizer(g, cost, opts).optimize();
+    EXPECT_TRUE(again.planCacheHit);
+    EXPECT_EQ(again.strategies, first.strategies);
+    EXPECT_EQ(again.layerCost, first.layerCost);
+    EXPECT_EQ(again.totalCost, first.totalCost);
+
+    // Different layer count: a different plan key, but the segment
+    // structure and survivors are unchanged, so Bellman work is
+    // served per segment.
+    DpOptions other = opts;
+    other.numLayers = 12;
+    const DpResult seg =
+        SegmentedDpOptimizer(g, cost, other).optimize();
+    EXPECT_FALSE(seg.planCacheHit);
+    EXPECT_GT(seg.segmentCacheHits, 0);
+    EXPECT_EQ(seg.layerCost, first.layerCost);
+    EXPECT_EQ(seg.strategies, first.strategies);
+}
+
+TEST(Pruning, MetricsRegistryReceivesPlannerCounters)
+{
+    SmallFixture f;
+    MetricsRegistry metrics;
+    DpOptions opts;
+    opts.metrics = &metrics;
+    const DpResult r =
+        SegmentedDpOptimizer(f.graph, f.cost, opts).optimize();
+    EXPECT_EQ(metrics.counter("planner.candidates_total"),
+              r.candidatesTotal);
+    EXPECT_EQ(metrics.counter("planner.candidates_kept"),
+              r.candidatesKept);
+    EXPECT_EQ(metrics.counter("planner.states_pruned"), r.statesPruned);
+    EXPECT_EQ(metrics.counter("planner.plan_cache_hits"), 0);
 }
 
 } // namespace
