@@ -145,7 +145,10 @@ parseArgs(int argc, char **argv)
                 "            [--plan dp|heuristic] [--codec SPEC]"
                 " [--no-overlap]\n"
                 "            [--trace-out FILE]"
-                " [--metrics-out FILE]\n");
+                " [--metrics-out FILE]\n"
+                "exit codes: 0 ok, 1 internal, 2 usage, 3 transient"
+                " fault,\n"
+                "            4 device lost, 5 checkpoint, 6 fenced\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown argument %s (try --help)\n",
@@ -310,12 +313,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "unrecoverable: %s (replan budget exhausted)\n",
                      err.what());
-        return 1;
-    } catch (const RuntimeError &err) {
+        return exitcode::DeviceLost;
+    } catch (const std::exception &err) {
+        // Distinct, documented exit codes per failure class (see
+        // --help and runtime/errors.hh): scripts branch on *why* a
+        // run failed, not just that it did.
         std::fprintf(stderr, "error: %s\n", err.what());
-        return 1;
-    } catch (const JsonError &err) {
-        std::fprintf(stderr, "cannot write metrics: %s\n", err.what());
-        return 1;
+        return exitcode::forCurrentException();
     }
 }

@@ -11,10 +11,15 @@
 #      check the written ProfiledModels JSON round-trips; then a traced
 #      primepar_train run must produce a valid Chrome-trace JSON and a
 #      parseable metrics snapshot.
-#   3. Configure + build a sanitizer tree (build-asan/) with
+#   3. Distributed smoke: run the dist-labelled scenarios
+#      (ctest -L dist), then launch a real coordinator + 2 worker
+#      processes on localhost, SIGKILL one mid-step and require the
+#      job to finish degraded onto the survivor via
+#      replanForSurvivors + checkpoint restore.
+#   4. Configure + build a sanitizer tree (build-asan/) with
 #      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the fault-,
-#      codec- and planner-labelled tests there
-#      (ctest -L 'fault|codec|planner') — the transport's
+#      codec-, planner- and dist-labelled tests there
+#      (ctest -L 'fault|codec|planner|dist') — the transport's
 #      retry/rollback paths move buffers across emulated device
 #      boundaries, the async executor posts transfers into recycled
 #      pool buffers while compute runs, the codecs do raw byte-level
@@ -99,16 +104,70 @@ EOF
 fi
 rm -f "$TRACE_OUT" "$METRICS_OUT"
 
+echo "== distributed smoke: coordinator + 2 workers, SIGKILL one =="
+# The ctest-level dist scenarios (test_dist, -L dist, hard TIMEOUT so a
+# protocol hang fails instead of wedging CI) cover bit-identity and the
+# injected kill fault; on top of that, kill a worker from *outside*
+# with a real SIGKILL mid-step and require the job to finish degraded
+# via replanForSurvivors + checkpoint restore.
+ctest --test-dir "$ROOT/build" --output-on-failure -L dist \
+    -j"$(nproc)"
+DIST_DIR="$(mktemp -d /tmp/dist_smoke.XXXXXX)"
+"$ROOT/build/examples/primepar_worker" --serve --workers 2 \
+    --devices 4 --steps 60 --batch 2 --hidden 16 --heads 2 --ffn 32 \
+    --seq 8 --plan dp --checkpoint-every 1 \
+    --checkpoint-dir "$DIST_DIR" > "$DIST_DIR/coord.log" 2>&1 &
+COORD_PID=$!
+PORT=""
+for _ in $(seq 1 50); do
+    PORT="$(sed -n 's/^PRIMEPAR_COORD_PORT=//p' \
+        "$DIST_DIR/coord.log" 2> /dev/null || true)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+[ -n "$PORT" ] || { echo "verify: coordinator printed no port"; \
+    cat "$DIST_DIR/coord.log"; exit 1; }
+"$ROOT/build/examples/primepar_worker" --connect "127.0.0.1:$PORT" \
+    > "$DIST_DIR/w0.log" 2>&1 &
+W0_PID=$!
+"$ROOT/build/examples/primepar_worker" --connect "127.0.0.1:$PORT" \
+    > "$DIST_DIR/w1.log" 2>&1 &
+W1_PID=$!
+# Let it reach mid-run (checkpoints land every step), then kill one
+# worker the hard way.
+while ! grep -q "step 1 " "$DIST_DIR/w1.log" 2> /dev/null; do
+    kill -0 "$W1_PID" 2> /dev/null || break
+    sleep 0.1
+done
+kill -9 "$W1_PID" 2> /dev/null || true
+if ! wait "$COORD_PID"; then
+    echo "verify: distributed job failed after SIGKILL"
+    cat "$DIST_DIR/coord.log" "$DIST_DIR/w0.log"
+    exit 1
+fi
+wait "$W0_PID" || { echo "verify: surviving worker failed"; \
+    cat "$DIST_DIR/w0.log"; exit 1; }
+grep -q "1 worker(s) lost" "$DIST_DIR/coord.log" || {
+    echo "verify: coordinator did not record the killed worker";
+    cat "$DIST_DIR/coord.log"; exit 1; }
+FINAL_STEPS="$(grep -c '^final step' "$DIST_DIR/coord.log" || true)"
+[ "$FINAL_STEPS" -eq 60 ] || { echo "verify: expected 60 final \
+losses, got $FINAL_STEPS"; cat "$DIST_DIR/coord.log"; exit 1; }
+echo "verify: distributed smoke OK (degraded to survivors, \
+$FINAL_STEPS losses)"
+rm -rf "$DIST_DIR"
+
 echo "== sanitizer (ASan+UBSan): configure + build =="
 if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then
     cmake -B "$ROOT/build-asan" -S "$ROOT" \
         -DPRIMEPAR_SANITIZE=ON > /dev/null
 fi
 cmake --build "$ROOT/build-asan" -j"$(nproc)" \
-    --target test_fault test_codec test_optimizer
+    --target test_fault test_codec test_optimizer test_dist \
+    primepar_worker
 
-echo "== sanitizer: fault + codec + planner tests =="
+echo "== sanitizer: fault + codec + planner + dist tests =="
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-    -L 'fault|codec|planner' -j"$(nproc)"
+    -L 'fault|codec|planner|dist' -j"$(nproc)"
 
 echo "verify.sh: all gates passed"

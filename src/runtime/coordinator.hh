@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The distributed job's control plane: coordinator and worker client.
+ *
+ * One Coordinator process accepts a fixed number of worker
+ * registrations, assigns worker ids, places the 2^n emulated devices
+ * contiguously onto the workers (DistWorld), and broadcasts the
+ * resulting world plus an opaque job document in a "welcome" response.
+ * From then on every worker keeps one persistent control connection:
+ *
+ *   Heartbeat ........ liveness beacon every DistOptions::heartbeatMs
+ *   Ctrl "step" ...... per-step loss report (fire and forget)
+ *   Ctrl "suspect" ... "my transfer to worker W keeps failing" —
+ *                      blocks until the coordinator has decided W's
+ *                      fate, answers with the current world
+ *   Ctrl "world" ..... plain world fetch (re-sync after fencing)
+ *   Ctrl "done" ...... this worker finished its steps
+ *
+ * Death is detected two ways: the worker's control connection closes
+ * (immediate), or heartbeatMissLimit consecutive beacon periods pass
+ * without one (timeout). Either way the coordinator bumps the
+ * generation, drops one device bit (mirroring BlockTrainer's
+ * 2^n -> 2^(n-1) degradation), re-places the surviving devices over
+ * the surviving workers, and lets survivors pick the new world up
+ * through their next "suspect" call. Frames from older generations are
+ * fenced at the data plane (tcp_transport.hh), so a zombie declared
+ * dead by mistake cannot corrupt the resumed run.
+ *
+ * Loss reports are recorded from the lowest-id reporting worker per
+ * step; a differing loss from another worker in the same generation is
+ * counted as a divergence (the SPMD replicas must agree bit-for-bit).
+ */
+
+#ifndef PRIMEPAR_RUNTIME_COORDINATOR_HH
+#define PRIMEPAR_RUNTIME_COORDINATOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net.hh"
+#include "options.hh"
+#include "support/json.hh"
+#include "tcp_transport.hh"
+
+namespace primepar {
+
+class RuntimeObserver;
+
+/** Coordinator configuration. */
+struct CoordinatorOptions
+{
+    int numWorkers = 2;
+    /** Initial grid: 2^numBits devices over the workers. */
+    int numBits = 2;
+    /** Control-plane listen port (0 = ephemeral). */
+    int port = 0;
+    DistOptions dist;
+    /** Opaque job document broadcast verbatim in every welcome (the
+     *  example puts the model/optimizer/fault configuration here, so
+     *  workers need nothing but the coordinator's address). */
+    JsonValue job;
+};
+
+/** The control-plane server. start() binds; run() drives the job. */
+class Coordinator
+{
+  public:
+    explicit Coordinator(CoordinatorOptions opts);
+    ~Coordinator();
+
+    /** Bind the control listener; port() is valid afterwards. */
+    void start();
+    int port() const;
+
+    /**
+     * Accept registrations, broadcast welcomes, then serve the
+     * control plane until every live worker reported done (returns 0)
+     * or every worker died (returns 1).
+     */
+    int run();
+
+    /** Per-step losses recorded so far (authoritative reporter). */
+    std::map<std::int64_t, double> losses() const;
+    std::uint64_t generation() const;
+    int workersLost() const;
+    /** Same-generation loss mismatches between replicas. */
+    int divergences() const;
+
+    /** Receives onWorkerUp / onWorkerLost (not owned). */
+    void setObserver(RuntimeObserver *o) { observer = o; }
+
+  private:
+    struct WorkerState;
+
+    void readerLoop(WorkerState &w);
+    void markDead(std::int64_t worker, const std::string &reason);
+    JsonValue handleSuspect(WorkerState &from, std::int64_t suspected);
+    JsonValue currentWorldJson();
+    bool finished();
+
+    CoordinatorOptions opts;
+    RuntimeObserver *observer = nullptr;
+    NetListener listener;
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t generation_ = 0;
+    int bits_ = 0;
+    std::vector<WorkerInfo> placed; ///< live workers' placement
+    std::vector<std::unique_ptr<WorkerState>> workers;
+    std::map<std::int64_t, double> lossByStep;
+    std::map<std::int64_t, std::int64_t> lossReporter;
+    /** Generation each loss was reported under: replays after a
+     *  degrade overwrite instead of counting as divergence. */
+    std::map<std::int64_t, std::uint64_t> lossGen;
+    int lost = 0;
+    int diverged = 0;
+    std::atomic<bool> stopping{false};
+};
+
+/**
+ * The worker side of the control plane: one persistent connection,
+ * a background heartbeat thread, and blocking RPCs. Not thread-safe
+ * except for the internal heartbeat thread (writes are serialized by
+ * a send mutex; only RPC calls ever read the socket).
+ */
+class CoordinatorClient
+{
+  public:
+    explicit CoordinatorClient(DistOptions dist = {});
+    ~CoordinatorClient();
+
+    /** Dial the coordinator; throws RuntimeError on failure. */
+    void connect(const std::string &host, int port);
+
+    /**
+     * Register this worker's data-plane listener port; blocks until
+     * every worker registered and returns the welcome document
+     * ({"worker": id, "world": {...}, "job": {...}}).
+     */
+    JsonValue registerWorker(int dataPort);
+
+    void startHeartbeats(int periodMs);
+    void stopHeartbeats();
+
+    /** Fire-and-forget per-step loss report. */
+    void reportStep(std::int64_t step, double loss);
+
+    /**
+     * Report that transfers to @p suspected keep failing; blocks
+     * until the coordinator decided its fate and returns the current
+     * world (generation tells whether a re-plan happened).
+     */
+    DistWorld suspect(std::int64_t suspected);
+
+    /** Fetch the current world without accusing anyone. */
+    DistWorld fetchWorld();
+
+    /** This worker finished training. */
+    void done(std::int64_t finalStep, double finalLoss);
+
+    std::int64_t workerId() const { return myId; }
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    void send(const WireFrame &f);
+    /** Send Ctrl @p verb, await CtrlResp @p respVerb (null: same). */
+    JsonValue rpc(const char *verb, const JsonValue &body,
+                  int deadline_ms, const char *respVerb = nullptr);
+
+    DistOptions dist;
+    NetSocket sock;
+    std::mutex sendMu;
+    std::thread heartbeatThread;
+    std::atomic<bool> stopHb{false};
+    std::int64_t myId = -1;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_RUNTIME_COORDINATOR_HH

@@ -150,6 +150,67 @@ class CheckpointError : public RuntimeError
     using RuntimeError::RuntimeError;
 };
 
+/**
+ * This worker's generation is stale: the coordinator has moved the job
+ * past it (it was declared dead and the survivors re-planned). The only
+ * correct reaction is to stop participating immediately — a fenced
+ * zombie writing into a resumed run would corrupt it.
+ */
+class FencedWorkerError : public RuntimeError
+{
+  public:
+    FencedWorkerError(const std::string &msg, std::uint64_t mine,
+                      std::uint64_t current)
+        : RuntimeError(msg), myGeneration(mine),
+          currentGeneration(current)
+    {}
+
+    std::uint64_t myGeneration;
+    std::uint64_t currentGeneration;
+};
+
+/**
+ * Process exit codes for the CLI tools, so a supervisor can tell
+ * "retry the same invocation" from "the job is misconfigured" from
+ * "the cluster shrank". Documented in primepar_train --help and the
+ * README.
+ */
+namespace exitcode {
+
+constexpr int Ok = 0;
+constexpr int Internal = 1;   ///< unexpected exception / PrimePar bug
+constexpr int Usage = 2;      ///< InputError: bad flags or feeds
+constexpr int Transient = 3;  ///< TransientFaultError escaped: retryable
+constexpr int DeviceLost = 4; ///< DeviceFailedError: grid shrank fatally
+constexpr int Checkpoint = 5; ///< CheckpointError: state unusable
+constexpr int Fenced = 6;     ///< FencedWorkerError: superseded zombie
+
+/**
+ * Map the in-flight exception to its exit code. Call from inside a
+ * catch block; most-derived types are tested first.
+ */
+inline int
+forCurrentException()
+{
+    try {
+        throw;
+    } catch (const FencedWorkerError &) {
+        return Fenced;
+    } catch (const DeviceFailedError &) {
+        return DeviceLost;
+    } catch (const TransientFaultError &) {
+        return Transient;
+    } catch (const CheckpointError &) {
+        return Checkpoint;
+    } catch (const InputError &) {
+        return Usage;
+    } catch (...) {
+        return Internal;
+    }
+}
+
+} // namespace exitcode
+
 } // namespace primepar
 
 #endif // PRIMEPAR_RUNTIME_ERRORS_HH

@@ -23,6 +23,14 @@ faultKindName(FaultKind kind)
         return "delay";
     case FaultKind::DeviceFail:
         return "fail";
+    case FaultKind::NetDrop:
+        return "netdrop";
+    case FaultKind::NetDelay:
+        return "netdelay";
+    case FaultKind::NetTruncate:
+        return "nettrunc";
+    case FaultKind::WorkerKill:
+        return "kill";
     }
     return "?";
 }
@@ -31,7 +39,8 @@ bool
 FaultSpec::enabled() const
 {
     return dropProb > 0.0 || corruptProb > 0.0 || delayProb > 0.0 ||
-           !schedule.empty();
+           netDropProb > 0.0 || netDelayProb > 0.0 ||
+           netTruncateProb > 0.0 || !schedule.empty();
 }
 
 namespace {
@@ -47,8 +56,18 @@ faultKindByName(const std::string &name)
         return FaultKind::Delay;
     if (name == "fail")
         return FaultKind::DeviceFail;
-    throw RuntimeError("fault-spec: unknown fault kind '" + name +
-                       "' (expected drop|corrupt|delay|fail)");
+    if (name == "netdrop")
+        return FaultKind::NetDrop;
+    if (name == "netdelay")
+        return FaultKind::NetDelay;
+    if (name == "nettrunc")
+        return FaultKind::NetTruncate;
+    if (name == "kill")
+        return FaultKind::WorkerKill;
+    throw InputError(
+        "fault-spec: unknown fault kind '" + name +
+        "' (expected drop|corrupt|delay|fail|netdrop|netdelay|"
+        "nettrunc|kill)");
 }
 
 std::vector<std::string>
@@ -70,8 +89,8 @@ parseProb(const std::string &token, const std::string &value)
     char *end = nullptr;
     const double p = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0)
-        throw RuntimeError("fault-spec: '" + token +
-                           "' needs a probability in [0, 1]");
+        throw InputError("fault-spec: '" + token +
+                         "' needs a probability in [0, 1]");
     return p;
 }
 
@@ -81,8 +100,8 @@ parseInt(const std::string &token, const std::string &value)
     char *end = nullptr;
     const long long v = std::strtoll(value.c_str(), &end, 10);
     if (end == value.c_str() || *end != '\0')
-        throw RuntimeError("fault-spec: '" + token +
-                           "' needs an integer value");
+        throw InputError("fault-spec: '" + token +
+                         "' needs an integer value");
     return v;
 }
 
@@ -112,8 +131,8 @@ FaultSpec::parse(const std::string &text)
                  splitOn(token.substr(at + 1), ':')) {
                 const std::size_t eq = kv.find('=');
                 if (eq == std::string::npos)
-                    throw RuntimeError("fault-spec: malformed '" +
-                                       token + "' (expected key=value)");
+                    throw InputError("fault-spec: malformed '" +
+                                     token + "' (expected key=value)");
                 const std::string key = kv.substr(0, eq);
                 const std::string value = kv.substr(eq + 1);
                 if (key == "step") {
@@ -123,8 +142,8 @@ FaultSpec::parse(const std::string &text)
                 } else if (key == "fires") {
                     sf.fires = static_cast<int>(parseInt(token, value));
                 } else {
-                    throw RuntimeError("fault-spec: unknown key '" +
-                                       key + "' in '" + token + "'");
+                    throw InputError("fault-spec: unknown key '" +
+                                     key + "' in '" + token + "'");
                 }
             }
             spec.schedule.push_back(sf);
@@ -132,8 +151,8 @@ FaultSpec::parse(const std::string &text)
         }
         const std::size_t eq = token.find('=');
         if (eq == std::string::npos)
-            throw RuntimeError("fault-spec: malformed token '" + token +
-                               "'");
+            throw InputError("fault-spec: malformed token '" + token +
+                             "'");
         const std::string key = token.substr(0, eq);
         const std::string value = token.substr(eq + 1);
         if (key == "drop") {
@@ -142,11 +161,17 @@ FaultSpec::parse(const std::string &text)
             spec.corruptProb = parseProb(token, value);
         } else if (key == "delay") {
             spec.delayProb = parseProb(token, value);
+        } else if (key == "netdrop") {
+            spec.netDropProb = parseProb(token, value);
+        } else if (key == "netdelay") {
+            spec.netDelayProb = parseProb(token, value);
+        } else if (key == "nettrunc") {
+            spec.netTruncateProb = parseProb(token, value);
         } else if (key == "seed") {
             spec.seed = static_cast<std::uint64_t>(
                 parseInt(token, value));
         } else {
-            throw RuntimeError("fault-spec: unknown key '" + key + "'");
+            throw InputError("fault-spec: unknown key '" + key + "'");
         }
     }
     return spec;
@@ -157,7 +182,14 @@ FaultSpec::toString() const
 {
     std::ostringstream os;
     os << "drop=" << dropProb << ",corrupt=" << corruptProb
-       << ",delay=" << delayProb << ",seed=" << seed;
+       << ",delay=" << delayProb;
+    if (netDropProb > 0.0)
+        os << ",netdrop=" << netDropProb;
+    if (netDelayProb > 0.0)
+        os << ",netdelay=" << netDelayProb;
+    if (netTruncateProb > 0.0)
+        os << ",nettrunc=" << netTruncateProb;
+    os << ",seed=" << seed;
     for (const ScheduledFault &sf : schedule) {
         os << "," << faultKindName(sf.kind) << "@step=" << sf.step
            << ":dev=" << sf.device << ":fires=" << sf.fires;
@@ -165,13 +197,46 @@ FaultSpec::toString() const
     return os.str();
 }
 
+namespace {
+
+bool
+isNetKind(FaultKind kind)
+{
+    return kind == FaultKind::NetDrop || kind == FaultKind::NetDelay ||
+           kind == FaultKind::NetTruncate;
+}
+
+/** Deterministic uniform in [0, 1) from the transfer identity. */
+double
+transferUniform(const FaultSpec &spec, const TransferTag &tag,
+                int attempt, std::uint64_t salt)
+{
+    std::uint64_t h = spec.seed ^ salt;
+    h = mix64(h ^ static_cast<std::uint64_t>(tag.trainStep));
+    h = mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<int>(tag.phase) * 131 +
+                      tag.temporalStep));
+    h = mix64(h ^ (static_cast<std::uint64_t>(tag.sender) << 32 |
+                   static_cast<std::uint64_t>(tag.receiver)));
+    h = mix64(h ^ checksumBytes(tag.tensor.data(), tag.tensor.size()));
+    h = mix64(h ^ checksumBytes(tag.channel, std::strlen(tag.channel)));
+    h = mix64(h ^ static_cast<std::uint64_t>(attempt));
+    return static_cast<double>(h >> 11) / 9007199254740992.0;
+}
+
+} // namespace
+
 FaultKind
 FaultInjector::decide(const TransferTag &tag, int attempt)
 {
     // Scheduled faults first: they model targeted incidents and
-    // consume their budget in deterministic transfer order.
+    // consume their budget in deterministic transfer order. Net-level
+    // kinds and worker kills live on other paths (decideNet /
+    // consumeWorkerKill) so their budgets are consumed exactly once,
+    // by the one process that enacts them.
     for (ScheduledFault &sf : spec_.schedule) {
-        if (sf.fires <= 0)
+        if (sf.fires <= 0 || isNetKind(sf.kind) ||
+            sf.kind == FaultKind::WorkerKill)
             continue;
         if (sf.step >= 0 && sf.step != tag.trainStep)
             continue;
@@ -189,19 +254,7 @@ FaultInjector::decide(const TransferTag &tag, int attempt)
 
     // Pure hash of the transfer identity: identical at any thread
     // count, and the `attempt` term lets retries succeed.
-    std::uint64_t h = spec_.seed;
-    h = mix64(h ^ static_cast<std::uint64_t>(tag.trainStep));
-    h = mix64(h ^ static_cast<std::uint64_t>(
-                      static_cast<int>(tag.phase) * 131 +
-                      tag.temporalStep));
-    h = mix64(h ^ (static_cast<std::uint64_t>(tag.sender) << 32 |
-                   static_cast<std::uint64_t>(tag.receiver)));
-    h = mix64(h ^ checksumBytes(tag.tensor.data(), tag.tensor.size()));
-    h = mix64(h ^ checksumBytes(tag.channel, std::strlen(tag.channel)));
-    h = mix64(h ^ static_cast<std::uint64_t>(attempt));
-
-    const double u =
-        static_cast<double>(h >> 11) / 9007199254740992.0;
+    const double u = transferUniform(spec_, tag, attempt, 0);
     if (u < spec_.dropProb)
         return FaultKind::Drop;
     if (u < spec_.dropProb + spec_.corruptProb)
@@ -209,6 +262,55 @@ FaultInjector::decide(const TransferTag &tag, int attempt)
     if (u < total)
         return FaultKind::Delay;
     return FaultKind::None;
+}
+
+FaultKind
+FaultInjector::decideNet(const TransferTag &tag, int attempt)
+{
+    for (ScheduledFault &sf : spec_.schedule) {
+        if (sf.fires <= 0 || !isNetKind(sf.kind))
+            continue;
+        if (sf.step >= 0 && sf.step != tag.trainStep)
+            continue;
+        if (sf.device >= 0 && sf.device != tag.sender &&
+            sf.device != tag.receiver)
+            continue;
+        --sf.fires;
+        return sf.kind;
+    }
+
+    const double total = spec_.netDropProb + spec_.netDelayProb +
+                         spec_.netTruncateProb;
+    if (total <= 0.0)
+        return FaultKind::None;
+
+    // Different salt than decide(): a transfer can independently draw
+    // an in-process fault and a socket fault.
+    const double u =
+        transferUniform(spec_, tag, attempt, 0x6e657466ull);
+    if (u < spec_.netDropProb)
+        return FaultKind::NetDrop;
+    if (u < spec_.netDropProb + spec_.netDelayProb)
+        return FaultKind::NetDelay;
+    if (u < total)
+        return FaultKind::NetTruncate;
+    return FaultKind::None;
+}
+
+bool
+FaultInjector::consumeWorkerKill(std::int64_t step, std::int64_t worker)
+{
+    for (ScheduledFault &sf : spec_.schedule) {
+        if (sf.fires <= 0 || sf.kind != FaultKind::WorkerKill)
+            continue;
+        if (sf.step >= 0 && sf.step != step)
+            continue;
+        if (sf.device >= 0 && sf.device != worker)
+            continue;
+        --sf.fires;
+        return true;
+    }
+    return false;
 }
 
 void
@@ -224,8 +326,9 @@ RuntimeHealth::allClear() const
 {
     return dropsDetected == 0 && corruptionsDetected == 0 &&
            headerMismatches == 0 && stragglers == 0 &&
+           reconnects == 0 && fencedFrames == 0 &&
            stepRollbacks == 0 && deviceFailures == 0 &&
-           anomalies.total() == 0;
+           workersLost == 0 && anomalies.total() == 0;
 }
 
 std::string
@@ -241,8 +344,11 @@ RuntimeHealth::report() const
        << "  stragglers         " << stragglers << " ("
        << simulatedDelayUs << " us simulated delay)\n"
        << "  retries            " << retries << "\n"
+       << "  reconnects         " << reconnects << "\n"
+       << "  fenced frames      " << fencedFrames << "\n"
        << "  step rollbacks     " << stepRollbacks << "\n"
        << "  device failures    " << deviceFailures << "\n"
+       << "  workers lost       " << workersLost << "\n"
        << "  replans            " << replans << "\n"
        << "  ckpt restores      " << checkpointRestores << "\n"
        << "  anomalies          nan=" << anomalies.nan

@@ -32,8 +32,25 @@
 
 namespace primepar {
 
-/** What can go wrong with one transfer. */
-enum class FaultKind { None, Drop, Corrupt, Delay, DeviceFail };
+/**
+ * What can go wrong with one transfer. The first group is the classic
+ * in-process taxonomy; the Net* group models socket-level faults that
+ * only the distributed TcpTransport can enact (a dropped connection, a
+ * stalled link, a frame cut short mid-write), and WorkerKill makes a
+ * whole worker process exit abruptly so liveness detection and
+ * survivor re-planning are exercised for real.
+ */
+enum class FaultKind {
+    None,
+    Drop,
+    Corrupt,
+    Delay,
+    DeviceFail,
+    NetDrop,     ///< close the connection before sending
+    NetDelay,    ///< stall the send past the transfer deadline budget
+    NetTruncate, ///< write a partial frame, then close
+    WorkerKill,  ///< the owning worker process exits immediately
+};
 
 const char *faultKindName(FaultKind kind);
 
@@ -69,6 +86,12 @@ struct FaultSpec
     double dropProb = 0.0;
     double corruptProb = 0.0;
     double delayProb = 0.0;
+    /** Socket-level probabilities, enacted by the wire *sender* only
+     *  (so the deterministic decision is made exactly once per
+     *  attempt, by one process). No-ops on InProcessTransport. */
+    double netDropProb = 0.0;
+    double netDelayProb = 0.0;
+    double netTruncateProb = 0.0;
     std::uint64_t seed = 0x5eedf417ull;
     std::vector<ScheduledFault> schedule;
 
@@ -78,10 +101,12 @@ struct FaultSpec
     /**
      * Parse a --fault-spec string, e.g.
      *   "drop=0.01,corrupt=0.005,delay=0.02,seed=7"
+     *   "netdrop=0.01,nettrunc=0.005,netdelay=0.02"
      *   "fail@step=3:dev=2"  "corrupt@step=5:dev=1:fires=4"
+     *   "kill@step=4:dev=1"  (dev = worker id, distributed runs only)
      * Comma-separated tokens; `kind@key=value:key=value` schedules a
      * fault, plain `key=value` sets a probability or the seed.
-     * Throws RuntimeError on malformed input.
+     * Throws InputError on malformed input.
      */
     static FaultSpec parse(const std::string &text);
 
@@ -100,8 +125,23 @@ class FaultInjector
   public:
     explicit FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {}
 
-    /** Decide the fate of one transfer attempt. */
+    /** Decide the fate of one transfer attempt (classic kinds). */
     FaultKind decide(const TransferTag &tag, int attempt);
+
+    /**
+     * Decide the socket-level fate of one wire transfer attempt.
+     * Called by the TcpTransport *sender* only, exactly once per
+     * attempt, so scheduled net-fault budgets are consumed by the one
+     * process that enacts them. Returns None or a Net* kind.
+     */
+    FaultKind decideNet(const TransferTag &tag, int attempt);
+
+    /**
+     * True if a scheduled `kill@step=S:dev=W` fault matches (and
+     * consumes its budget). Checked by each worker at the start of a
+     * training step against its own worker id.
+     */
+    bool consumeWorkerKill(std::int64_t step, std::int64_t worker);
 
     const FaultSpec &spec() const { return spec_; }
 
@@ -151,11 +191,16 @@ class RuntimeHealth
     std::int64_t retries = 0;
     double simulatedDelayUs = 0.0;
 
+    // Distributed-transport counters.
+    std::int64_t reconnects = 0;     ///< successful re-dials
+    std::int64_t fencedFrames = 0;   ///< frames rejected as stale-gen
+
     // Recovery counters.
     std::int64_t stepRollbacks = 0;
     std::int64_t deviceFailures = 0;
     std::int64_t replans = 0;
     std::int64_t checkpointRestores = 0;
+    std::int64_t workersLost = 0;
 
     AnomalyCounts anomalies;
 

@@ -222,4 +222,24 @@ MetricsObserver::onCheckpoint(bool save, std::int64_t step,
     reg->observe("checkpoint.wall_us", wall_us);
 }
 
+void
+MetricsObserver::onWorkerUp(std::int64_t worker,
+                            std::uint64_t generation)
+{
+    (void)worker;
+    (void)generation;
+    reg->add("dist.workers_up");
+}
+
+void
+MetricsObserver::onWorkerLost(std::int64_t worker,
+                              std::uint64_t generation,
+                              const std::string &reason)
+{
+    (void)worker;
+    (void)generation;
+    (void)reason;
+    reg->add("dist.workers_lost");
+}
+
 } // namespace primepar

@@ -103,6 +103,7 @@ class MetricsRegistry
  *   faults.detected  faults.<kind>    executor.rollbacks
  *   anomalies.scans                   checkpoint.saves / .restores
  *   spans.<kind>
+ *   dist.workers_up  dist.workers_lost  (multi-process runs)
  * Histograms (timing, thread-count-dependent):
  *   step.latency_us   transport.transfer_us.<channel>   span_us.<kind>
  */
@@ -126,6 +127,10 @@ class MetricsObserver : public RuntimeObserver
                           const Tensor &t) override;
     void onCheckpoint(bool save, std::int64_t step,
                       double wall_us) override;
+    void onWorkerUp(std::int64_t worker,
+                    std::uint64_t generation) override;
+    void onWorkerLost(std::int64_t worker, std::uint64_t generation,
+                      const std::string &reason) override;
 
   private:
     MetricsRegistry *reg;

@@ -133,6 +133,26 @@ class RuntimeObserver
         (void)step;
         (void)wall_us;
     }
+
+    /** A worker process joined the job at @p generation (distributed
+     *  runs; emitted by the coordinator / TcpTransport). */
+    virtual void
+    onWorkerUp(std::int64_t worker, std::uint64_t generation)
+    {
+        (void)worker;
+        (void)generation;
+    }
+
+    /** A worker was declared dead at @p generation; @p reason is a
+     *  short human-readable cause ("heartbeat timeout", ...). */
+    virtual void
+    onWorkerLost(std::int64_t worker, std::uint64_t generation,
+                 const std::string &reason)
+    {
+        (void)worker;
+        (void)generation;
+        (void)reason;
+    }
 };
 
 /**
@@ -204,6 +224,19 @@ class ObserverChain : public RuntimeObserver
     {
         for (auto *o : list)
             o->onCheckpoint(save, step, wall_us);
+    }
+    void
+    onWorkerUp(std::int64_t worker, std::uint64_t generation) override
+    {
+        for (auto *o : list)
+            o->onWorkerUp(worker, generation);
+    }
+    void
+    onWorkerLost(std::int64_t worker, std::uint64_t generation,
+                 const std::string &reason) override
+    {
+        for (auto *o : list)
+            o->onWorkerLost(worker, generation, reason);
     }
 
   private:

@@ -46,6 +46,24 @@ struct ExecutionOptions
     bool overlapComm = true;
 };
 
+/** Multi-process (coordinator + workers) runtime settings. */
+struct DistOptions
+{
+    /** Heartbeat period each worker beacons to the coordinator. */
+    int heartbeatMs = 100;
+    /** Consecutive missed heartbeats before a worker is declared
+     *  dead and the survivors re-plan. */
+    int heartbeatMissLimit = 5;
+    /** Deadline of one wire transfer (send + ack) per attempt. */
+    int transferDeadlineMs = 2000;
+    /** Deadline of one connect / handshake. */
+    int connectTimeoutMs = 2000;
+    /** Re-dial attempts per peer before the peer's devices are
+     *  declared failed (each waits the jittered exponential backoff,
+     *  see retryBackoffUs). */
+    int reconnectAttempts = 3;
+};
+
 /** Checkpointing and permanent-failure recovery. */
 struct CheckpointOptions
 {
@@ -71,6 +89,8 @@ struct RuntimeOptions
     /** Numeric-anomaly guard applied at phase boundaries. */
     GuardOptions guard;
     CheckpointOptions checkpoint;
+    /** Multi-process runtime (heartbeats, deadlines, reconnects). */
+    DistOptions dist;
 };
 
 } // namespace primepar

@@ -83,7 +83,7 @@ BlockTrainer::BlockTrainer(TrainerOptions opts_in)
 BlockTrainer::~BlockTrainer() = default;
 
 void
-BlockTrainer::buildExecutor()
+BlockTrainer::buildExecutor(const DeviceFailedError *cause)
 {
     exec = std::make_unique<SpmdGraphExecutor>(
         graph, strategies, bits_, opts.runtime.execution.numThreads);
@@ -92,8 +92,13 @@ BlockTrainer::buildExecutor()
     // A fresh transport per (re-)build: a degraded grid renumbers the
     // devices, so the old dead-set must not carry over. The injector
     // *is* shared, so scheduled faults keep their consumed budget.
-    transport = std::make_unique<InProcessTransport>(
-        opts.runtime.transport, injector, &health_);
+    if (opts.transportFactory)
+        transport =
+            opts.transportFactory(bits_, cause, injector, &health_);
+    else
+        transport = std::make_unique<InProcessTransport>(
+            opts.runtime.transport, injector, &health_);
+    transport->setHealth(&health_);
     exec->setTransport(transport.get());
     exec->setHealth(&health_, opts.runtime.guard);
     // One chain serves the whole stack; its address is stable, so
@@ -259,7 +264,7 @@ BlockTrainer::degradeAndRestore(const DeviceFailedError &err)
         velocity.clear();
         step_ = 0;
     }
-    buildExecutor();
+    buildExecutor(&err);
 }
 
 } // namespace primepar

@@ -57,6 +57,23 @@ struct TrainerOptions
      */
     std::function<std::vector<PartitionSeq>(const CompGraph &, int)>
         replanner;
+
+    /**
+     * Transport provider for (re-)building the executor; null uses an
+     * InProcessTransport over runtime.transport. The multi-process
+     * worker wires a TcpTransport factory in here: it is called with
+     * the grid size being built and, on a rebuild after a permanent
+     * device failure, the error that caused it (null on the first
+     * build) — which lets the factory consult the coordinator about
+     * the failed device's owner and return a transport for the new
+     * world. The injector and health sink passed in are the trainer's
+     * own, so fault accounting stays unified across rebuilds.
+     */
+    std::function<std::unique_ptr<Transport>(
+        int bits, const DeviceFailedError *cause,
+        std::shared_ptr<FaultInjector> injector,
+        RuntimeHealth *health)>
+        transportFactory;
 };
 
 /**
@@ -164,7 +181,9 @@ class BlockTrainer
 
   private:
     GraphIO makeBatch(std::int64_t step) const;
-    void buildExecutor();
+    /** @p cause is the device failure that forced this rebuild (null
+     *  on the first build) — forwarded to the transport factory. */
+    void buildExecutor(const DeviceFailedError *cause = nullptr);
     void applyUpdate(const std::map<std::string, Tensor> &d_params);
     void degradeAndRestore(const DeviceFailedError &err);
 
@@ -184,7 +203,7 @@ class BlockTrainer
      *  and transport on every (re)build. */
     ObserverChain observers_;
     std::shared_ptr<FaultInjector> injector;
-    std::unique_ptr<InProcessTransport> transport;
+    std::unique_ptr<Transport> transport;
     std::unique_ptr<SpmdGraphExecutor> exec;
 };
 

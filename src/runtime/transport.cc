@@ -1,5 +1,6 @@
 #include "transport.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <thread>
@@ -36,6 +37,29 @@ transferContext(const TransferTag &tag)
 }
 
 } // namespace
+
+double
+retryBackoffUs(const TransportOptions &opts, std::uint64_t streamId,
+               int attempt)
+{
+    if (opts.backoffUs <= 0.0 || attempt < 0)
+        return 0.0;
+    // splitmix64 of (seed, stream, attempt) -> jitter in [0.5, 1.0).
+    std::uint64_t x =
+        opts.backoffJitterSeed ^ (streamId * 0x9e3779b97f4a7c15ull) ^
+        (static_cast<std::uint64_t>(attempt) + 1);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    const double jitter =
+        0.5 + 0.5 * (static_cast<double>(x >> 11) / 9007199254740992.0);
+    const int exp = attempt < 30 ? attempt : 30;
+    const double wait =
+        opts.backoffUs * static_cast<double>(1u << exp) * jitter;
+    return opts.backoffCapUs > 0.0 ? std::min(wait, opts.backoffCapUs)
+                                   : wait;
+}
 
 InProcessTransport::InProcessTransport(
     TransportOptions opts_in, std::shared_ptr<FaultInjector> injector_in,
@@ -107,8 +131,7 @@ InProcessTransport::transferInto(const TransferTag &tag_in,
                 if (attempt + 1 < opts.maxAttempts) {
                     ++health->retries;
                     health->simulatedDelayUs +=
-                        opts.backoffUs *
-                        static_cast<double>(attempt + 1);
+                        retryBackoffUs(opts, nextSeq, attempt);
                 }
                 health->recordEvent(event);
             }

@@ -41,8 +41,15 @@ struct TransportOptions
     bool checksums = true;
     /** Transfer attempts before escalating to TransientFaultError. */
     int maxAttempts = 4;
-    /** Simulated backoff added per retry (accounted in health). */
+    /** Base of the exponential retry backoff. Attempt k waits
+     *  base * 2^k scaled by decorrelated jitter (see retryBackoffUs);
+     *  InProcessTransport accounts the wait in health, TcpTransport
+     *  really sleeps it. */
     double backoffUs = 50.0;
+    /** Ceiling of one backoff wait after jitter. */
+    double backoffCapUs = 5000.0;
+    /** Seed of the deterministic jitter hash (so fault tests replay). */
+    std::uint64_t backoffJitterSeed = 0x6a177e5ull;
     /** Per-channel wire codec (codec.hh); default raw fp32 bytes.
      *  The encoded stream is what gets checksummed and verified. */
     CodecConfig codec;
@@ -65,6 +72,19 @@ struct TransferReceipt
     std::int64_t rawBytes = 0;
     std::int64_t wireBytes = 0;
 };
+
+/**
+ * Exponential backoff with decorrelated jitter for retry @p attempt
+ * (0-based: the wait before attempt 1 is the first backoff) of the
+ * stream identified by @p streamId. The wait is
+ * base * 2^attempt scaled into [0.5, 1.0) by a hash of
+ * (jitter seed, streamId, attempt), capped at backoffCapUs.
+ * Deterministic — the same options and stream replay the same waits —
+ * but decorrelated: concurrent streams that failed together do not
+ * retry in lockstep.
+ */
+double retryBackoffUs(const TransportOptions &opts,
+                      std::uint64_t streamId, int attempt);
 
 /** Moves tensor values between emulated devices. */
 class Transport
@@ -99,6 +119,13 @@ class Transport
     /** True when faults can occur, i.e. the executor should journal
      *  temporal steps for rollback. */
     virtual bool faultTolerant() const { return false; }
+
+    /** Attach a health sink (not owned; nullptr detaches). */
+    virtual void setHealth(RuntimeHealth *h) { (void)h; }
+
+    /** Report every delivered transfer (bytes, attempts, wall time)
+     *  and detected fault to @p o (not owned; nullptr detaches). */
+    virtual void setObserver(RuntimeObserver *o) { (void)o; }
 };
 
 /**
@@ -127,11 +154,9 @@ class InProcessTransport : public Transport
 
     bool faultTolerant() const override { return injector != nullptr; }
 
-    void setHealth(RuntimeHealth *h) { health = h; }
+    void setHealth(RuntimeHealth *h) override { health = h; }
 
-    /** Report every delivered transfer (bytes, attempts, wall time)
-     *  and detected fault to @p o (not owned; nullptr detaches). */
-    void setObserver(RuntimeObserver *o) { observer = o; }
+    void setObserver(RuntimeObserver *o) override { observer = o; }
 
     const std::set<std::int64_t> &deadDevices() const { return dead; }
 

@@ -588,5 +588,161 @@ TEST(Trainer, TransientFaultsLeaveTrajectoryExact)
     EXPECT_GT(health.retries, 0);
 }
 
+// ---------------------------------------------------------------------------
+// PR 8 additions: typed parse errors, net faults, jittered backoff,
+// checkpoint damage messages.
+
+TEST(FaultSpec, MalformedSpecsThrowInputError)
+{
+    // Every malformed spec is a *typed*, catchable InputError (the
+    // CLIs map it to the documented usage exit code) — never an
+    // assertion or abort.
+    EXPECT_THROW(FaultSpec::parse("explode@step=1"), InputError);
+    EXPECT_THROW(FaultSpec::parse("warp=0.1"), InputError);
+    EXPECT_THROW(FaultSpec::parse("drop=-0.25"), InputError);
+    EXPECT_THROW(FaultSpec::parse("netdrop=1.5"), InputError);
+    EXPECT_THROW(FaultSpec::parse("drop=0.1junk"), InputError);
+    EXPECT_THROW(FaultSpec::parse("drop"), InputError);
+    EXPECT_THROW(FaultSpec::parse("kill@step=two:dev=1"), InputError);
+    EXPECT_THROW(FaultSpec::parse("fail@step=1:when=now"), InputError);
+    try {
+        FaultSpec::parse("explode@step=1");
+        FAIL() << "expected InputError";
+    } catch (const InputError &err) {
+        EXPECT_NE(std::string(err.what()).find("explode"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(FaultSpec, ParsesNetFaultsAndWorkerKill)
+{
+    const FaultSpec spec = FaultSpec::parse(
+        "netdrop=0.1,netdelay=0.05,nettrunc=0.02,kill@step=4:dev=1");
+    EXPECT_DOUBLE_EQ(spec.netDropProb, 0.1);
+    EXPECT_DOUBLE_EQ(spec.netDelayProb, 0.05);
+    EXPECT_DOUBLE_EQ(spec.netTruncateProb, 0.02);
+    ASSERT_EQ(spec.schedule.size(), 1u);
+    EXPECT_EQ(spec.schedule[0].kind, FaultKind::WorkerKill);
+    EXPECT_TRUE(spec.enabled());
+
+    // toString round-trips the new kinds.
+    const FaultSpec again = FaultSpec::parse(spec.toString());
+    EXPECT_DOUBLE_EQ(again.netDropProb, spec.netDropProb);
+    EXPECT_DOUBLE_EQ(again.netTruncateProb, spec.netTruncateProb);
+    ASSERT_EQ(again.schedule.size(), 1u);
+    EXPECT_EQ(again.schedule[0].kind, FaultKind::WorkerKill);
+
+    // The kill budget is consumed exactly once, by the right worker
+    // at the right step.
+    FaultInjector inj(spec);
+    EXPECT_FALSE(inj.consumeWorkerKill(3, 1));
+    EXPECT_FALSE(inj.consumeWorkerKill(4, 0));
+    EXPECT_TRUE(inj.consumeWorkerKill(4, 1));
+    EXPECT_FALSE(inj.consumeWorkerKill(4, 1));
+}
+
+TEST(Transport, NetFaultsAreNoOpsInProcess)
+{
+    // Socket faults are enacted by the wire *sender* only; the
+    // in-process transport (and every non-participant replica of a
+    // wire transfer) must ignore them completely — otherwise the
+    // replicated fault pattern would diverge across worker processes.
+    BlockCase c;
+    const auto plan = defaultBlockPlan(c.graph, 2);
+    const GraphResult ref = c.run(plan, nullptr, nullptr);
+
+    const FaultSpec spec =
+        FaultSpec::parse("netdrop=1.0,netdelay=1.0,nettrunc=1.0");
+    RuntimeHealth health;
+    InProcessTransport transport(
+        {}, std::make_shared<FaultInjector>(spec), &health);
+    const GraphResult got = c.run(plan, &transport, &health);
+    expectIdentical(got, ref);
+    EXPECT_EQ(health.retries, 0);
+    EXPECT_TRUE(health.allClear()) << health.report();
+}
+
+TEST(Transport, RetryBackoffIsJitteredDeterministicAndCapped)
+{
+    TransportOptions opts;
+    opts.backoffUs = 10.0;
+    opts.backoffCapUs = 500.0;
+
+    // Deterministic for a (stream, attempt) pair; decorrelated across
+    // streams and seeds.
+    EXPECT_DOUBLE_EQ(retryBackoffUs(opts, 7, 3),
+                     retryBackoffUs(opts, 7, 3));
+    EXPECT_NE(retryBackoffUs(opts, 7, 3), retryBackoffUs(opts, 8, 3));
+    TransportOptions reseeded = opts;
+    reseeded.backoffJitterSeed ^= 0x5555;
+    EXPECT_NE(retryBackoffUs(opts, 7, 2),
+              retryBackoffUs(reseeded, 7, 2));
+
+    // Exponential envelope: attempt k waits base * 2^k scaled by a
+    // jitter in [0.5, 1.0), everything capped.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        const double full = 10.0 * static_cast<double>(1 << attempt);
+        const double w = retryBackoffUs(opts, 1, attempt);
+        EXPECT_GE(w, 0.5 * full);
+        EXPECT_LT(w, full + 1e-9);
+        EXPECT_LE(w, 500.0);
+    }
+    EXPECT_DOUBLE_EQ(retryBackoffUs(opts, 1, 10), 500.0);
+    // Far past the cap the shift must not overflow.
+    EXPECT_DOUBLE_EQ(retryBackoffUs(opts, 1, 1000), 500.0);
+
+    TransportOptions off;
+    off.backoffUs = 0.0;
+    EXPECT_DOUBLE_EQ(retryBackoffUs(off, 1, 3), 0.0);
+}
+
+TEST(Checkpoint, DamageMessagesNameFileAndCause)
+{
+    Rng rng(79);
+    Checkpoint ck;
+    ck.step = 3;
+    ck.params["w"] = Tensor::random(Shape{32}, rng);
+    const std::string path = testing::TempDir() + "ck_messages.ppck";
+    saveCheckpoint(path, ck);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string pristine((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    auto writeAll = [&](const std::string &bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    };
+
+    // Truncated mid-payload: the message names the file and says
+    // "truncated" with the promised vs actual sizes.
+    writeAll(pristine.substr(0, pristine.size() / 2));
+    try {
+        loadCheckpoint(path);
+        FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    }
+
+    // A single flipped bit in the payload: checksum mismatch, again
+    // naming the file.
+    std::string flipped = pristine;
+    flipped[flipped.size() - 16] ^= 0x01;
+    writeAll(flipped);
+    try {
+        loadCheckpoint(path);
+        FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("checksum"), std::string::npos) << msg;
+    }
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace primepar
