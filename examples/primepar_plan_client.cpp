@@ -1,0 +1,171 @@
+/**
+ * @file
+ * `primepar_plan_client` — command-line client for `primepar_serve`.
+ *
+ * Sends one plan request (or a stats / ping / shutdown verb) to a
+ * running plan daemon and prints the answer — as text or, with
+ * --json, as the raw response document for scripts to parse.
+ *
+ * Usage:
+ *   primepar_plan_client --connect HOST:PORT
+ *       [--model NAME] [--devices N] [--batch B] [--layers L]
+ *       [--alpha A] [--no-psquare] [--no-batch-dim] [--beam-width N]
+ *       [--max-temporal-steps K] [--json]
+ *   primepar_plan_client --connect HOST:PORT --stats
+ *   primepar_plan_client --connect HOST:PORT --ping
+ *   primepar_plan_client --connect HOST:PORT --shutdown
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "runtime/errors.hh"
+#include "serve/plan_client.hh"
+
+using namespace primepar;
+
+namespace {
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    PlanRequest req;
+    bool stats = false;
+    bool ping = false;
+    bool shutdown = false;
+    bool json = false;
+    int deadlineMs = 600000;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--connect") {
+            const std::string hp = next();
+            const std::size_t colon = hp.rfind(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr,
+                             "--connect wants HOST:PORT (got %s)\n",
+                             hp.c_str());
+                std::exit(2);
+            }
+            opts.host = hp.substr(0, colon);
+            opts.port = std::atoi(hp.c_str() + colon + 1);
+        } else if (arg == "--model") {
+            opts.req.model = next();
+        } else if (arg == "--devices") {
+            opts.req.devices = std::atoi(next());
+        } else if (arg == "--batch") {
+            opts.req.batch = std::atoll(next());
+        } else if (arg == "--layers") {
+            opts.req.layers = std::atoi(next());
+        } else if (arg == "--alpha") {
+            opts.req.alpha = std::atof(next());
+        } else if (arg == "--no-psquare") {
+            opts.req.psquare = false;
+        } else if (arg == "--no-batch-dim") {
+            opts.req.batchDim = false;
+        } else if (arg == "--beam-width") {
+            opts.req.beamWidth = std::atoi(next());
+        } else if (arg == "--max-temporal-steps") {
+            opts.req.maxTemporalSteps = std::atoi(next());
+        } else if (arg == "--deadline-ms") {
+            opts.deadlineMs = std::atoi(next());
+        } else if (arg == "--stats") {
+            opts.stats = true;
+        } else if (arg == "--ping") {
+            opts.ping = true;
+        } else if (arg == "--shutdown") {
+            opts.shutdown = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: primepar_plan_client --connect HOST:PORT\n"
+                "           [--model NAME] [--devices N] [--batch B]"
+                " [--layers L]\n"
+                "           [--alpha A] [--no-psquare]"
+                " [--no-batch-dim]\n"
+                "           [--beam-width N] [--max-temporal-steps K]"
+                " [--json]\n"
+                "           [--deadline-ms MS] [--stats] [--ping]"
+                " [--shutdown]\n");
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument %s (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    if (opts.port <= 0) {
+        std::fprintf(stderr, "--connect HOST:PORT is required\n");
+        std::exit(2);
+    }
+    return opts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    try {
+        PlanClient client(opts.host, opts.port);
+        if (opts.ping) {
+            const bool up = client.ping();
+            std::printf("%s\n", up ? "ok" : "unhealthy");
+            return up ? 0 : 1;
+        }
+        if (opts.shutdown) {
+            const bool acked = client.shutdown();
+            std::printf("%s\n",
+                        acked ? "shutdown acknowledged"
+                              : "shutdown rejected");
+            return acked ? 0 : 1;
+        }
+        if (opts.stats) {
+            std::printf("%s\n", client.stats().toString(2).c_str());
+            return 0;
+        }
+        const PlanResponse resp =
+            client.plan(opts.req, opts.deadlineMs);
+        if (opts.json) {
+            std::printf("%s\n", resp.toJson().toString(2).c_str());
+            return resp.ok ? 0 : 1;
+        }
+        if (!resp.ok) {
+            std::fprintf(stderr, "plan failed: %s\n",
+                         resp.error.c_str());
+            return 1;
+        }
+        std::printf("plan for %s (source %s, %.1f ms server time):\n",
+                    opts.req.summary().c_str(), resp.source.c_str(),
+                    resp.serverUs / 1e3);
+        for (const std::string &line : resp.strategyText)
+            std::printf("  %s\n", line.c_str());
+        std::printf("layer cost %.1f us, total %.1f us",
+                    resp.layerCostUs, resp.totalCostUs);
+        if (resp.truncated)
+            std::printf(" (within %.2f%% of optimal, certified)",
+                        resp.gapPct);
+        std::printf("\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return exitcode::forCurrentException();
+    }
+}

@@ -3,6 +3,7 @@
 #
 # Usage: bench_check.sh <bench_micro binary> [output.json]
 #        bench_check.sh --planner <bench_table2_opttime> [output.json]
+#        bench_check.sh --serve <primepar_serve> [output.json]
 #
 # Default mode runs the microbench in --quick mode, then checks that
 # the output is valid JSON with the primepar-bench-runtime-v1 schema,
@@ -14,14 +15,24 @@
 # the largest cell where the exhaustive baseline is still tractable on
 # a CI host (32 devices, OPT 6.7B, one thread), and fails unless
 # dominance pruning is at least 5x faster than the exhaustive planner
-# while producing a bit-identical plan. Both are wired as optional
-# ctests with the `bench` label (ctest -L bench).
+# while producing a bit-identical plan.
+#
+# --serve (the warm-path gate) runs `primepar_serve --bench`: a cold
+# DP plan for OPT 6.7B on 32 devices is persisted to a fresh store, a
+# brand-new service instance answers the same request from the mmap'd
+# store, and the gate fails unless the warm answer came from the
+# store, is bit-identical, and is >= 100x faster than the cold run.
+# All are wired as optional ctests with the `bench` label
+# (ctest -L bench).
 
 set -eu
 
 MODE=micro
 if [ "${1:-}" = "--planner" ]; then
     MODE=planner
+    shift
+elif [ "${1:-}" = "--serve" ]; then
+    MODE=serve
     shift
 fi
 
@@ -35,6 +46,52 @@ OUT="${2:-$(mktemp /tmp/bench_runtime.XXXXXX.json)}"
 
 if ! command -v python3 > /dev/null 2>&1; then
     echo "bench_check: python3 not available, skipping validation" >&2
+    exit 0
+fi
+
+if [ "$MODE" = "serve" ]; then
+    STORE="$(mktemp /tmp/serve_bench.XXXXXX.pps)"
+    rm -f "$STORE" # the bench wants a cold (absent) store
+    "$BENCH" --bench --store "$STORE" \
+        --model "${SERVE_MODEL:-OPT 6.7B}" \
+        --devices "${SERVE_DEVICES:-32}" --bench-out "$OUT"
+    rm -f "$STORE"
+
+    python3 - "$OUT" <<'EOF'
+import json
+import math
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def fail(msg):
+    sys.exit(f"bench_check: {msg}")
+
+if doc.get("schema") != "primepar-serve-bench-v1":
+    fail(f"unexpected schema {doc.get('schema')!r}")
+for field in ("cold_ms", "warm_ms", "speedup", "layer_cost_us",
+              "total_cost_us"):
+    v = doc.get(field)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) \
+            or math.isnan(v) or math.isinf(v):
+        fail(f"{field} is not finite: {v!r}")
+if doc.get("warm_source") != "store":
+    fail(f"warm request was served from {doc.get('warm_source')!r}, "
+         f"not the persistent store")
+if doc.get("bit_identical") is not True:
+    fail("warm plan is not bit-identical to the cold DP plan")
+if doc["cold_ms"] <= 0 or doc["warm_ms"] <= 0:
+    fail("bench timings not positive")
+if doc["speedup"] < 100.0:
+    fail(f"warm-path speedup {doc['speedup']:.1f}x is below the 100x "
+         f"budget (cold {doc['cold_ms']:.0f} ms, warm "
+         f"{doc['warm_ms']:.2f} ms)")
+print(f"bench_check: OK (serve warm path {doc['speedup']:.0f}x: cold "
+      f"DP {doc['cold_ms']:.0f} ms -> mmap'd store "
+      f"{doc['warm_ms']:.2f} ms at {doc['devices']} devices, "
+      f"bit-identical)")
+EOF
     exit 0
 fi
 

@@ -16,16 +16,22 @@
 #      processes on localhost, SIGKILL one mid-step and require the
 #      job to finish degraded onto the survivor via
 #      replanForSurvivors + checkpoint restore.
-#   4. Configure + build a sanitizer tree (build-asan/) with
+#   4. Serve smoke: run the serve-labelled tests, then start a real
+#      primepar_serve daemon with a fresh persistent store, plan the
+#      same spec twice through primepar_plan_client, and require the
+#      second answer to be a store hit with the same strategies and a
+#      populated serve.request_us latency histogram (p50/p99).
+#   5. Configure + build a sanitizer tree (build-asan/) with
 #      -DPRIMEPAR_SANITIZE=ON (address+undefined) and run the fault-,
-#      codec-, planner- and dist-labelled tests there
-#      (ctest -L 'fault|codec|planner|dist') — the transport's
+#      codec-, planner-, dist- and serve-labelled tests there
+#      (ctest -L 'fault|codec|planner|dist|serve') — the transport's
 #      retry/rollback paths move buffers across emulated device
 #      boundaries, the async executor posts transfers into recycled
 #      pool buffers while compute runs, the codecs do raw byte-level
-#      bit packing, and the pruned planner indexes dense edge tables
-#      through candidate-position indirection: exactly where lifetime
-#      and out-of-bounds bugs would hide.
+#      bit packing, the pruned planner indexes dense edge tables
+#      through candidate-position indirection, and the plan store
+#      decodes raw mmap'd bytes: exactly where lifetime and
+#      out-of-bounds bugs would hide.
 #
 # --quick skips the sanitizer rebuild when build-asan/ is already
 # configured. Exits non-zero on the first failure.
@@ -157,6 +163,69 @@ echo "verify: distributed smoke OK (degraded to survivors, \
 $FINAL_STEPS losses)"
 rm -rf "$DIST_DIR"
 
+echo "== serve smoke: daemon, store-hit repeat plan, stats =="
+# The serve-labelled tests cover the store format, single-flight and
+# crash safety; on top of that, run the real daemon + client binaries
+# over loopback: the second identical plan request must be answered
+# from the persistent store, and the stats verb must report the
+# request latency histogram.
+ctest --test-dir "$ROOT/build" --output-on-failure -L serve \
+    -j"$(nproc)"
+SERVE_DIR="$(mktemp -d /tmp/serve_smoke.XXXXXX)"
+"$ROOT/build/examples/primepar_serve" --store "$SERVE_DIR/plans.pps" \
+    > "$SERVE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+SPORT=""
+for _ in $(seq 1 50); do
+    SPORT="$(sed -n 's/^PRIMEPAR_SERVE_PORT=//p' \
+        "$SERVE_DIR/serve.log" 2> /dev/null || true)"
+    [ -n "$SPORT" ] && break
+    sleep 0.1
+done
+[ -n "$SPORT" ] || { echo "verify: plan server printed no port"; \
+    cat "$SERVE_DIR/serve.log"; exit 1; }
+CLIENT="$ROOT/build/examples/primepar_plan_client"
+"$CLIENT" --connect "127.0.0.1:$SPORT" --model "Llama2 7B" \
+    --devices 8 --json > "$SERVE_DIR/first.json"
+"$CLIENT" --connect "127.0.0.1:$SPORT" --model "Llama2 7B" \
+    --devices 8 --json > "$SERVE_DIR/second.json"
+"$CLIENT" --connect "127.0.0.1:$SPORT" --stats \
+    > "$SERVE_DIR/stats.json"
+"$CLIENT" --connect "127.0.0.1:$SPORT" --shutdown > /dev/null
+wait "$SERVE_PID" || { echo "verify: plan server exited non-zero"; \
+    cat "$SERVE_DIR/serve.log"; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+    python3 - "$SERVE_DIR/first.json" "$SERVE_DIR/second.json" \
+        "$SERVE_DIR/stats.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    first = json.load(f)
+with open(sys.argv[2]) as f:
+    second = json.load(f)
+with open(sys.argv[3]) as f:
+    stats = json.load(f)
+if not (first.get("ok") and second.get("ok")):
+    sys.exit("verify: serve smoke plan request failed")
+if first.get("source") != "dp":
+    sys.exit(f"verify: first request expected a DP run, got "
+             f"{first.get('source')!r}")
+if second.get("source") != "store":
+    sys.exit(f"verify: repeat request expected a store hit, got "
+             f"{second.get('source')!r}")
+if second["strategies"] != first["strategies"]:
+    sys.exit("verify: store-served plan differs from the DP plan")
+hist = stats.get("histograms", {}).get("serve.request_us")
+if not hist or hist.get("count", 0) < 2:
+    sys.exit("verify: stats lack the serve.request_us histogram")
+print(f"verify: serve smoke OK (dp -> store hit, p50 "
+      f"{hist['p50']:.0f} us / p99 {hist['p99']:.0f} us over "
+      f"{hist['count']} requests)")
+EOF
+fi
+rm -rf "$SERVE_DIR"
+
 echo "== sanitizer (ASan+UBSan): configure + build =="
 if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then
     cmake -B "$ROOT/build-asan" -S "$ROOT" \
@@ -164,10 +233,10 @@ if [ "$QUICK" -eq 0 ] || [ ! -f "$ROOT/build-asan/CMakeCache.txt" ]; then
 fi
 cmake --build "$ROOT/build-asan" -j"$(nproc)" \
     --target test_fault test_codec test_optimizer test_dist \
-    primepar_worker
+    test_serve primepar_worker
 
-echo "== sanitizer: fault + codec + planner + dist tests =="
+echo "== sanitizer: fault + codec + planner + dist + serve tests =="
 ctest --test-dir "$ROOT/build-asan" --output-on-failure \
-    -L 'fault|codec|planner|dist' -j"$(nproc)"
+    -L 'fault|codec|planner|dist|serve' -j"$(nproc)"
 
 echo "verify.sh: all gates passed"

@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include "runtime/metrics.hh"
+
 namespace primepar {
 
 namespace {
@@ -128,7 +130,26 @@ CatalogCache::findSegment(const std::string &key)
         return nullptr;
     }
     ++segmentHitCount;
-    return it->second;
+    segmentLru.splice(segmentLru.begin(), segmentLru,
+                      it->second.lruPos);
+    return it->second.segment;
+}
+
+/** Drop LRU segments until @p needed bytes fit within the budget.
+ *  Caller holds mu. */
+void
+CatalogCache::evictSegmentsLocked(std::size_t needed)
+{
+    while (segmentByteCount + needed > segmentByteBudget &&
+           !segmentLru.empty()) {
+        const auto victim = segments.find(segmentLru.back());
+        segmentByteCount -= victim->second.bytes;
+        segments.erase(victim);
+        segmentLru.pop_back();
+        ++segmentEvictCount;
+        if (metrics)
+            metrics->add("planner.cache_evicted");
+    }
 }
 
 std::shared_ptr<const DpSegment>
@@ -138,12 +159,20 @@ CatalogCache::insertSegment(const std::string &key,
     std::lock_guard<std::mutex> lock(mu);
     const auto it = segments.find(key);
     if (it != segments.end())
-        return it->second;
+        return it->second.segment;
     const std::size_t bytes = segment->bytes();
-    if (segmentByteCount + bytes > segmentByteBudget)
-        return segment; // over budget: usable, just not resident
+    if (bytes > segmentByteBudget) {
+        // Larger than the whole cache: usable, just not resident.
+        ++segmentRejectCount;
+        if (metrics)
+            metrics->add("planner.cache_rejected");
+        return segment;
+    }
+    evictSegmentsLocked(bytes);
     segmentByteCount += bytes;
-    segments.emplace(key, segment);
+    segmentLru.push_front(key);
+    segments.emplace(key,
+                     SegmentSlot{segment, bytes, segmentLru.begin()});
     return segment;
 }
 
@@ -152,6 +181,7 @@ CatalogCache::setSegmentByteBudget(std::size_t bytes)
 {
     std::lock_guard<std::mutex> lock(mu);
     segmentByteBudget = bytes;
+    evictSegmentsLocked(0);
 }
 
 std::size_t
@@ -173,6 +203,27 @@ CatalogCache::segmentMisses() const
 {
     std::lock_guard<std::mutex> lock(mu);
     return segmentMissCount;
+}
+
+std::size_t
+CatalogCache::segmentEvictions() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return segmentEvictCount;
+}
+
+std::size_t
+CatalogCache::segmentRejections() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return segmentRejectCount;
+}
+
+void
+CatalogCache::setMetrics(MetricsRegistry *m)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    metrics = m;
 }
 
 std::shared_ptr<const PlanCacheEntry>

@@ -16,6 +16,7 @@
 #define PRIMEPAR_OPTIMIZER_CATALOG_CACHE_HH
 
 #include <cstddef>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -25,6 +26,8 @@
 #include "dp_core.hh"
 
 namespace primepar {
+
+class MetricsRegistry;
 
 /**
  * Serialize everything a catalog's contents depend on: the structural
@@ -69,24 +72,38 @@ class CatalogCache
     /** find() calls that returned nullptr. */
     std::size_t misses() const;
 
-    /** Look up a solved segment; nullptr when absent. */
+    /** Look up a solved segment; nullptr when absent. A hit marks the
+     *  entry most-recently-used. */
     std::shared_ptr<const DpSegment> findSegment(const std::string &key);
 
     /**
-     * Insert a solved segment. Entries beyond the byte budget are not
-     * stored (the segment is still returned for use); existing entries
-     * are never evicted — the budget caps growth, and planner keys are
-     * stable enough that the first-stored segments are the hot ones.
+     * Insert a solved segment under the byte budget, evicting
+     * least-recently-used entries to make room (a long-lived plan
+     * server must keep caching its *current* hot keys, not the first
+     * keys it ever saw). A segment larger than the whole budget is
+     * rejected — still returned for use, just not resident. Eviction
+     * and rejection counts surface through segmentEvictions() /
+     * segmentRejections() and, when a registry is attached, the
+     * planner.cache_evicted / planner.cache_rejected counters.
      */
     std::shared_ptr<const DpSegment>
     insertSegment(const std::string &key,
                   std::shared_ptr<const DpSegment> segment);
 
-    /** Cap on resident segment bytes (default 512 MiB). */
+    /** Cap on resident segment bytes (default 512 MiB). Shrinking it
+     *  below the resident size evicts LRU entries immediately. */
     void setSegmentByteBudget(std::size_t bytes);
     std::size_t segmentBytes() const;
     std::size_t segmentHits() const;
     std::size_t segmentMisses() const;
+    /** Segments displaced to make room for newer ones. */
+    std::size_t segmentEvictions() const;
+    /** Segments never stored because they alone exceed the budget. */
+    std::size_t segmentRejections() const;
+
+    /** Optional sink for planner.cache_evicted / planner.cache_rejected
+     *  counters (not owned; may be nullptr). */
+    void setMetrics(MetricsRegistry *m);
 
     /** Look up a whole-plan result; nullptr when absent. */
     std::shared_ptr<const PlanCacheEntry> findPlan(const std::string &key);
@@ -106,12 +123,25 @@ class CatalogCache
     std::size_t hitCount = 0;
     std::size_t missCount = 0;
 
-    std::unordered_map<std::string, std::shared_ptr<const DpSegment>>
-        segments;
+    /** Resident segment plus its position in the LRU order. */
+    struct SegmentSlot
+    {
+        std::shared_ptr<const DpSegment> segment;
+        std::size_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+    void evictSegmentsLocked(std::size_t needed);
+
+    std::unordered_map<std::string, SegmentSlot> segments;
+    /** Keys from most- to least-recently used. */
+    std::list<std::string> segmentLru;
     std::size_t segmentByteBudget = std::size_t{512} << 20;
     std::size_t segmentByteCount = 0;
     std::size_t segmentHitCount = 0;
     std::size_t segmentMissCount = 0;
+    std::size_t segmentEvictCount = 0;
+    std::size_t segmentRejectCount = 0;
+    MetricsRegistry *metrics = nullptr;
 
     std::unordered_map<std::string, std::shared_ptr<const PlanCacheEntry>>
         plans;

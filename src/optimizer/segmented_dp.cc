@@ -673,6 +673,16 @@ recordMetrics(MetricsRegistry *m, const DpResult &r)
 
 } // namespace
 
+std::string
+planCacheKey(const CompGraph &graph, const CostModel &cost,
+             const DpOptions &opts)
+{
+    SpaceOptions space = opts.space;
+    if (opts.beamWidth > 0)
+        space.candidateBudget = opts.beamWidth;
+    return planKey(graph, cost, space, opts);
+}
+
 SegmentedDpOptimizer::SegmentedDpOptimizer(const CompGraph &graph_in,
                                            const CostModel &cost_in,
                                            DpOptions opts_in)
@@ -690,6 +700,9 @@ SegmentedDpOptimizer::optimize()
     SpaceOptions space = opts.space;
     if (opts.beamWidth > 0)
         space.candidateBudget = opts.beamWidth;
+
+    if (opts.catalogCache && opts.metrics)
+        opts.catalogCache->setMetrics(opts.metrics);
 
     // Whole-plan memoization (pruning modes only: the legacy path
     // stays the untouched timing baseline).

@@ -164,6 +164,18 @@ DpResult bruteForceOptimize(const CompGraph &graph, const CostModel &cost,
                             int num_threads = 1);
 
 /**
+ * Cache key of a whole optimization run — the key
+ * CatalogCache::findPlan and the persistent plan store share. Covers
+ * every input the resulting plan depends on: the structural operator
+ * signatures (via catalogKey, which folds in the device-bit count,
+ * the space options, and CostModel::fingerprint()), the edge
+ * structure, and the planner options that change the search
+ * (numLayers, pruning, beam, pilot width).
+ */
+std::string planCacheKey(const CompGraph &graph, const CostModel &cost,
+                         const DpOptions &opts);
+
+/**
  * Re-plan after permanent device failures: build the paper cluster of
  * @p surviving_devices (a power of two), profile its latency models,
  * and run the segmented DP for the shrunken grid. This is the recovery

@@ -175,9 +175,11 @@ Coordinator::run()
             welcome.set("world", currentWorldJson());
         }
         welcome.set("job", opts.job);
-        if (!writeFrame(w->conn,
-                        ctrlFrame(FrameType::CtrlResp, "welcome", -1,
-                                  generation_, welcome))) {
+        if (writeFrame(w->conn,
+                       ctrlFrame(FrameType::CtrlResp, "welcome", -1,
+                                 generation_, welcome),
+                       opts.dist.transferDeadlineMs) !=
+            IoResult::Ok) {
             PRIMEPAR_INFORM("coordinator: worker ", w->id,
                             " vanished before welcome");
             markDead(w->id, "closed before welcome");
@@ -324,9 +326,11 @@ Coordinator::readerLoop(WorkerState &w)
             const JsonValue world = handleSuspect(w, suspected);
             JsonValue resp = JsonValue::object();
             resp.set("world", world);
-            if (!writeFrame(w.conn,
-                            ctrlFrame(FrameType::CtrlResp, "suspect",
-                                      -1, generation_, resp))) {
+            if (writeFrame(w.conn,
+                           ctrlFrame(FrameType::CtrlResp, "suspect",
+                                     -1, generation_, resp),
+                           opts.dist.transferDeadlineMs) !=
+                IoResult::Ok) {
                 markDead(w.id, "closed during suspect reply");
                 return;
             }
@@ -336,9 +340,11 @@ Coordinator::readerLoop(WorkerState &w)
                 std::lock_guard<std::mutex> lock(mu);
                 resp.set("world", currentWorldJson());
             }
-            if (!writeFrame(w.conn,
-                            ctrlFrame(FrameType::CtrlResp, "world",
-                                      -1, generation_, resp))) {
+            if (writeFrame(w.conn,
+                           ctrlFrame(FrameType::CtrlResp, "world",
+                                     -1, generation_, resp),
+                           opts.dist.transferDeadlineMs) !=
+                IoResult::Ok) {
                 markDead(w.id, "closed during world reply");
                 return;
             }
@@ -505,7 +511,7 @@ void
 CoordinatorClient::send(const WireFrame &f)
 {
     std::lock_guard<std::mutex> lock(sendMu);
-    if (!writeFrame(sock, f))
+    if (writeFrame(sock, f, dist.transferDeadlineMs) != IoResult::Ok)
         throw RuntimeError("lost connection to coordinator");
 }
 
@@ -558,7 +564,9 @@ CoordinatorClient::startHeartbeats(int periodMs)
             hb.generation = generation_;
             {
                 std::lock_guard<std::mutex> lock(sendMu);
-                if (!writeFrame(sock, hb))
+                if (writeFrame(sock, hb,
+                               dist.transferDeadlineMs) !=
+                    IoResult::Ok)
                     return; // coordinator gone; the main thread
                             // finds out on its next RPC
             }

@@ -41,6 +41,15 @@ waitReadable(int fd, int deadline_ms)
     return r > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR));
 }
 
+/** Wait until @p fd is writable; false on timeout/error. */
+bool
+waitWritable(int fd, int deadline_ms)
+{
+    struct pollfd pfd{fd, POLLOUT, 0};
+    const int r = ::poll(&pfd, 1, deadline_ms < 0 ? -1 : deadline_ms);
+    return r > 0 && (pfd.revents & (POLLOUT | POLLHUP | POLLERR));
+}
+
 template <typename T>
 void
 put(std::vector<std::uint8_t> &buf, T v)
@@ -83,26 +92,35 @@ readExact(int fd, std::uint8_t *out, std::size_t n,
     return IoResult::Ok;
 }
 
-bool
-writeExact(int fd, const std::uint8_t *data, std::size_t n)
+/**
+ * Write exactly @p n bytes before the deadline. A peer that stops
+ * draining its receive buffer (a stalled or wedged process) makes
+ * send() block / return EAGAIN forever; the deadline bounds that the
+ * same way readExact bounds a silent sender, so the caller maps the
+ * outcome onto the fault taxonomy instead of hanging.
+ */
+IoResult
+writeExact(int fd, const std::uint8_t *data, std::size_t n,
+           std::int64_t deadline_at)
 {
     std::size_t sent = 0;
     while (sent < n) {
-        const ssize_t r =
-            ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+        const std::int64_t left = deadline_at - nowMs();
+        if (left <= 0)
+            return IoResult::Timeout;
+        if (!waitWritable(fd, static_cast<int>(left)))
+            return IoResult::Timeout;
+        const ssize_t r = ::send(fd, data + sent, n - sent,
+                                 MSG_NOSIGNAL | MSG_DONTWAIT);
         if (r < 0) {
-            if (errno == EINTR)
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
                 continue;
-            if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                struct pollfd pfd{fd, POLLOUT, 0};
-                ::poll(&pfd, 1, 1000);
-                continue;
-            }
-            return false;
+            return IoResult::Closed;
         }
         sent += static_cast<std::size_t>(r);
     }
-    return true;
+    return IoResult::Ok;
 }
 
 } // namespace
@@ -248,19 +266,25 @@ encodeFrame(const WireFrame &f)
     return buf;
 }
 
-bool
-writeFrame(NetSocket &sock, const WireFrame &f,
+IoResult
+writeFrame(NetSocket &sock, const WireFrame &f, int deadline_ms,
            std::int64_t truncate_to)
 {
     if (!sock.valid())
-        return false;
+        return IoResult::Closed;
     const std::vector<std::uint8_t> bytes = encodeFrame(f);
     std::size_t n = bytes.size();
     if (truncate_to >= 0 &&
         static_cast<std::size_t>(truncate_to) < n)
         n = static_cast<std::size_t>(truncate_to);
-    return writeExact(sock.fd(), bytes.data(), n) &&
-           n == bytes.size();
+    const IoResult r =
+        writeExact(sock.fd(), bytes.data(), n, nowMs() + deadline_ms);
+    if (r != IoResult::Ok)
+        return r;
+    // A deliberately truncated frame (NetTruncate fault) is a send
+    // failure from the caller's point of view: the peer can never
+    // consume it.
+    return n == bytes.size() ? IoResult::Ok : IoResult::Closed;
 }
 
 IoResult

@@ -12,9 +12,12 @@
  * caller maps each outcome onto the existing fault taxonomy instead of
  * hanging.
  *
- * All reads take a deadline (poll + recv); writes are blocking but the
- * protocol never has both ends of a connection blocked writing to each
- * other (data frames are acknowledged one at a time). Byte order is
+ * All reads and writes take a deadline (poll + recv / poll + send).
+ * The protocol never has both ends of a connection blocked writing to
+ * each other (data frames are acknowledged one at a time), but a
+ * stalled peer that stops draining its receive buffer would otherwise
+ * wedge a sender forever — the write deadline turns that into a
+ * Timeout the caller maps onto the transient-fault path. Byte order is
  * host order: the emulated cluster spans processes on one
  * architecture, and the header magic doubles as an endianness check.
  */
@@ -137,14 +140,23 @@ struct WireFrame
 /** Serialize @p f into its wire bytes. */
 std::vector<std::uint8_t> encodeFrame(const WireFrame &f);
 
+/** Default bound on one frame write when the caller has no tighter
+ *  deadline — large enough for any healthy peer, finite so a stalled
+ *  one cannot wedge a sender forever. */
+constexpr int kDefaultWriteDeadlineMs = 30000;
+
 /**
- * Write one frame; false on any socket error. @p truncate_to, when
- * >= 0, deliberately stops after that many bytes of the encoding (the
- * NetTruncate fault: the receiver must detect the short frame when
- * the connection closes, never consume it).
+ * Write one frame within @p deadline_ms. Timeout means the peer
+ * stopped draining its receive buffer before the frame fit (a stalled
+ * process — the write-side analogue of a silent sender); Closed covers
+ * socket errors. @p truncate_to, when >= 0, deliberately stops after
+ * that many bytes of the encoding (the NetTruncate fault: the receiver
+ * must detect the short frame when the connection closes, never
+ * consume it) and reports Closed.
  */
-bool writeFrame(NetSocket &sock, const WireFrame &f,
-                std::int64_t truncate_to = -1);
+IoResult writeFrame(NetSocket &sock, const WireFrame &f,
+                    int deadline_ms = kDefaultWriteDeadlineMs,
+                    std::int64_t truncate_to = -1);
 
 /**
  * Read one complete frame within @p deadline_ms. Malformed means the

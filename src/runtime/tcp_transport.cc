@@ -226,7 +226,8 @@ TcpTransport::ensurePeer(std::int64_t peer, const TransferTag &tag)
             hello.generation = world_.generation;
             hello.sender = world_.myWorker;
             hello.receiver = peer;
-            if (!writeFrame(s, hello))
+            if (writeFrame(s, hello, dist.connectTimeoutMs) !=
+                IoResult::Ok)
                 continue;
             WireFrame ack;
             if (readFrame(s, ack, dist.connectTimeoutMs) !=
@@ -271,11 +272,12 @@ TcpTransport::ensurePeer(std::int64_t peer, const TransferTag &tag)
                              tag.tensor, tag.trainStep, hello.sender,
                              world_.myWorker, attempt});
                     }
-                    writeFrame(s, ack);
+                    writeFrame(s, ack, dist.connectTimeoutMs);
                     continue;
                 }
                 ack.status = FrameStatus::Ok;
-                if (!writeFrame(s, ack))
+                if (writeFrame(s, ack, dist.connectTimeoutMs) !=
+                    IoResult::Ok)
                     continue;
                 if (hello.sender != peer) {
                     // A different peer dialed first; keep its
@@ -456,14 +458,15 @@ TcpTransport::sendWire(const TransferTag &tag, const Tensor &payload,
         }
 
         NetSocket &s = ensurePeer(peer, tag);
-        const bool wrote = writeFrame(s, f, truncate_to);
+        const IoResult wrote = writeFrame(
+            s, f, dist.transferDeadlineMs, truncate_to);
         if (net == FaultKind::NetTruncate) {
             recordFault(net, &RuntimeHealth::dropsDetected,
                         "injected truncated frame", attempt);
             dropPeer(peer);
             continue;
         }
-        if (!wrote) {
+        if (wrote != IoResult::Ok) {
             recordFault(FaultKind::NetDrop,
                         &RuntimeHealth::dropsDetected,
                         "send failed: connection lost", attempt);
@@ -559,7 +562,7 @@ TcpTransport::sendWire(const TransferTag &tag, const Tensor &payload,
         abort.seq = wireSeq[peer];
         abort.sender = world_.myWorker;
         abort.receiver = peer;
-        writeFrame(it->second, abort);
+        writeFrame(it->second, abort, dist.transferDeadlineMs);
     }
     throw TransientFaultError(
         "wire retry budget (" + std::to_string(opts.maxAttempts) +
@@ -598,7 +601,8 @@ TcpTransport::recvWire(const TransferTag &tag, const Tensor &payload,
         ack.seq = seq;
         ack.sender = world_.myWorker;
         ack.receiver = peer;
-        if (!writeFrame(s, ack))
+        if (writeFrame(s, ack, dist.transferDeadlineMs) !=
+            IoResult::Ok)
             dropPeer(peer);
     };
 
@@ -723,7 +727,7 @@ TcpTransport::recvWire(const TransferTag &tag, const Tensor &payload,
         abort.seq = wireSeq[peer];
         abort.sender = world_.myWorker;
         abort.receiver = peer;
-        writeFrame(it->second, abort);
+        writeFrame(it->second, abort, dist.transferDeadlineMs);
     }
     throw TransientFaultError(
         "wire receive budget (" + std::to_string(opts.maxAttempts) +

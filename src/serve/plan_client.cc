@@ -1,0 +1,87 @@
+#include "plan_client.hh"
+
+#include "runtime/errors.hh"
+#include "runtime/fault.hh"
+
+namespace primepar {
+
+PlanClient::PlanClient(const std::string &host, int port,
+                       int connect_deadline_ms)
+{
+    sock = netConnect(host, port, connect_deadline_ms);
+    if (!sock.valid()) {
+        throw RuntimeError("plan server at " + host + ":" +
+                           std::to_string(port) +
+                           " is not reachable");
+    }
+}
+
+JsonValue
+PlanClient::call(const char *verb, const JsonValue &body,
+                 int deadline_ms)
+{
+    WireFrame f;
+    f.type = FrameType::Ctrl;
+    f.tensor = verb;
+    f.seq = ++seq;
+    const std::string text = body.toString(0);
+    f.payload.assign(text.begin(), text.end());
+    f.checksum = checksumBytes(f.payload.data(), f.payload.size());
+    const IoResult wrote = writeFrame(sock, f, deadline_ms);
+    if (wrote != IoResult::Ok) {
+        throw RuntimeError(std::string("sending '") + verb +
+                           "' request failed: " +
+                           ioResultName(wrote));
+    }
+    WireFrame resp;
+    const IoResult got = readFrame(sock, resp, deadline_ms);
+    if (got != IoResult::Ok) {
+        throw RuntimeError(std::string("waiting for '") + verb +
+                           "' response failed: " +
+                           ioResultName(got));
+    }
+    if (resp.type != FrameType::CtrlResp || resp.tensor != verb ||
+        resp.seq != f.seq) {
+        throw RuntimeError(std::string("mismatched response to '") +
+                           verb + "' (got verb '" + resp.tensor +
+                           "')");
+    }
+    if (checksumBytes(resp.payload.data(), resp.payload.size()) !=
+        resp.checksum) {
+        throw RuntimeError(std::string("response to '") + verb +
+                           "' failed checksum validation");
+    }
+    return parseJson(
+        std::string(resp.payload.begin(), resp.payload.end()));
+}
+
+PlanResponse
+PlanClient::plan(const PlanRequest &req, int deadline_ms)
+{
+    return PlanResponse::fromJson(
+        call(kServeVerbPlan, req.toJson(), deadline_ms));
+}
+
+JsonValue
+PlanClient::stats(int deadline_ms)
+{
+    return call(kServeVerbStats, JsonValue::object(), deadline_ms);
+}
+
+bool
+PlanClient::ping(int deadline_ms)
+{
+    const JsonValue doc =
+        call(kServeVerbPing, JsonValue::object(), deadline_ms);
+    return doc.at("ok").asBool();
+}
+
+bool
+PlanClient::shutdown(int deadline_ms)
+{
+    const JsonValue doc =
+        call(kServeVerbShutdown, JsonValue::object(), deadline_ms);
+    return doc.at("ok").asBool();
+}
+
+} // namespace primepar

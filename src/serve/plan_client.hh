@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Client library for the plan daemon.
+ *
+ * Speaks the same PPF1 Ctrl / CtrlResp frames as the server; every
+ * call is one request frame and one matched (verb, seq) response
+ * frame within a caller-supplied deadline. Transport failures —
+ * connect refusal, timeout, a closed or corrupted stream — surface
+ * as RuntimeError; a server-side planning failure comes back as a
+ * normal PlanResponse with ok == false.
+ */
+
+#ifndef PRIMEPAR_SERVE_PLAN_CLIENT_HH
+#define PRIMEPAR_SERVE_PLAN_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/net.hh"
+#include "serve_protocol.hh"
+
+namespace primepar {
+
+class PlanClient
+{
+  public:
+    /** Connect to a running daemon; throws RuntimeError on failure. */
+    PlanClient(const std::string &host, int port,
+               int connect_deadline_ms = 5000);
+
+    /** Plan one request. Cold plans run a DP on the server, so the
+     *  default deadline is generous. */
+    PlanResponse plan(const PlanRequest &req,
+                      int deadline_ms = 600000);
+
+    /** Metrics + store snapshot (primepar-metrics-v1 + plan_store). */
+    JsonValue stats(int deadline_ms = 5000);
+
+    /** Liveness probe. */
+    bool ping(int deadline_ms = 5000);
+
+    /** Ask the daemon to exit; true when it acknowledged. */
+    bool shutdown(int deadline_ms = 5000);
+
+  private:
+    JsonValue call(const char *verb, const JsonValue &body,
+                   int deadline_ms);
+
+    NetSocket sock;
+    std::uint64_t seq = 0;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SERVE_PLAN_CLIENT_HH

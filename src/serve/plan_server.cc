@@ -1,0 +1,166 @@
+#include "plan_server.hh"
+
+#include <chrono>
+
+#include "runtime/errors.hh"
+#include "runtime/fault.hh"
+#include "runtime/metrics.hh"
+#include "support/logging.hh"
+
+namespace primepar {
+
+namespace {
+
+/** Poll granularity of the accept / read loops: how quickly stop()
+ *  is noticed, not a protocol deadline. */
+constexpr int kPollMs = 200;
+
+WireFrame
+ctrlResp(const WireFrame &req, const JsonValue &body)
+{
+    WireFrame f;
+    f.type = FrameType::CtrlResp;
+    f.tensor = req.tensor;
+    f.seq = req.seq;
+    f.generation = req.generation;
+    const std::string text = body.toString(0);
+    f.payload.assign(text.begin(), text.end());
+    f.checksum = checksumBytes(f.payload.data(), f.payload.size());
+    return f;
+}
+
+} // namespace
+
+PlanServer::PlanServer(PlanServerOptions options)
+    : opts(std::move(options)),
+      svc(std::make_unique<PlanService>(opts.service))
+{
+    listener.open(opts.port);
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+PlanServer::~PlanServer()
+{
+    stop();
+}
+
+bool
+PlanServer::waitForShutdown(int timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mu);
+    if (timeout_ms < 0) {
+        shutdownCv.wait(lock,
+                        [&] { return shutdownRequested.load(); });
+        return true;
+    }
+    return shutdownCv.wait_for(
+        lock, std::chrono::milliseconds(timeout_ms),
+        [&] { return shutdownRequested.load(); });
+}
+
+void
+PlanServer::stop()
+{
+    if (stopping.exchange(true))
+        return;
+    shutdownRequested = true;
+    shutdownCv.notify_all();
+    if (acceptThread.joinable())
+        acceptThread.join();
+    std::lock_guard<std::mutex> lock(mu);
+    for (Connection &c : connections)
+        if (c.thread.joinable())
+            c.thread.join();
+    connections.clear();
+}
+
+void
+PlanServer::reapFinishedLocked()
+{
+    for (auto it = connections.begin(); it != connections.end();) {
+        if (it->finished.load()) {
+            if (it->thread.joinable())
+                it->thread.join();
+            it = connections.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+PlanServer::acceptLoop()
+{
+    while (!stopping.load()) {
+        NetSocket conn = listener.accept(kPollMs);
+        std::lock_guard<std::mutex> lock(mu);
+        reapFinishedLocked();
+        if (!conn.valid())
+            continue;
+        connections.emplace_back();
+        Connection *slot = &connections.back();
+        slot->thread =
+            std::thread([this, slot, sock = std::move(conn)]() mutable {
+                serveConnection(std::move(sock), slot);
+            });
+    }
+}
+
+void
+PlanServer::serveConnection(NetSocket sock, Connection *slot)
+{
+    while (!stopping.load()) {
+        WireFrame req;
+        const IoResult r = readFrame(sock, req, kPollMs);
+        if (r == IoResult::Timeout)
+            continue; // idle connection; re-check the stop flag
+        if (r != IoResult::Ok)
+            break; // closed or unusable stream
+        if (req.type != FrameType::Ctrl)
+            continue; // not ours; ignore rather than kill the link
+        const std::uint64_t sum =
+            checksumBytes(req.payload.data(), req.payload.size());
+        JsonValue body;
+        if (sum != req.checksum) {
+            body = JsonValue::object();
+            body.set("ok", false);
+            body.set("error", "request payload failed checksum");
+            writeFrame(sock, ctrlResp(req, body));
+            continue;
+        }
+        if (req.tensor == kServeVerbPing) {
+            body = JsonValue::object();
+            body.set("ok", true);
+        } else if (req.tensor == kServeVerbStats) {
+            body = svc->statsJson();
+        } else if (req.tensor == kServeVerbShutdown) {
+            body = JsonValue::object();
+            body.set("ok", true);
+            writeFrame(sock, ctrlResp(req, body));
+            shutdownRequested = true;
+            shutdownCv.notify_all();
+            break;
+        } else if (req.tensor == kServeVerbPlan) {
+            PlanRequest planReq;
+            try {
+                planReq = PlanRequest::fromJson(parseJson(std::string(
+                    req.payload.begin(), req.payload.end())));
+                body = svc->plan(planReq).toJson();
+            } catch (const std::exception &e) {
+                body = JsonValue::object();
+                body.set("ok", false);
+                body.set("error", e.what());
+            }
+        } else {
+            body = JsonValue::object();
+            body.set("ok", false);
+            body.set("error",
+                     "unknown verb '" + req.tensor + "'");
+        }
+        if (writeFrame(sock, ctrlResp(req, body)) != IoResult::Ok)
+            break;
+    }
+    slot->finished = true;
+}
+
+} // namespace primepar

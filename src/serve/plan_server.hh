@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The plan daemon's network front end.
+ *
+ * PlanServer accepts connections on the distributed runtime's PPF1
+ * wire format and answers control frames: Ctrl("plan") with a
+ * PlanRequest JSON body runs through the shared PlanService (store →
+ * memo → single-flight → admitted DP) and comes back as
+ * CtrlResp("plan") carrying the PlanResponse; Ctrl("stats") returns
+ * the metrics snapshot; Ctrl("ping") answers liveness probes;
+ * Ctrl("shutdown") acknowledges and stops the server.
+ *
+ * Each connection gets its own handler thread, so one client's
+ * multi-second cold plan never blocks another's microsecond store
+ * hit, and concurrent identical requests from different connections
+ * coalesce onto one DP run inside the service.
+ */
+
+#ifndef PRIMEPAR_SERVE_PLAN_SERVER_HH
+#define PRIMEPAR_SERVE_PLAN_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "plan_service.hh"
+#include "runtime/net.hh"
+
+namespace primepar {
+
+struct PlanServerOptions
+{
+    /** Listen port; 0 = kernel-assigned ephemeral. */
+    int port = 0;
+    PlanServiceOptions service;
+};
+
+class PlanServer
+{
+  public:
+    /** Binds, loads the store, and starts accepting. Throws
+     *  RuntimeError when the port cannot be bound. */
+    explicit PlanServer(PlanServerOptions opts);
+    ~PlanServer();
+
+    PlanServer(const PlanServer &) = delete;
+    PlanServer &operator=(const PlanServer &) = delete;
+
+    /** The actually bound port. */
+    int port() const { return listener.port(); }
+
+    PlanService &service() { return *svc; }
+
+    /** Block until a shutdown verb arrives, or @p timeout_ms passes
+     *  (negative = wait forever). Returns true when shutdown was
+     *  requested — the daemon main loop polls this so a signal
+     *  handler's flag is also honoured. */
+    bool waitForShutdown(int timeout_ms = -1);
+
+    /** Stop accepting, close connections, join all threads.
+     *  Idempotent; also invoked by the destructor. */
+    void stop();
+
+  private:
+    struct Connection
+    {
+        std::thread thread;
+        std::atomic<bool> finished{false};
+    };
+
+    void acceptLoop();
+    void serveConnection(NetSocket sock, Connection *slot);
+    void reapFinishedLocked();
+
+    PlanServerOptions opts;
+    std::unique_ptr<PlanService> svc;
+    NetListener listener;
+
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> shutdownRequested{false};
+    std::mutex mu;
+    std::condition_variable shutdownCv;
+    std::list<Connection> connections;
+    std::thread acceptThread;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SERVE_PLAN_SERVER_HH

@@ -1,0 +1,335 @@
+#include "plan_store.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "runtime/fault.hh"
+
+namespace primepar {
+
+namespace {
+
+using plan_store_format::kHeaderBytes;
+using plan_store_format::kMagic;
+using plan_store_format::kVersion;
+
+/**
+ * Header layout (offsets in bytes; all fields little-endian
+ * host-order — the magic doubles as an endianness check):
+ *   0  u32 magic        8  u64 entryCount   24 u64 payloadBytes
+ *   4  u32 version     16  u64 indexOffset  32 u64 checksum
+ *  40  u64 generation  48..63 reserved (zero)
+ * indexOffset and record offsets are relative to the end of the
+ * header. checksum covers bytes [kHeaderBytes, fileSize).
+ */
+struct StoreHeader
+{
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kVersion;
+    std::uint64_t entryCount = 0;
+    std::uint64_t indexOffset = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t generation = 0;
+    std::uint64_t reserved0 = 0;
+    std::uint64_t reserved1 = 0;
+};
+static_assert(sizeof(StoreHeader) == kHeaderBytes,
+              "PPS1 header must be exactly 64 bytes");
+
+/** Fixed-size head of one record; key bytes and strategies follow. */
+struct RecordHead
+{
+    std::uint32_t keyBytes = 0;
+    std::uint32_t numStrategies = 0;
+    std::uint32_t truncated = 0;
+    std::uint32_t reserved = 0;
+    double layerCost = 0.0;
+    double totalCost = 0.0;
+    double lowerBoundUs = 0.0;
+    double gapPct = 0.0;
+    std::int64_t candidatesTotal = 0;
+    std::int64_t candidatesKept = 0;
+};
+static_assert(sizeof(RecordHead) == 64, "record head layout drifted");
+
+void
+appendBytes(std::vector<std::uint8_t> &out, const void *p,
+            std::size_t n)
+{
+    const std::uint8_t *b = static_cast<const std::uint8_t *>(p);
+    out.insert(out.end(), b, b + n);
+}
+
+template <typename T>
+void
+appendPod(std::vector<std::uint8_t> &out, const T &v)
+{
+    appendBytes(out, &v, sizeof(v));
+}
+
+/** Bounds-checked unaligned read out of the mapped payload. */
+template <typename T>
+bool
+readPod(const std::uint8_t *base, std::size_t size, std::size_t &off,
+        T &out)
+{
+    if (off + sizeof(T) > size)
+        return false;
+    std::memcpy(&out, base + off, sizeof(T));
+    off += sizeof(T);
+    return true;
+}
+
+/** Per-step wire form: i32 kind, i32 dim, i32 k. */
+struct StepWire
+{
+    std::int32_t kind = 0;
+    std::int32_t dim = -1;
+    std::int32_t k = 0;
+};
+static_assert(sizeof(StepWire) == 12, "step wire layout drifted");
+
+bool
+decodeRecord(const std::uint8_t *payload, std::size_t payloadSize,
+             std::size_t off, std::string *key, PlanCacheEntry *entry)
+{
+    RecordHead head;
+    if (!readPod(payload, payloadSize, off, head))
+        return false;
+    if (off + head.keyBytes > payloadSize)
+        return false;
+    if (key)
+        key->assign(reinterpret_cast<const char *>(payload + off),
+                    head.keyBytes);
+    off += head.keyBytes;
+
+    entry->layerCost = head.layerCost;
+    entry->totalCost = head.totalCost;
+    entry->lowerBoundUs = head.lowerBoundUs;
+    entry->gapPct = head.gapPct;
+    entry->candidatesTotal = head.candidatesTotal;
+    entry->candidatesKept = head.candidatesKept;
+    entry->truncated = head.truncated != 0;
+    entry->strategies.clear();
+    entry->strategies.reserve(head.numStrategies);
+    for (std::uint32_t s = 0; s < head.numStrategies; ++s) {
+        std::uint32_t numSteps = 0;
+        if (!readPod(payload, payloadSize, off, numSteps))
+            return false;
+        PartitionSeq seq;
+        for (std::uint32_t i = 0; i < numSteps; ++i) {
+            StepWire w;
+            if (!readPod(payload, payloadSize, off, w))
+                return false;
+            PartitionStep step;
+            step.kind = w.kind == 0 ? PartitionStep::Kind::ByDim
+                                    : PartitionStep::Kind::PSquare;
+            step.dim = w.dim;
+            step.k = w.k;
+            seq.push(step);
+        }
+        entry->strategies.push_back(std::move(seq));
+    }
+    return true;
+}
+
+void
+fail(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+}
+
+} // namespace
+
+PlanStore
+PlanStore::load(const std::string &path, std::string *error)
+{
+    PlanStore store;
+    // A store that has never been written is a normal first-boot
+    // state, not corruption.
+    if (::access(path.c_str(), F_OK) != 0 && errno == ENOENT) {
+        store.ok = true;
+        return store;
+    }
+    std::string mapError;
+    MmapFile m = MmapFile::openReadOnly(path, &mapError);
+    if (!m.valid()) {
+        fail(error, mapError);
+        return store;
+    }
+    if (m.size() == 0) { // freshly truncated / placeholder file
+        store.ok = true;
+        return store;
+    }
+    if (m.size() < kHeaderBytes) {
+        fail(error, "plan store '" + path + "' is truncated (" +
+                        std::to_string(m.size()) + " bytes)");
+        return store;
+    }
+    StoreHeader hdr;
+    std::memcpy(&hdr, m.data(), sizeof(hdr));
+    if (hdr.magic != kMagic) {
+        fail(error, "plan store '" + path +
+                        "' has bad magic (not a PPS1 file, or written "
+                        "on a different-endian host)");
+        return store;
+    }
+    if (hdr.version != kVersion) {
+        fail(error, "plan store '" + path + "' is format version " +
+                        std::to_string(hdr.version) +
+                        "; this build reads version " +
+                        std::to_string(kVersion));
+        return store;
+    }
+    const std::size_t payloadSize = m.size() - kHeaderBytes;
+    if (hdr.payloadBytes != payloadSize) {
+        fail(error, "plan store '" + path + "' is truncated: header "
+                        "promises " +
+                        std::to_string(hdr.payloadBytes) +
+                        " payload bytes, file has " +
+                        std::to_string(payloadSize));
+        return store;
+    }
+    const std::uint8_t *payload = m.data() + kHeaderBytes;
+    const std::uint64_t sum = checksumBytes(payload, payloadSize);
+    if (sum != hdr.checksum) {
+        fail(error, "plan store '" + path +
+                        "' failed checksum validation (corrupted)");
+        return store;
+    }
+    // The index section: entryCount u64 offsets at indexOffset.
+    if (hdr.indexOffset > payloadSize ||
+        hdr.entryCount > payloadSize / sizeof(std::uint64_t) ||
+        hdr.entryCount * sizeof(std::uint64_t) !=
+            payloadSize - hdr.indexOffset) {
+        fail(error,
+             "plan store '" + path + "' has a malformed index section");
+        return store;
+    }
+    store.index.reserve(hdr.entryCount);
+    for (std::uint64_t i = 0; i < hdr.entryCount; ++i) {
+        std::uint64_t off = 0;
+        std::memcpy(&off,
+                    payload + hdr.indexOffset +
+                        i * sizeof(std::uint64_t),
+                    sizeof(off));
+        std::string key;
+        PlanCacheEntry entry;
+        if (off >= hdr.indexOffset ||
+            !decodeRecord(payload, hdr.indexOffset,
+                          static_cast<std::size_t>(off), &key,
+                          &entry)) {
+            fail(error, "plan store '" + path + "' record " +
+                            std::to_string(i) + " is malformed");
+            store.index.clear();
+            return store;
+        }
+        store.index.emplace(std::move(key), off);
+    }
+    store.gen = hdr.generation;
+    store.map = std::move(m);
+    store.ok = true;
+    return store;
+}
+
+std::shared_ptr<const PlanCacheEntry>
+PlanStore::find(const std::string &key) const
+{
+    const auto it = index.find(key);
+    if (it == index.end())
+        return nullptr;
+    auto entry = std::make_shared<PlanCacheEntry>();
+    // Records were fully validated at load; decode cannot fail here.
+    decodeRecord(map.data() + plan_store_format::kHeaderBytes,
+                 map.size() - plan_store_format::kHeaderBytes,
+                 static_cast<std::size_t>(it->second), nullptr,
+                 entry.get());
+    return entry;
+}
+
+std::vector<std::pair<std::string, PlanCacheEntry>>
+PlanStore::entries() const
+{
+    std::vector<std::pair<std::string, PlanCacheEntry>> out;
+    out.reserve(index.size());
+    for (const auto &[key, off] : index) {
+        PlanCacheEntry entry;
+        decodeRecord(map.data() + plan_store_format::kHeaderBytes,
+                     map.size() - plan_store_format::kHeaderBytes,
+                     static_cast<std::size_t>(off), nullptr, &entry);
+        out.emplace_back(key, std::move(entry));
+    }
+    return out;
+}
+
+void
+PlanStoreBuilder::put(const std::string &key,
+                      const PlanCacheEntry &entry)
+{
+    plans[key] = entry;
+}
+
+std::vector<std::uint8_t>
+PlanStoreBuilder::serialize(std::uint64_t generation) const
+{
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(plans.size());
+    for (const auto &[key, entry] : plans) {
+        offsets.push_back(payload.size());
+        RecordHead head;
+        head.keyBytes = static_cast<std::uint32_t>(key.size());
+        head.numStrategies =
+            static_cast<std::uint32_t>(entry.strategies.size());
+        head.truncated = entry.truncated ? 1 : 0;
+        head.layerCost = entry.layerCost;
+        head.totalCost = entry.totalCost;
+        head.lowerBoundUs = entry.lowerBoundUs;
+        head.gapPct = entry.gapPct;
+        head.candidatesTotal = entry.candidatesTotal;
+        head.candidatesKept = entry.candidatesKept;
+        appendPod(payload, head);
+        appendBytes(payload, key.data(), key.size());
+        for (const PartitionSeq &seq : entry.strategies) {
+            appendPod(payload, static_cast<std::uint32_t>(
+                                   seq.steps().size()));
+            for (const PartitionStep &step : seq.steps()) {
+                StepWire w;
+                w.kind =
+                    step.kind == PartitionStep::Kind::ByDim ? 0 : 1;
+                w.dim = step.dim;
+                w.k = step.k;
+                appendPod(payload, w);
+            }
+        }
+    }
+    StoreHeader hdr;
+    hdr.entryCount = plans.size();
+    hdr.indexOffset = payload.size();
+    hdr.generation = generation;
+    for (const std::uint64_t off : offsets)
+        appendPod(payload, off);
+    hdr.payloadBytes = payload.size();
+    hdr.checksum = checksumBytes(payload.data(), payload.size());
+
+    std::vector<std::uint8_t> out;
+    out.reserve(sizeof(hdr) + payload.size());
+    appendPod(out, hdr);
+    appendBytes(out, payload.data(), payload.size());
+    return out;
+}
+
+bool
+PlanStoreBuilder::save(const std::string &path,
+                       std::uint64_t generation,
+                       std::string *error) const
+{
+    const std::vector<std::uint8_t> image = serialize(generation);
+    return atomicWriteFile(path, image.data(), image.size(), error);
+}
+
+} // namespace primepar

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Persistent, versioned, checksummed plan store ("PPS1").
+ *
+ * The plan daemon memoizes finished DP plans on disk so that a
+ * restarted server — or a fleet of servers sharing a filesystem —
+ * answers repeat requests in microseconds instead of re-running a
+ * multi-second dynamic program. The store is one immutable file:
+ *
+ *   [64-byte header]  magic "PPS1", format version, entry count,
+ *                     index offset, payload byte count, checksum
+ *                     over everything after the header, and a
+ *                     monotonically increasing generation number.
+ *   [records]         per plan: fixed-size record head (key length,
+ *                     strategy count, truncated flag, costs, search
+ *                     statistics), then the cache-key bytes, then
+ *                     each strategy as a step count + (kind, dim, k)
+ *                     triples.
+ *   [index]           entryCount x u64 record offsets, enabling O(1)
+ *                     record addressing without a load-time scan.
+ *
+ * Writers build a complete new image in memory and publish it with
+ * atomicWriteFile (tmp + fsync + rename), so a reader or a kill -9
+ * at any instant sees either the previous or the new complete store.
+ * Readers keep the file mmap'd read-only and decode records on
+ * lookup; the validated index is built once at load. Keys are the
+ * planner's own cache keys (structural graph signature + search-space
+ * options + CostModel fingerprint), so a store can never serve a
+ * plan computed under different assumptions.
+ */
+
+#ifndef PRIMEPAR_SERVE_PLAN_STORE_HH
+#define PRIMEPAR_SERVE_PLAN_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/dp_core.hh"
+#include "support/mmap_file.hh"
+
+namespace primepar {
+
+/** On-disk format constants (also used by tests and DESIGN.md). */
+namespace plan_store_format {
+
+/** 'P','P','S','1' little-endian. */
+inline constexpr std::uint32_t kMagic = 0x31535050u;
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+
+} // namespace plan_store_format
+
+/**
+ * An immutable snapshot of one published store file. Loading
+ * validates the magic, version, section bounds, and the whole-file
+ * checksum before anything is trusted; find() then decodes a record
+ * into a fresh PlanCacheEntry. Thread-safe for concurrent find()
+ * calls (the mapping is read-only and the index is never mutated
+ * after load).
+ */
+class PlanStore
+{
+  public:
+    PlanStore() = default;
+
+    /**
+     * Map and validate @p path. A missing file yields an empty valid
+     * store (first boot); a malformed or corrupted file yields an
+     * invalid store with a diagnostic in @p error.
+     */
+    static PlanStore load(const std::string &path,
+                          std::string *error = nullptr);
+
+    bool valid() const { return ok; }
+    std::size_t size() const { return index.size(); }
+    std::uint64_t generation() const { return gen; }
+
+    /** Look up @p key; nullptr on miss. */
+    std::shared_ptr<const PlanCacheEntry>
+    find(const std::string &key) const;
+
+    /** All (key, entry) pairs — the merge-rewrite path. */
+    std::vector<std::pair<std::string, PlanCacheEntry>>
+    entries() const;
+
+  private:
+    MmapFile map;
+    /** key -> payload-relative record offset. */
+    std::unordered_map<std::string, std::uint64_t> index;
+    std::uint64_t gen = 0;
+    bool ok = false;
+};
+
+/**
+ * Accumulates plans and serializes a complete store image. Keys are
+ * kept sorted so identical contents always produce byte-identical
+ * files (diffable, checksummable across hosts).
+ */
+class PlanStoreBuilder
+{
+  public:
+    void put(const std::string &key, const PlanCacheEntry &entry);
+    std::size_t size() const { return plans.size(); }
+
+    /** Serialize to bytes (header + records + index). */
+    std::vector<std::uint8_t>
+    serialize(std::uint64_t generation) const;
+
+    /** serialize() + atomicWriteFile(). */
+    bool save(const std::string &path, std::uint64_t generation,
+              std::string *error = nullptr) const;
+
+  private:
+    std::map<std::string, PlanCacheEntry> plans;
+};
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SERVE_PLAN_STORE_HH

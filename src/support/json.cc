@@ -1,10 +1,12 @@
 #include "json.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace primepar {
 
@@ -128,17 +130,20 @@ writeNumber(std::string &out, double v)
         out += "null"; // JSON has no NaN/Inf; absence is detectable.
         return;
     }
+    // std::to_chars, not snprintf: printf-family number formatting is
+    // locale-sensitive, and a de_DE-style locale (',' decimal
+    // separator) would silently corrupt every written document.
+    // to_chars is locale-independent and emits the shortest string
+    // that round-trips the double exactly.
+    char buf[40];
     if (v == std::floor(v) && std::fabs(v) < 1e15) {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "%lld",
-                      static_cast<long long>(v));
-        out += buf;
+        const auto r = std::to_chars(buf, buf + sizeof buf,
+                                     static_cast<long long>(v));
+        out.append(buf, r.ptr);
         return;
     }
-    // 17 significant digits round-trip any double exactly.
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    out += buf;
+    const auto r = std::to_chars(buf, buf + sizeof buf, v);
+    out.append(buf, r.ptr);
 }
 
 void
@@ -361,7 +366,18 @@ class Parser
         }
         if (!digits)
             fail("malformed number");
-        return JsonValue(std::stod(s.substr(start, pos - start)));
+        // std::from_chars, not std::stod: stod honors the C locale,
+        // so under a ',' decimal-separator locale it would stop at
+        // the '.' and silently truncate "1.5" to 1.0.
+        double v = 0.0;
+        const char *first = s.data() + start;
+        const char *last = s.data() + pos;
+        if (first != last && *first == '+')
+            ++first; // from_chars rejects an explicit leading '+'
+        const auto r = std::from_chars(first, last, v);
+        if (r.ec != std::errc() || r.ptr != last)
+            fail("malformed number");
+        return JsonValue(v);
     }
 
     JsonValue

@@ -7,7 +7,9 @@
  * JSON. This module provides just enough of the format for those
  * schemas: a value tree with ordered object keys, a strict
  * recursive-descent parser, and a writer that round-trips doubles
- * exactly (17 significant digits). No external dependency.
+ * exactly (shortest round-trip form via std::to_chars — both
+ * directions are locale-independent by construction). No external
+ * dependency.
  */
 
 #ifndef PRIMEPAR_SUPPORT_JSON_HH

@@ -1,0 +1,133 @@
+#include "mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace primepar {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what + ": " + std::strerror(errno);
+}
+
+/** Directory part of @p path ("." when it has none). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+} // namespace
+
+void
+MmapFile::reset()
+{
+    if (base)
+        ::munmap(base, bytes);
+    base = nullptr;
+    bytes = 0;
+    ok = false;
+}
+
+MmapFile
+MmapFile::openReadOnly(const std::string &path, std::string *error)
+{
+    MmapFile m;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        setError(error, "open('" + path + "')");
+        return m;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        setError(error, "fstat('" + path + "')");
+        ::close(fd);
+        return m;
+    }
+    m.bytes = static_cast<std::size_t>(st.st_size);
+    if (m.bytes > 0) {
+        void *p = ::mmap(nullptr, m.bytes, PROT_READ, MAP_PRIVATE, fd,
+                         0);
+        if (p == MAP_FAILED) {
+            setError(error, "mmap('" + path + "')");
+            m.bytes = 0;
+            ::close(fd);
+            return m;
+        }
+        m.base = p;
+    }
+    m.ok = true;
+    ::close(fd); // the mapping outlives the descriptor
+    return m;
+}
+
+bool
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t size, std::string *error)
+{
+    // Same-directory temp name so the rename stays within one
+    // filesystem (rename(2) is only atomic there).
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        setError(error, "open('" + tmp + "')");
+        return false;
+    }
+
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+    std::size_t written = 0;
+    while (written < size) {
+        const ssize_t r = ::write(fd, p + written, size - written);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "write('" + tmp + "')");
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        written += static_cast<std::size_t>(r);
+    }
+    // fsync before rename: the data must be durable before the name
+    // points at it, or a crash could publish a hole.
+    if (::fsync(fd) != 0) {
+        setError(error, "fsync('" + tmp + "')");
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setError(error, "close('" + tmp + "')");
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "rename('" + tmp + "' -> '" + path + "')");
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    // Persist the directory entry; failure here is not fatal to the
+    // caller (the rename is already visible), so best-effort.
+    const int dfd = ::open(dirOf(path).c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+    return true;
+}
+
+} // namespace primepar

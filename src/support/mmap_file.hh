@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Read-only memory-mapped files and atomic whole-file writes.
+ *
+ * The serving layer keeps its plan/catalog store as one immutable
+ * file: writers produce a complete new image and publish it with
+ * tmp-write + fsync + rename (readers and a kill -9 mid-write always
+ * see either the old or the new version, never a torn one), and
+ * readers map the published file read-only so any number of threads
+ * serve lookups from the same physical pages with no per-request
+ * allocation or copying — the same serve-from-immutable-mmap idiom
+ * query engines like PISA use for heavy traffic.
+ */
+
+#ifndef PRIMEPAR_SUPPORT_MMAP_FILE_HH
+#define PRIMEPAR_SUPPORT_MMAP_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace primepar {
+
+/** A read-only mmap of one file (move-only; unmapped on destroy). */
+class MmapFile
+{
+  public:
+    MmapFile() = default;
+    ~MmapFile() { reset(); }
+
+    MmapFile(MmapFile &&other) noexcept
+        : base(other.base), bytes(other.bytes), ok(other.ok)
+    {
+        other.base = nullptr;
+        other.bytes = 0;
+        other.ok = false;
+    }
+    MmapFile &
+    operator=(MmapFile &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            base = other.base;
+            bytes = other.bytes;
+            ok = other.ok;
+            other.base = nullptr;
+            other.bytes = 0;
+            other.ok = false;
+        }
+        return *this;
+    }
+    MmapFile(const MmapFile &) = delete;
+    MmapFile &operator=(const MmapFile &) = delete;
+
+    /**
+     * Map @p path read-only. On failure (missing file, I/O error)
+     * returns an invalid MmapFile and, when @p error is non-null,
+     * stores a diagnostic. An empty file maps as valid with size 0.
+     */
+    static MmapFile openReadOnly(const std::string &path,
+                                 std::string *error = nullptr);
+
+    bool valid() const { return ok; }
+    const std::uint8_t *
+    data() const
+    {
+        return static_cast<const std::uint8_t *>(base);
+    }
+    std::size_t size() const { return bytes; }
+
+  private:
+    void reset();
+
+    void *base = nullptr;
+    std::size_t bytes = 0;
+    bool ok = false;
+};
+
+/**
+ * Atomically replace @p path with @p bytes: write to a sibling temp
+ * file, fsync it, rename over @p path, fsync the directory. Any
+ * crash — including kill -9 at an arbitrary instruction — leaves
+ * either the previous complete file or the new complete file at
+ * @p path. Returns false (with a diagnostic in @p error) on failure;
+ * the temp file is removed on every failure path.
+ */
+bool atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t size, std::string *error = nullptr);
+
+} // namespace primepar
+
+#endif // PRIMEPAR_SUPPORT_MMAP_FILE_HH

@@ -15,6 +15,7 @@
  *    survivors (re-plan + checkpoint restore) instead of failing it.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -135,7 +136,7 @@ TEST(WireFrame, RoundTripsAllHeaderFieldsAndPayload)
     f.payload = {1, 2, 3, 250, 251, 252};
     f.checksum = checksumBytes(f.payload.data(), f.payload.size());
 
-    ASSERT_TRUE(writeFrame(io.a, f));
+    ASSERT_EQ(writeFrame(io.a, f), IoResult::Ok);
     WireFrame got;
     ASSERT_EQ(readFrame(io.b, got, 2000), IoResult::Ok);
     EXPECT_EQ(got.type, FrameType::Data);
@@ -165,12 +166,43 @@ TEST(WireFrame, TruncatedFrameIsDetectedNeverConsumed)
     f.checksum = checksumBytes(f.payload.data(), f.payload.size());
     const std::vector<std::uint8_t> encoded = encodeFrame(f);
     // A truncated write never reports success.
-    EXPECT_FALSE(writeFrame(
-        io.a, f, static_cast<std::int64_t>(encoded.size() / 2)));
+    EXPECT_NE(writeFrame(io.a, f, 2000,
+                         static_cast<std::int64_t>(encoded.size() / 2)),
+              IoResult::Ok);
     io.a.close();
     WireFrame got;
     const IoResult r = readFrame(io.b, got, 2000);
     EXPECT_NE(r, IoResult::Ok);
+}
+
+TEST(WireFrame, WriteToStalledPeerTimesOutInsteadOfHanging)
+{
+    // Regression: writeExact used to ignore the caller's deadline —
+    // on EAGAIN it polled 1000 ms and looped forever, so a peer that
+    // stopped draining its receive buffer could hang a coordinator
+    // heartbeat or worker send indefinitely. The peer here never
+    // reads: once the kernel buffers fill, the write must report
+    // Timeout within the deadline.
+    LoopbackPair io;
+    const int small = 8 * 1024;
+    ::setsockopt(io.a.fd(), SOL_SOCKET, SO_SNDBUF, &small,
+                 sizeof(small));
+    ::setsockopt(io.b.fd(), SOL_SOCKET, SO_RCVBUF, &small,
+                 sizeof(small));
+
+    WireFrame f;
+    f.payload.assign(64 * 1024 * 1024, 0x5a); // dwarfs both buffers
+    f.checksum = checksumBytes(f.payload.data(), f.payload.size());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const IoResult r = writeFrame(io.a, f, 300);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_EQ(r, IoResult::Timeout);
+    EXPECT_GE(elapsed_ms, 250);
+    EXPECT_LT(elapsed_ms, 5000) << "deadline was not honored";
 }
 
 TEST(WireFrame, GarbageBytesAreMalformedNotAFrame)

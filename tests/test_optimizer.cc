@@ -233,6 +233,57 @@ TEST(SegmentedDp, IdenticalNodesShareOneCatalog)
     EXPECT_EQ(r.catalogsBuilt + r.catalogCacheHits, g.numNodes());
 }
 
+TEST(CatalogCacheLru, EvictsColdSegmentsUnderBudgetPressure)
+{
+    // Regression: the segment store used to be insert-only — once the
+    // byte budget filled, every later key was silently refused
+    // forever, so a long-lived plan server degraded to cold DP for
+    // all new workloads. Now LRU entries make room and hot keys stay.
+    auto mkSegment = [](int n) {
+        auto s = std::make_shared<DpSegment>();
+        s->C = Mat(n, n, 1.0);
+        return s;
+    };
+    const std::size_t one = mkSegment(16)->bytes();
+
+    CatalogCache cache;
+    MetricsRegistry metrics;
+    cache.setMetrics(&metrics);
+    cache.setSegmentByteBudget(4 * one);
+    for (int i = 0; i < 4; ++i)
+        cache.insertSegment("seg" + std::to_string(i), mkSegment(16));
+    EXPECT_EQ(cache.segmentBytes(), 4 * one);
+
+    // Keep seg0 hot, then overflow: the cold seg1 goes, not seg0.
+    EXPECT_NE(cache.findSegment("seg0"), nullptr);
+    cache.insertSegment("seg4", mkSegment(16));
+    EXPECT_EQ(cache.segmentEvictions(), 1u);
+    EXPECT_EQ(metrics.counter("planner.cache_evicted"), 1);
+    EXPECT_NE(cache.findSegment("seg0"), nullptr)
+        << "hot key evicted";
+    EXPECT_NE(cache.findSegment("seg4"), nullptr)
+        << "key arriving after the cap was hit was not cached";
+    EXPECT_EQ(cache.findSegment("seg1"), nullptr)
+        << "LRU victim still resident";
+    EXPECT_LE(cache.segmentBytes(), 4 * one);
+
+    // A segment alone bigger than the budget is rejected, not stored,
+    // and evicts nothing.
+    const std::size_t before = cache.segmentBytes();
+    const auto big = mkSegment(64);
+    EXPECT_EQ(cache.insertSegment("huge", big), big);
+    EXPECT_EQ(cache.segmentRejections(), 1u);
+    EXPECT_EQ(metrics.counter("planner.cache_rejected"), 1);
+    EXPECT_EQ(cache.findSegment("huge"), nullptr);
+    EXPECT_EQ(cache.segmentBytes(), before);
+
+    // Shrinking the budget evicts immediately, oldest first.
+    cache.setSegmentByteBudget(one);
+    EXPECT_LE(cache.segmentBytes(), one);
+    EXPECT_NE(cache.findSegment("seg4"), nullptr)
+        << "most recent key should survive the shrink";
+}
+
 TEST(SegmentedDp, CatalogCachePersistsAcrossRuns)
 {
     SmallFixture f;

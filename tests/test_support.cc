@@ -5,6 +5,9 @@
  */
 
 #include <atomic>
+#include <clocale>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -12,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "support/bits.hh"
+#include "support/json.hh"
 #include "support/parallel.hh"
 #include "support/regression.hh"
 #include "support/rng.hh"
@@ -223,6 +227,101 @@ TEST(Parallel, NullPoolHelperRunsSerially)
     std::vector<int> expect(5);
     std::iota(expect.begin(), expect.end(), 0);
     EXPECT_EQ(order, expect);
+}
+
+// ---------------------------------------------------------------------------
+// JSON numbers
+
+namespace {
+
+const double kTrickyDoubles[] = {
+    0.0,     1.5,        -2.75,         3.14159265358979312,
+    0.1,     1.0 / 3.0,  40766.2,       -6.02214076e23,
+    1e-300,  9.3e9,      1234567890.5,  5e-324 /* min subnormal */,
+};
+
+/** Serialize and reparse every tricky double, requiring bit-exact
+ *  round trips and a '.' (never a locale ',') decimal separator. */
+void
+expectExactNumberRoundTrip()
+{
+    for (const double v : kTrickyDoubles) {
+        const std::string text = JsonValue(v).toString(0);
+        EXPECT_EQ(text.find(','), std::string::npos)
+            << "locale-dependent separator in " << text;
+        const double back = parseJson(text).asNumber();
+        EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+            << text << " reparsed as a different double";
+    }
+}
+
+/**
+ * Activate a ',' decimal-separator locale, compiling one into a
+ * scratch directory via localedef (LOCPATH) when the host image has
+ * none installed. Returns the empty string when no such locale can be
+ * produced.
+ */
+std::string
+activateCommaLocale()
+{
+    const char *candidates[] = {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8",
+                                "it_IT.UTF-8"};
+    for (const char *name : candidates) {
+        if (std::setlocale(LC_ALL, name) &&
+            *std::localeconv()->decimal_point == ',')
+            return name;
+    }
+    char dir[] = "/tmp/primepar_locale_XXXXXX";
+    if (!::mkdtemp(dir))
+        return "";
+    const std::string cmd =
+        std::string("localedef --no-archive -i de_DE -f UTF-8 ") + dir +
+        "/de_DE.UTF-8 > /dev/null 2>&1";
+    if (std::system(cmd.c_str()) != 0)
+        return "";
+    ::setenv("LOCPATH", dir, 1);
+    if (std::setlocale(LC_ALL, "de_DE.UTF-8") &&
+        *std::localeconv()->decimal_point == ',')
+        return "de_DE.UTF-8";
+    return "";
+}
+
+} // namespace
+
+TEST(Json, NumberRoundTripIsExact)
+{
+    expectExactNumberRoundTrip();
+    // Integral doubles print as integers.
+    EXPECT_EQ(JsonValue(32.0).toString(0), "32");
+    // A comma is never a number separator on the way in either.
+    EXPECT_THROW(parseJson("1,5"), JsonError);
+}
+
+TEST(Json, NumbersSurviveCommaDecimalLocale)
+{
+    // Regression: number I/O used snprintf("%.17g") and std::stod,
+    // both locale-sensitive — under de_DE the writer emitted "3,14"
+    // (corrupting metrics snapshots, calibration files, and the plan
+    // store) and the parser silently truncated "1.5" at the '.'.
+    const std::string loc = activateCommaLocale();
+    if (loc.empty())
+        GTEST_SKIP() << "no comma-decimal locale available and "
+                        "localedef could not build one";
+    struct LocaleGuard
+    {
+        ~LocaleGuard() { std::setlocale(LC_ALL, "C"); }
+    } guard;
+
+    ASSERT_EQ(*std::localeconv()->decimal_point, ',')
+        << loc << " did not take effect";
+    expectExactNumberRoundTrip();
+    // The exact de_DE failure modes, spelled out:
+    EXPECT_EQ(JsonValue(3.14).toString(0).find(','),
+              std::string::npos);
+    EXPECT_DOUBLE_EQ(parseJson("1.5").asNumber(), 1.5);
+    const JsonValue arr = parseJson("[1.5, -0.25e2]");
+    EXPECT_DOUBLE_EQ(arr.items()[0].asNumber(), 1.5);
+    EXPECT_DOUBLE_EQ(arr.items()[1].asNumber(), -25.0);
 }
 
 } // namespace
