@@ -28,12 +28,19 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "baselines/megatron.hh"
 #include "cost/cost_model.hh"
@@ -423,8 +430,8 @@ emitFaultOverhead(std::ostream &os, bool quick)
     // transport's copy/checksum cost, and the async comm worker's
     // scheduling jitter on a shared core would drown the ~1% signal
     // (the overlap win has its own overlap_efficiency section).
-    SpmdGraphExecutor base_exec(graph, plan, 2, 0);
-    base_exec.setCommOverlap(false);
+    SpmdGraphExecutor base_exec(graph, plan, 2, 0,
+                                /*overlap_comm=*/false);
     installTransformerBlockTransforms(base_exec, cfg, batch);
 
     // Same step, but every transfer goes through the transport with
@@ -432,8 +439,8 @@ emitFaultOverhead(std::ostream &os, bool quick)
     // cost a fault-free run pays for being protectable.
     RuntimeHealth health;
     InProcessTransport transport({}, nullptr, &health);
-    SpmdGraphExecutor fault_exec(graph, plan, 2, 0);
-    fault_exec.setCommOverlap(false);
+    SpmdGraphExecutor fault_exec(graph, plan, 2, 0,
+                                 /*overlap_comm=*/false);
     installTransformerBlockTransforms(fault_exec, cfg, batch);
     fault_exec.setTransport(&transport);
     GuardOptions guard;
@@ -520,8 +527,8 @@ emitObserverOverhead(std::ostream &os, bool quick)
     // fault_overhead section: the observer cost is a small signal and
     // the async worker's scheduling jitter would swamp it.
     InProcessTransport base_transport;
-    SpmdGraphExecutor base_exec(graph, plan, 2, 0);
-    base_exec.setCommOverlap(false);
+    SpmdGraphExecutor base_exec(graph, plan, 2, 0,
+                                /*overlap_comm=*/false);
     installTransformerBlockTransforms(base_exec, cfg, batch);
     base_exec.setTransport(&base_transport);
 
@@ -533,8 +540,8 @@ emitObserverOverhead(std::ostream &os, bool quick)
     chain.add(&metrics);
     InProcessTransport traced_transport;
     traced_transport.setObserver(&chain);
-    SpmdGraphExecutor traced_exec(graph, plan, 2, 0);
-    traced_exec.setCommOverlap(false);
+    SpmdGraphExecutor traced_exec(graph, plan, 2, 0,
+                                  /*overlap_comm=*/false);
     installTransformerBlockTransforms(traced_exec, cfg, batch);
     traced_exec.setTransport(&traced_transport);
     traced_exec.addObserver(&chain);
@@ -622,8 +629,8 @@ emitOverlapEfficiency(std::ostream &os, bool quick)
     topts.linkBytesPerUs = 1000.0;
 
     InProcessTransport sync_transport(topts, nullptr, nullptr);
-    SpmdGraphExecutor sync_exec(graph, plan, 2, 0);
-    sync_exec.setCommOverlap(false);
+    SpmdGraphExecutor sync_exec(graph, plan, 2, 0,
+                                /*overlap_comm=*/false);
     installTransformerBlockTransforms(sync_exec, cfg, batch);
     sync_exec.setTransport(&sync_transport);
 
@@ -747,6 +754,102 @@ emitBytesOnWire(std::ostream &os, bool quick)
        << "  },\n";
 }
 
+/** Fork a real distributed job — `primepar_worker --serve` plus
+ *  @p numWorkers workers on its ephemeral port — and return the
+ *  largest per-worker peak RSS (KiB, from wait4's ru_maxrss), or -1
+ *  on launch failure. */
+long
+runWorkerJobPeakRss(const std::string &jobArgs, int numWorkers)
+{
+#ifdef PRIMEPAR_WORKER_BIN
+    const std::string cmd = std::string(PRIMEPAR_WORKER_BIN) +
+                            " --serve " + jobArgs + " 2>/dev/null";
+    FILE *coord = popen(cmd.c_str(), "r");
+    if (!coord)
+        return -1;
+    char line[512];
+    int port = -1;
+    while (std::fgets(line, sizeof line, coord)) {
+        if (std::sscanf(line, "PRIMEPAR_COORD_PORT=%d", &port) == 1)
+            break;
+    }
+    if (port <= 0) {
+        pclose(coord);
+        return -1;
+    }
+    const std::string addr = "127.0.0.1:" + std::to_string(port);
+    std::vector<pid_t> pids;
+    for (int w = 0; w < numWorkers; ++w) {
+        const pid_t pid = fork();
+        if (pid == 0) {
+            const int null = ::open("/dev/null", O_WRONLY);
+            if (null >= 0) {
+                ::dup2(null, 1);
+                ::dup2(null, 2);
+            }
+            ::execl(PRIMEPAR_WORKER_BIN, "primepar_worker",
+                    "--connect", addr.c_str(),
+                    static_cast<char *>(nullptr));
+            std::_Exit(127);
+        }
+        if (pid > 0)
+            pids.push_back(pid);
+    }
+    while (std::fgets(line, sizeof line, coord)) {
+    }
+    pclose(coord);
+    long peak = -1;
+    for (const pid_t pid : pids) {
+        int status = 0;
+        struct rusage ru = {};
+        if (::wait4(pid, &status, 0, &ru) == pid)
+            peak = std::max(peak, static_cast<long>(ru.ru_maxrss));
+    }
+    return peak;
+#else
+    (void)jobArgs;
+    (void)numWorkers;
+    return -1;
+#endif
+}
+
+/** Per-worker resident memory of a 4-worker / 16-device TCP job.
+ *  Sharded workers materialize tensor data only for the device ranks
+ *  they own, so each one's peak RSS must sit well below a fully
+ *  replicated worker's. Budget: sharded <= 0.5x replicated at full
+ *  size (quick mode only sanity-checks <= 0.95x — the tiny CI model
+ *  is dominated by the fixed process baseline). */
+void
+emitWorkerRss(std::ostream &os, bool quick)
+{
+    const int workers = 4, devices = 16;
+    const int steps = quick ? 2 : 3;
+    const std::string model =
+        quick ? "--batch 2 --hidden 32 --heads 2 --ffn 64 --seq 16"
+              : "--batch 8 --hidden 256 --heads 8 --ffn 1024"
+                " --seq 128";
+    const std::string base =
+        "--workers " + std::to_string(workers) + " --devices " +
+        std::to_string(devices) + " --steps " +
+        std::to_string(steps) + " --seed 7 " + model;
+    const long sharded = runWorkerJobPeakRss(base, workers);
+    const long replicated =
+        runWorkerJobPeakRss(base + " --replicated", workers);
+    const double ratio = (sharded > 0 && replicated > 0)
+                             ? static_cast<double>(sharded) /
+                                   static_cast<double>(replicated)
+                             : 1.0;
+    os << "  \"worker_rss\": {\n"
+       << "    \"workers\": " << workers << ",\n"
+       << "    \"devices\": " << devices << ",\n"
+       << "    \"steps\": " << steps << ",\n"
+       << "    \"sharded_peak_kb\": " << sharded << ",\n"
+       << "    \"replicated_peak_kb\": " << replicated << ",\n"
+       << "    \"ratio\": " << jnum(ratio) << ",\n"
+       << "    \"budget\": " << jnum(quick ? 0.95 : 0.5) << "\n"
+       << "  },\n";
+}
+
 int
 runRuntimeBench(const std::string &out_path, bool quick)
 {
@@ -768,6 +871,7 @@ runRuntimeBench(const std::string &out_path, bool quick)
     emitObserverOverhead(os, quick);
     emitOverlapEfficiency(os, quick);
     emitBytesOnWire(os, quick);
+    emitWorkerRss(os, quick);
 
     const BufferPoolStats ps = BufferPool::global().stats();
     os << "  \"buffer_pool\": {\"acquires\": " << ps.acquires

@@ -16,11 +16,17 @@
  *   primepar_worker --connect HOST:PORT [--threads T]
  *       Runs one worker: registers its data-plane listener with the
  *       coordinator, receives its id / the world / the job document,
- *       and trains over TcpTransport in SPMD lockstep with its peers.
- *       On a permanent peer failure it consults the coordinator
- *       (suspect RPC), adopts the re-planned world, and resumes from
- *       its checkpoint on the survivors — down to a plain
- *       InProcessTransport when it is the last one standing.
+ *       and trains over TcpTransport in SPMD lockstep with its peers —
+ *       sharded by default (tensor data only for its owned device
+ *       ranks; --replicated on the coordinator restores full
+ *       replication). On a permanent peer failure it consults the
+ *       coordinator (suspect RPC), adopts the re-planned world, and
+ *       resumes from its checkpoint on the survivors — down to a
+ *       plain InProcessTransport when it is the last one standing.
+ *       Connecting into a *degraded* job re-joins it: the coordinator
+ *       pauses the survivors at a barrier step, grows the grid back,
+ *       and the new worker restores a survivor's checkpoint snapshot
+ *       so training resumes on the full grid as if never degraded.
  *
  * Exit codes follow the runtime taxonomy (runtime/errors.hh):
  *   0 ok   1 internal   2 usage   3 transient fault
@@ -30,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "optimizer/segmented_dp.hh"
@@ -68,6 +75,10 @@ struct Options
     int checkpointEvery = 0;
     int heartbeatMs = 100;
     int missLimit = 5;
+    /** Full lockstep replication instead of sharded execution. */
+    bool replicated = false;
+    /** Workers resume from their own checkpoint file when present. */
+    bool resume = false;
 };
 
 Options
@@ -126,6 +137,10 @@ parseArgs(int argc, char **argv)
             opts.heartbeatMs = std::atoi(next());
         } else if (arg == "--miss-limit") {
             opts.missLimit = std::atoi(next());
+        } else if (arg == "--replicated") {
+            opts.replicated = true;
+        } else if (arg == "--resume") {
+            opts.resume = true;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: primepar_worker --serve --workers N"
@@ -138,6 +153,7 @@ parseArgs(int argc, char **argv)
                 "           [--checkpoint-dir DIR]"
                 " [--checkpoint-every N]\n"
                 "           [--heartbeat-ms MS] [--miss-limit N]\n"
+                "           [--replicated] [--resume]\n"
                 "   or: primepar_worker --connect HOST:PORT"
                 " [--threads T]\n"
                 "exit codes: 0 ok, 1 internal, 2 usage, 3 transient"
@@ -187,6 +203,10 @@ runCoordinator(const Options &opts)
     copts.port = opts.port;
     copts.dist.heartbeatMs = opts.heartbeatMs;
     copts.dist.heartbeatMissLimit = opts.missLimit;
+    // Re-join needs durable per-step state to redistribute, so it is
+    // enabled exactly when the workers keep checkpoint history.
+    copts.allowRejoin =
+        opts.checkpointEvery > 0 && !opts.checkpointDir.empty();
 
     JsonValue job = JsonValue::object();
     job.set("steps", JsonValue(static_cast<std::int64_t>(opts.steps)));
@@ -204,6 +224,10 @@ runCoordinator(const Options &opts)
     job.set("checkpoint_dir", JsonValue(opts.checkpointDir));
     job.set("checkpoint_every",
             JsonValue(static_cast<std::int64_t>(opts.checkpointEvery)));
+    job.set("replicated",
+            JsonValue(static_cast<std::int64_t>(opts.replicated)));
+    job.set("resume",
+            JsonValue(static_cast<std::int64_t>(opts.resume)));
     JsonValue dist = JsonValue::object();
     dist.set("heartbeat_ms",
              JsonValue(static_cast<std::int64_t>(opts.heartbeatMs)));
@@ -281,6 +305,8 @@ runWorker(const Options &opts)
         if (const JsonValue *v = d->find("miss_limit"))
             dopts.heartbeatMissLimit = static_cast<int>(v->asNumber());
     }
+    // Sharded unless the job asks for full lockstep replication.
+    dopts.sharded = jobInt("replicated", 0) == 0;
     client.startHeartbeats(dopts.heartbeatMs);
 
     const std::int64_t steps = jobInt("steps", 6);
@@ -308,6 +334,8 @@ runWorker(const Options &opts)
             ".ckpt";
         topts.runtime.checkpoint.every =
             static_cast<int>(jobInt("checkpoint_every", 0));
+        // Re-join donors serve immutable per-step snapshots.
+        topts.runtime.checkpoint.keepHistory = true;
     }
     if (jobStr("plan") == "dp") {
         topts.replanner = [](const CompGraph &g, int bits) {
@@ -380,17 +408,91 @@ runWorker(const Options &opts)
                 static_cast<long long>(steps));
 
     BlockTrainer trainer(topts);
+
+    // A re-join welcome carries the resume barrier and the donor
+    // whose step-R checkpoint snapshot holds the state to adopt;
+    // --resume makes a worker reload its own last checkpoint instead.
+    const JsonValue *resumeStep = welcome.find("resume_step");
+    if (resumeStep && resumeStep->asNumber() >= 0 && !ckDir.empty()) {
+        const std::int64_t rstep =
+            static_cast<std::int64_t>(resumeStep->asNumber());
+        const std::int64_t donor = static_cast<std::int64_t>(
+            welcome.at("restore_from").asNumber());
+        const std::string src = ckDir + "/worker" +
+                                std::to_string(donor) + ".ckpt.s" +
+                                std::to_string(rstep);
+        trainer.restoreFrom(loadCheckpoint(src));
+        std::printf("worker %lld re-joining at step %lld (restored"
+                    " from %s)\n",
+                    static_cast<long long>(client.workerId()),
+                    static_cast<long long>(rstep), src.c_str());
+        std::fflush(stdout);
+    } else if (jobInt("resume", 0) != 0 &&
+               !topts.runtime.checkpoint.path.empty()) {
+        std::ifstream probe(topts.runtime.checkpoint.path,
+                            std::ios::binary);
+        if (probe.good())
+            trainer.resumeFromCheckpointFile();
+    }
+
     double lastLoss = 0.0;
     while (trainer.step() < steps) {
-        const StepStats stats = trainer.trainStep();
+        StepStats stats;
+        try {
+            stats = trainer.trainStep();
+        } catch (const FencedWorkerError &) {
+            // In sharded mode a worker may exchange nothing with the
+            // peer that died, so the first sign of a degrade is a
+            // newer-generation frame from a survivor. Adopt the new
+            // world and roll back to the shared checkpoint — lockstep
+            // guarantees every survivor's latest checkpoint is at the
+            // same step, so the replay stays deterministic.
+            if (topts.runtime.checkpoint.path.empty())
+                throw;
+            DistWorld next = client.fetchWorld();
+            next.myWorker = client.workerId();
+            if (next.generation <= worldRef->generation ||
+                !next.find(next.myWorker))
+                throw;
+            *worldRef = next;
+            trainer.resyncTo(next.numBits);
+            trainer.resumeFromCheckpointFile();
+            std::printf("worker %lld fence-adopted generation %llu"
+                        " (2^%d devices)\n",
+                        static_cast<long long>(client.workerId()),
+                        static_cast<unsigned long long>(
+                            next.generation),
+                        trainer.deviceBits());
+            std::fflush(stdout);
+            continue;
+        }
         lastLoss = stats.loss;
-        client.reportStep(stats.step, stats.loss);
+        const StepAck ack = client.reportStep(stats.step, stats.loss);
         std::printf("worker %lld step %lld loss %.17g (2^%d"
                     " devices)\n",
                     static_cast<long long>(client.workerId()),
                     static_cast<long long>(stats.step), stats.loss,
                     trainer.deviceBits());
         std::fflush(stdout);
+        if (ack.pauseAt >= 0 && trainer.step() >= ack.pauseAt &&
+            !ckDir.empty()) {
+            // A rejoiner is waiting: checkpoint at exactly this step,
+            // park at the barrier, and adopt the restored world.
+            trainer.saveCheckpointNow();
+            const std::uint64_t genBefore = client.generation();
+            DistWorld next = client.resync(trainer.step());
+            if (next.generation != genBefore) {
+                *worldRef = next;
+                trainer.resyncTo(next.numBits);
+                std::printf("worker %lld resynced to generation %llu"
+                            " (2^%d devices)\n",
+                            static_cast<long long>(client.workerId()),
+                            static_cast<unsigned long long>(
+                                next.generation),
+                            trainer.deviceBits());
+                std::fflush(stdout);
+            }
+        }
     }
     client.done(trainer.step(), lastLoss);
     client.stopHeartbeats();

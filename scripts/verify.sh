@@ -13,9 +13,12 @@
 #      parseable metrics snapshot.
 #   3. Distributed smoke: run the dist-labelled scenarios
 #      (ctest -L dist), then launch a real coordinator + 2 worker
-#      processes on localhost, SIGKILL one mid-step and require the
-#      job to finish degraded onto the survivor via
-#      replanForSurvivors + checkpoint restore.
+#      processes on localhost (sharded execution is the default),
+#      SIGKILL one mid-step and require the job to finish degraded
+#      onto the survivor via replanForSurvivors + checkpoint restore.
+#      Then the re-join smoke: a 3-worker job loses one to SIGKILL, a
+#      fresh worker --connects into the degraded generation, and the
+#      job must grow back to the full 2^n grid and finish every step.
 #   4. Serve smoke: run the serve-labelled tests, then start a real
 #      primepar_serve daemon with a fresh persistent store, plan the
 #      same spec twice through primepar_plan_client, and require the
@@ -162,6 +165,75 @@ losses, got $FINAL_STEPS"; cat "$DIST_DIR/coord.log"; exit 1; }
 echo "verify: distributed smoke OK (degraded to survivors, \
 $FINAL_STEPS losses)"
 rm -rf "$DIST_DIR"
+
+echo "== re-join smoke: SIGKILL one of 3 workers, grow back =="
+# Elastic re-join, end to end with real signals: a sharded 3-worker
+# job loses one to SIGKILL, a brand-new worker --connects into the
+# degraded generation, the coordinator fences a barrier step and
+# re-places the restored 2^n grid, and the job must finish every step
+# at full size.
+RJ_DIR="$(mktemp -d /tmp/rejoin_smoke.XXXXXX)"
+"$ROOT/build/examples/primepar_worker" --serve --workers 3 \
+    --devices 4 --steps 40 --batch 2 --hidden 16 --heads 2 --ffn 32 \
+    --seq 8 --heartbeat-ms 50 --checkpoint-every 1 \
+    --checkpoint-dir "$RJ_DIR" > "$RJ_DIR/coord.log" 2>&1 &
+RJ_COORD=$!
+RJ_PORT=""
+for _ in $(seq 1 50); do
+    RJ_PORT="$(sed -n 's/^PRIMEPAR_COORD_PORT=//p' \
+        "$RJ_DIR/coord.log" 2> /dev/null || true)"
+    [ -n "$RJ_PORT" ] && break
+    sleep 0.1
+done
+[ -n "$RJ_PORT" ] || { echo "verify: re-join coordinator printed no \
+port"; cat "$RJ_DIR/coord.log"; exit 1; }
+"$ROOT/build/examples/primepar_worker" \
+    --connect "127.0.0.1:$RJ_PORT" > "$RJ_DIR/w0.log" 2>&1 &
+RJ_W0=$!
+"$ROOT/build/examples/primepar_worker" \
+    --connect "127.0.0.1:$RJ_PORT" > "$RJ_DIR/w1.log" 2>&1 &
+RJ_W1=$!
+"$ROOT/build/examples/primepar_worker" \
+    --connect "127.0.0.1:$RJ_PORT" > "$RJ_DIR/w2.log" 2>&1 &
+RJ_W2=$!
+# Let training reach mid-run, then SIGKILL the third worker.
+while ! grep -q "step 1 " "$RJ_DIR/w2.log" 2> /dev/null; do
+    kill -0 "$RJ_W2" 2> /dev/null || break
+    sleep 0.1
+done
+kill -9 "$RJ_W2" 2> /dev/null || true
+# The moment the coordinator records the loss, connect a fresh worker
+# into the degraded generation.
+while ! grep -q " lost (" "$RJ_DIR/coord.log" 2> /dev/null; do
+    kill -0 "$RJ_COORD" 2> /dev/null || break
+    sleep 0.1
+done
+"$ROOT/build/examples/primepar_worker" \
+    --connect "127.0.0.1:$RJ_PORT" > "$RJ_DIR/w3.log" 2>&1 &
+RJ_W3=$!
+if ! wait "$RJ_COORD"; then
+    echo "verify: re-join job failed"
+    cat "$RJ_DIR/coord.log" "$RJ_DIR"/w*.log
+    exit 1
+fi
+wait "$RJ_W0" || { echo "verify: survivor 0 failed"; \
+    cat "$RJ_DIR/w0.log"; exit 1; }
+wait "$RJ_W1" || { echo "verify: survivor 1 failed"; \
+    cat "$RJ_DIR/w1.log"; exit 1; }
+wait "$RJ_W3" || { echo "verify: re-joined worker failed"; \
+    cat "$RJ_DIR/w3.log"; exit 1; }
+grep -q "re-joined; generation now" "$RJ_DIR/coord.log" || {
+    echo "verify: coordinator never re-admitted the new worker";
+    cat "$RJ_DIR/coord.log"; exit 1; }
+grep -q "re-joining at step" "$RJ_DIR/w3.log" || {
+    echo "verify: new worker did not restore a donor checkpoint";
+    cat "$RJ_DIR/w3.log"; exit 1; }
+RJ_STEPS="$(grep -c '^final step' "$RJ_DIR/coord.log" || true)"
+[ "$RJ_STEPS" -eq 40 ] || { echo "verify: expected 40 final losses \
+after re-join, got $RJ_STEPS"; cat "$RJ_DIR/coord.log"; exit 1; }
+echo "verify: re-join smoke OK (grew back to the full grid, \
+$RJ_STEPS losses)"
+rm -rf "$RJ_DIR"
 
 echo "== serve smoke: daemon, store-hit repeat plan, stats =="
 # The serve-labelled tests cover the store format, single-flight and

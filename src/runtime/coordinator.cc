@@ -69,12 +69,19 @@ struct Coordinator::WorkerState
      *  being busy (heartbeats still arrive, its thread just isn't
      *  consuming them until the RPC completes). */
     bool inRpc = false;
+    /** Registered into a degraded generation, welcome deferred until
+     *  the re-join flip; excluded from liveness, placement and
+     *  finished() until then. */
+    bool rejoining = false;
+    /** Parked in a "resync" RPC at the re-join barrier. */
+    bool resyncing = false;
     double finalLoss = 0.0;
     std::thread reader;
 };
 
 Coordinator::Coordinator(CoordinatorOptions opts_in)
-    : opts(std::move(opts_in)), bits_(opts.numBits)
+    : opts(std::move(opts_in)), bits_(opts.numBits),
+      origBits_(opts.numBits)
 {
     PRIMEPAR_ASSERT(opts.numWorkers >= 1, "coordinator needs workers");
     PRIMEPAR_ASSERT((1 << bits_) >= opts.numWorkers,
@@ -219,12 +226,13 @@ Coordinator::run()
             for (std::int64_t id : stale)
                 markDead(id, "heartbeat timeout");
         }
+        tryAcceptRejoin();
         std::lock_guard<std::mutex> lock(mu);
         if (finished())
             break;
         bool any_alive = false;
         for (const auto &w : workers)
-            any_alive = any_alive || w->alive;
+            any_alive = any_alive || (w->alive && !w->rejoining);
         if (!any_alive) {
             PRIMEPAR_INFORM("coordinator: all workers lost; "
                             "job failed");
@@ -247,13 +255,61 @@ Coordinator::finished()
     // mu held by caller.
     bool any_alive = false;
     for (const auto &w : workers) {
-        if (!w->alive)
+        if (!w->alive || w->rejoining)
             continue;
         any_alive = true;
         if (!w->done)
             return false;
     }
     return any_alive;
+}
+
+void
+Coordinator::tryAcceptRejoin()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!opts.allowRejoin || lost == 0 || pendingRejoin_ >= 0)
+            return;
+    }
+    NetSocket conn = listener.accept(10);
+    if (!conn.valid())
+        return;
+    WireFrame f;
+    if (readFrame(conn, f, opts.dist.connectTimeoutMs) !=
+            IoResult::Ok ||
+        f.type != FrameType::Ctrl || f.tensor != "register") {
+        return; // stray connection; drop it
+    }
+    auto w = std::make_unique<WorkerState>();
+    w->conn = std::move(conn);
+    w->lastSeenMs = steadyMs();
+    w->rejoining = true;
+    const JsonValue body = parsePayload(f);
+    if (const JsonValue *p = body.find("port"))
+        w->dataPort = static_cast<int>(p->asNumber());
+    if (const JsonValue *h = body.find("host"))
+        w->host = h->asString();
+    std::int64_t id;
+    std::int64_t barrier;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        id = static_cast<std::int64_t>(workers.size());
+        w->id = id;
+        pendingRejoin_ = id;
+        // Every survivor still reports some step s <= R-1 (the
+        // highest step anyone *reported* trails the highest step
+        // anyone *executes* by at most one), so each sees the pause
+        // barrier in a step ack before executing step R.
+        resumeStep_ = maxStep_ + 2;
+        barrier = resumeStep_;
+        workers.push_back(std::move(w));
+    }
+    PRIMEPAR_INFORM("coordinator: worker ", id,
+                    " registered for re-join; pausing survivors at "
+                    "step ",
+                    barrier);
+    cv.notify_all();
 }
 
 void
@@ -295,29 +351,56 @@ Coordinator::readerLoop(WorkerState &w)
             const JsonValue body = parsePayload(f);
             const std::int64_t step = static_cast<std::int64_t>(body.at("step").asNumber());
             const double loss = body.at("loss").asNumber();
-            std::lock_guard<std::mutex> lock(mu);
-            auto it = lossByStep.find(step);
-            if (it == lossByStep.end() ||
-                f.generation > lossGen[step]) {
-                // First report, or a replay on the degraded grid
-                // (whose losses legitimately differ): (over)write.
-                lossByStep[step] = loss;
-                lossReporter[step] = w.id;
-                lossGen[step] = f.generation;
-            } else if (f.generation == lossGen[step] &&
-                       it->second != loss) {
-                // Replicas must agree bit-for-bit within a
-                // generation. Keep the lowest-id reporter's value.
-                ++diverged;
-                PRIMEPAR_INFORM(
-                    "coordinator: step ", step,
-                    " loss divergence: worker ", lossReporter[step],
-                    " says ", it->second, ", worker ", w.id,
-                    " says ", loss);
-                if (w.id < lossReporter[step]) {
-                    it->second = loss;
+            JsonValue ack = JsonValue::object();
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                maxStep_ = std::max(maxStep_, step);
+                auto it = lossByStep.find(step);
+                if (it == lossByStep.end() ||
+                    f.generation > lossGen[step]) {
+                    // First report, or a replay on the degraded grid
+                    // (whose losses legitimately differ): (over)write.
+                    lossByStep[step] = loss;
                     lossReporter[step] = w.id;
+                    lossGen[step] = f.generation;
+                } else if (f.generation == lossGen[step] &&
+                           it->second != loss) {
+                    // Replicas must agree bit-for-bit within a
+                    // generation. Keep the lowest-id reporter's value.
+                    ++diverged;
+                    PRIMEPAR_INFORM(
+                        "coordinator: step ", step,
+                        " loss divergence: worker ",
+                        lossReporter[step], " says ", it->second,
+                        ", worker ", w.id, " says ", loss);
+                    if (w.id < lossReporter[step]) {
+                        it->second = loss;
+                        lossReporter[step] = w.id;
+                    }
                 }
+                ack.set("pause_at",
+                        JsonValue(pendingRejoin_ >= 0 ? resumeStep_
+                                                      : -1));
+            }
+            if (writeFrame(w.conn,
+                           ctrlFrame(FrameType::CtrlResp, "step", -1,
+                                     generation_, ack),
+                           opts.dist.transferDeadlineMs) !=
+                IoResult::Ok) {
+                markDead(w.id, "closed during step ack");
+                return;
+            }
+        } else if (f.tensor == "resync") {
+            const JsonValue world = handleResync(w);
+            JsonValue resp = JsonValue::object();
+            resp.set("world", world);
+            if (writeFrame(w.conn,
+                           ctrlFrame(FrameType::CtrlResp, "resync",
+                                     -1, generation_, resp),
+                           opts.dist.transferDeadlineMs) !=
+                IoResult::Ok) {
+                markDead(w.id, "closed during resync reply");
+                return;
             }
         } else if (f.tensor == "suspect") {
             const JsonValue body = parsePayload(f);
@@ -375,6 +458,16 @@ Coordinator::markDead(std::int64_t worker, const std::string &reason)
         if (!w || !w->alive)
             return;
         w->alive = false;
+        if (w->rejoining) {
+            // A pending rejoiner dying costs nothing: it never held
+            // devices. Un-block the survivors' pause barrier.
+            if (pendingRejoin_ == w->id) {
+                pendingRejoin_ = -1;
+                resumeStep_ = -1;
+            }
+            cv.notify_all();
+            return;
+        }
         ++lost;
         ++generation_;
         bits_ = std::max(0, bits_ - 1);
@@ -384,7 +477,7 @@ Coordinator::markDead(std::int64_t worker, const std::string &reason)
         // over them, mirroring BlockTrainer's degrade path.
         placed.clear();
         for (const auto &cand : workers) {
-            if (!cand->alive)
+            if (!cand->alive || cand->rejoining)
                 continue;
             WorkerInfo info;
             info.worker = cand->id;
@@ -455,6 +548,132 @@ Coordinator::handleSuspect(WorkerState &from, std::int64_t suspected)
         PRIMEPAR_INFORM("coordinator: worker ", from.id,
                         " suspected worker ", suspected,
                         " but its heartbeats are healthy");
+    return currentWorldJson();
+}
+
+JsonValue
+Coordinator::handleResync(WorkerState &from)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        from.inRpc = true;
+        from.resyncing = true;
+    }
+    cv.notify_all();
+    const std::int64_t budget_ms =
+        static_cast<std::int64_t>(opts.dist.heartbeatMs) *
+        opts.dist.heartbeatMissLimit;
+    const std::int64_t deadline = steadyMs() + 2 * budget_ms;
+
+    // Park until the flip (or its abandonment). The last survivor to
+    // arrive performs the flip itself; everyone else wakes on the
+    // generation bump.
+    WorkerState *rj = nullptr;
+    JsonValue welcome;
+    std::int64_t rstep = -1;
+    std::int64_t abandoned = -1;
+    int bits_after = 0;
+    std::size_t placed_after = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        const std::uint64_t entry_gen = generation_;
+        for (;;) {
+            if (stopping || pendingRejoin_ < 0 ||
+                generation_ != entry_gen)
+                break;
+            bool all_parked = true;
+            for (const auto &cand : workers)
+                if (cand->alive && !cand->done && !cand->rejoining &&
+                    !cand->resyncing)
+                    all_parked = false;
+            if (all_parked) {
+                for (auto &cand : workers)
+                    if (cand->id == pendingRejoin_)
+                        rj = cand.get();
+                PRIMEPAR_ASSERT(rj != nullptr,
+                                "pending rejoiner vanished from the "
+                                "worker table");
+                // The flip: one generation, one bit back (capped at
+                // the original grid), devices re-placed over
+                // survivors + rejoiner in id order.
+                ++generation_;
+                bits_ = std::min(origBits_, bits_ + 1);
+                rj->rejoining = false;
+                rj->lastSeenMs = steadyMs();
+                placed.clear();
+                for (const auto &cand : workers) {
+                    if (!cand->alive || cand->rejoining)
+                        continue;
+                    WorkerInfo info;
+                    info.worker = cand->id;
+                    info.host = cand->host;
+                    info.port = cand->dataPort;
+                    placed.push_back(info);
+                }
+                DistWorld::placeDevices(placed, bits_);
+                // The rejoiner restores the lowest-id survivor's
+                // step-R checkpoint snapshot.
+                std::int64_t donor = -1;
+                for (const auto &cand : workers)
+                    if (cand->alive && !cand->done &&
+                        cand->id != rj->id && donor < 0)
+                        donor = cand->id;
+                welcome = JsonValue::object();
+                welcome.set("worker", JsonValue(rj->id));
+                welcome.set("world", currentWorldJson());
+                welcome.set("job", opts.job);
+                welcome.set("resume_step", JsonValue(resumeStep_));
+                welcome.set("restore_from", JsonValue(donor));
+                rstep = resumeStep_;
+                bits_after = bits_;
+                placed_after = placed.size();
+                pendingRejoin_ = -1;
+                resumeStep_ = -1;
+                for (auto &cand : workers)
+                    cand->resyncing = false;
+                break;
+            }
+            if (steadyMs() >= deadline) {
+                abandoned = pendingRejoin_;
+                break;
+            }
+            cv.wait_for(lock, std::chrono::milliseconds(
+                                  opts.dist.heartbeatMs));
+        }
+        from.inRpc = false;
+        from.resyncing = false;
+        from.lastSeenMs = steadyMs();
+    }
+    cv.notify_all();
+
+    if (abandoned >= 0) {
+        // The barrier never completed (rejoiner or a survivor gone):
+        // give up on the rejoiner and resume on the degraded grid.
+        markDead(abandoned, "re-join barrier timeout");
+    } else if (rj) {
+        // Deferred welcome: the rejoiner has been blocked in its
+        // registration RPC since tryAcceptRejoin().
+        if (writeFrame(rj->conn,
+                       ctrlFrame(FrameType::CtrlResp, "welcome", -1,
+                                 generation_, welcome),
+                       opts.dist.transferDeadlineMs) ==
+            IoResult::Ok) {
+            rj->reader = std::thread([this, &w_ref = *rj] {
+                readerLoop(w_ref);
+            });
+            PRIMEPAR_INFORM("coordinator: worker ", rj->id,
+                            " re-joined; generation now ",
+                            generation(), ", ", 1 << bits_after,
+                            " devices on ", placed_after,
+                            " workers; resuming at step ", rstep);
+            if (observer)
+                observer->onWorkerUp(rj->id, generation());
+        } else {
+            markDead(rj->id, "closed before re-join welcome");
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mu);
     return currentWorldJson();
 }
 
@@ -548,7 +767,10 @@ CoordinatorClient::registerWorker(int dataPort)
         rpc("register", body,
             std::max(10000, dist.connectTimeoutMs * 10), "welcome");
     myId = static_cast<std::int64_t>(welcome.at("worker").asNumber());
+    // A rejoiner's welcome arrives from a later generation; adopt it.
     generation_ = 0;
+    if (const JsonValue *w = welcome.find("world"))
+        generation_ = DistWorld::fromJson(*w).generation;
     return welcome;
 }
 
@@ -584,13 +806,35 @@ CoordinatorClient::stopHeartbeats()
         heartbeatThread.join();
 }
 
-void
+StepAck
 CoordinatorClient::reportStep(std::int64_t step, double loss)
 {
     JsonValue body = JsonValue::object();
     body.set("step", JsonValue(step));
     body.set("loss", JsonValue(loss));
-    send(ctrlFrame(FrameType::Ctrl, "step", myId, generation_, body));
+    const JsonValue resp =
+        rpc("step", body,
+            2 * dist.heartbeatMs * dist.heartbeatMissLimit + 5000);
+    StepAck ack;
+    ack.generation = generation_;
+    if (const JsonValue *p = resp.find("pause_at"))
+        ack.pauseAt = static_cast<std::int64_t>(p->asNumber());
+    return ack;
+}
+
+DistWorld
+CoordinatorClient::resync(std::int64_t step)
+{
+    JsonValue body = JsonValue::object();
+    body.set("step", JsonValue(step));
+    // The coordinator may hold the barrier for 2x the miss budget.
+    const int deadline =
+        4 * dist.heartbeatMs * dist.heartbeatMissLimit + 5000;
+    const JsonValue resp = rpc("resync", body, deadline);
+    DistWorld w = DistWorld::fromJson(resp.at("world"));
+    w.myWorker = myId;
+    generation_ = w.generation;
+    return w;
 }
 
 DistWorld

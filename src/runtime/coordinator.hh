@@ -9,10 +9,13 @@
  * From then on every worker keeps one persistent control connection:
  *
  *   Heartbeat ........ liveness beacon every DistOptions::heartbeatMs
- *   Ctrl "step" ...... per-step loss report (fire and forget)
+ *   Ctrl "step" ...... per-step loss report; the ack carries the
+ *                      pause barrier during a pending re-join
  *   Ctrl "suspect" ... "my transfer to worker W keeps failing" —
  *                      blocks until the coordinator has decided W's
  *                      fate, answers with the current world
+ *   Ctrl "resync" .... survivor parked at the re-join barrier; blocks
+ *                      until the restored world is fenced
  *   Ctrl "world" ..... plain world fetch (re-sync after fencing)
  *   Ctrl "done" ...... this worker finished its steps
  *
@@ -25,6 +28,24 @@
  * through their next "suspect" call. Frames from older generations are
  * fenced at the data plane (tcp_transport.hh), so a zombie declared
  * dead by mistake cannot corrupt the resumed run.
+ *
+ * ## Elastic re-join
+ *
+ * With CoordinatorOptions::allowRejoin, a degraded job grows back: a
+ * fresh `primepar_worker --connect` registering after a loss becomes a
+ * *pending* rejoiner. The coordinator picks the resume barrier
+ * R = (highest reported step) + 2 — every survivor is guaranteed to
+ * still report some step s <= R-1 and therefore sees `pause_at: R` in
+ * a step ack before executing step R. Each survivor then checkpoints
+ * at exactly step R and parks in a blocking "resync" RPC; when the
+ * last one arrives the coordinator flips: generation++, the grid grows
+ * back one bit (capped at the original), devices are re-placed over
+ * survivors + rejoiner, the rejoiner's deferred welcome ships with
+ * `resume_step` and `restore_from` (a survivor id whose step-R
+ * checkpoint snapshot it loads), and the parked survivors wake into
+ * the restored world. Training resumes at step R on the full grid,
+ * bit-identical to a never-degraded run restored from the same
+ * checkpoint.
  *
  * Loss reports are recorded from the lowest-id reporting worker per
  * step; a differing loss from another worker in the same generation is
@@ -60,10 +81,23 @@ struct CoordinatorOptions
     /** Control-plane listen port (0 = ephemeral). */
     int port = 0;
     DistOptions dist;
+    /** Accept late registrations into a degraded generation and grow
+     *  the grid back (see file comment). Requires the workers to keep
+     *  checkpoint history so the rejoiner has state to restore. */
+    bool allowRejoin = false;
     /** Opaque job document broadcast verbatim in every welcome (the
      *  example puts the model/optimizer/fault configuration here, so
      *  workers need nothing but the coordinator's address). */
     JsonValue job;
+};
+
+/** Coordinator's answer to a per-step loss report. */
+struct StepAck
+{
+    std::uint64_t generation = 0;
+    /** Step the worker must pause at for a pending re-join (checkpoint
+     *  + "resync" before executing it); -1 = keep going. */
+    std::int64_t pauseAt = -1;
 };
 
 /** The control-plane server. start() binds; run() drives the job. */
@@ -100,6 +134,12 @@ class Coordinator
     void readerLoop(WorkerState &w);
     void markDead(std::int64_t worker, const std::string &reason);
     JsonValue handleSuspect(WorkerState &from, std::int64_t suspected);
+    /** Park @p from at the re-join barrier; the last survivor to park
+     *  performs the flip (see file comment). Returns the world to
+     *  answer with. */
+    JsonValue handleResync(WorkerState &from);
+    /** Poll the listener for a late registration (allowRejoin only). */
+    void tryAcceptRejoin();
     JsonValue currentWorldJson();
     bool finished();
 
@@ -111,6 +151,13 @@ class Coordinator
     std::condition_variable cv;
     std::uint64_t generation_ = 0;
     int bits_ = 0;
+    int origBits_ = 0;
+    /** Highest step any worker reported so far (-1 = none). */
+    std::int64_t maxStep_ = -1;
+    /** Worker id of the pending rejoiner (-1 = none). */
+    std::int64_t pendingRejoin_ = -1;
+    /** Resume barrier R of the pending re-join (-1 = none). */
+    std::int64_t resumeStep_ = -1;
     std::vector<WorkerInfo> placed; ///< live workers' placement
     std::vector<std::unique_ptr<WorkerState>> workers;
     std::map<std::int64_t, double> lossByStep;
@@ -148,8 +195,16 @@ class CoordinatorClient
     void startHeartbeats(int periodMs);
     void stopHeartbeats();
 
-    /** Fire-and-forget per-step loss report. */
-    void reportStep(std::int64_t step, double loss);
+    /** Per-step loss report; the ack carries the pause barrier of a
+     *  pending re-join (StepAck::pauseAt). */
+    StepAck reportStep(std::int64_t step, double loss);
+
+    /**
+     * Park at the re-join barrier after checkpointing at @p step;
+     * blocks until the coordinator fenced the restored world (or gave
+     * up on the rejoiner) and returns it.
+     */
+    DistWorld resync(std::int64_t step);
 
     /**
      * Report that transfers to @p suspected keep failing; blocks

@@ -7,7 +7,8 @@ namespace primepar {
 
 SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
                                      std::vector<PartitionSeq> strategies,
-                                     int num_bits, int num_threads)
+                                     int num_bits, int num_threads,
+                                     bool overlap_comm, DeviceSpan owned)
     : graph(graph_in)
 {
     PRIMEPAR_ASSERT(static_cast<int>(strategies.size()) ==
@@ -19,7 +20,8 @@ SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
     execs.reserve(graph.numNodes());
     for (int n = 0; n < graph.numNodes(); ++n) {
         execs.push_back(std::make_unique<SpmdOpExecutor>(
-            graph.node(n), strategies[n], num_bits));
+            graph.node(n), strategies[n], num_bits, overlap_comm,
+            owned));
         execs.back()->setThreadPool(pool.get());
     }
 }
@@ -28,9 +30,10 @@ SpmdGraphExecutor::SpmdGraphExecutor(const CompGraph &graph_in,
                                      std::vector<PartitionSeq> strategies,
                                      const RuntimeOptions &options)
     : SpmdGraphExecutor(graph_in, std::move(strategies),
-                        options.numBits, options.execution.numThreads)
+                        options.numBits, options.execution.numThreads,
+                        options.execution.overlapComm,
+                        options.execution.ownedDevices)
 {
-    setCommOverlap(options.execution.overlapComm);
 }
 
 void
@@ -38,13 +41,6 @@ SpmdGraphExecutor::setTransport(Transport *t)
 {
     for (auto &e : execs)
         e->setTransport(t);
-}
-
-void
-SpmdGraphExecutor::setCommOverlap(bool on)
-{
-    for (auto &e : execs)
-        e->setCommOverlap(on);
 }
 
 void
@@ -95,15 +91,23 @@ SpmdGraphExecutor::run(const GraphIO &io)
     for (auto &e : execs)
         e->reset();
 
-    // Per-node input maps (reused for the backward sweep) and
-    // gathered forward outputs.
-    std::vector<std::map<std::string, Tensor>> node_inputs(nodes);
+    // Gathered forward outputs live only until their last consumer
+    // has scattered them (the op executors stash every operand as
+    // device slices on first use, so the backward sweep never needs
+    // the full copies again). Keeping full-size boundary tensors for
+    // the whole step would defeat sharding: every worker — not just
+    // the slices' owners — would hold them at peak.
     std::vector<Tensor> outputs(nodes);
+    std::vector<Shape> out_shapes(nodes);
+    std::vector<int> pending_consumers(nodes);
+    for (int n = 0; n < nodes; ++n)
+        pending_consumers[n] =
+            static_cast<int>(graph.outEdges(n).size());
 
     // Forward sweep.
     for (int n = 0; n < nodes; ++n) {
         const OpSpec &op = graph.node(n);
-        auto &inputs = node_inputs[n];
+        std::map<std::string, Tensor> inputs;
 
         for (const GraphEdge *e : graph.inEdges(n)) {
             const std::string key = op.tensors[e->dstTensor].name;
@@ -136,13 +140,22 @@ SpmdGraphExecutor::run(const GraphIO &io)
         execs[n]->runPhase(Phase::Forward, inputs);
         outputs[n] = execs[n]->gatherByName(
             op.tensors[op.outputTensor].name);
+        out_shapes[n] = outputs[n].shape();
+        // The operands are stashed as device slices now; release the
+        // full copies (and any producer output every consumer has
+        // scattered) so per-worker peak memory tracks owned slices.
+        inputs.clear();
+        for (const GraphEdge *e : graph.inEdges(n)) {
+            if (--pending_consumers[e->src] == 0 &&
+                e->src != nodes - 1)
+                outputs[e->src] = Tensor();
+        }
     }
 
     // Backward + gradient sweep; gradients accumulate per producer.
     GraphResult result;
     result.output = outputs[nodes - 1];
 
-    std::vector<Tensor> d_outputs(nodes);
     for (int n = nodes - 1; n >= 0; --n) {
         const OpSpec &op = graph.node(n);
 
@@ -151,7 +164,7 @@ SpmdGraphExecutor::run(const GraphIO &io)
         if (n == nodes - 1) {
             grad = io.d_output;
         } else {
-            grad = Tensor(outputs[n].shape());
+            grad = Tensor(out_shapes[n]);
             bool any = false;
             for (const GraphEdge *e : graph.outEdges(n)) {
                 const OpSpec &consumer = graph.node(e->dst);
@@ -170,10 +183,11 @@ SpmdGraphExecutor::run(const GraphIO &io)
             PRIMEPAR_ASSERT(any, "node ", op.name,
                             " has no gradient consumers");
         }
-        d_outputs[n] = grad;
-
-        auto &inputs = node_inputs[n];
-        inputs["d" + op.tensors[op.outputTensor].name] = grad;
+        // Every forward operand is already stashed as device slices;
+        // only the incoming gradient is new.
+        std::map<std::string, Tensor> inputs;
+        inputs["d" + op.tensors[op.outputTensor].name] =
+            std::move(grad);
         execs[n]->runPhase(Phase::Backward, inputs);
         execs[n]->runPhase(Phase::Gradient, inputs);
 

@@ -69,13 +69,20 @@ class SpmdGraphExecutor
      *        execution: 0 = all hardware threads, 1 = serial. Results
      *        are bit-identical at every setting (see
      *        SpmdOpExecutor::setThreadPool).
+     * @param overlap_comm overlap ring communication with compute on
+     *        every node's executor (construction-time; see
+     *        ExecutionOptions::overlapComm).
+     * @param owned device ranks this process materializes data for
+     *        (default: all — replicated execution; see
+     *        ExecutionOptions::ownedDevices).
      */
     SpmdGraphExecutor(const CompGraph &graph,
                       std::vector<PartitionSeq> strategies,
-                      int num_bits, int num_threads = 1);
+                      int num_bits, int num_threads = 1,
+                      bool overlap_comm = true, DeviceSpan owned = {});
 
     /** Same, configured by the unified RuntimeOptions (numBits and
-     *  execution.numThreads are consumed here; transport / fault /
+     *  the execution section are consumed here; transport / fault /
      *  checkpoint sections are the caller's to wire). */
     SpmdGraphExecutor(const CompGraph &graph,
                       std::vector<PartitionSeq> strategies,
@@ -95,10 +102,6 @@ class SpmdGraphExecutor
     /** Route every node's inter-device transfers through @p t (not
      *  owned; nullptr restores direct in-process copies). */
     void setTransport(Transport *t);
-
-    /** Toggle the async ring/compute overlap on every node's
-     *  executor (SpmdOpExecutor::setCommOverlap; default on). */
-    void setCommOverlap(bool on);
 
     /** Record detections and numeric-anomaly findings of every node
      *  into @p h (not owned). */

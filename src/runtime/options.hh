@@ -18,9 +18,9 @@
  *   rt.checkpoint.path = "run.ppck";
  *   rt.checkpoint.every = 10;
  *
- * The pre-redesign flat TrainerOptions fields survive one release as
- * LegacyTrainerOptions (deprecated), which converts implicitly to the
- * new TrainerOptions (trainer.hh).
+ * All knobs are construction-time: an executor built from a
+ * RuntimeOptions cannot be reconfigured mid-run into a state that
+ * disagrees with how its buffers and comm pipeline were laid out.
  */
 
 #ifndef PRIMEPAR_RUNTIME_OPTIONS_HH
@@ -40,10 +40,17 @@ struct ExecutionOptions
      *  are bit-identical at every setting. */
     int numThreads = 1;
     /** Overlap ring communication with compute on a dedicated comm
-     *  worker (SpmdOpExecutor::setCommOverlap). Bit-identical to the
-     *  synchronous path; off restores strictly step-synchronous
-     *  transfers (mainly for A/B benchmarking). */
+     *  worker. Construction-time only — the executors size their comm
+     *  pipeline from it and expose no post-construction toggle.
+     *  Bit-identical to the synchronous path; off restores strictly
+     *  step-synchronous transfers (mainly for A/B benchmarking). */
     bool overlapComm = true;
+    /** Device ranks this process materializes tensor data for. The
+     *  default span covers every rank (replicated execution); sharded
+     *  multi-process runs narrow it to the local worker's DistWorld
+     *  slice. BlockTrainer fills it from Transport::ownedDevices(),
+     *  so only hand-built executors set it directly. */
+    DeviceSpan ownedDevices;
 };
 
 /** Multi-process (coordinator + workers) runtime settings. */
@@ -62,6 +69,13 @@ struct DistOptions
      *  declared failed (each waits the jittered exponential backoff,
      *  see retryBackoffUs). */
     int reconnectAttempts = 3;
+    /** Shard executor state across workers: each process materializes
+     *  tensor data / journals / pool buffers only for the device ranks
+     *  it owns in the DistWorld placement, and non-local slices move
+     *  over the wire on demand. Off restores full lockstep
+     *  replication (every worker emulates all 2^n devices), which is
+     *  bit-identical but costs W× the memory. */
+    bool sharded = true;
 };
 
 /** Checkpointing and permanent-failure recovery. */
@@ -73,6 +87,12 @@ struct CheckpointOptions
     int every = 0;
     /** Permanent device failures survivable before giving up. */
     int maxReplans = 2;
+    /** Additionally keep one immutable snapshot per save as
+     *  "<path>.s<step>". Elastic re-join restores a late joiner from
+     *  a survivor's step-tagged snapshot, so both sides must be able
+     *  to name the same historical step after further saves have
+     *  overwritten <path>. */
+    bool keepHistory = false;
 };
 
 /** Everything configuring the SPMD runtime (executor + transport +

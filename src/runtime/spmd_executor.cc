@@ -10,10 +10,20 @@
 namespace primepar {
 
 SpmdOpExecutor::SpmdOpExecutor(OpSpec op_in, PartitionSeq seq_in,
-                               int num_bits)
+                               int num_bits, bool overlap_comm,
+                               DeviceSpan owned)
     : op(std::move(op_in)), seq(std::move(seq_in)),
-      dsiTable(op, seq, num_bits)
+      dsiTable(op, seq, num_bits), overlapComm(overlap_comm),
+      ownedSpan(owned)
 {
+    PRIMEPAR_ASSERT(ownedSpan.all() ||
+                        (ownedSpan.first >= 0 && ownedSpan.count > 0 &&
+                         ownedSpan.first + ownedSpan.count <=
+                             dsiTable.numDevices()),
+                    "owned device span [", ownedSpan.first, ", ",
+                    ownedSpan.first + ownedSpan.count,
+                    ") out of range for ", dsiTable.numDevices(),
+                    " devices");
     for (std::size_t p = 0; p < op.passes.size(); ++p)
         passComms.push_back(
             derivePassComm(op, seq, dsiTable, static_cast<int>(p)));
@@ -93,11 +103,15 @@ SpmdOpExecutor::scatter(const TensorRef &ref, const Tensor &full,
         tracing ? op.name + " scatter " + refKey(ref) : std::string();
     // Each device fills only its own slot; sliceFor/tupleAt are pure
     // reads of the DSI table. onSpan is declared concurrency-safe.
+    // Every rank gets its partition tuple; only owned ranks pay for
+    // the data slice (the sharded span skips the rest).
     parallelFor(pool, static_cast<std::size_t>(dsiTable.numDevices()),
                 [&](std::size_t dev) {
                     const auto d = static_cast<std::int64_t>(dev);
                     const double t0 = tracing ? observerNowUs() : 0.0;
-                    store[dev].data = sliceFor(ref, full, phase, d, t);
+                    if (ownsDev(d))
+                        store[dev].data =
+                            sliceFor(ref, full, phase, d, t);
                     store[dev].tuple = tupleAt(ref, phase, d, t);
                     if (tracing)
                         observers.onSpan(d, SpanKind::Redist, label, t0,
@@ -120,13 +134,55 @@ SpmdOpExecutor::gather(const TensorRef &ref) const
     Tensor full(shape);
 
     const auto &dims = op.tensors[ref.tensor].dims;
+    std::vector<std::int64_t> extents;
+    for (std::size_t i = 0; i < dims.size(); ++i)
+        extents.push_back(dsiTable.sliceExtent(dims[i]));
+    Shape slice_shape(extents.begin(), extents.end());
+
+    // Non-owned ranks have no local data: their slices arrive over
+    // the transport's "gather" channel in one all-gather. Every
+    // participant walks the ranks in the same ascending order — the
+    // owner multicasts each slice to one representative rank per peer
+    // span, everyone else receives exactly once — so the pairwise
+    // wire order matches on both ends of every socket. The channel
+    // pins the identity codec (tcp_transport), keeping the gathered
+    // bytes equal to the owner's, i.e. to a replicated run's.
+    const std::vector<DeviceSpan> peers =
+        (!ownedSpan.all() && transport) ? transport->peerSpans()
+                                        : std::vector<DeviceSpan>{};
     for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
         std::vector<std::int64_t> starts;
-        for (std::size_t i = 0; i < dims.size(); ++i) {
-            const std::int64_t extent = dsiTable.sliceExtent(dims[i]);
-            starts.push_back(store[dev].tuple[i] * extent);
+        for (std::size_t i = 0; i < dims.size(); ++i)
+            starts.push_back(store[dev].tuple[i] * extents[i]);
+        if (ownsDev(dev)) {
+            full.assignSlice(starts, store[dev].data);
+            for (const DeviceSpan &peer : peers) {
+                if (peer.owns(dev) || peer.count <= 0)
+                    continue;
+                TransferTag tag;
+                tag.tensor = refKey(ref);
+                tag.channel = "gather";
+                tag.phase = Phase::Forward;
+                tag.temporalStep = 0;
+                tag.sender = dev;
+                tag.receiver = peer.first;
+                Tensor scratch;
+                transport->transferInto(tag, store[dev].data, scratch);
+            }
+        } else {
+            PRIMEPAR_ASSERT(transport, "gather of non-owned device ",
+                            dev, " without a transport");
+            TransferTag tag;
+            tag.tensor = refKey(ref);
+            tag.channel = "gather";
+            tag.phase = Phase::Forward;
+            tag.temporalStep = 0;
+            tag.sender = dev;
+            tag.receiver = ownedFirst();
+            Tensor slice(slice_shape);
+            transport->transferInto(tag, Tensor{}, slice);
+            full.assignSlice(starts, slice);
         }
-        full.assignSlice(starts, store[dev].data);
     }
     return full;
 }
@@ -153,11 +209,15 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
         const std::string label =
             tracing ? std::string(channel) + " " + refKey(set.tensor)
                     : std::string();
-        // Double buffering: all sends read the pre-shift state.
+        // Double buffering: all sends read the pre-shift state. (With
+        // a sharded span the snapshot deep-copies only the owned
+        // slots — the rest carry empty data and a tuple.)
         const TensorStore snapshot = store;
         for (const Transfer &tr : set.transfers) {
             const double t0 = tracing ? observerNowUs() : 0.0;
-            if (transport) {
+            const bool send_local = ownsDev(tr.sender);
+            const bool recv_local = ownsDev(tr.receiver);
+            if (transport && (send_local || recv_local)) {
                 TransferTag tag;
                 tag.tensor = refKey(set.tensor);
                 tag.channel = channel;
@@ -165,13 +225,33 @@ SpmdOpExecutor::applyShifts(const std::vector<ShiftSet> &shifts,
                 tag.temporalStep = to_t;
                 tag.sender = tr.sender;
                 tag.receiver = tr.receiver;
-                const TransferReceipt receipt = transport->transferInto(
-                    tag, snapshot[tr.sender].data,
-                    store[tr.receiver].data);
-                commStats.wireBytes += receipt.wireBytes;
+                if (send_local && !recv_local) {
+                    // Wire send only: the delivered copy materializes
+                    // on the owning peer, not here.
+                    Tensor scratch;
+                    const TransferReceipt receipt =
+                        transport->transferInto(
+                            tag, snapshot[tr.sender].data, scratch);
+                    commStats.wireBytes += receipt.wireBytes;
+                } else {
+                    // Local or wire receive; an empty payload tells
+                    // the transport to take the byte count from the
+                    // (same-extent) destination slot.
+                    const Tensor empty;
+                    const Tensor &payload =
+                        send_local ? snapshot[tr.sender].data : empty;
+                    const TransferReceipt receipt =
+                        transport->transferInto(
+                            tag, payload, store[tr.receiver].data);
+                    commStats.wireBytes += receipt.wireBytes;
+                }
                 store[tr.receiver].tuple = snapshot[tr.sender].tuple;
-            } else {
+            } else if (!transport) {
                 store[tr.receiver] = snapshot[tr.sender];
+            } else {
+                // Neither endpoint is owned: the values move between
+                // two other workers; only the tuple advances here.
+                store[tr.receiver].tuple = snapshot[tr.sender].tuple;
             }
             if (tracing)
                 observers.onSpan(tr.receiver, SpanKind::Ring, label, t0,
@@ -208,6 +288,18 @@ SpmdOpExecutor::postRingShifts(RingBatch &batch,
             // snapshot semantics as the synchronous path — without
             // the snapshot's deep copy of the whole store.
             recv.tuple = store[tr.sender].tuple;
+            const bool send_local = ownsDev(tr.sender);
+            const bool recv_local = ownsDev(tr.receiver);
+            // Sharded span: a transfer touching no owned endpoint is
+            // a tuple-only update; a send-only transfer keeps its
+            // staged tensor as wire scratch and never commits it.
+            recv.doTransfer = send_local || recv_local;
+            recv.commitData = recv_local;
+            if (recv_local && !send_local)
+                // Pre-size the staging buffer: the wire receive takes
+                // its expected byte count from the destination, and
+                // ring slices share the receiver slot's extents.
+                recv.staged = Tensor(store[tr.receiver].data.shape());
             if (transport) {
                 recv.tag.tensor = key;
                 recv.tag.channel = "ring";
@@ -231,11 +323,11 @@ SpmdOpExecutor::postRingShifts(RingBatch &batch,
     commWorker.post([this, &batch, tracing] {
         for (PendingRecv &recv : batch.recvs) {
             const double t0 = tracing ? observerNowUs() : 0.0;
-            if (transport) {
+            if (transport && recv.doTransfer) {
                 const TransferReceipt receipt = transport->transferInto(
                     recv.tag, *recv.src, recv.staged);
                 batch.wireBytes += receipt.wireBytes;
-            } else {
+            } else if (!transport) {
                 recv.staged = *recv.src;
             }
             if (tracing)
@@ -261,7 +353,8 @@ SpmdOpExecutor::commitRingShifts(RingBatch &batch)
                          observerNowUs());
     for (PendingRecv &recv : batch.recvs) {
         TensorStore &store = stores.at(refKey(recv.set->tensor));
-        store[recv.receiver].data = std::move(recv.staged);
+        if (recv.commitData)
+            store[recv.receiver].data = std::move(recv.staged);
         store[recv.receiver].tuple = std::move(recv.tuple);
     }
     commStats.ringElements += batch.elements;
@@ -470,7 +563,8 @@ SpmdOpExecutor::runPass(int pass_index,
     parallelFor(pool, static_cast<std::size_t>(dsiTable.numDevices()),
                 [&](std::size_t dev) {
                     const auto d = static_cast<std::int64_t>(dev);
-                    acc[dev].data = Tensor(acc_shape);
+                    if (ownsDev(d))
+                        acc[dev].data = Tensor(acc_shape);
                     acc[dev].tuple =
                         tupleAt(pass.output, pass.phase, d, 0);
                 });
@@ -519,16 +613,19 @@ SpmdOpExecutor::runPass(int pass_index,
                               std::to_string(t)
                         : std::string();
             try {
+                // Only owned ranks compute: a sharded span's other
+                // ranks run on their owning workers.
                 parallelFor(
-                    pool,
-                    static_cast<std::size_t>(dsiTable.numDevices()),
-                    [&](std::size_t dev) {
-                        const auto d = static_cast<std::int64_t>(dev);
+                    pool, static_cast<std::size_t>(ownedCount()),
+                    [&](std::size_t idx) {
+                        const std::int64_t d =
+                            ownedFirst() +
+                            static_cast<std::int64_t>(idx);
                         const double t0 =
                             tracing ? observerNowUs() : 0.0;
                         const Tensor partial =
                             computeLocal(pass, d, t);
-                        out_store[dev].data.add(partial);
+                        out_store[d].data.add(partial);
                         if (tracing)
                             observers.onSpan(d, SpanKind::Compute,
                                              compute_label, t0,
@@ -563,50 +660,104 @@ SpmdOpExecutor::runPass(int pass_index,
                 if (group.size() < 2)
                     continue;
                 const double g0 = tracing ? observerNowUs() : 0.0;
-                // Reduce to the group leader with a fixed order, then
-                // broadcast — each hop is a tracked transfer.
-                Tensor sum = out_store[group[0]].data;
-                for (std::size_t i = 1; i < group.size(); ++i) {
+                const std::int64_t leader = group[0];
+                const bool leader_local = ownsDev(leader);
+                for (std::size_t i = 1; i < group.size(); ++i)
                     PRIMEPAR_ASSERT(out_store[group[i]].tuple ==
-                                        out_store[group[0]].tuple,
+                                        out_store[leader].tuple,
                                     "all-reduce group block mismatch");
-                    if (transport) {
-                        TransferTag tag;
-                        tag.tensor = out_key;
-                        tag.channel = "allreduce";
-                        tag.phase = pass.phase;
-                        tag.temporalStep = steps;
-                        tag.sender = group[i];
-                        tag.receiver = group[0];
+                // Reduce to the group leader with a fixed order, then
+                // broadcast — each hop is a tracked transfer. A
+                // sharded span takes part only in the hops that touch
+                // an owned rank; the members are still walked in the
+                // same ascending order on every worker, so the
+                // leader's owner adds the partials in exactly the
+                // order a replicated run would.
+                Tensor sum;
+                if (leader_local)
+                    sum = out_store[leader].data;
+                for (std::size_t i = 1; i < group.size(); ++i) {
+                    const std::int64_t member = group[i];
+                    const bool member_local = ownsDev(member);
+                    if (!transport) {
+                        sum.add(out_store[member].data);
+                        continue;
+                    }
+                    if (!leader_local && !member_local)
+                        continue;
+                    TransferTag tag;
+                    tag.tensor = out_key;
+                    tag.channel = "allreduce";
+                    tag.phase = pass.phase;
+                    tag.temporalStep = steps;
+                    tag.sender = member;
+                    tag.receiver = leader;
+                    if (leader_local) {
                         Tensor recv;
+                        if (!member_local)
+                            recv = Tensor(
+                                out_store[leader].data.shape());
+                        const Tensor empty;
+                        const Tensor &payload =
+                            member_local ? out_store[member].data
+                                         : empty;
                         commStats.wireBytes +=
-                            transport
-                                ->transferInto(
-                                    tag, out_store[group[i]].data,
-                                    recv)
+                            transport->transferInto(tag, payload, recv)
                                 .wireBytes;
                         sum.add(recv);
                     } else {
-                        sum.add(out_store[group[i]].data);
-                    }
-                }
-                for (std::size_t i = 0; i < group.size(); ++i) {
-                    if (transport && i > 0) {
-                        TransferTag tag;
-                        tag.tensor = out_key;
-                        tag.channel = "allreduce";
-                        tag.phase = pass.phase;
-                        tag.temporalStep = steps;
-                        tag.sender = group[0];
-                        tag.receiver = group[i];
+                        // Only the member is owned here: wire-send
+                        // its partial to the leader's owner.
+                        Tensor scratch;
                         commStats.wireBytes +=
                             transport
                                 ->transferInto(
-                                    tag, sum,
-                                    out_store[group[i]].data)
+                                    tag, out_store[member].data,
+                                    scratch)
+                                .wireBytes;
+                    }
+                }
+                for (std::size_t i = 0; i < group.size(); ++i) {
+                    const std::int64_t member = group[i];
+                    const bool member_local = ownsDev(member);
+                    if (!transport) {
+                        out_store[member].data = sum;
+                        continue;
+                    }
+                    if (i == 0) {
+                        if (leader_local)
+                            out_store[leader].data = sum;
+                        continue;
+                    }
+                    if (!leader_local && !member_local)
+                        continue;
+                    TransferTag tag;
+                    tag.tensor = out_key;
+                    tag.channel = "allreduce";
+                    tag.phase = pass.phase;
+                    tag.temporalStep = steps;
+                    tag.sender = leader;
+                    tag.receiver = member;
+                    if (leader_local && member_local) {
+                        commStats.wireBytes +=
+                            transport
+                                ->transferInto(
+                                    tag, sum, out_store[member].data)
+                                .wireBytes;
+                    } else if (leader_local) {
+                        Tensor scratch;
+                        commStats.wireBytes +=
+                            transport->transferInto(tag, sum, scratch)
                                 .wireBytes;
                     } else {
-                        out_store[group[i]].data = sum;
+                        // Only the member is owned: receive the
+                        // reduced sum into its slot.
+                        const Tensor empty;
+                        commStats.wireBytes +=
+                            transport
+                                ->transferInto(
+                                    tag, empty, out_store[member].data)
+                                .wireBytes;
                     }
                 }
                 commStats.allReduceElements +=
@@ -628,7 +779,8 @@ SpmdOpExecutor::runPass(int pass_index,
     // from this serial section, so event order is deterministic.
     if (observed()) {
         const TensorStore &out_store = stores.at(out_key);
-        for (std::int64_t dev = 0; dev < dsiTable.numDevices(); ++dev) {
+        for (std::int64_t dev = ownedFirst();
+             dev < ownedFirst() + ownedCount(); ++dev) {
             observers.onTensorProduced(op.name + "." + out_key +
                                            "@dev" + std::to_string(dev),
                                        trainStep, out_store[dev].data);
@@ -720,6 +872,8 @@ SpmdOpExecutor::sgdUpdateAndGather(double lr)
         PRIMEPAR_ASSERT(w[dev].tuple == g[dev].tuple,
                         "W/dW misaligned on device ", dev,
                         "; local SGD update impossible");
+        if (!ownsDev(dev))
+            continue;
         Tensor scaled = g[dev].data;
         scaled.scale(static_cast<float>(-lr));
         w[dev].data.add(scaled);

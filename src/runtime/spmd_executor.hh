@@ -91,8 +91,24 @@ class SpmdOpExecutor
      *           softmax)
      * @param seq partition sequence over 2^num_bits devices
      * @param num_bits device-id bit count
+     * @param overlap_comm overlap ring communication with compute on a
+     *        dedicated comm worker (construction-time; see
+     *        ExecutionOptions::overlapComm). The ring shifts toward
+     *        step t+1 are posted while step t's sub-operators run,
+     *        receiving into recycled staging buffers swapped in at the
+     *        step barrier; bit-identical to the synchronous path, and
+     *        a fault during a posted-ahead transfer rolls back exactly
+     *        this step. Off = strictly step-synchronous transfers.
+     * @param owned device ranks this process materializes tensor data
+     *        for. The default span owns every rank (replicated); a
+     *        narrowed span (sharded multi-process execution) keeps the
+     *        partition tuples of all 2^n devices but allocates data,
+     *        journal snapshots and staging buffers only inside the
+     *        span — non-local transfer endpoints then require a
+     *        Transport (setTransport) that can reach their owners.
      */
-    SpmdOpExecutor(OpSpec op, PartitionSeq seq, int num_bits);
+    SpmdOpExecutor(OpSpec op, PartitionSeq seq, int num_bits,
+                   bool overlap_comm = true, DeviceSpan owned = {});
 
     /**
      * Run one training step.
@@ -149,18 +165,6 @@ class SpmdOpExecutor
     void setTransport(Transport *t) { transport = t; }
 
     /**
-     * Overlap ring communication with compute (default on): the ring
-     * shifts toward step t+1 are posted to a dedicated comm worker
-     * while step t's sub-operators run, receiving into recycled
-     * staging buffers that are swapped in at the step barrier. Sends
-     * read operand stores the compute only reads, so results stay
-     * bit-identical to the synchronous path; a fault during a
-     * posted-ahead transfer surfaces at the barrier and rolls back
-     * exactly this step. Off = the synchronous double-buffered path.
-     */
-    void setCommOverlap(bool on) { overlapComm = on; }
-
-    /**
      * Record transport detections and numeric-anomaly guard findings
      * into @p h (not owned). Implemented on the observer API: this
      * installs an internal GuardObserver that scans every pass output
@@ -215,6 +219,13 @@ class SpmdOpExecutor
         std::string label; ///< Ring span label (empty untraced)
         Tensor staged;
         std::vector<std::int64_t> tuple;
+        /** Issue a transport call for this transfer (false when the
+         *  sharded span owns neither endpoint: tuple-only update). */
+        bool doTransfer = true;
+        /** Swap staged data into the receiver slot at the commit
+         *  (false when the receiver is not owned: the staged tensor
+         *  was only the send-side scratch). */
+        bool commitData = true;
     };
 
     /** Everything in flight on the comm worker for one temporal
@@ -265,6 +276,20 @@ class SpmdOpExecutor
     /** True when any observer (user or internal guard) is attached. */
     bool observed() const { return !observers.empty(); }
 
+    /** Sharded-span helpers. The replicated default span owns every
+     *  rank, so these collapse to [0, numDevices). */
+    bool ownsDev(std::int64_t dev) const { return ownedSpan.owns(dev); }
+    std::int64_t
+    ownedFirst() const
+    {
+        return ownedSpan.all() ? 0 : ownedSpan.first;
+    }
+    std::int64_t
+    ownedCount() const
+    {
+        return ownedSpan.all() ? dsiTable.numDevices() : ownedSpan.count;
+    }
+
     OpSpec op;
     PartitionSeq seq;
     DsiTable dsiTable;
@@ -277,7 +302,10 @@ class SpmdOpExecutor
     std::map<std::string, TensorStore> aux;
     ThreadPool *pool = nullptr;
     Transport *transport = nullptr;
-    bool overlapComm = true;
+    const bool overlapComm;
+    /** Ranks whose tensor data this process materializes; default =
+     *  all (replicated). Partition tuples stay global either way. */
+    const DeviceSpan ownedSpan;
     /** The dedicated communication thread (lazily started). Only one
      *  batch is ever in flight; every serial transfer section runs
      *  strictly after the preceding join, so the transport still sees

@@ -35,6 +35,18 @@ sleepUs(double us)
     }
 }
 
+/** Per-channel wire codec, with the sharded all-gather pinned to the
+ *  identity codec: a gathered slice must reproduce the owner's bytes
+ *  exactly (the owner keeps its local copy un-decoded), or a lossy
+ *  codec would make sharded gathers diverge from replicated ones. */
+CodecKind
+wireCodec(const TransportOptions &opts, const std::string &channel)
+{
+    if (channel == "gather")
+        return CodecKind::None;
+    return opts.codec.forChannel(channel.c_str());
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -326,7 +338,7 @@ TransferReceipt
 TcpTransport::localReplay(const Tensor &payload, Tensor &dst,
                           const char *channel)
 {
-    const CodecKind codec = opts.codec.forChannel(channel);
+    const CodecKind codec = wireCodec(opts, channel);
     const std::size_t payload_bytes =
         static_cast<std::size_t>(payload.numel()) * sizeof(float);
     if (dst.shape() != payload.shape())
@@ -362,15 +374,50 @@ TcpTransport::transferInto(const TransferTag &tag_in,
                     tag.receiver, " outside the placed device range");
 
     if (senderOwner == receiverOwner) {
-        // Both endpoints live on one worker: every replica delegates
-        // to the in-process transport, identically.
+        if (dist.sharded && senderOwner != world_.myWorker) {
+            // Sharded: a transfer internal to another worker does not
+            // involve this process (the executor's span-aware paths
+            // should not even issue it — this is the safe no-op).
+            return {};
+        }
+        // Both endpoints live on one worker: delegate to the
+        // in-process transport.
         return inner->transferInto(tag_in, payload, dst);
     }
     if (world_.myWorker == senderOwner)
         return sendWire(tag, payload, dst, receiverOwner);
     if (world_.myWorker == receiverOwner)
         return recvWire(tag, payload, dst, senderOwner);
+    if (dist.sharded) {
+        // Sharded: the two owners move the bytes between themselves.
+        return {};
+    }
     return localReplay(payload, dst, tag.channel);
+}
+
+DeviceSpan
+TcpTransport::ownedDevices() const
+{
+    if (!dist.sharded)
+        return {};
+    const WorkerInfo *me = world_.find(world_.myWorker);
+    PRIMEPAR_ASSERT(me != nullptr, "worker ", world_.myWorker,
+                    " is not part of the world");
+    return {me->firstDevice, me->numDevices};
+}
+
+std::vector<DeviceSpan>
+TcpTransport::peerSpans() const
+{
+    std::vector<DeviceSpan> spans;
+    if (!dist.sharded)
+        return spans;
+    for (const WorkerInfo &w : world_.workers) {
+        if (w.worker == world_.myWorker || w.numDevices <= 0)
+            continue;
+        spans.push_back({w.firstDevice, w.numDevices});
+    }
+    return spans;
 }
 
 TransferReceipt
@@ -378,7 +425,7 @@ TcpTransport::sendWire(const TransferTag &tag, const Tensor &payload,
                        Tensor &dst, std::int64_t peer)
 {
     const double t0 = observer ? observerNowUs() : 0.0;
-    const CodecKind codec = opts.codec.forChannel(tag.channel);
+    const CodecKind codec = wireCodec(opts, tag.channel);
     const std::size_t payload_bytes =
         static_cast<std::size_t>(payload.numel()) * sizeof(float);
     Workspace scratch(
@@ -522,18 +569,23 @@ TcpTransport::sendWire(const TransferTag &tag, const Tensor &payload,
                 break;
             }
 
-            // Acknowledged delivery: advance the pair seq and fill the
-            // local replica from the exact bytes that crossed the
-            // wire.
+            // Acknowledged delivery: advance the pair seq. In
+            // replicated mode, also fill the local replica from the
+            // exact bytes that crossed the wire; in sharded mode the
+            // receiver is the only process materializing this value
+            // and @p dst is just the caller's scratch.
             ++wireSeq[peer];
-            if (dst.shape() != payload.shape())
-                dst = Tensor::uninitialized(payload.shape());
-            if (codec != CodecKind::None) {
-                codecDecode(codec, f.payload.data(), f.payload.size(),
-                            dst.data(), payload.numel());
-            } else {
-                std::memcpy(dst.data(), f.payload.data(),
-                            payload_bytes);
+            if (!dist.sharded) {
+                if (dst.shape() != payload.shape())
+                    dst = Tensor::uninitialized(payload.shape());
+                if (codec != CodecKind::None) {
+                    codecDecode(codec, f.payload.data(),
+                                f.payload.size(), dst.data(),
+                                payload.numel());
+                } else {
+                    std::memcpy(dst.data(), f.payload.data(),
+                                payload_bytes);
+                }
             }
             const TransferReceipt receipt{
                 static_cast<std::int64_t>(payload_bytes),
@@ -575,9 +627,17 @@ TcpTransport::recvWire(const TransferTag &tag, const Tensor &payload,
                        Tensor &dst, std::int64_t peer)
 {
     const double t0 = observer ? observerNowUs() : 0.0;
-    const CodecKind codec = opts.codec.forChannel(tag.channel);
+    const CodecKind codec = wireCodec(opts, tag.channel);
+    // Sharded receives pass an empty payload (this process has no
+    // local copy of the sender's value); the pre-sized destination
+    // then defines the expected element count.
+    const std::int64_t elems =
+        payload.numel() > 0 ? payload.numel() : dst.numel();
+    PRIMEPAR_ASSERT(elems > 0, "wire receive with no sized "
+                               "destination for ",
+                    tag.tensor);
     const std::size_t payload_bytes =
-        static_cast<std::size_t>(payload.numel()) * sizeof(float);
+        static_cast<std::size_t>(elems) * sizeof(float);
 
     auto recordFault = [&](FaultKind kind,
                            std::int64_t RuntimeHealth::*counter,
@@ -693,12 +753,13 @@ TcpTransport::recvWire(const TransferTag &tag, const Tensor &payload,
         }
 
         // Verified: the wire bytes are authoritative — deliver them,
-        // not the local replica.
-        if (dst.shape() != payload.shape())
+        // not any local copy. An empty payload (sharded) keeps the
+        // caller's pre-sized destination shape.
+        if (payload.numel() > 0 && dst.shape() != payload.shape())
             dst = Tensor::uninitialized(payload.shape());
         if (codec != CodecKind::None) {
             codecDecode(codec, f.payload.data(), f.payload.size(),
-                        dst.data(), payload.numel());
+                        dst.data(), elems);
         } else {
             std::memcpy(dst.data(), f.payload.data(), payload_bytes);
         }

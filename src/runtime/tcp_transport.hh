@@ -1,23 +1,36 @@
 /**
  * @file
- * The multi-process transport: SPMD lockstep over real sockets.
+ * The multi-process transport: sharded SPMD over real sockets.
  *
  * ## Execution model
  *
  * Every worker process runs the *same* deterministic training step —
- * batches are a pure function of (seed, step), so all 2^n emulated
- * devices exist in every process — but each worker *owns* a contiguous
- * device range (DistWorld). A transfer whose endpoints are owned by the
- * same worker is delegated to an internal InProcessTransport,
- * identically in every process. A transfer whose endpoints are owned by
+ * batches are a pure function of (seed, step) — and each worker *owns*
+ * a contiguous device range (DistWorld). A transfer whose endpoints
+ * are owned by the same worker is delegated to an internal
+ * InProcessTransport. A transfer whose endpoints are owned by
  * *different* workers really crosses TCP: the sender's owner encodes
  * and ships the payload, the receiver's owner delivers the wire bytes
- * as authoritative (it does not shortcut to its local replica — that is
+ * as authoritative (it does not shortcut to a local copy — that is
  * what makes the checksums, sequence numbers and generation fencing
  * load-bearing, and the bit-identical-to-InProcess acceptance test a
- * real test). Workers owning neither endpoint replay the transfer
- * locally (codec round-trip included) so all replicas stay
- * bit-identical.
+ * real test).
+ *
+ * Two modes share this wire protocol (DistOptions::sharded):
+ *
+ *   - **Sharded** (default): each worker materializes tensor data only
+ *     for its owned ranks (Transport::ownedDevices narrows the
+ *     executors' span), so per-worker resident memory scales ~1/W.
+ *     Transfers between two remote workers do not involve this
+ *     process at all; gathers of full tensors all-gather the
+ *     non-local slices over the codec-exempt "gather" channel, so
+ *     gathered bytes equal the owners' exactly.
+ *
+ *   - **Replicated** (sharded = false): all 2^n emulated devices
+ *     exist in every process; workers owning neither endpoint of a
+ *     transfer replay it locally (codec round-trip included) so all
+ *     replicas stay bit-identical. Costs W× the memory of sharded
+ *     but keeps every gather local.
  *
  * ## Lockstep rollback
  *
@@ -128,6 +141,17 @@ class TcpTransport : public Transport
 
     void setHealth(RuntimeHealth *h) override;
     void setObserver(RuntimeObserver *o) override;
+
+    /** Sharded mode (DistOptions::sharded, default): the local
+     *  worker's contiguous DistWorld slice — the executors then
+     *  materialize tensor data only for those ranks. Replicated mode
+     *  (sharded = false) reports the all-devices span, restoring full
+     *  lockstep replication. */
+    DeviceSpan ownedDevices() const override;
+
+    /** The other alive workers' placement slices in world order
+     *  (empty in replicated mode). */
+    std::vector<DeviceSpan> peerSpans() const override;
 
     const DistWorld &world() const { return world_; }
 

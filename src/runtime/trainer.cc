@@ -75,6 +75,17 @@ BlockTrainer::BlockTrainer(TrainerOptions opts_in)
                                 : defaultBlockPlan(graph, bits_);
     if (opts.runtime.faults.enabled())
         injector = std::make_shared<FaultInjector>(opts.runtime.faults);
+    if (!opts.transportFactory) {
+        // Uniform construction path: in-process training is just the
+        // default factory, not a special case in buildExecutor.
+        opts.transportFactory =
+            [topts = opts.runtime.transport](
+                int, const DeviceFailedError *,
+                std::shared_ptr<FaultInjector> inj,
+                RuntimeHealth *h) -> std::unique_ptr<Transport> {
+            return std::make_unique<InProcessTransport>(topts, inj, h);
+        };
+    }
     Rng rng(opts.seed | 1);
     params = randomBlockParams(graph, rng);
     buildExecutor();
@@ -85,19 +96,16 @@ BlockTrainer::~BlockTrainer() = default;
 void
 BlockTrainer::buildExecutor(const DeviceFailedError *cause)
 {
-    exec = std::make_unique<SpmdGraphExecutor>(
-        graph, strategies, bits_, opts.runtime.execution.numThreads);
-    exec->setCommOverlap(opts.runtime.execution.overlapComm);
-    installTransformerBlockTransforms(*exec, opts.model, opts.batch);
     // A fresh transport per (re-)build: a degraded grid renumbers the
     // devices, so the old dead-set must not carry over. The injector
     // *is* shared, so scheduled faults keep their consumed budget.
-    if (opts.transportFactory)
-        transport =
-            opts.transportFactory(bits_, cause, injector, &health_);
-    else
-        transport = std::make_unique<InProcessTransport>(
-            opts.runtime.transport, injector, &health_);
+    // Built before the executors: their device span is the transport's.
+    transport = opts.transportFactory(bits_, cause, injector, &health_);
+    RuntimeOptions rt = opts.runtime;
+    rt.numBits = bits_;
+    rt.execution.ownedDevices = transport->ownedDevices();
+    exec = std::make_unique<SpmdGraphExecutor>(graph, strategies, rt);
+    installTransformerBlockTransforms(*exec, opts.model, opts.batch);
     transport->setHealth(&health_);
     exec->setTransport(transport.get());
     exec->setHealth(&health_, opts.runtime.guard);
@@ -211,7 +219,12 @@ BlockTrainer::saveCheckpointNow()
                     "no checkpoint path configured");
     const bool watched = !observers_.empty();
     const double t0 = watched ? observerNowUs() : 0.0;
-    saveCheckpoint(opts.runtime.checkpoint.path, checkpoint());
+    const Checkpoint ck = checkpoint();
+    saveCheckpoint(opts.runtime.checkpoint.path, ck);
+    if (opts.runtime.checkpoint.keepHistory)
+        saveCheckpoint(opts.runtime.checkpoint.path + ".s" +
+                           std::to_string(step_),
+                       ck);
     checkpointOnDisk = true;
     if (watched)
         observers_.onCheckpoint(true, step_, observerNowUs() - t0);
@@ -234,6 +247,17 @@ BlockTrainer::resumeFromCheckpointFile()
     checkpointOnDisk = true;
     if (watched)
         observers_.onCheckpoint(false, step_, observerNowUs() - t0);
+}
+
+void
+BlockTrainer::resyncTo(int newBits)
+{
+    PRIMEPAR_ASSERT(newBits >= 0, "resyncTo: negative grid bits");
+    ++health_.replans;
+    bits_ = newBits;
+    strategies = opts.replanner ? opts.replanner(graph, bits_)
+                                : defaultBlockPlan(graph, bits_);
+    buildExecutor(nullptr);
 }
 
 void

@@ -59,67 +59,27 @@ struct TrainerOptions
         replanner;
 
     /**
-     * Transport provider for (re-)building the executor; null uses an
-     * InProcessTransport over runtime.transport. The multi-process
-     * worker wires a TcpTransport factory in here: it is called with
-     * the grid size being built and, on a rebuild after a permanent
+     * Transport provider for (re-)building the executor. Every
+     * transport the trainer ever uses comes through here — the
+     * constructor installs an InProcessTransport factory over
+     * runtime.transport when this is null, so BlockTrainer itself
+     * never special-cases transport kinds. The multi-process worker
+     * wires a TcpTransport factory in here: it is called with the
+     * grid size being built and, on a rebuild after a permanent
      * device failure, the error that caused it (null on the first
      * build) — which lets the factory consult the coordinator about
      * the failed device's owner and return a transport for the new
      * world. The injector and health sink passed in are the trainer's
-     * own, so fault accounting stays unified across rebuilds.
+     * own, so fault accounting stays unified across rebuilds. The
+     * returned transport's ownedDevices() span is forwarded into the
+     * executors, so a sharded transport automatically narrows what
+     * this process materializes.
      */
     std::function<std::unique_ptr<Transport>(
         int bits, const DeviceFailedError *cause,
         std::shared_ptr<FaultInjector> injector,
         RuntimeHealth *health)>
         transportFactory;
-};
-
-/**
- * The pre-redesign flat option layout, kept for one release as a thin
- * alias: it converts implicitly to TrainerOptions. New code should
- * fill TrainerOptions{.runtime = ...} directly.
- */
-struct [[deprecated(
-    "use TrainerOptions with the nested RuntimeOptions")]] //
-LegacyTrainerOptions
-{
-    ModelConfig model;
-    std::int64_t batch = 2;
-    int numBits = 2;
-    int numThreads = 1;
-    double lr = 1e-2;
-    double momentum = 0.9;
-    std::uint64_t seed = 1234;
-    FaultSpec faults;
-    TransportOptions transport;
-    GuardOptions guard;
-    std::string checkpointPath;
-    int checkpointEvery = 0;
-    int maxReplans = 2;
-    std::function<std::vector<PartitionSeq>(const CompGraph &, int)>
-        replanner;
-
-    operator TrainerOptions() const
-    {
-        TrainerOptions o;
-        o.model = model;
-        o.batch = batch;
-        o.lr = lr;
-        o.momentum = momentum;
-        o.seed = seed;
-        o.runtime.numBits = numBits;
-        o.runtime.execution.numThreads = numThreads;
-        o.runtime.faults = faults;
-        o.runtime.transport = transport;
-        o.runtime.guard = guard;
-        o.runtime.checkpoint.path = checkpointPath;
-        o.runtime.checkpoint.every = checkpointEvery;
-        o.runtime.checkpoint.maxReplans = maxReplans;
-        o.replanner = replanner;
-        return o;
-    }
 };
 
 /** Outcome of one completed training step. */
@@ -159,6 +119,17 @@ class BlockTrainer
 
     /** Load options().runtime.checkpoint.path and restoreFrom() it. */
     void resumeFromCheckpointFile();
+
+    /**
+     * Re-plan for a 2^(newBits) grid and rebuild the executor and
+     * transport at the *current* training state — the elastic-re-join
+     * counterpart of the degrade path: where degradeAndRestore shrinks
+     * the grid and rolls back to a checkpoint, resyncTo adopts a new
+     * (typically restored) world without touching parameters or the
+     * step counter. The transport factory is invoked with a null
+     * cause.
+     */
+    void resyncTo(int newBits);
 
     /**
      * Attach an observer (not owned) to the whole training stack: it

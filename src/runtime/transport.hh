@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "codec.hh"
 #include "fault.hh"
@@ -71,6 +72,30 @@ struct TransferReceipt
 {
     std::int64_t rawBytes = 0;
     std::int64_t wireBytes = 0;
+};
+
+/**
+ * A contiguous range of device ranks one participant materializes.
+ * The default-constructed span means "all devices" — the replicated
+ * mode every single-process transport runs in. A sharded TcpTransport
+ * reports the owning worker's slice of the DistWorld placement, and
+ * the executors then allocate tensor data, journal snapshots and
+ * BufferPool storage only for ranks inside the span (partition tuples
+ * stay global: they are a few int64s per device and every transfer
+ * endpoint needs them).
+ */
+struct DeviceSpan
+{
+    std::int64_t first = 0;
+    /** Number of owned ranks; -1 = every device (replicated). */
+    std::int64_t count = -1;
+
+    bool all() const { return count < 0; }
+
+    bool owns(std::int64_t device) const
+    {
+        return all() || (device >= first && device < first + count);
+    }
 };
 
 /**
@@ -126,6 +151,17 @@ class Transport
     /** Report every delivered transfer (bytes, attempts, wall time)
      *  and detected fault to @p o (not owned; nullptr detaches). */
     virtual void setObserver(RuntimeObserver *o) { (void)o; }
+
+    /** Device ranks this participant materializes locally. The
+     *  default span owns every rank (replicated execution); a sharded
+     *  transport narrows it to the local worker's placement slice and
+     *  the executors skip allocating data for the rest. */
+    virtual DeviceSpan ownedDevices() const { return {}; }
+
+    /** The other participants' owned spans (empty when this transport
+     *  is the only participant). Used by the executors to address
+     *  all-gather traffic at one representative rank per peer. */
+    virtual std::vector<DeviceSpan> peerSpans() const { return {}; }
 };
 
 /**

@@ -18,6 +18,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,10 +55,11 @@ TEST(DistWorld, PlacesDevicesContiguously)
     std::int64_t total = 0;
     for (std::size_t i = 0; i < workers.size(); ++i) {
         EXPECT_GT(workers[i].numDevices, 0);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_EQ(workers[i].firstDevice,
                       workers[i - 1].firstDevice +
                           workers[i - 1].numDevices);
+        }
         total += workers[i].numDevices;
     }
     EXPECT_EQ(total, 8);
@@ -226,10 +229,15 @@ struct JobResult
 };
 
 /** Launch `primepar_worker --serve <args>` plus @p numWorkers workers
- *  on its ephemeral port; stream and return the coordinator output. */
+ *  on its ephemeral port; stream and return the coordinator output.
+ *  @p onLine (optional) sees every coordinator output line as it
+ *  arrives, with the control port — the re-join test uses it to
+ *  launch a late worker the moment a loss is reported. */
 JobResult
 runJob(const std::string &serveArgs, int numWorkers,
-       const std::string &dir)
+       const std::string &dir,
+       const std::function<void(const std::string &, int)> &onLine =
+           {})
 {
     const std::string cmd = std::string(PRIMEPAR_WORKER_BIN) +
                             " --serve " + serveArgs + " 2>&1";
@@ -260,8 +268,11 @@ runJob(const std::string &serveArgs, int numWorkers,
         if (std::system(wcmd.c_str()) != 0)
             ADD_FAILURE() << "cannot launch worker " << w;
     }
-    while (std::fgets(line, sizeof line, coord))
+    while (std::fgets(line, sizeof line, coord)) {
         result.out += line;
+        if (onLine)
+            onLine(line, port);
+    }
     const int status = pclose(coord);
     result.rc = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
     return result;
@@ -332,6 +343,43 @@ TEST(DistJob, SurvivesInjectedSocketFaultsBitIdentically)
         << faulty.out;
 }
 
+TEST(DistJob, ShardedIsBitIdenticalToReplicated)
+{
+    const std::string dir = freshDir("dist_sharded");
+    // Sharded is the default: each worker materializes tensor data
+    // only for its owned ranks and all-gathers the rest over the
+    // codec-exempt "gather" channel. The %.17g losses must match
+    // full lockstep replication to the last bit.
+    const JobResult sharded =
+        runJob(std::string("--workers 2 ") + kTinyJob, 2, dir);
+    const JobResult replicated = runJob(
+        std::string("--workers 2 --replicated ") + kTinyJob, 2, dir);
+    EXPECT_EQ(sharded.rc, 0) << sharded.out;
+    EXPECT_EQ(replicated.rc, 0) << replicated.out;
+    const auto ref = finalLossLines(replicated.out);
+    ASSERT_EQ(ref.size(), 3u) << replicated.out;
+    EXPECT_EQ(finalLossLines(sharded.out), ref)
+        << "sharded losses diverge from replicated:\n"
+        << sharded.out;
+}
+
+TEST(DistJob, ShardedSurvivesSocketFaultsBitIdentically)
+{
+    const std::string dir = freshDir("dist_sharded_faults");
+    const char *faults = " --fault-spec netdrop=0.05,nettrunc=0.03,"
+                         "netdelay=0.05,seed=11";
+    const JobResult replicated = runJob(
+        std::string("--workers 2 --replicated ") + kTinyJob, 2, dir);
+    const JobResult faulty = runJob(
+        std::string("--workers 2 ") + kTinyJob + faults, 2, dir);
+    EXPECT_EQ(replicated.rc, 0) << replicated.out;
+    EXPECT_EQ(faulty.rc, 0) << faulty.out;
+    EXPECT_EQ(finalLossLines(faulty.out),
+              finalLossLines(replicated.out))
+        << "socket faults changed the sharded trajectory:\n"
+        << faulty.out;
+}
+
 TEST(DistJob, WorkerKillMidRunDegradesOntoSurvivors)
 {
     const std::string dir = freshDir("dist_kill");
@@ -352,6 +400,91 @@ TEST(DistJob, WorkerKillMidRunDegradesOntoSurvivors)
     EXPECT_NE(job.out.find("1 worker(s) lost"), std::string::npos)
         << job.out;
     EXPECT_NE(job.out.find("generation 1"), std::string::npos)
+        << job.out;
+}
+
+TEST(DistJob, KillRejoinResumesWithLossParity)
+{
+    const std::string dir = freshDir("dist_rejoin");
+    const std::string ckDir = freshDir("dist_rejoin_ck");
+    const std::string ck2Dir = freshDir("dist_rejoin_ck2");
+    const long long steps = 30;
+    const std::string jobArgs =
+        "--devices 4 --steps 30 --batch 2 --hidden 16 --heads 2 "
+        "--ffn 32 --seq 8 --seed 77 --heartbeat-ms 50";
+
+    // Worker 2 is killed at step 2; the survivors degrade onto 2^1
+    // devices and keep training. The moment the coordinator reports
+    // the loss, a fourth worker connects — it must be folded back in:
+    // survivors pause at the barrier step R, the grid grows back to
+    // 2^2, and the rejoiner restores a survivor's step-R checkpoint.
+    bool launched = false;
+    const JobResult job = runJob(
+        std::string("--workers 3 ") + jobArgs +
+            " --fault-spec kill@step=2:dev=2 --checkpoint-every 1"
+            " --checkpoint-dir " +
+            ckDir,
+        3, dir, [&](const std::string &l, int port) {
+            if (launched || l.find(" lost (") == std::string::npos)
+                return;
+            launched = true;
+            const std::string wcmd =
+                std::string(PRIMEPAR_WORKER_BIN) +
+                " --connect 127.0.0.1:" + std::to_string(port) +
+                " > " + dir + "/worker3.log 2>&1 &";
+            if (std::system(wcmd.c_str()) != 0)
+                ADD_FAILURE() << "cannot launch rejoin worker";
+        });
+    EXPECT_TRUE(launched) << job.out;
+    EXPECT_EQ(job.rc, 0) << job.out;
+    EXPECT_NE(job.out.find("re-joined"), std::string::npos) << job.out;
+    ASSERT_EQ(finalLossLines(job.out).size(),
+              static_cast<std::size_t>(steps))
+        << job.out;
+
+    // The resume barrier R, from the coordinator's re-join line.
+    const std::size_t rpos = job.out.find("resuming at step ");
+    ASSERT_NE(rpos, std::string::npos) << job.out;
+    const long long r = std::atoll(
+        job.out.c_str() + rpos + std::strlen("resuming at step "));
+    ASSERT_GT(r, 0) << job.out;
+    ASSERT_LT(r, steps) << job.out;
+
+    // Reference: an undisturbed single-worker job restored from the
+    // very checkpoint snapshot the rejoiner adopted (worker 0 is
+    // always the donor — the lowest-id survivor). Its steps R..29
+    // must match the re-joined run's bit for bit.
+    {
+        std::ifstream src(ckDir + "/worker0.ckpt.s" +
+                              std::to_string(r),
+                          std::ios::binary);
+        ASSERT_TRUE(src.good()) << "donor snapshot missing";
+        std::ofstream dst(ck2Dir + "/worker0.ckpt",
+                          std::ios::binary);
+        dst << src.rdbuf();
+    }
+    const JobResult ref = runJob(
+        std::string("--workers 1 --resume ") + jobArgs +
+            " --checkpoint-dir " + ck2Dir,
+        1, dir);
+    EXPECT_EQ(ref.rc, 0) << ref.out;
+
+    auto fromStep = [](const std::vector<std::string> &lines,
+                       long long first) {
+        std::vector<std::string> keep;
+        for (const std::string &l : lines) {
+            long long s = -1;
+            if (std::sscanf(l.c_str(), "final step %lld", &s) == 1 &&
+                s >= first)
+                keep.push_back(l);
+        }
+        return keep;
+    };
+    const auto want = finalLossLines(ref.out);
+    ASSERT_EQ(want.size(), static_cast<std::size_t>(steps - r))
+        << ref.out;
+    EXPECT_EQ(fromStep(finalLossLines(job.out), r), want)
+        << "re-joined run diverges from the undisturbed resume:\n"
         << job.out;
 }
 

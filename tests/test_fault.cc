@@ -52,8 +52,7 @@ struct BlockCase
     run(const std::vector<PartitionSeq> &plan, Transport *transport,
         RuntimeHealth *health, int threads = 1, bool overlap = true)
     {
-        SpmdGraphExecutor exec(graph, plan, 2, threads);
-        exec.setCommOverlap(overlap);
+        SpmdGraphExecutor exec(graph, plan, 2, threads, overlap);
         installTransformerBlockTransforms(exec, cfg, 2);
         if (transport)
             exec.setTransport(transport);

@@ -309,29 +309,30 @@ TEST(Observer, CalibrationRejectsForeignSchemas)
                  CalibrationError);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Observer, LegacyFlatOptionsConvertToNestedRuntimeOptions)
+TEST(Observer, NestedRuntimeOptionsCarryEverySection)
 {
-    LegacyTrainerOptions legacy;
-    legacy.numBits = 3;
-    legacy.numThreads = 4;
-    legacy.checkpointPath = "ck.ppck";
-    legacy.checkpointEvery = 5;
-    legacy.maxReplans = 1;
-    legacy.transport.maxAttempts = 9;
-    legacy.guard.explosionThreshold = 123.0f;
+    TrainerOptions opts;
+    opts.runtime.numBits = 3;
+    opts.runtime.execution.numThreads = 4;
+    opts.runtime.execution.overlapComm = false;
+    opts.runtime.checkpoint.path = "ck.ppck";
+    opts.runtime.checkpoint.every = 5;
+    opts.runtime.checkpoint.maxReplans = 1;
+    opts.runtime.checkpoint.keepHistory = true;
+    opts.runtime.transport.maxAttempts = 9;
+    opts.runtime.guard.explosionThreshold = 123.0f;
 
-    const TrainerOptions opts = legacy;
     EXPECT_EQ(opts.runtime.numBits, 3);
     EXPECT_EQ(opts.runtime.execution.numThreads, 4);
+    EXPECT_FALSE(opts.runtime.execution.overlapComm);
+    EXPECT_TRUE(opts.runtime.execution.ownedDevices.all());
     EXPECT_EQ(opts.runtime.checkpoint.path, "ck.ppck");
     EXPECT_EQ(opts.runtime.checkpoint.every, 5);
     EXPECT_EQ(opts.runtime.checkpoint.maxReplans, 1);
+    EXPECT_TRUE(opts.runtime.checkpoint.keepHistory);
     EXPECT_EQ(opts.runtime.transport.maxAttempts, 9);
     EXPECT_FLOAT_EQ(opts.runtime.guard.explosionThreshold, 123.0f);
 }
-#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace primepar

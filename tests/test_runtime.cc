@@ -432,8 +432,8 @@ TEST(SpmdExecutor, AsyncOverlapIsBitIdenticalToSync)
             ThreadPool pool(2);
             InProcessTransport transport({}, nullptr, nullptr);
 
-            SpmdOpExecutor sync_exec(op, seq, 4);
-            sync_exec.setCommOverlap(false);
+            SpmdOpExecutor sync_exec(op, seq, 4,
+                                     /*overlap_comm=*/false);
             SpmdOpExecutor async_exec(op, seq, 4);
             if (threads > 1) {
                 sync_exec.setThreadPool(&pool);
